@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Regenerates Fig. 5 of the paper: the synthesis-cost breakdown for
+ * rtl2uspec on the multi-V-scale — SVA counts, runtimes, runtime/SVA,
+ * and HBI hypotheses vs. proven HBIs split into local and global
+ * state, per HBI category. Also reports the §5.1-style design-size
+ * numbers and the §6.2 headline (one-time synthesis cost), and writes
+ * the synthesized model to out/vscale.uarch plus the DFG DOT files.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "common/timer.hh"
+
+using namespace r2u;
+
+int
+main()
+{
+    bench::banner("Fig. 5 — rtl2uspec synthesis of a multi-V-scale "
+                  "uspec model");
+
+    auto cfg = bench::formalConfig();
+    Timer elab_timer;
+    auto design = vscale::elaborateVscale(cfg);
+    double elab_s = elab_timer.seconds();
+
+    auto st = design.netlist->stats();
+    std::printf("\nDesign (cf. paper §5.1):\n");
+    std::printf("  four-core multi-V-scale, XLEN=%u, %u-entry dmem, "
+                "%u-entry imems\n",
+                cfg.xlen, cfg.dmemWords, cfg.imemWords);
+    std::printf("  %zu cells (%zu combinational), %zu registers "
+                "(%zu flop bits), %zu memories (%zu bits)\n",
+                st.cells, st.combCells, st.registers, st.flopBits,
+                st.memories, st.memBits);
+    std::printf("  Verilog parse + elaborate: %.2f s\n", elab_s);
+
+    auto md = vscale::vscaleMetadata(cfg);
+    auto result = rtl2uspec::synthesize(design, md);
+
+    std::printf("\n%s\n", result.report().c_str());
+
+    std::printf("Per-SVA detail (verdicts as the property verifier "
+                "reports them):\n");
+    std::printf("  %-34s %-9s %-12s %10s %6s\n", "SVA", "category",
+                "verdict", "time (s)", "hyp");
+    for (const auto &sva : result.svas) {
+        std::printf("  %-34s %-9s %-12s %10.3f %6u\n",
+                    sva.name.c_str(), sva.category.c_str(),
+                    bmc::verdictName(sva.verdict), sva.seconds,
+                    sva.hypotheses);
+    }
+
+    std::printf("\nPer-instruction DFG membership (cf. Fig. 3c):\n");
+    for (const auto &[instr, nodes] : result.instrNodes) {
+        std::printf("  %s: ", instr.c_str());
+        for (const auto &n : nodes)
+            std::printf("%s ", n.c_str());
+        std::printf("\n");
+    }
+
+    writeFile(bench::outPath("vscale.uarch"), result.model.print());
+    writeFile(bench::outPath("full_design_dfg.dot"), result.fullDfgDot);
+    for (const auto &[instr, dot] : result.instrDfgDots)
+        writeFile(bench::outPath("dfg_" + instr + ".dot"), dot);
+
+    std::printf("\nHeadline (paper: 6.84 min total, 3.34 s/SVA "
+                "average on JasperGold):\n");
+    std::printf("  synthesized a complete, proven-correct-by-"
+                "construction uspec model in %.2f s\n",
+                result.totalSeconds);
+    std::printf("  (static analysis %.2f s, SVA evaluation %.2f s, "
+                "post-processing %.3f s)\n",
+                result.staticSeconds, result.proofSeconds,
+                result.postSeconds);
+    std::printf("  model written to %s\n",
+                bench::outPath("vscale.uarch").c_str());
+    return 0;
+}

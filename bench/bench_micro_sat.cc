@@ -1,0 +1,145 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the substrate layers: CDCL SAT
+ * solving, Tseitin word-op construction + solving, netlist simulation
+ * throughput on the multi-V-scale, SC reference enumeration, and µhb
+ * solving on a fixed model. These quantify the building blocks whose
+ * costs Fig. 5 / Fig. 6 aggregate.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "check/check.hh"
+#include "litmus/litmus.hh"
+#include "mcm/sc_ref.hh"
+#include "sat/cnf.hh"
+#include "sim/simulator.hh"
+#include "uhb/uhb.hh"
+#include "vscale/vscale.hh"
+
+using namespace r2u;
+
+namespace
+{
+
+void
+BM_SatPigeonhole(benchmark::State &state)
+{
+    int pigeons = static_cast<int>(state.range(0));
+    int holes = pigeons - 1;
+    for (auto _ : state) {
+        sat::Solver s;
+        std::vector<std::vector<sat::Var>> p(
+            pigeons, std::vector<sat::Var>(holes));
+        for (int i = 0; i < pigeons; i++)
+            for (int j = 0; j < holes; j++)
+                p[i][j] = s.newVar();
+        for (int i = 0; i < pigeons; i++) {
+            std::vector<sat::Lit> c;
+            for (int j = 0; j < holes; j++)
+                c.push_back(sat::mkLit(p[i][j]));
+            s.addClause(c);
+        }
+        for (int j = 0; j < holes; j++)
+            for (int i1 = 0; i1 < pigeons; i1++)
+                for (int i2 = i1 + 1; i2 < pigeons; i2++)
+                    s.addClause(sat::mkLit(p[i1][j], true),
+                                sat::mkLit(p[i2][j], true));
+        benchmark::DoNotOptimize(s.solve());
+    }
+}
+BENCHMARK(BM_SatPigeonhole)->Arg(5)->Arg(6)->Arg(7)->Unit(benchmark::kMillisecond);
+
+void
+BM_CnfAdderChain(benchmark::State &state)
+{
+    unsigned width = static_cast<unsigned>(state.range(0));
+    for (auto _ : state) {
+        sat::Solver s;
+        sat::CnfBuilder cnf(s);
+        sat::Word acc = cnf.freshWord(width);
+        for (int i = 0; i < 16; i++)
+            acc = cnf.mkAddW(acc, cnf.freshWord(width));
+        cnf.assertLit(cnf.mkEqW(acc, cnf.constWord(width, 12345)));
+        benchmark::DoNotOptimize(s.solve());
+    }
+}
+BENCHMARK(BM_CnfAdderChain)->Arg(8)->Arg(16)->Arg(32);
+
+void
+BM_VscaleSimCycles(benchmark::State &state)
+{
+    vscale::Config cfg = vscale::Config::formal();
+    cfg.imemWords = 16;
+    vscale::Harness h(cfg);
+    litmus::Test mp = litmus::standardSuite()[0];
+    h.loadProgram(0, mp.threadAssembly(0));
+    h.loadProgram(1, mp.threadAssembly(1));
+    h.resetAndRun(1);
+    for (auto _ : state)
+        h.run(100);
+    state.SetItemsProcessed(state.iterations() * 100);
+}
+BENCHMARK(BM_VscaleSimCycles);
+
+void
+BM_ScEnumerate(benchmark::State &state)
+{
+    auto suite = litmus::standardSuite();
+    const litmus::Test &t =
+        suite[static_cast<size_t>(state.range(0))];
+    for (auto _ : state)
+        benchmark::DoNotOptimize(mcm::enumerateSC(t));
+}
+BENCHMARK(BM_ScEnumerate)->Arg(0)->Arg(5); // mp, iriw
+
+void
+BM_UhbCheckTest(benchmark::State &state)
+{
+    // Hand-written SC model (mirrors the synthesized shape).
+    static const char *model_text = R"(
+StageName 0 "IF_".
+StageName 1 "WB_grp".
+StageName 2 "mem_if".
+StageName 3 "mem".
+StageName 4 "regfile".
+MemoryAccessStage "mem_if".
+MemoryStage "mem".
+Axiom "R_path":
+forall microop "i0",
+IsAnyRead i0 =>
+AddEdges [((i0, IF_), (i0, WB_grp));
+          ((i0, IF_), (i0, mem_if));
+          ((i0, mem_if), (i0, regfile))].
+Axiom "W_path":
+forall microop "i0",
+IsAnyWrite i0 =>
+AddEdges [((i0, IF_), (i0, WB_grp));
+          ((i0, IF_), (i0, mem_if));
+          ((i0, mem_if), (i0, mem))].
+Axiom "PO_fetch":
+forall microops "i0", "i1",
+SameCore i0 i1 => ProgramOrder i0 i1 =>
+AddEdge ((i0, IF_), (i1, IF_)).
+Axiom "PO_mem_if":
+forall microops "i0", "i1",
+SameCore i0 i1 => ProgramOrder i0 i1 =>
+AddEdge ((i0, mem_if), (i1, mem_if)).
+Axiom "Dataflow_mem":
+forall microops "i0", "i1",
+IsAnyWrite i0 => IsAnyRead i1 => SamePA i0 i1 => SameData i0 i1 =>
+NoWritesInBetween i0 i1 =>
+AddEdge ((i0, mem), (i1, regfile)).
+)";
+    static uspec::Model model = uspec::Model::parse(model_text);
+    auto suite = litmus::standardSuite();
+    const litmus::Test &t =
+        suite[static_cast<size_t>(state.range(0))];
+    for (auto _ : state)
+        benchmark::DoNotOptimize(check::checkTest(model, t));
+}
+BENCHMARK(BM_UhbCheckTest)->Arg(0)->Arg(1)->Arg(5);
+
+} // namespace
+
+BENCHMARK_MAIN();

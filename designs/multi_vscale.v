@@ -1,0 +1,123 @@
+// multi_vscale: the four-core multi-V-scale (paper §5.1).
+//
+// Four three-stage in-order vscale_core instances share a single data
+// memory through a round-robin arbiter; each core has a private
+// instruction memory. The design implements Sequential Consistency:
+// memory order is exactly the arbiter's grant order.
+//
+// Parameters let the formal configuration shrink the datapath (XLEN)
+// and memory depths; litmus-visible behavior is width-independent.
+module multi_vscale #(
+    parameter XLEN = 32,
+    parameter PC_BITS = 7,
+    parameter NREGS = 32,
+    parameter REG_BITS = 5,
+    parameter DMEM_WORDS = 8,
+    parameter DMEM_ABITS = 3,
+    parameter IMEM_WORDS = 32,
+    parameter IMEM_ABITS = 5,
+    parameter BUGGY = 0
+) (
+    input clk,
+    input reset
+);
+
+    wire [3:0] req_en;
+    wire [3:0] req_wen;
+    wire [3:0] grant;
+
+    wire en_0, en_1, en_2, en_3;
+    wire wen_0, wen_1, wen_2, wen_3;
+    wire [XLEN-1:0] addr_0, addr_1, addr_2, addr_3;
+    wire [XLEN-1:0] wdata_0, wdata_1, wdata_2, wdata_3;
+
+    assign req_en = {en_3, en_2, en_1, en_0};
+    assign req_wen = {wen_3, wen_2, wen_1, wen_0};
+
+    wire mem_req_valid;
+    wire mem_req_wen;
+    wire [XLEN-1:0] mem_req_addr;
+    wire [XLEN-1:0] mem_req_wdata;
+    wire [1:0] mem_req_core;
+    wire resp_valid;
+    wire [1:0] resp_core;
+    wire [XLEN-1:0] resp_data;
+
+    wire [IMEM_ABITS-1:0] iaddr_0, iaddr_1, iaddr_2, iaddr_3;
+    wire [31:0] irdata_0, irdata_1, irdata_2, irdata_3;
+
+    wire resp_0 = resp_valid && (resp_core == 2'd0);
+    wire resp_1 = resp_valid && (resp_core == 2'd1);
+    wire resp_2 = resp_valid && (resp_core == 2'd2);
+    wire resp_3 = resp_valid && (resp_core == 2'd3);
+
+    vscale_core #(.XLEN(XLEN), .PC_BITS(PC_BITS), .NREGS(NREGS),
+                  .REG_BITS(REG_BITS), .BUGGY(BUGGY)) core_0 (
+        .clk(clk), .reset(reset),
+        .imem_addr(iaddr_0), .imem_rdata(irdata_0),
+        .dmem_en(en_0), .dmem_wen(wen_0), .dmem_addr(addr_0),
+        .dmem_wdata(wdata_0), .dmem_grant(grant[0]),
+        .dmem_resp_valid(resp_0), .dmem_resp_data(resp_data)
+    );
+    vscale_core #(.XLEN(XLEN), .PC_BITS(PC_BITS), .NREGS(NREGS),
+                  .REG_BITS(REG_BITS), .BUGGY(BUGGY)) core_1 (
+        .clk(clk), .reset(reset),
+        .imem_addr(iaddr_1), .imem_rdata(irdata_1),
+        .dmem_en(en_1), .dmem_wen(wen_1), .dmem_addr(addr_1),
+        .dmem_wdata(wdata_1), .dmem_grant(grant[1]),
+        .dmem_resp_valid(resp_1), .dmem_resp_data(resp_data)
+    );
+    vscale_core #(.XLEN(XLEN), .PC_BITS(PC_BITS), .NREGS(NREGS),
+                  .REG_BITS(REG_BITS), .BUGGY(BUGGY)) core_2 (
+        .clk(clk), .reset(reset),
+        .imem_addr(iaddr_2), .imem_rdata(irdata_2),
+        .dmem_en(en_2), .dmem_wen(wen_2), .dmem_addr(addr_2),
+        .dmem_wdata(wdata_2), .dmem_grant(grant[2]),
+        .dmem_resp_valid(resp_2), .dmem_resp_data(resp_data)
+    );
+    vscale_core #(.XLEN(XLEN), .PC_BITS(PC_BITS), .NREGS(NREGS),
+                  .REG_BITS(REG_BITS), .BUGGY(BUGGY)) core_3 (
+        .clk(clk), .reset(reset),
+        .imem_addr(iaddr_3), .imem_rdata(irdata_3),
+        .dmem_en(en_3), .dmem_wen(wen_3), .dmem_addr(addr_3),
+        .dmem_wdata(wdata_3), .dmem_grant(grant[3]),
+        .dmem_resp_valid(resp_3), .dmem_resp_data(resp_data)
+    );
+
+    vscale_imem #(.IMEM_WORDS(IMEM_WORDS), .ABITS(IMEM_ABITS)) imem_0 (
+        .addr(iaddr_0), .rdata(irdata_0)
+    );
+    vscale_imem #(.IMEM_WORDS(IMEM_WORDS), .ABITS(IMEM_ABITS)) imem_1 (
+        .addr(iaddr_1), .rdata(irdata_1)
+    );
+    vscale_imem #(.IMEM_WORDS(IMEM_WORDS), .ABITS(IMEM_ABITS)) imem_2 (
+        .addr(iaddr_2), .rdata(irdata_2)
+    );
+    vscale_imem #(.IMEM_WORDS(IMEM_WORDS), .ABITS(IMEM_ABITS)) imem_3 (
+        .addr(iaddr_3), .rdata(irdata_3)
+    );
+
+    vscale_arbiter #(.XLEN(XLEN)) arbiter (
+        .clk(clk), .reset(reset),
+        .req_en(req_en), .req_wen(req_wen),
+        .req_addr0(addr_0), .req_addr1(addr_1),
+        .req_addr2(addr_2), .req_addr3(addr_3),
+        .req_wdata0(wdata_0), .req_wdata1(wdata_1),
+        .req_wdata2(wdata_2), .req_wdata3(wdata_3),
+        .grant(grant),
+        .mem_req_valid(mem_req_valid), .mem_req_wen(mem_req_wen),
+        .mem_req_addr(mem_req_addr), .mem_req_wdata(mem_req_wdata),
+        .mem_req_core(mem_req_core)
+    );
+
+    vscale_dmem #(.XLEN(XLEN), .DMEM_WORDS(DMEM_WORDS),
+                  .ABITS(DMEM_ABITS)) dmem (
+        .clk(clk), .reset(reset),
+        .req_valid(mem_req_valid), .req_wen(mem_req_wen),
+        .req_addr(mem_req_addr), .req_wdata(mem_req_wdata),
+        .req_core(mem_req_core),
+        .resp_valid(resp_valid), .resp_core(resp_core),
+        .resp_data(resp_data)
+    );
+
+endmodule

@@ -1,0 +1,223 @@
+// tinycore: a two-stage (IF / EX) in-order RV32I-subset core used by
+// the examples to show rtl2uspec generalizes beyond the V-scale.
+//
+// Everything happens in EX: decode, ALU, branch resolution, memory
+// request issue, and register writeback. A store occupies EX until the
+// arbiter grants its request; a load additionally waits one more cycle
+// for the pipelined memory's response and writes the register file
+// from EX. There is no bypass network — with only one instruction past
+// fetch at a time, the register file is always up to date.
+module tinycore #(
+    parameter XLEN = 8,
+    parameter PC_BITS = 6,
+    parameter NREGS = 8,
+    parameter REG_BITS = 3
+) (
+    input clk,
+    input reset,
+    output wire [PC_BITS-3:0] imem_addr,
+    input [31:0] imem_rdata,
+    output wire dmem_en,
+    output wire dmem_wen,
+    output wire [XLEN-1:0] dmem_addr,
+    output wire [XLEN-1:0] dmem_wdata,
+    input dmem_grant,
+    input dmem_resp_valid,
+    input [XLEN-1:0] dmem_resp_data
+);
+
+    reg [PC_BITS-1:0] PC_IF;
+    reg [31:0] inst_EX;
+    reg [PC_BITS-1:0] PC_EX;
+    reg valid_EX;
+    reg lw_pending; // load issued, waiting for the memory response
+
+    reg [XLEN-1:0] regfile [0:NREGS-1];
+
+    // ------------------------------------------------------------------
+    // Decode (EX).
+    // ------------------------------------------------------------------
+    wire [6:0] opcode = inst_EX[6:0];
+    wire [2:0] funct3 = inst_EX[14:12];
+    wire [4:0] rd = inst_EX[11:7];
+    wire [4:0] rs1 = inst_EX[19:15];
+    wire [4:0] rs2 = inst_EX[24:20];
+
+    wire [31:0] imm_i32 = {{20{inst_EX[31]}}, inst_EX[31:20]};
+    wire [31:0] imm_s32 = {{20{inst_EX[31]}}, inst_EX[31:25],
+                           inst_EX[11:7]};
+    wire [31:0] imm_b32 = {{19{inst_EX[31]}}, inst_EX[31], inst_EX[7],
+                           inst_EX[30:25], inst_EX[11:8], 1'b0};
+    wire [31:0] imm_j32 = {{11{inst_EX[31]}}, inst_EX[31],
+                           inst_EX[19:12], inst_EX[20], inst_EX[30:21],
+                           1'b0};
+
+    wire is_lw = (opcode == 7'b0000011) && (funct3 == 3'b010);
+    wire is_sw = (opcode == 7'b0100011) && (funct3 == 3'b010);
+    wire is_addi = (opcode == 7'b0010011) && (funct3 == 3'b000);
+    wire is_jal = opcode == 7'b1101111;
+    wire is_beq = (opcode == 7'b1100011) && (funct3 == 3'b000);
+    wire is_bne = (opcode == 7'b1100011) && (funct3 == 3'b001);
+
+    wire [REG_BITS-1:0] rs1_idx = rs1[REG_BITS-1:0];
+    wire [REG_BITS-1:0] rs2_idx = rs2[REG_BITS-1:0];
+    wire [REG_BITS-1:0] rd_idx = rd[REG_BITS-1:0];
+    wire [XLEN-1:0] rs1_data = regfile[rs1_idx];
+    wire [XLEN-1:0] rs2_data = regfile[rs2_idx];
+
+    // ------------------------------------------------------------------
+    // Memory request (EX).
+    // ------------------------------------------------------------------
+    wire mem_op = valid_EX && (is_lw || is_sw) && !lw_pending;
+    assign dmem_en = mem_op;
+    assign dmem_wen = valid_EX && is_sw && !lw_pending;
+    assign dmem_addr = is_sw ? (rs1_data + imm_s32[XLEN-1:0])
+                             : (rs1_data + imm_i32[XLEN-1:0]);
+    assign dmem_wdata = rs2_data;
+
+    // EX completes this cycle unless a memory op is still in flight.
+    wire ex_done = !valid_EX ||
+        (is_sw ? dmem_grant :
+         (is_lw ? (lw_pending && dmem_resp_valid) : 1'b1));
+
+    // ------------------------------------------------------------------
+    // Control flow.
+    // ------------------------------------------------------------------
+    wire branch_taken = valid_EX && ex_done &&
+        ((is_beq && (rs1_data == rs2_data)) ||
+         (is_bne && (rs1_data != rs2_data)));
+    wire jump_taken = valid_EX && ex_done && is_jal;
+    wire redirect = branch_taken || jump_taken;
+    wire [PC_BITS-1:0] redirect_target = jump_taken
+        ? (PC_EX + imm_j32[PC_BITS-1:0])
+        : (PC_EX + imm_b32[PC_BITS-1:0]);
+
+    assign imem_addr = PC_IF[PC_BITS-1:2];
+
+    always @(posedge clk) begin
+        if (reset) begin
+            PC_IF <= {PC_BITS{1'b0}};
+            inst_EX <= 32'h00000013;
+            PC_EX <= {PC_BITS{1'b0}};
+            valid_EX <= 1'b0;
+            lw_pending <= 1'b0;
+        end else if (ex_done) begin
+            if (redirect) begin
+                PC_IF <= redirect_target;
+                inst_EX <= 32'h00000013;
+                valid_EX <= 1'b0;
+                PC_EX <= PC_IF;
+            end else begin
+                PC_IF <= PC_IF + {{(PC_BITS-3){1'b0}}, 3'b100};
+                inst_EX <= imem_rdata;
+                valid_EX <= 1'b1;
+                PC_EX <= PC_IF;
+            end
+            lw_pending <= 1'b0;
+        end else begin
+            if (valid_EX && is_lw && dmem_grant)
+                lw_pending <= 1'b1;
+        end
+    end
+
+    // ------------------------------------------------------------------
+    // Register writeback (from EX).
+    // ------------------------------------------------------------------
+    wire writes_reg = is_addi || is_jal || is_lw;
+    wire [XLEN-1:0] wb_value =
+        is_lw ? dmem_resp_data :
+        (is_jal ? (PC_EX + {{PC_BITS{1'b0}}, 3'b100})
+                : (rs1_data + imm_i32[XLEN-1:0]));
+    wire rf_wen = valid_EX && ex_done && writes_reg && (rd != 5'd0);
+
+    always @(posedge clk) begin
+        if (rf_wen)
+            regfile[rd_idx] <= wb_value;
+    end
+
+endmodule
+
+// multi_tiny: two tinycores sharing one pipelined data memory through
+// the (four-port) round-robin arbiter; ports 2 and 3 are tied off.
+module multi_tiny #(
+    parameter XLEN = 8,
+    parameter PC_BITS = 6,
+    parameter NREGS = 8,
+    parameter REG_BITS = 3,
+    parameter DMEM_WORDS = 8,
+    parameter DMEM_ABITS = 3,
+    parameter IMEM_WORDS = 16,
+    parameter IMEM_ABITS = 4
+) (
+    input clk,
+    input reset
+);
+
+    wire en_0, en_1, wen_0, wen_1;
+    wire [XLEN-1:0] addr_0, addr_1, wdata_0, wdata_1;
+    wire [3:0] grant;
+    wire [3:0] req_en = {2'b00, en_1, en_0};
+    wire [3:0] req_wen = {2'b00, wen_1, wen_0};
+    wire [XLEN-1:0] zero_x = {XLEN{1'b0}};
+
+    wire mem_req_valid, mem_req_wen;
+    wire [XLEN-1:0] mem_req_addr, mem_req_wdata;
+    wire [1:0] mem_req_core;
+    wire resp_valid;
+    wire [1:0] resp_core;
+    wire [XLEN-1:0] resp_data;
+
+    wire [IMEM_ABITS-1:0] iaddr_0, iaddr_1;
+    wire [31:0] irdata_0, irdata_1;
+
+    wire resp_0 = resp_valid && (resp_core == 2'd0);
+    wire resp_1 = resp_valid && (resp_core == 2'd1);
+
+    tinycore #(.XLEN(XLEN), .PC_BITS(PC_BITS), .NREGS(NREGS),
+               .REG_BITS(REG_BITS)) core_0 (
+        .clk(clk), .reset(reset),
+        .imem_addr(iaddr_0), .imem_rdata(irdata_0),
+        .dmem_en(en_0), .dmem_wen(wen_0), .dmem_addr(addr_0),
+        .dmem_wdata(wdata_0), .dmem_grant(grant[0]),
+        .dmem_resp_valid(resp_0), .dmem_resp_data(resp_data)
+    );
+    tinycore #(.XLEN(XLEN), .PC_BITS(PC_BITS), .NREGS(NREGS),
+               .REG_BITS(REG_BITS)) core_1 (
+        .clk(clk), .reset(reset),
+        .imem_addr(iaddr_1), .imem_rdata(irdata_1),
+        .dmem_en(en_1), .dmem_wen(wen_1), .dmem_addr(addr_1),
+        .dmem_wdata(wdata_1), .dmem_grant(grant[1]),
+        .dmem_resp_valid(resp_1), .dmem_resp_data(resp_data)
+    );
+
+    vscale_imem #(.IMEM_WORDS(IMEM_WORDS), .ABITS(IMEM_ABITS)) imem_0 (
+        .addr(iaddr_0), .rdata(irdata_0)
+    );
+    vscale_imem #(.IMEM_WORDS(IMEM_WORDS), .ABITS(IMEM_ABITS)) imem_1 (
+        .addr(iaddr_1), .rdata(irdata_1)
+    );
+
+    vscale_arbiter #(.XLEN(XLEN)) arbiter (
+        .clk(clk), .reset(reset),
+        .req_en(req_en), .req_wen(req_wen),
+        .req_addr0(addr_0), .req_addr1(addr_1),
+        .req_addr2(zero_x), .req_addr3(zero_x),
+        .req_wdata0(wdata_0), .req_wdata1(wdata_1),
+        .req_wdata2(zero_x), .req_wdata3(zero_x),
+        .grant(grant),
+        .mem_req_valid(mem_req_valid), .mem_req_wen(mem_req_wen),
+        .mem_req_addr(mem_req_addr), .mem_req_wdata(mem_req_wdata),
+        .mem_req_core(mem_req_core)
+    );
+
+    vscale_dmem #(.XLEN(XLEN), .DMEM_WORDS(DMEM_WORDS),
+                  .ABITS(DMEM_ABITS)) dmem (
+        .clk(clk), .reset(reset),
+        .req_valid(mem_req_valid), .req_wen(mem_req_wen),
+        .req_addr(mem_req_addr), .req_wdata(mem_req_wdata),
+        .req_core(mem_req_core),
+        .resp_valid(resp_valid), .resp_core(resp_core),
+        .resp_data(resp_data)
+    );
+
+endmodule

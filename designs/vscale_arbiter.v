@@ -1,0 +1,90 @@
+// vscale_arbiter: round-robin arbiter connecting the four cores to the
+// single shared data memory. One request is granted per cycle; all
+// other requesting cores stall. Granted requests are tagged with the
+// issuing core's id (the 2-bit extension the paper adds to the design,
+// §5.1) so the memory's request-tracking logic can attribute them.
+module vscale_arbiter #(
+    parameter XLEN = 32
+) (
+    input clk,
+    input reset,
+    input [3:0] req_en,
+    input [3:0] req_wen,
+    input [XLEN-1:0] req_addr0,
+    input [XLEN-1:0] req_addr1,
+    input [XLEN-1:0] req_addr2,
+    input [XLEN-1:0] req_addr3,
+    input [XLEN-1:0] req_wdata0,
+    input [XLEN-1:0] req_wdata1,
+    input [XLEN-1:0] req_wdata2,
+    input [XLEN-1:0] req_wdata3,
+    output wire [3:0] grant,
+    output wire mem_req_valid,
+    output wire mem_req_wen,
+    output wire [XLEN-1:0] mem_req_addr,
+    output wire [XLEN-1:0] mem_req_wdata,
+    output wire [1:0] mem_req_core
+);
+
+    reg [1:0] rr_ptr;
+
+    // Pick the first requester at or after rr_ptr (wrapping).
+    reg [1:0] sel;
+    reg any_req;
+    always @(*) begin
+        sel = 2'b00;
+        any_req = 1'b0;
+        if (req_en[rr_ptr]) begin
+            sel = rr_ptr;
+            any_req = 1'b1;
+        end else if (req_en[rr_ptr + 2'd1]) begin
+            sel = rr_ptr + 2'd1;
+            any_req = 1'b1;
+        end else if (req_en[rr_ptr + 2'd2]) begin
+            sel = rr_ptr + 2'd2;
+            any_req = 1'b1;
+        end else if (req_en[rr_ptr + 2'd3]) begin
+            sel = rr_ptr + 2'd3;
+            any_req = 1'b1;
+        end
+    end
+
+    reg [XLEN-1:0] sel_addr;
+    reg [XLEN-1:0] sel_wdata;
+    always @(*) begin
+        case (sel)
+            2'd0: begin
+                sel_addr = req_addr0;
+                sel_wdata = req_wdata0;
+            end
+            2'd1: begin
+                sel_addr = req_addr1;
+                sel_wdata = req_wdata1;
+            end
+            2'd2: begin
+                sel_addr = req_addr2;
+                sel_wdata = req_wdata2;
+            end
+            default: begin
+                sel_addr = req_addr3;
+                sel_wdata = req_wdata3;
+            end
+        endcase
+    end
+
+    assign grant = any_req ? (4'b0001 << sel) : 4'b0000;
+    assign mem_req_valid = any_req;
+    assign mem_req_wen = any_req && req_wen[sel];
+    assign mem_req_addr = sel_addr;
+    assign mem_req_wdata = sel_wdata;
+    assign mem_req_core = sel;
+
+    // Advance the round-robin pointer past the granted core.
+    always @(posedge clk) begin
+        if (reset)
+            rr_ptr <= 2'b00;
+        else if (any_req)
+            rr_ptr <= sel + 2'd1;
+    end
+
+endmodule

@@ -1,0 +1,246 @@
+// vscale_core: a three-stage (IF / DX / WB) in-order RV32I-subset core,
+// modeled on the RISC-V V-scale microarchitecture used by the paper's
+// multi-V-scale case study.
+//
+// Stages:
+//   IF : PC_IF indexes the (core-private) instruction memory.
+//   DX : inst_DX / PC_DX hold the fetched instruction; decode, register
+//        read (with WB bypass), ALU, branch resolution, and data-memory
+//        request issue all happen here. A memory op stalls in DX until
+//        the shared-memory arbiter grants its request.
+//   WB : one-cycle-later writeback; loads capture the memory response,
+//        stores have already been handed to the pipelined memory.
+//
+// The BUGGY parameter re-introduces the bug rtl2uspec found in the
+// original V-scale (paper §6.1): when BUGGY != 0, any STORE-shaped
+// encoding issues a memory write regardless of funct3 validity, so an
+// architecturally invalid instruction (e.g. funct3 = 3'b111) can update
+// memory instead of raising an exception.
+module vscale_core #(
+    parameter XLEN = 32,
+    parameter PC_BITS = 7,
+    parameter NREGS = 32,
+    parameter REG_BITS = 5,
+    parameter BUGGY = 0
+) (
+    input clk,
+    input reset,
+    // Instruction memory interface (word index).
+    output wire [PC_BITS-3:0] imem_addr,
+    input [31:0] imem_rdata,
+    // Data memory request interface (through the arbiter).
+    output wire dmem_en,
+    output wire dmem_wen,
+    output wire [XLEN-1:0] dmem_addr,
+    output wire [XLEN-1:0] dmem_wdata,
+    input dmem_grant,
+    input dmem_resp_valid,
+    input [XLEN-1:0] dmem_resp_data
+);
+
+    // ------------------------------------------------------------------
+    // Pipeline state.
+    // ------------------------------------------------------------------
+    reg [PC_BITS-1:0] PC_IF;
+    reg [31:0] inst_DX;
+    reg [PC_BITS-1:0] PC_DX;
+    reg inst_valid_DX;
+
+    reg [PC_BITS-1:0] PC_WB;
+    reg wb_valid_WB;
+    reg reg_write_WB;
+    reg [REG_BITS-1:0] reg_dest_WB;
+    reg lw_in_WB;
+    reg sw_in_WB;
+    reg [XLEN-1:0] alu_out_WB;
+    reg [XLEN-1:0] wdata_WB;
+
+    reg [XLEN-1:0] regfile [0:NREGS-1];
+
+    // ------------------------------------------------------------------
+    // Decode (DX).
+    // ------------------------------------------------------------------
+    wire [6:0] opcode = inst_DX[6:0];
+    wire [2:0] funct3 = inst_DX[14:12];
+    wire [6:0] funct7 = inst_DX[31:25];
+    wire [4:0] rd = inst_DX[11:7];
+    wire [4:0] rs1 = inst_DX[19:15];
+    wire [4:0] rs2 = inst_DX[24:20];
+
+    wire [31:0] imm_i32 = {{20{inst_DX[31]}}, inst_DX[31:20]};
+    wire [31:0] imm_s32 = {{20{inst_DX[31]}}, inst_DX[31:25],
+                           inst_DX[11:7]};
+    wire [31:0] imm_b32 = {{19{inst_DX[31]}}, inst_DX[31], inst_DX[7],
+                           inst_DX[30:25], inst_DX[11:8], 1'b0};
+    wire [31:0] imm_j32 = {{11{inst_DX[31]}}, inst_DX[31],
+                           inst_DX[19:12], inst_DX[20], inst_DX[30:21],
+                           1'b0};
+    wire [31:0] imm_u32 = {inst_DX[31:12], 12'b000000000000};
+
+    wire is_load_shape = opcode == 7'b0000011;
+    wire is_store_shape = opcode == 7'b0100011;
+    wire is_lw = is_load_shape && (funct3 == 3'b010);
+    wire is_sw = is_store_shape && (funct3 == 3'b010);
+    wire is_lui = opcode == 7'b0110111;
+    wire is_addi = (opcode == 7'b0010011) && (funct3 == 3'b000);
+    wire is_alu_reg = (opcode == 7'b0110011) &&
+        (((funct3 == 3'b000) && ((funct7 == 7'b0000000) ||
+                                 (funct7 == 7'b0100000))) ||
+         (((funct3 == 3'b111) || (funct3 == 3'b110) ||
+           (funct3 == 3'b100)) && (funct7 == 7'b0000000)));
+    wire is_jal = opcode == 7'b1101111;
+    wire is_beq = (opcode == 7'b1100011) && (funct3 == 3'b000);
+    wire is_bne = (opcode == 7'b1100011) && (funct3 == 3'b001);
+    wire is_fence = opcode == 7'b0001111;
+
+    wire is_valid_inst = is_lui || is_addi || is_alu_reg || is_jal ||
+        is_beq || is_bne || is_fence || is_lw || is_sw;
+    wire writes_reg = is_lui || is_addi || is_alu_reg || is_jal || is_lw;
+
+    // ------------------------------------------------------------------
+    // Register read with WB bypass (DX).
+    // ------------------------------------------------------------------
+    wire [REG_BITS-1:0] rs1_idx = rs1[REG_BITS-1:0];
+    wire [REG_BITS-1:0] rs2_idx = rs2[REG_BITS-1:0];
+    wire [REG_BITS-1:0] rd_idx = rd[REG_BITS-1:0];
+
+    wire [XLEN-1:0] wb_value = lw_in_WB ? dmem_resp_data : alu_out_WB;
+    wire wb_bypass_ok = wb_valid_WB && reg_write_WB;
+
+    wire [XLEN-1:0] rs1_data =
+        (wb_bypass_ok && (reg_dest_WB == rs1_idx) && (rs1 != 5'd0))
+            ? wb_value : regfile[rs1_idx];
+    wire [XLEN-1:0] rs2_data =
+        (wb_bypass_ok && (reg_dest_WB == rs2_idx) && (rs2 != 5'd0))
+            ? wb_value : regfile[rs2_idx];
+
+    // ------------------------------------------------------------------
+    // ALU (DX).
+    // ------------------------------------------------------------------
+    wire [XLEN-1:0] imm_i = imm_i32[XLEN-1:0];
+    wire [XLEN-1:0] imm_s = imm_s32[XLEN-1:0];
+    wire [XLEN-1:0] imm_u = imm_u32[XLEN-1:0];
+
+    reg [XLEN-1:0] alu_out;
+    always @(*) begin
+        alu_out = rs1_data + imm_i;
+        if (is_lui)
+            alu_out = imm_u;
+        if (is_sw)
+            alu_out = rs1_data + imm_s;
+        if (is_alu_reg) begin
+            case (funct3)
+                3'b000:
+                    alu_out = (funct7 == 7'b0100000)
+                        ? (rs1_data - rs2_data)
+                        : (rs1_data + rs2_data);
+                3'b111: alu_out = rs1_data & rs2_data;
+                3'b110: alu_out = rs1_data | rs2_data;
+                default: alu_out = rs1_data ^ rs2_data;
+            endcase
+        end
+        if (is_jal)
+            alu_out = PC_DX + {{PC_BITS{1'b0}}, 3'b100};
+    end
+
+    // ------------------------------------------------------------------
+    // Control flow (DX).
+    // ------------------------------------------------------------------
+    wire branch_taken = inst_valid_DX &&
+        ((is_beq && (rs1_data == rs2_data)) ||
+         (is_bne && (rs1_data != rs2_data)));
+    wire jump_taken = inst_valid_DX && is_jal;
+    wire redirect = branch_taken || jump_taken;
+    wire [PC_BITS-1:0] branch_target = PC_DX + imm_b32[PC_BITS-1:0];
+    wire [PC_BITS-1:0] jump_target = PC_DX + imm_j32[PC_BITS-1:0];
+    wire [PC_BITS-1:0] redirect_target =
+        jump_taken ? jump_target : branch_target;
+
+    // ------------------------------------------------------------------
+    // Data memory request (DX).
+    // ------------------------------------------------------------------
+    // BUGGY: any store-shaped encoding writes memory (paper §6.1).
+    wire sw_req = (BUGGY != 0) ? is_store_shape : is_sw;
+    wire mem_req = (sw_req || is_lw) && inst_valid_DX;
+    assign dmem_en = mem_req;
+    assign dmem_wen = sw_req && inst_valid_DX;
+    assign dmem_addr = is_sw ? (rs1_data + imm_s) : (rs1_data + imm_i);
+    assign dmem_wdata = rs2_data;
+
+    wire stall = mem_req && !dmem_grant;
+
+    // ------------------------------------------------------------------
+    // Fetch.
+    // ------------------------------------------------------------------
+    assign imem_addr = PC_IF[PC_BITS-1:2];
+
+    always @(posedge clk) begin
+        if (reset) begin
+            PC_IF <= {PC_BITS{1'b0}};
+            inst_DX <= 32'h00000013; // NOP
+            PC_DX <= {PC_BITS{1'b0}};
+            inst_valid_DX <= 1'b0;
+        end else if (!stall) begin
+            if (redirect) begin
+                PC_IF <= redirect_target;
+                inst_DX <= 32'h00000013;
+                inst_valid_DX <= 1'b0;
+                PC_DX <= PC_IF;
+            end else begin
+                PC_IF <= PC_IF + {{(PC_BITS-3){1'b0}}, 3'b100};
+                inst_DX <= imem_rdata;
+                inst_valid_DX <= 1'b1;
+                PC_DX <= PC_IF;
+            end
+        end
+    end
+
+    // ------------------------------------------------------------------
+    // DX -> WB.
+    // ------------------------------------------------------------------
+    always @(posedge clk) begin
+        if (reset) begin
+            PC_WB <= {PC_BITS{1'b0}};
+            wb_valid_WB <= 1'b0;
+            reg_write_WB <= 1'b0;
+            reg_dest_WB <= {REG_BITS{1'b0}};
+            lw_in_WB <= 1'b0;
+            sw_in_WB <= 1'b0;
+            alu_out_WB <= {XLEN{1'b0}};
+        end else if (stall) begin
+            // The stalled memory op stays in DX; WB gets a bubble.
+            wb_valid_WB <= 1'b0;
+            reg_write_WB <= 1'b0;
+            lw_in_WB <= 1'b0;
+            sw_in_WB <= 1'b0;
+        end else begin
+            PC_WB <= PC_DX;
+            wb_valid_WB <= inst_valid_DX && is_valid_inst;
+            reg_write_WB <= inst_valid_DX && is_valid_inst &&
+                writes_reg && (rd != 5'd0);
+            reg_dest_WB <= rd_idx;
+            lw_in_WB <= inst_valid_DX && is_lw;
+            sw_in_WB <= inst_valid_DX && is_sw;
+            alu_out_WB <= alu_out;
+        end
+    end
+
+    // The store-data staging register is clocked by every memory
+    // operation (both lw and sw), mirroring the V-scale (paper Fig. 3).
+    always @(posedge clk) begin
+        if (!stall && inst_valid_DX && (is_lw || is_sw))
+            wdata_WB <= rs2_data;
+    end
+
+    // ------------------------------------------------------------------
+    // Writeback.
+    // ------------------------------------------------------------------
+    wire rf_wen = wb_valid_WB && reg_write_WB &&
+        (lw_in_WB ? dmem_resp_valid : 1'b1);
+
+    always @(posedge clk) begin
+        if (rf_wen)
+            regfile[reg_dest_WB] <= wb_value;
+    end
+
+endmodule

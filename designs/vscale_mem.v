@@ -1,0 +1,78 @@
+// vscale_dmem: the single shared data memory behind the arbiter.
+//
+// Pipelined, single-ported: a granted request is captured into the
+// req_*_q registers on one edge; the array is written (stores) or read
+// combinationally (loads, response valid the following cycle). This is
+// the "split data memory" module of the modified multi-V-scale (paper
+// §5.1): requests carry a core-id tag so the request-tracking logic
+// can attribute each transaction to its issuing core.
+module vscale_dmem #(
+    parameter XLEN = 32,
+    parameter DMEM_WORDS = 8,
+    parameter ABITS = 3
+) (
+    input clk,
+    input reset,
+    input req_valid,
+    input req_wen,
+    input [XLEN-1:0] req_addr,
+    input [XLEN-1:0] req_wdata,
+    input [1:0] req_core,
+    output wire resp_valid,
+    output wire [1:0] resp_core,
+    output wire [XLEN-1:0] resp_data
+);
+
+    reg req_valid_q;
+    reg req_wen_q;
+    reg [ABITS-1:0] req_addr_q;
+    reg [XLEN-1:0] req_wdata_q;
+    reg [1:0] req_core_q;
+
+    reg [XLEN-1:0] mem [0:DMEM_WORDS-1];
+
+    // Byte address -> word index.
+    wire [ABITS-1:0] word_index = req_addr[ABITS+1:2];
+
+    always @(posedge clk) begin
+        if (reset) begin
+            req_valid_q <= 1'b0;
+            req_wen_q <= 1'b0;
+            req_addr_q <= {ABITS{1'b0}};
+            req_wdata_q <= {XLEN{1'b0}};
+            req_core_q <= 2'b00;
+        end else begin
+            req_valid_q <= req_valid;
+            req_wen_q <= req_wen;
+            req_addr_q <= word_index;
+            req_wdata_q <= req_wdata;
+            req_core_q <= req_core;
+        end
+    end
+
+    always @(posedge clk) begin
+        if (req_valid_q && req_wen_q)
+            mem[req_addr_q] <= req_wdata_q;
+    end
+
+    assign resp_valid = req_valid_q && !req_wen_q;
+    assign resp_core = req_core_q;
+    assign resp_data = mem[req_addr_q];
+
+endmodule
+
+// vscale_imem: core-private instruction memory (read-only; contents are
+// loaded by the test harness / initial-state constraints).
+module vscale_imem #(
+    parameter IMEM_WORDS = 32,
+    parameter ABITS = 5
+) (
+    input [ABITS-1:0] addr,
+    output wire [31:0] rdata
+);
+
+    reg [31:0] mem [0:IMEM_WORDS-1];
+
+    assign rdata = mem[addr];
+
+endmodule

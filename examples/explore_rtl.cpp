@@ -1,0 +1,160 @@
+/**
+ * @file
+ * The substrate as a standalone toolkit: parse a piece of Verilog,
+ * inspect the elaborated netlist, simulate it cycle by cycle, extract
+ * its state-element data-flow graph, and prove/refute temporal
+ * properties with the bounded model checker — no processor or µspec
+ * involved. This is the Verific/Yosys/JasperGold trio the paper's
+ * flow builds on, exposed as a C++ API.
+ */
+
+#include <cstdio>
+
+#include "bmc/checker.hh"
+#include "dfg/dfg.hh"
+#include "sim/simulator.hh"
+#include "verilog/elaborate.hh"
+#include "verilog/parser.hh"
+
+static const char *kGcdRtl = R"(
+// A tiny handshake design: computes gcd(a, b) by subtraction.
+module gcd #(parameter W = 8) (
+    input clk,
+    input reset,
+    input start,
+    input [W-1:0] a_in,
+    input [W-1:0] b_in,
+    output wire busy,
+    output wire [W-1:0] result
+);
+    reg [W-1:0] a;
+    reg [W-1:0] b;
+    reg running;
+    always @(posedge clk) begin
+        if (reset) begin
+            running <= 1'b0;
+            a <= {W{1'b0}};
+            b <= {W{1'b0}};
+        end else if (start && !running) begin
+            a <= a_in;
+            b <= b_in;
+            running <= 1'b1;
+        end else if (running) begin
+            if (a == b)
+                running <= 1'b0;
+            else if (a < b)
+                b <= b - a;
+            else
+                a <= a - b;
+        end
+    end
+    assign busy = running;
+    assign result = a;
+endmodule
+)";
+
+int
+main()
+{
+    using namespace r2u;
+
+    // Parse + elaborate.
+    vlog::Design d = vlog::parseString(kGcdRtl, "gcd.v");
+    vlog::ElabOptions opts;
+    opts.top = "gcd";
+    opts.params["W"] = 8;
+    vlog::ElabResult design = vlog::elaborate(d, opts);
+    auto st = design.netlist->stats();
+    std::printf("gcd netlist: %zu cells, %zu registers (%zu flop "
+                "bits)\n", st.cells, st.registers, st.flopBits);
+
+    // Simulate: gcd(48, 18) = 6.
+    sim::Simulator sim(*design.netlist);
+    sim.setInput("reset", Bits(1, 1));
+    sim.setInput("clk", Bits(1, 0));
+    sim.setInput("start", Bits(1, 0));
+    sim.setInput("a_in", Bits(8, 0));
+    sim.setInput("b_in", Bits(8, 0));
+    sim.step();
+    sim.setInput("reset", Bits(1, 0));
+    sim.setInput("start", Bits(1, 1));
+    sim.setInput("a_in", Bits(8, 48));
+    sim.setInput("b_in", Bits(8, 18));
+    sim.step();
+    sim.setInput("start", Bits(1, 0));
+    unsigned cycles = 0;
+    while (sim.value(design.signal("busy")).toBool() && cycles < 100) {
+        sim.step();
+        cycles++;
+    }
+    std::printf("gcd(48, 18) = %lu after %u cycles\n",
+                static_cast<unsigned long>(
+                    sim.value(design.signal("result")).toUint64()), cycles);
+
+    // State-element DFG.
+    auto g = dfg::FullDesignDfg::build(*design.netlist);
+    std::printf("\nstate-element DFG:\n");
+    for (size_t n = 0; n < g.numNodes(); n++) {
+        std::printf("  %s <-", g.node(static_cast<int>(n)).name.c_str());
+        for (auto p : g.parents(static_cast<int>(n)))
+            std::printf(" %s", g.node(p).name.c_str());
+        std::printf("\n");
+    }
+
+    // BMC: prove a and b stay nonzero while the unit is running,
+    // provided start is only pulsed with nonzero operands.
+    auto res = bmc::checkProperty(
+        *design.netlist, design.signalMap, {}, 12,
+        [&](bmc::PropCtx &ctx) {
+            auto &cnf = ctx.cnf();
+            ctx.pinInputAt(0, "reset", 1);
+            for (unsigned f = 1; f < ctx.bound(); f++)
+                ctx.pinInputAt(f, "reset", 0);
+            sat::Lit bad = cnf.falseLit();
+            for (unsigned f = 0; f < ctx.bound(); f++) {
+                sat::Lit start = ctx.at(f, "start")[0];
+                sat::Lit a0 = cnf.mkEqW(ctx.at(f, "a_in"),
+                                        cnf.constWord(8, 0));
+                sat::Lit b0 = cnf.mkEqW(ctx.at(f, "b_in"),
+                                        cnf.constWord(8, 0));
+                ctx.assume(cnf.mkImplies(start, ~a0));
+                ctx.assume(cnf.mkImplies(start, ~b0));
+                sat::Lit running = ctx.at(f, "running")[0];
+                sat::Lit az = cnf.mkEqW(ctx.at(f, "a"),
+                                        cnf.constWord(8, 0));
+                sat::Lit bz = cnf.mkEqW(ctx.at(f, "b"),
+                                        cnf.constWord(8, 0));
+                bad = cnf.mkOr(bad,
+                               cnf.mkAnd(running, cnf.mkOr(az, bz)));
+            }
+            return bad;
+        });
+    std::printf("\nBMC 'a stays nonzero while running': %s "
+                "(%.3f s, %zu CNF vars)\n",
+                bmc::verdictName(res.verdict), res.seconds,
+                res.cnfVars);
+
+    // And a refutable property, to see a counterexample trace.
+    auto cex = bmc::checkProperty(
+        *design.netlist, design.signalMap, {}, 8,
+        [&](bmc::PropCtx &ctx) {
+            ctx.pinInputAt(0, "reset", 1);
+            for (unsigned f = 1; f < ctx.bound(); f++)
+                ctx.pinInputAt(f, "reset", 0);
+            ctx.watch("a");
+            ctx.watch("b");
+            ctx.watch("running");
+            // "The design can never be busy" — clearly false.
+            sat::Lit bad = ctx.cnf().falseLit();
+            for (unsigned f = 0; f < ctx.bound(); f++)
+                bad = ctx.cnf().mkOr(bad, ctx.at(f, "running")[0]);
+            return bad;
+        });
+    std::printf("BMC 'never busy': %s — counterexample:\n%s",
+                bmc::verdictName(cex.verdict),
+                cex.trace.toString().c_str());
+    return res.verdict == bmc::Verdict::Proven &&
+                   cex.verdict == bmc::Verdict::Refuted
+               ? 0
+               : 1;
+}

@@ -1,0 +1,235 @@
+#include "bmc/checker.hh"
+
+#include "common/logging.hh"
+#include "common/timer.hh"
+
+namespace r2u::bmc
+{
+
+using sat::Lit;
+using sat::Word;
+
+const char *
+verdictName(Verdict verdict)
+{
+    switch (verdict) {
+      case Verdict::Proven: return "proven";
+      case Verdict::Refuted: return "cex";
+      case Verdict::Unknown: return "undetermined";
+    }
+    return "?";
+}
+
+std::string
+Trace::toString() const
+{
+    std::string out;
+    for (size_t f = 0; f < steps.size(); f++) {
+        out += strfmt("cycle %zu:\n", f);
+        for (const auto &[name, value] : steps[f].signals) {
+            out += strfmt("  %-40s = 0x%s\n", name.c_str(),
+                          value.toHexString().c_str());
+        }
+    }
+    return out;
+}
+
+PropCtx::PropCtx(const nl::Netlist &netlist,
+                 const std::unordered_map<std::string, nl::CellId> &signals,
+                 Unroller::Options options, unsigned bound)
+    : signals_(signals), cnf_(solver_),
+      unroller_(netlist, cnf_, std::move(options)), bound_(bound)
+{
+    unroller_.ensureFrames(bound);
+}
+
+nl::CellId
+PropCtx::cellOf(const std::string &name) const
+{
+    auto it = signals_.find(name);
+    if (it == signals_.end())
+        fatal("property references unknown signal '%s'", name.c_str());
+    return it->second;
+}
+
+const Word &
+PropCtx::at(unsigned frame, const std::string &name)
+{
+    R2U_ASSERT(frame < bound_, "frame %u beyond bound %u", frame, bound_);
+    return unroller_.wire(frame, cellOf(name));
+}
+
+const Word &
+PropCtx::rigid(const std::string &name, unsigned width)
+{
+    auto it = rigids_.find(name);
+    if (it != rigids_.end()) {
+        R2U_ASSERT(it->second.size() == width,
+                   "rigid '%s' width mismatch", name.c_str());
+        return it->second;
+    }
+    auto [it2, ok] = rigids_.emplace(name, cnf_.freshWord(width));
+    (void)ok;
+    return it2->second;
+}
+
+void
+PropCtx::assume(Lit a)
+{
+    solver_.addClause(a);
+}
+
+void
+PropCtx::pinInput(const std::string &name, uint64_t value)
+{
+    for (unsigned f = 0; f < bound_; f++)
+        pinInputAt(f, name, value);
+}
+
+void
+PropCtx::pinInputAt(unsigned frame, const std::string &name,
+                    uint64_t value)
+{
+    const Word &w = at(frame, name);
+    assume(cnf_.mkEqW(
+        w, cnf_.constWord(static_cast<unsigned>(w.size()), value)));
+}
+
+void
+PropCtx::watch(const std::string &name)
+{
+    for (const auto &existing : watched_)
+        if (existing == name)
+            return;
+    watched_.push_back(name);
+}
+
+Lit
+PropCtx::eqConst(unsigned frame, const std::string &name, uint64_t value)
+{
+    const Word &w = at(frame, name);
+    return cnf_.mkEqW(
+        w, cnf_.constWord(static_cast<unsigned>(w.size()), value));
+}
+
+Lit
+PropCtx::eqRigid(unsigned frame, const std::string &name, const Word &r)
+{
+    return cnf_.mkEqW(at(frame, name), r);
+}
+
+Lit
+PropCtx::changedAt(unsigned frame, const std::string &name)
+{
+    R2U_ASSERT(frame >= 1, "changedAt needs a previous frame");
+    return ~cnf_.mkEqW(at(frame, name), at(frame - 1, name));
+}
+
+CheckResult
+checkProperty(const nl::Netlist &netlist,
+              const std::unordered_map<std::string, nl::CellId> &signals,
+              Unroller::Options options, unsigned bound,
+              const PropertyFn &prop, int64_t conflict_budget)
+{
+    Timer timer;
+    CheckResult result;
+    result.bound = bound;
+
+    PropCtx ctx(netlist, signals, std::move(options), bound);
+    Lit bad = prop(ctx);
+    ctx.solver().addClause(bad);
+    ctx.solver().setConflictBudget(conflict_budget);
+
+    sat::Result r = ctx.solver().solve();
+    result.seconds = timer.seconds();
+    result.conflicts = ctx.solver().stats().conflicts;
+    result.cnfVars = static_cast<size_t>(ctx.solver().numVars());
+
+    switch (r) {
+      case sat::Result::Unsat:
+        result.verdict = Verdict::Proven;
+        break;
+      case sat::Result::Unknown:
+        result.verdict = Verdict::Unknown;
+        break;
+      case sat::Result::Sat: {
+        result.verdict = Verdict::Refuted;
+        for (unsigned f = 0; f < bound; f++) {
+            TraceStep step;
+            for (const auto &name : ctx.watched()) {
+                step.signals[name] =
+                    ctx.unroller().wireValue(f, ctx.cellOf(name));
+            }
+            result.trace.steps.push_back(std::move(step));
+        }
+        break;
+      }
+    }
+    return result;
+}
+
+InductiveResult
+checkInductive(const nl::Netlist &netlist,
+               const std::unordered_map<std::string, nl::CellId> &signals,
+               Unroller::Options options, unsigned k,
+               unsigned base_bound, const FramePropertyFn &prop,
+               int64_t conflict_budget)
+{
+    Timer timer;
+    InductiveResult result;
+    result.k = k;
+    R2U_ASSERT(k >= 1 && base_bound >= k, "bad induction parameters");
+
+    // --- base case: BMC from the initial state ---
+    {
+        Unroller::Options base_opts = options;
+        base_opts.concreteInit = true;
+        PropCtx ctx(netlist, signals, base_opts, base_bound);
+        Lit bad = ctx.cnf().falseLit();
+        for (unsigned f = 0; f < base_bound; f++)
+            bad = ctx.cnf().mkOr(bad, prop(ctx, f));
+        ctx.solver().addClause(bad);
+        ctx.solver().setConflictBudget(conflict_budget);
+        sat::Result r = ctx.solver().solve();
+        if (r == sat::Result::Sat) {
+            result.verdict = Verdict::Refuted;
+            for (unsigned f = 0; f < base_bound; f++) {
+                TraceStep step;
+                for (const auto &name : ctx.watched())
+                    step.signals[name] =
+                        ctx.unroller().wireValue(f, ctx.cellOf(name));
+                result.trace.steps.push_back(std::move(step));
+            }
+            result.seconds = timer.seconds();
+            return result;
+        }
+        if (r == sat::Result::Unknown) {
+            result.seconds = timer.seconds();
+            return result;
+        }
+    }
+
+    // --- induction step: arbitrary start state ---
+    {
+        Unroller::Options step_opts = options;
+        step_opts.concreteInit = false;
+        PropCtx ctx(netlist, signals, step_opts, k + 1);
+        for (unsigned f = 0; f < k; f++)
+            ctx.assume(~prop(ctx, f));
+        ctx.solver().addClause(prop(ctx, k));
+        ctx.solver().setConflictBudget(conflict_budget);
+        sat::Result r = ctx.solver().solve();
+        if (r == sat::Result::Unsat) {
+            result.verdict = Verdict::Proven;
+            result.inductive = true;
+        } else {
+            // Base case held up to the bound but the step failed (or
+            // budget ran out): inconclusive.
+            result.verdict = Verdict::Unknown;
+        }
+    }
+    result.seconds = timer.seconds();
+    return result;
+}
+
+} // namespace r2u::bmc

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Bounded property checking over an unrolled netlist — the stand-in
+ * for the commercial SVA property verifier in the paper's flow.
+ *
+ * A property is a callback that, given a PropCtx (solver + unroller +
+ * helpers for rigid variables, assumptions, and per-frame signal
+ * access), returns a single "violation" literal. checkProperty()
+ * asserts the violation and solves: SAT yields Refuted plus a
+ * counterexample trace of the watched signals (JasperGold "cex"),
+ * UNSAT yields Proven at the bound, and an exhausted conflict budget
+ * yields Unknown (JasperGold "undetermined").
+ */
+
+#ifndef R2U_BMC_CHECKER_HH
+#define R2U_BMC_CHECKER_HH
+
+#include <functional>
+#include <map>
+#include <string>
+#include <unordered_map>
+
+#include "bmc/unroller.hh"
+
+namespace r2u::bmc
+{
+
+enum class Verdict { Proven, Refuted, Unknown };
+
+const char *verdictName(Verdict verdict);
+
+struct TraceStep
+{
+    std::map<std::string, Bits> signals;
+};
+
+/** Counterexample trace: one step per frame, watched signals only. */
+struct Trace
+{
+    std::vector<TraceStep> steps;
+
+    std::string toString() const;
+};
+
+class PropCtx
+{
+  public:
+    PropCtx(const nl::Netlist &netlist,
+            const std::unordered_map<std::string, nl::CellId> &signals,
+            Unroller::Options options, unsigned bound);
+
+    unsigned bound() const { return bound_; }
+    sat::Solver &solver() { return solver_; }
+    sat::CnfBuilder &cnf() { return cnf_; }
+    Unroller &unroller() { return unroller_; }
+
+    /** Resolve a hierarchical signal name. fatal() if unknown. */
+    nl::CellId cellOf(const std::string &name) const;
+
+    /** Value of a named signal at a frame. */
+    const sat::Word &at(unsigned frame, const std::string &name);
+
+    /**
+     * A rigid symbolic variable: constant across frames. Repeated
+     * calls with the same name return the same word.
+     */
+    const sat::Word &rigid(const std::string &name, unsigned width);
+
+    /** Add a global assumption. */
+    void assume(sat::Lit a);
+
+    /** Constrain an input to a constant value in every frame. */
+    void pinInput(const std::string &name, uint64_t value);
+
+    /** Constrain an input at one frame. */
+    void pinInputAt(unsigned frame, const std::string &name,
+                    uint64_t value);
+
+    /** Record a signal in counterexample traces. */
+    void watch(const std::string &name);
+
+    // --- small property-building helpers ---
+    sat::Lit eqConst(unsigned frame, const std::string &name,
+                     uint64_t value);
+    sat::Lit eqRigid(unsigned frame, const std::string &name,
+                     const sat::Word &r);
+    /** signal value changed between frame-1 and frame (frame >= 1). */
+    sat::Lit changedAt(unsigned frame, const std::string &name);
+
+    const std::vector<std::string> &watched() const { return watched_; }
+
+  private:
+    const std::unordered_map<std::string, nl::CellId> &signals_;
+    sat::Solver solver_;
+    sat::CnfBuilder cnf_;
+    Unroller unroller_;
+    unsigned bound_;
+    std::map<std::string, sat::Word> rigids_;
+    std::vector<std::string> watched_;
+};
+
+struct CheckResult
+{
+    Verdict verdict = Verdict::Unknown;
+    double seconds = 0.0;
+    unsigned bound = 0;
+    uint64_t conflicts = 0;
+    size_t cnfVars = 0;
+    Trace trace; ///< populated when Refuted
+};
+
+/** Builds a property and returns its violation literal. */
+using PropertyFn = std::function<sat::Lit(PropCtx &)>;
+
+/**
+ * Per-frame property: returns the "bad at this frame" literal; may
+ * also add frame-local environment assumptions through the context.
+ */
+using FramePropertyFn =
+    std::function<sat::Lit(PropCtx &, unsigned frame)>;
+
+/**
+ * Check one property at the given bound.
+ *
+ * @param conflict_budget solver conflict cap (<0: none); exceeding it
+ *        yields Verdict::Unknown, the analogue of a JasperGold
+ *        timeout/undetermined result (Fig. 6 patterned bars).
+ */
+CheckResult checkProperty(
+    const nl::Netlist &netlist,
+    const std::unordered_map<std::string, nl::CellId> &signals,
+    Unroller::Options options, unsigned bound, const PropertyFn &prop,
+    int64_t conflict_budget = -1);
+
+struct InductiveResult
+{
+    /** Proven here means proven for ALL cycle counts (k-induction),
+     *  not just up to a bound. */
+    Verdict verdict = Verdict::Unknown;
+    /** True iff the induction step succeeded (vs. only the bounded
+     *  base case). */
+    bool inductive = false;
+    unsigned k = 0;
+    double seconds = 0.0;
+    Trace trace; ///< base-case counterexample when Refuted
+};
+
+/**
+ * k-induction: prove a per-frame safety property for every reachable
+ * cycle. Base case runs BMC from the concrete initial state over
+ * @p base_bound frames; the induction step assumes the property in k
+ * consecutive frames from an arbitrary state and asserts it in the
+ * next. Refuted results carry a real trace; Unknown means the
+ * property is not k-inductive at this k (it may still hold).
+ */
+InductiveResult checkInductive(
+    const nl::Netlist &netlist,
+    const std::unordered_map<std::string, nl::CellId> &signals,
+    Unroller::Options options, unsigned k, unsigned base_bound,
+    const FramePropertyFn &prop, int64_t conflict_budget = -1);
+
+} // namespace r2u::bmc
+
+#endif // R2U_BMC_CHECKER_HH

@@ -1,0 +1,230 @@
+#include "bmc/unroller.hh"
+
+#include "common/logging.hh"
+
+namespace r2u::bmc
+{
+
+using nl::CellId;
+using nl::CellKind;
+using sat::Lit;
+using sat::Word;
+
+Unroller::Unroller(const nl::Netlist &netlist, sat::CnfBuilder &cnf,
+                   Options options)
+    : nl_(netlist), cnf_(cnf), options_(std::move(options))
+{
+    nl_.validate();
+}
+
+void
+Unroller::ensureFrames(unsigned n)
+{
+    while (frames() < n)
+        buildFrame(frames());
+}
+
+const Word &
+Unroller::wire(unsigned frame, CellId cell)
+{
+    ensureFrames(frame + 1);
+    return wires_[frame][cell];
+}
+
+const Word &
+Unroller::memWord(unsigned frame, nl::MemId mem, unsigned addr)
+{
+    ensureFrames(frame + 1);
+    R2U_ASSERT(addr < nl_.memory(mem).depth, "memWord addr out of range");
+    return mems_[frame][mem][addr];
+}
+
+Bits
+Unroller::wireValue(unsigned frame, CellId cell)
+{
+    return cnf_.modelWord(wire(frame, cell));
+}
+
+Word
+Unroller::readMem(unsigned frame, nl::MemId mem, const Word &addr)
+{
+    const nl::Memory &m = nl_.memory(mem);
+    // Compare only the low address bits (power-of-two wrap, matching
+    // the simulator's modulo semantics).
+    unsigned abits = m.abits;
+    Word a = addr.size() > abits ? sat::CnfBuilder::sliceW(addr, 0, abits)
+                                 : addr;
+    if (a.size() < abits)
+        a = sat::CnfBuilder::zextW(a, abits, cnf_.falseLit());
+    Word result = cnf_.constWord(m.width, 0);
+    for (unsigned i = 0; i < m.depth; i++) {
+        Lit sel = cnf_.mkEqW(a, cnf_.constWord(abits, i));
+        result = cnf_.mkMuxW(sel, mems_[frame][mem][i], result);
+    }
+    return result;
+}
+
+void
+Unroller::buildFrame(unsigned f)
+{
+    R2U_ASSERT(f == frames(), "frames must be built in order");
+    wires_.emplace_back(nl_.numCells());
+    mems_.emplace_back();
+
+    // Memory contents at the start of this frame.
+    auto &frame_mems = mems_.back();
+    frame_mems.resize(nl_.numMemories());
+    for (size_t m = 0; m < nl_.numMemories(); m++) {
+        const nl::Memory &mem = nl_.memory(static_cast<nl::MemId>(m));
+        auto &arr = frame_mems[m];
+        arr.resize(mem.depth);
+        if (f == 0) {
+            bool symbolic = !options_.concreteInit ||
+                            options_.symbolicMems.count(mem.id) > 0;
+            auto init_it = options_.memInit.find(mem.id);
+            for (unsigned a = 0; a < mem.depth; a++) {
+                if (init_it != options_.memInit.end() &&
+                    a < init_it->second.size()) {
+                    arr[a] = cnf_.constWord(init_it->second[a]);
+                } else if (symbolic) {
+                    arr[a] = cnf_.freshWord(mem.width);
+                } else {
+                    arr[a] = cnf_.constWord(mem.init[a]);
+                }
+            }
+        } else {
+            // Apply the previous frame's write ports in order (later
+            // ports take priority, matching the simulator).
+            auto &prev = mems_[f - 1][m];
+            for (unsigned a = 0; a < mem.depth; a++)
+                arr[a] = prev[a];
+            for (CellId port : mem.writePorts) {
+                const nl::Cell &c = nl_.cell(port);
+                const Word &addr = wires_[f - 1][c.inputs[0]];
+                const Word &data = wires_[f - 1][c.inputs[1]];
+                Lit en = wires_[f - 1][c.inputs[2]][0];
+                unsigned abits = mem.abits;
+                Word a = addr.size() > abits
+                             ? sat::CnfBuilder::sliceW(addr, 0, abits)
+                             : addr;
+                if (a.size() < abits)
+                    a = sat::CnfBuilder::zextW(a, abits,
+                                               cnf_.falseLit());
+                for (unsigned i = 0; i < mem.depth; i++) {
+                    Lit hit = cnf_.mkAnd(
+                        en, cnf_.mkEqW(a, cnf_.constWord(abits, i)));
+                    arr[i] = cnf_.mkMuxW(hit, data, arr[i]);
+                }
+            }
+        }
+    }
+
+    auto &w = wires_.back();
+
+    // Sequential/source cells first.
+    for (size_t i = 0; i < nl_.numCells(); i++) {
+        const nl::Cell &c = nl_.cell(static_cast<CellId>(i));
+        switch (c.kind) {
+          case CellKind::Const:
+            w[i] = cnf_.constWord(c.value);
+            break;
+          case CellKind::Input:
+            w[i] = cnf_.freshWord(c.width);
+            break;
+          case CellKind::Dff:
+            if (f == 0) {
+                w[i] = options_.concreteInit ? cnf_.constWord(c.value)
+                                             : cnf_.freshWord(c.width);
+            } else {
+                const Word &d = wires_[f - 1][c.inputs[0]];
+                const Word &q = wires_[f - 1][i];
+                Lit en = wires_[f - 1][c.inputs[1]][0];
+                w[i] = cnf_.mkMuxW(en, d, q);
+            }
+            break;
+          default:
+            break;
+        }
+    }
+
+    // Combinational cells in topological order.
+    for (CellId id : nl_.topoOrder()) {
+        const nl::Cell &c = nl_.cell(id);
+        auto in = [&](size_t k) -> const Word & {
+            return w[c.inputs[k]];
+        };
+        switch (c.kind) {
+          case CellKind::Add:
+            w[id] = cnf_.mkAddW(in(0), in(1));
+            break;
+          case CellKind::Sub:
+            w[id] = cnf_.mkSubW(in(0), in(1));
+            break;
+          case CellKind::And:
+            w[id] = cnf_.mkAndW(in(0), in(1));
+            break;
+          case CellKind::Or:
+            w[id] = cnf_.mkOrW(in(0), in(1));
+            break;
+          case CellKind::Xor:
+            w[id] = cnf_.mkXorW(in(0), in(1));
+            break;
+          case CellKind::Not:
+            w[id] = cnf_.mkNotW(in(0));
+            break;
+          case CellKind::Mux:
+            w[id] = cnf_.mkMuxW(in(0)[0], in(1), in(2));
+            break;
+          case CellKind::Eq:
+            w[id] = {cnf_.mkEqW(in(0), in(1))};
+            break;
+          case CellKind::Ult:
+            w[id] = {cnf_.mkUltW(in(0), in(1))};
+            break;
+          case CellKind::Slt:
+            w[id] = {cnf_.mkSltW(in(0), in(1))};
+            break;
+          case CellKind::RedOr:
+            w[id] = {cnf_.mkRedOrW(in(0))};
+            break;
+          case CellKind::RedAnd:
+            w[id] = {cnf_.mkRedAndW(in(0))};
+            break;
+          case CellKind::Shl:
+            w[id] = cnf_.mkShlW(in(0), in(1));
+            break;
+          case CellKind::Lshr:
+            w[id] = cnf_.mkLshrW(in(0), in(1));
+            break;
+          case CellKind::Ashr:
+            w[id] = cnf_.mkAshrW(in(0), in(1));
+            break;
+          case CellKind::Concat: {
+            Word acc;
+            for (size_t k = c.inputs.size(); k-- > 0;) {
+                const Word &part = w[c.inputs[k]];
+                acc.insert(acc.end(), part.begin(), part.end());
+            }
+            w[id] = std::move(acc);
+            break;
+          }
+          case CellKind::Slice:
+            w[id] = sat::CnfBuilder::sliceW(in(0), c.lo, c.width);
+            break;
+          case CellKind::Zext:
+            w[id] = sat::CnfBuilder::zextW(in(0), c.width,
+                                           cnf_.falseLit());
+            break;
+          case CellKind::Sext:
+            w[id] = sat::CnfBuilder::sextW(in(0), c.width);
+            break;
+          case CellKind::MemRead:
+            w[id] = readMem(f, c.mem, in(0));
+            break;
+          default:
+            panic("unexpected cell kind in topo order");
+        }
+    }
+}
+
+} // namespace r2u::bmc

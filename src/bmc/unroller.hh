@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Time-frame expansion of a netlist into CNF.
+ *
+ * The Unroller bit-blasts a synchronous netlist over k clock frames
+ * through a CnfBuilder: inputs become fresh variables per frame,
+ * registers follow Q' = EN ? D : Q, and memories are modeled as
+ * per-frame arrays of words with read-before-write semantics matching
+ * sim::Simulator. Initial state is either concrete (power-on values,
+ * with selected memories made symbolic) or fully free (used by
+ * induction-style reasoning).
+ */
+
+#ifndef R2U_BMC_UNROLLER_HH
+#define R2U_BMC_UNROLLER_HH
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "netlist/netlist.hh"
+#include "sat/cnf.hh"
+
+namespace r2u::bmc
+{
+
+class Unroller
+{
+  public:
+    struct Options
+    {
+        /** Concrete power-on state (vs fully symbolic initial state). */
+        bool concreteInit = true;
+        /** Memories whose initial contents are symbolic regardless. */
+        std::set<nl::MemId> symbolicMems;
+        /** Concrete initial contents overriding the netlist defaults. */
+        std::map<nl::MemId, std::vector<Bits>> memInit;
+    };
+
+    Unroller(const nl::Netlist &netlist, sat::CnfBuilder &cnf,
+             Options options);
+
+    sat::CnfBuilder &cnf() { return cnf_; }
+    const nl::Netlist &netlist() const { return nl_; }
+
+    /** Build frames so that frames 0..n-1 exist. */
+    void ensureFrames(unsigned n);
+
+    unsigned frames() const
+    {
+        return static_cast<unsigned>(wires_.size());
+    }
+
+    /** CNF word for a wire at a frame. */
+    const sat::Word &wire(unsigned frame, nl::CellId cell);
+
+    /** CNF word for one memory word at a frame. */
+    const sat::Word &memWord(unsigned frame, nl::MemId mem, unsigned addr);
+
+    /** After a Sat result: concrete value of a wire in the model. */
+    Bits wireValue(unsigned frame, nl::CellId cell);
+
+  private:
+    void buildFrame(unsigned f);
+    sat::Word readMem(unsigned frame, nl::MemId mem,
+                      const sat::Word &addr);
+
+    const nl::Netlist &nl_;
+    sat::CnfBuilder &cnf_;
+    Options options_;
+
+    /** wires_[frame][cell] — empty Word until built. */
+    std::vector<std::vector<sat::Word>> wires_;
+    /** mems_[frame][mem][addr] — word contents at frame start. */
+    std::vector<std::vector<std::vector<sat::Word>>> mems_;
+};
+
+} // namespace r2u::bmc
+
+#endif // R2U_BMC_UNROLLER_HH

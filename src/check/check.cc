@@ -1,0 +1,205 @@
+#include "check/check.hh"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+
+#include "common/logging.hh"
+#include "common/strutil.hh"
+#include "common/timer.hh"
+#include "isa/isa.hh"
+
+namespace r2u::check
+{
+
+std::string
+TestResult::summary() const
+{
+    return strfmt("%-10s %-4s interesting=%s/%s obs=%d sc=%d "
+                  "exec=%d %.3f ms",
+                  name.c_str(), pass ? "PASS" : "FAIL",
+                  interestingObservable ? "observable" : "forbidden",
+                  interestingScAllowed ? "sc-allowed" : "sc-forbidden",
+                  observableOutcomes, scAllowedOutcomes,
+                  executionsExplored, ms);
+}
+
+std::vector<uhb::Microop>
+microopsOf(const litmus::Test &test)
+{
+    std::vector<uhb::Microop> ops;
+    auto locs = test.locations();
+    auto addr_of = [&](const std::string &loc) {
+        for (size_t i = 0; i < locs.size(); i++)
+            if (locs[i] == loc)
+                return static_cast<int>(4 * i);
+        panic("unknown location");
+    };
+    int id = 0;
+    for (size_t t = 0; t < test.threads.size(); t++) {
+        int index = 0;
+        for (const litmus::Access &a : test.threads[t].ops) {
+            uhb::Microop op;
+            op.id = id++;
+            op.core = static_cast<int>(t);
+            op.index = index++;
+            op.isRead = !a.isWrite;
+            op.isWrite = a.isWrite;
+            op.addr = addr_of(a.loc);
+            op.value = a.isWrite ? a.value : 0;
+            if (a.isWrite)
+                op.label = strfmt("C%zu: sw %s=%d", t, a.loc.c_str(),
+                                  a.value);
+            else
+                op.label = strfmt("C%zu: lw x%d,%s", t, a.reg,
+                                  a.loc.c_str());
+            ops.push_back(op);
+        }
+    }
+    return ops;
+}
+
+void
+forEachExecution(const litmus::Test &test,
+                 const std::function<void(const uhb::Execution &)> &fn)
+{
+    uhb::Execution base;
+    base.ops = microopsOf(test);
+    base.rf.assign(base.ops.size(), -2);
+
+    // Per-address write lists and read lists.
+    std::map<int, std::vector<int>> writes;
+    std::vector<int> reads;
+    for (const uhb::Microop &op : base.ops) {
+        if (op.isWrite)
+            writes[op.addr].push_back(op.id);
+        else if (op.isRead)
+            reads.push_back(op.id);
+    }
+
+    // Enumerate ws: product of permutations per address.
+    std::vector<std::map<int, std::vector<int>>> ws_choices;
+    std::map<int, std::vector<int>> ws_current;
+    std::function<void(std::map<int, std::vector<int>>::iterator)>
+        perm = [&](std::map<int, std::vector<int>>::iterator it) {
+            if (it == writes.end()) {
+                ws_choices.push_back(ws_current);
+                return;
+            }
+            std::vector<int> order = it->second;
+            std::sort(order.begin(), order.end());
+            auto next = std::next(it);
+            do {
+                ws_current[it->first] = order;
+                perm(next);
+            } while (std::next_permutation(order.begin(), order.end()));
+        };
+    perm(writes.begin());
+
+    // Enumerate rf: each read picks init (-1) or any same-addr write.
+    std::function<void(size_t, uhb::Execution &)> pick =
+        [&](size_t r, uhb::Execution &exec) {
+            if (r == reads.size()) {
+                for (const auto &ws : ws_choices) {
+                    exec.ws = ws;
+                    fn(exec);
+                }
+                return;
+            }
+            int rid = reads[r];
+            int addr = exec.ops[rid].addr;
+            exec.rf[rid] = -1;
+            exec.ops[rid].value = 0;
+            pick(r + 1, exec);
+            auto it = writes.find(addr);
+            if (it != writes.end()) {
+                for (int w : it->second) {
+                    exec.rf[rid] = w;
+                    exec.ops[rid].value = exec.ops[w].value;
+                    pick(r + 1, exec);
+                }
+            }
+        };
+    pick(0, base);
+}
+
+namespace
+{
+
+/** The architectural outcome of one candidate execution. */
+mcm::Outcome
+outcomeOf(const litmus::Test &test, const uhb::Execution &exec)
+{
+    mcm::Outcome out;
+    auto locs = test.locations();
+    auto loc_of = [&](int addr) { return locs[addr / 4]; };
+
+    size_t id = 0;
+    for (size_t t = 0; t < test.threads.size(); t++) {
+        for (const litmus::Access &a : test.threads[t].ops) {
+            if (!a.isWrite) {
+                out.regs[{static_cast<int>(t), a.reg}] =
+                    exec.ops[id].value;
+            }
+            id++;
+        }
+    }
+    // Final memory: last write in ws per location, 0 when unwritten.
+    for (const std::string &loc : locs)
+        out.mem[loc] = 0;
+    for (const auto &[addr, order] : exec.ws) {
+        if (!order.empty())
+            out.mem[loc_of(addr)] = exec.ops[order.back()].value;
+    }
+    return out;
+}
+
+} // namespace
+
+TestResult
+checkTest(const uspec::Model &model, const litmus::Test &test,
+          const Options &options)
+{
+    Timer timer;
+    TestResult result;
+    result.name = test.name;
+
+    // Ground truth from the operational SC reference.
+    std::set<mcm::Outcome> sc = mcm::enumerateSC(test);
+    result.scAllowedOutcomes = static_cast<int>(sc.size());
+    result.interestingScAllowed = false;
+    for (const mcm::Outcome &o : sc)
+        result.interestingScAllowed |= o.satisfies(test.interesting);
+
+    std::set<mcm::Outcome> observable;
+    forEachExecution(test, [&](const uhb::Execution &exec) {
+        result.executionsExplored++;
+        uhb::SolveResult sr = uhb::solve(model, exec);
+        mcm::Outcome out = outcomeOf(test, exec);
+        bool interesting = out.satisfies(test.interesting);
+        if (sr.observable) {
+            observable.insert(out);
+            if (interesting)
+                result.interestingObservable = true;
+        } else if (interesting && options.collectDot &&
+                   result.interestingDot.empty()) {
+            result.interestingDot = sr.graph.toDot(
+                model, exec.ops, "uhb_" + test.name);
+        }
+    });
+
+    result.observableOutcomes = static_cast<int>(observable.size());
+    result.pass = true;
+    for (const mcm::Outcome &o : observable) {
+        if (!sc.count(o)) {
+            result.pass = false;
+            result.violations.push_back(o.toString());
+        }
+    }
+    result.tight = result.pass &&
+                   observable.size() == sc.size();
+    result.ms = timer.milliseconds();
+    return result;
+}
+
+} // namespace r2u::check

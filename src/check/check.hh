@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Litmus-test MCM verification on a µspec model (the COATCheck role
+ * in the paper's flow, §5.2).
+ *
+ * For a litmus test, checkTest() enumerates every candidate execution
+ * (all rf assignments and per-location coherence orders), asks the
+ * µhb solver whether each is possible (acyclic), collects the set of
+ * observable outcomes, and compares it against the operational SC
+ * reference: the test passes iff every observable outcome is
+ * SC-allowed. The paper's headline check — the forbidden outcome is
+ * unobservable — is the interestingObservable / interestingScAllowed
+ * pair.
+ */
+
+#ifndef R2U_CHECK_CHECK_HH
+#define R2U_CHECK_CHECK_HH
+
+#include <functional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "litmus/litmus.hh"
+#include "mcm/sc_ref.hh"
+#include "uhb/uhb.hh"
+#include "uspec/uspec.hh"
+
+namespace r2u::check
+{
+
+struct Options
+{
+    /** Collect a DOT rendering of a cyclic graph witnessing that the
+     *  interesting outcome is forbidden (Fig. 1b). */
+    bool collectDot = false;
+};
+
+struct TestResult
+{
+    std::string name;
+    bool pass = false; ///< observable outcomes ⊆ SC-allowed outcomes
+    bool tight = false; ///< observable outcomes == SC-allowed outcomes
+    bool interestingObservable = false;
+    bool interestingScAllowed = false;
+    double ms = 0.0;
+    int executionsExplored = 0;
+    int observableOutcomes = 0;
+    int scAllowedOutcomes = 0;
+    std::vector<std::string> violations; ///< non-SC observable outcomes
+    std::string interestingDot; ///< when Options::collectDot
+
+    std::string summary() const;
+};
+
+/** Verify one litmus test against a µspec model. */
+TestResult checkTest(const uspec::Model &model, const litmus::Test &test,
+                     const Options &options = {});
+
+/** Convert a litmus test into microops (program order per core). */
+std::vector<uhb::Microop> microopsOf(const litmus::Test &test);
+
+/**
+ * Enumerate all candidate executions (rf choices x ws permutations)
+ * of a test and invoke @p fn on each; used by checkTest and by the
+ * benches.
+ */
+void forEachExecution(
+    const litmus::Test &test,
+    const std::function<void(const uhb::Execution &)> &fn);
+
+} // namespace r2u::check
+
+#endif // R2U_CHECK_CHECK_HH

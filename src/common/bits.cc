@@ -1,0 +1,371 @@
+#include "common/bits.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace r2u
+{
+
+Bits::Bits(unsigned width) : width_(width), words_(wordsFor(width), 0)
+{
+}
+
+Bits::Bits(unsigned width, uint64_t value)
+    : width_(width), words_(wordsFor(width), 0)
+{
+    if (!words_.empty())
+        words_[0] = value;
+    normalize();
+}
+
+Bits
+Bits::ones(unsigned width)
+{
+    Bits b(width);
+    for (auto &w : b.words_)
+        w = ~0ull;
+    b.normalize();
+    return b;
+}
+
+Bits
+Bits::fromBinString(const std::string &s)
+{
+    Bits b(static_cast<unsigned>(s.size()));
+    for (size_t i = 0; i < s.size(); i++) {
+        char c = s[s.size() - 1 - i];
+        R2U_ASSERT(c == '0' || c == '1', "bad binary digit '%c'", c);
+        if (c == '1')
+            b.setBit(static_cast<unsigned>(i), true);
+    }
+    return b;
+}
+
+void
+Bits::normalize()
+{
+    if (width_ == 0)
+        return;
+    unsigned rem = width_ % 64;
+    if (rem != 0)
+        words_.back() &= (~0ull >> (64 - rem));
+}
+
+bool
+Bits::bit(unsigned i) const
+{
+    R2U_ASSERT(i < width_, "bit index %u out of range (width %u)", i,
+               width_);
+    return (words_[i / 64] >> (i % 64)) & 1;
+}
+
+void
+Bits::setBit(unsigned i, bool v)
+{
+    R2U_ASSERT(i < width_, "bit index %u out of range (width %u)", i,
+               width_);
+    uint64_t mask = 1ull << (i % 64);
+    if (v)
+        words_[i / 64] |= mask;
+    else
+        words_[i / 64] &= ~mask;
+}
+
+uint64_t
+Bits::toUint64() const
+{
+    return words_.empty() ? 0 : words_[0];
+}
+
+int64_t
+Bits::toInt64() const
+{
+    if (width_ == 0)
+        return 0;
+    uint64_t v = toUint64();
+    if (width_ >= 64)
+        return static_cast<int64_t>(v);
+    // Sign-extend from bit width_-1.
+    if (bit(width_ - 1))
+        v |= ~0ull << width_;
+    return static_cast<int64_t>(v);
+}
+
+bool
+Bits::isZero() const
+{
+    for (uint64_t w : words_)
+        if (w != 0)
+            return false;
+    return true;
+}
+
+bool
+Bits::isAllOnes() const
+{
+    return *this == ones(width_);
+}
+
+Bits
+Bits::operator+(const Bits &o) const
+{
+    R2U_ASSERT(width_ == o.width_, "width mismatch %u vs %u", width_,
+               o.width_);
+    Bits r(width_);
+    uint64_t carry = 0;
+    for (size_t i = 0; i < words_.size(); i++) {
+        uint64_t a = words_[i], b = o.words_[i];
+        uint64_t s = a + b;
+        uint64_t c1 = s < a;
+        uint64_t s2 = s + carry;
+        uint64_t c2 = s2 < s;
+        r.words_[i] = s2;
+        carry = c1 | c2;
+    }
+    r.normalize();
+    return r;
+}
+
+Bits
+Bits::operator-(const Bits &o) const
+{
+    return *this + (~o + Bits(width_, 1));
+}
+
+Bits
+Bits::operator*(const Bits &o) const
+{
+    R2U_ASSERT(width_ == o.width_, "width mismatch %u vs %u", width_,
+               o.width_);
+    // Schoolbook multiply on 32-bit limbs; result truncated to width.
+    Bits r(width_);
+    unsigned nw = static_cast<unsigned>(words_.size());
+    std::vector<uint32_t> a(nw * 2), b(nw * 2), acc(nw * 2 + 2, 0);
+    for (unsigned i = 0; i < nw; i++) {
+        a[2 * i] = static_cast<uint32_t>(words_[i]);
+        a[2 * i + 1] = static_cast<uint32_t>(words_[i] >> 32);
+        b[2 * i] = static_cast<uint32_t>(o.words_[i]);
+        b[2 * i + 1] = static_cast<uint32_t>(o.words_[i] >> 32);
+    }
+    for (unsigned i = 0; i < nw * 2; i++) {
+        uint64_t carry = 0;
+        for (unsigned j = 0; j + i < nw * 2; j++) {
+            uint64_t cur = acc[i + j] +
+                           static_cast<uint64_t>(a[i]) * b[j] + carry;
+            acc[i + j] = static_cast<uint32_t>(cur);
+            carry = cur >> 32;
+        }
+    }
+    for (unsigned i = 0; i < nw; i++) {
+        r.words_[i] = static_cast<uint64_t>(acc[2 * i]) |
+                      (static_cast<uint64_t>(acc[2 * i + 1]) << 32);
+    }
+    r.normalize();
+    return r;
+}
+
+Bits
+Bits::operator&(const Bits &o) const
+{
+    R2U_ASSERT(width_ == o.width_, "width mismatch %u vs %u", width_,
+               o.width_);
+    Bits r(width_);
+    for (size_t i = 0; i < words_.size(); i++)
+        r.words_[i] = words_[i] & o.words_[i];
+    return r;
+}
+
+Bits
+Bits::operator|(const Bits &o) const
+{
+    R2U_ASSERT(width_ == o.width_, "width mismatch %u vs %u", width_,
+               o.width_);
+    Bits r(width_);
+    for (size_t i = 0; i < words_.size(); i++)
+        r.words_[i] = words_[i] | o.words_[i];
+    return r;
+}
+
+Bits
+Bits::operator^(const Bits &o) const
+{
+    R2U_ASSERT(width_ == o.width_, "width mismatch %u vs %u", width_,
+               o.width_);
+    Bits r(width_);
+    for (size_t i = 0; i < words_.size(); i++)
+        r.words_[i] = words_[i] ^ o.words_[i];
+    return r;
+}
+
+Bits
+Bits::operator~() const
+{
+    Bits r(width_);
+    for (size_t i = 0; i < words_.size(); i++)
+        r.words_[i] = ~words_[i];
+    r.normalize();
+    return r;
+}
+
+bool
+Bits::operator==(const Bits &o) const
+{
+    return width_ == o.width_ && words_ == o.words_;
+}
+
+bool
+Bits::ult(const Bits &o) const
+{
+    R2U_ASSERT(width_ == o.width_, "width mismatch %u vs %u", width_,
+               o.width_);
+    for (size_t i = words_.size(); i-- > 0;) {
+        if (words_[i] != o.words_[i])
+            return words_[i] < o.words_[i];
+    }
+    return false;
+}
+
+bool
+Bits::slt(const Bits &o) const
+{
+    R2U_ASSERT(width_ == o.width_ && width_ > 0, "bad widths %u vs %u",
+               width_, o.width_);
+    bool sa = bit(width_ - 1), sb = o.bit(width_ - 1);
+    if (sa != sb)
+        return sa; // negative < non-negative
+    return ult(o);
+}
+
+Bits
+Bits::shl(unsigned amount) const
+{
+    Bits r(width_);
+    for (unsigned i = 0; i < width_; i++) {
+        if (i >= amount && bit(i - amount))
+            r.setBit(i, true);
+    }
+    return r;
+}
+
+Bits
+Bits::lshr(unsigned amount) const
+{
+    Bits r(width_);
+    for (unsigned i = 0; i + amount < width_; i++) {
+        if (bit(i + amount))
+            r.setBit(i, true);
+    }
+    return r;
+}
+
+Bits
+Bits::ashr(unsigned amount) const
+{
+    Bits r = lshr(amount);
+    if (width_ > 0 && bit(width_ - 1)) {
+        unsigned start = amount >= width_ ? 0 : width_ - amount;
+        for (unsigned i = start; i < width_; i++)
+            r.setBit(i, true);
+    }
+    return r;
+}
+
+Bits
+Bits::slice(unsigned lo, unsigned w) const
+{
+    R2U_ASSERT(lo + w <= width_, "slice [%u +: %u] out of width %u", lo, w,
+               width_);
+    Bits r(w);
+    for (unsigned i = 0; i < w; i++)
+        if (bit(lo + i))
+            r.setBit(i, true);
+    return r;
+}
+
+Bits
+Bits::concat(const Bits &hi, const Bits &lo)
+{
+    Bits r(hi.width_ + lo.width_);
+    for (unsigned i = 0; i < lo.width_; i++)
+        if (lo.bit(i))
+            r.setBit(i, true);
+    for (unsigned i = 0; i < hi.width_; i++)
+        if (hi.bit(i))
+            r.setBit(lo.width_ + i, true);
+    return r;
+}
+
+Bits
+Bits::zext(unsigned new_width) const
+{
+    R2U_ASSERT(new_width >= width_, "zext shrinks %u -> %u", width_,
+               new_width);
+    Bits r(new_width);
+    for (size_t i = 0; i < words_.size(); i++)
+        r.words_[i] = words_[i];
+    r.normalize();
+    return r;
+}
+
+Bits
+Bits::sext(unsigned new_width) const
+{
+    R2U_ASSERT(new_width >= width_ && width_ > 0, "sext %u -> %u", width_,
+               new_width);
+    Bits r = zext(new_width);
+    if (bit(width_ - 1)) {
+        for (unsigned i = width_; i < new_width; i++)
+            r.setBit(i, true);
+    }
+    return r;
+}
+
+unsigned
+Bits::popcount() const
+{
+    unsigned n = 0;
+    for (uint64_t w : words_)
+        n += static_cast<unsigned>(__builtin_popcountll(w));
+    return n;
+}
+
+std::string
+Bits::toBinString() const
+{
+    std::string s;
+    s.reserve(width_);
+    for (unsigned i = width_; i-- > 0;)
+        s.push_back(bit(i) ? '1' : '0');
+    return s;
+}
+
+std::string
+Bits::toHexString() const
+{
+    static const char digits[] = "0123456789abcdef";
+    unsigned ndigits = (width_ + 3) / 4;
+    std::string s;
+    s.reserve(ndigits);
+    for (unsigned d = ndigits; d-- > 0;) {
+        unsigned v = 0;
+        for (unsigned b = 0; b < 4; b++) {
+            unsigned i = d * 4 + b;
+            if (i < width_ && bit(i))
+                v |= 1u << b;
+        }
+        s.push_back(digits[v]);
+    }
+    return s;
+}
+
+size_t
+Bits::hash() const
+{
+    size_t h = std::hash<unsigned>{}(width_);
+    for (uint64_t w : words_)
+        h = h * 1099511628211ull + std::hash<uint64_t>{}(w);
+    return h;
+}
+
+} // namespace r2u

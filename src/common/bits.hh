@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Bits: an arbitrary-width two's-complement bitvector value.
+ *
+ * This is the single value type shared by the netlist simulator, the
+ * Verilog constant folder, and counterexample-trace reconstruction in the
+ * BMC engine. Widths are explicit; binary operations require operands of
+ * equal width and produce a result of the same width (Verilog-style
+ * self-determined arithmetic); widening is explicit via zext/sext.
+ */
+
+#ifndef R2U_COMMON_BITS_HH
+#define R2U_COMMON_BITS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace r2u
+{
+
+class Bits
+{
+  public:
+    /** Zero-width (invalid-for-arith) value; useful as a placeholder. */
+    Bits() = default;
+
+    /** All-zero value of the given width. */
+    explicit Bits(unsigned width);
+
+    /** Value of the given width from the low bits of @p value. */
+    Bits(unsigned width, uint64_t value);
+
+    static Bits ones(unsigned width);
+
+    /** Parse a binary string of '0'/'1', MSB first. */
+    static Bits fromBinString(const std::string &s);
+
+    unsigned width() const { return width_; }
+
+    bool bit(unsigned i) const;
+    void setBit(unsigned i, bool v);
+
+    /** Low (up to) 64 bits as an unsigned integer. */
+    uint64_t toUint64() const;
+
+    /** Sign-extended low 64 bits as a signed integer. */
+    int64_t toInt64() const;
+
+    bool isZero() const;
+    bool isAllOnes() const;
+
+    /** Reduction OR: true iff any bit set (Verilog truthiness). */
+    bool toBool() const { return !isZero(); }
+
+    Bits operator+(const Bits &o) const;
+    Bits operator-(const Bits &o) const;
+    Bits operator*(const Bits &o) const;
+    Bits operator&(const Bits &o) const;
+    Bits operator|(const Bits &o) const;
+    Bits operator^(const Bits &o) const;
+    Bits operator~() const;
+
+    bool operator==(const Bits &o) const;
+    bool operator!=(const Bits &o) const { return !(*this == o); }
+
+    /** Unsigned / signed less-than; widths must match. */
+    bool ult(const Bits &o) const;
+    bool slt(const Bits &o) const;
+
+    /** Shifts keep the operand width. */
+    Bits shl(unsigned amount) const;
+    Bits lshr(unsigned amount) const;
+    Bits ashr(unsigned amount) const;
+
+    /** Extract @p w bits starting at bit @p lo (must fit). */
+    Bits slice(unsigned lo, unsigned w) const;
+
+    /** {hi, lo} concatenation: result width = hi.width + lo.width. */
+    static Bits concat(const Bits &hi, const Bits &lo);
+
+    Bits zext(unsigned new_width) const;
+    Bits sext(unsigned new_width) const;
+
+    /** Number of set bits. */
+    unsigned popcount() const;
+
+    std::string toBinString() const;
+    std::string toHexString() const;
+
+    size_t hash() const;
+
+  private:
+    void normalize();
+    static unsigned wordsFor(unsigned width) { return (width + 63) / 64; }
+
+    unsigned width_ = 0;
+    std::vector<uint64_t> words_;
+};
+
+/** std::hash adapter. */
+struct BitsHash
+{
+    size_t operator()(const Bits &b) const { return b.hash(); }
+};
+
+} // namespace r2u
+
+#endif // R2U_COMMON_BITS_HH

@@ -1,0 +1,75 @@
+#include "common/dot.hh"
+
+#include "common/strutil.hh"
+
+namespace r2u
+{
+
+DotWriter::DotWriter(const std::string &graph_name) : name_(graph_name)
+{
+}
+
+std::string
+DotWriter::escape(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        out.push_back(c);
+    }
+    return out;
+}
+
+void
+DotWriter::addNode(const std::string &id, const std::string &label,
+                   const std::string &attrs)
+{
+    std::string line = "  \"" + escape(id) + "\" [label=\"" +
+                       escape(label) + "\"";
+    if (!attrs.empty())
+        line += ", " + attrs;
+    line += "];";
+    lines_.push_back(line);
+}
+
+void
+DotWriter::addEdge(const std::string &from, const std::string &to,
+                   const std::string &label, const std::string &attrs)
+{
+    std::string line = "  \"" + escape(from) + "\" -> \"" + escape(to) +
+                       "\"";
+    std::string a;
+    if (!label.empty())
+        a = "label=\"" + escape(label) + "\"";
+    if (!attrs.empty())
+        a += (a.empty() ? "" : ", ") + attrs;
+    if (!a.empty())
+        line += " [" + a + "]";
+    line += ";";
+    lines_.push_back(line);
+}
+
+void
+DotWriter::addRaw(const std::string &line)
+{
+    lines_.push_back("  " + line);
+}
+
+std::string
+DotWriter::render() const
+{
+    std::string out = "digraph \"" + escape(name_) + "\" {\n";
+    for (const auto &l : lines_)
+        out += l + "\n";
+    out += "}\n";
+    return out;
+}
+
+void
+DotWriter::writeTo(const std::string &path) const
+{
+    writeFile(path, render());
+}
+
+} // namespace r2u

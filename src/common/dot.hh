@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Minimal Graphviz DOT emitter, used for full-design DFGs,
+ * per-instruction DFGs, and µhb graphs (Fig. 1b style output).
+ */
+
+#ifndef R2U_COMMON_DOT_HH
+#define R2U_COMMON_DOT_HH
+
+#include <string>
+#include <vector>
+
+namespace r2u
+{
+
+class DotWriter
+{
+  public:
+    explicit DotWriter(const std::string &graph_name);
+
+    /** Add a node; @p attrs are raw DOT attributes ("shape=box"). */
+    void addNode(const std::string &id, const std::string &label,
+                 const std::string &attrs = "");
+
+    void addEdge(const std::string &from, const std::string &to,
+                 const std::string &label = "",
+                 const std::string &attrs = "");
+
+    /** Arbitrary raw line inside the graph body (rank constraints etc). */
+    void addRaw(const std::string &line);
+
+    std::string render() const;
+
+    void writeTo(const std::string &path) const;
+
+    static std::string escape(const std::string &s);
+
+  private:
+    std::string name_;
+    std::vector<std::string> lines_;
+};
+
+} // namespace r2u
+
+#endif // R2U_COMMON_DOT_HH

@@ -1,0 +1,106 @@
+#include "common/strutil.hh"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace r2u
+{
+
+std::vector<std::string>
+split(const std::string &s, char sep)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (char c : s) {
+        if (c == sep) {
+            out.push_back(cur);
+            cur.clear();
+        } else {
+            cur.push_back(c);
+        }
+    }
+    out.push_back(cur);
+    return out;
+}
+
+std::vector<std::string>
+splitWs(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (char c : s) {
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            if (!cur.empty()) {
+                out.push_back(cur);
+                cur.clear();
+            }
+        } else {
+            cur.push_back(c);
+        }
+    }
+    if (!cur.empty())
+        out.push_back(cur);
+    return out;
+}
+
+std::string
+trim(const std::string &s)
+{
+    size_t b = 0, e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+        b++;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        e--;
+    return s.substr(b, e - b);
+}
+
+bool
+startsWith(const std::string &s, const std::string &prefix)
+{
+    return s.size() >= prefix.size() &&
+           s.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool
+endsWith(const std::string &s, const std::string &suffix)
+{
+    return s.size() >= suffix.size() &&
+           s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+std::string
+join(const std::vector<std::string> &parts, const std::string &sep)
+{
+    std::string out;
+    for (size_t i = 0; i < parts.size(); i++) {
+        if (i)
+            out += sep;
+        out += parts[i];
+    }
+    return out;
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream f(path, std::ios::binary);
+    if (!f)
+        fatal("cannot open file '%s'", path.c_str());
+    std::ostringstream ss;
+    ss << f.rdbuf();
+    return ss.str();
+}
+
+void
+writeFile(const std::string &path, const std::string &contents)
+{
+    std::ofstream f(path, std::ios::binary);
+    if (!f)
+        fatal("cannot write file '%s'", path.c_str());
+    f << contents;
+}
+
+} // namespace r2u

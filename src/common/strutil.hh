@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Small string utilities shared across the library.
+ */
+
+#ifndef R2U_COMMON_STRUTIL_HH
+#define R2U_COMMON_STRUTIL_HH
+
+#include <string>
+#include <vector>
+
+namespace r2u
+{
+
+/** Split @p s at every occurrence of @p sep (empty fields kept). */
+std::vector<std::string> split(const std::string &s, char sep);
+
+/** Split on runs of whitespace (no empty fields). */
+std::vector<std::string> splitWs(const std::string &s);
+
+/** Strip leading/trailing whitespace. */
+std::string trim(const std::string &s);
+
+bool startsWith(const std::string &s, const std::string &prefix);
+bool endsWith(const std::string &s, const std::string &suffix);
+
+/** Join strings with a separator. */
+std::string join(const std::vector<std::string> &parts,
+                 const std::string &sep);
+
+/** Read an entire file; fatal() if it cannot be opened. */
+std::string readFile(const std::string &path);
+
+/** Write a file; fatal() on failure. */
+void writeFile(const std::string &path, const std::string &contents);
+
+} // namespace r2u
+
+#endif // R2U_COMMON_STRUTIL_HH

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Simple wall-clock stopwatch used by the synthesis statistics and the
+ * benchmark harnesses.
+ */
+
+#ifndef R2U_COMMON_TIMER_HH
+#define R2U_COMMON_TIMER_HH
+
+#include <chrono>
+
+namespace r2u
+{
+
+class Timer
+{
+  public:
+    Timer() { reset(); }
+
+    void reset() { start_ = Clock::now(); }
+
+    /** Elapsed seconds since construction or last reset(). */
+    double
+    seconds() const
+    {
+        return std::chrono::duration<double>(Clock::now() - start_).count();
+    }
+
+    double milliseconds() const { return seconds() * 1e3; }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start_;
+};
+
+} // namespace r2u
+
+#endif // R2U_COMMON_TIMER_HH

@@ -1,0 +1,420 @@
+#include "isa/isa.hh"
+
+#include <cctype>
+
+#include "common/logging.hh"
+#include "common/strutil.hh"
+
+namespace r2u::isa
+{
+
+namespace
+{
+
+constexpr uint32_t kOpcLui = 0b0110111;
+constexpr uint32_t kOpcOpImm = 0b0010011;
+constexpr uint32_t kOpcOp = 0b0110011;
+constexpr uint32_t kOpcLoad = 0b0000011;
+constexpr uint32_t kOpcStore = 0b0100011;
+constexpr uint32_t kOpcBranch = 0b1100011;
+constexpr uint32_t kOpcJal = 0b1101111;
+constexpr uint32_t kOpcFence = 0b0001111;
+
+uint32_t
+bitsOf(uint32_t v, int hi, int lo)
+{
+    return (v >> lo) & ((1u << (hi - lo + 1)) - 1);
+}
+
+int32_t
+signExtend(uint32_t v, int bits)
+{
+    uint32_t m = 1u << (bits - 1);
+    return static_cast<int32_t>((v ^ m) - m);
+}
+
+} // namespace
+
+const char *
+opName(Op op)
+{
+    switch (op) {
+      case Op::Lui: return "lui";
+      case Op::Addi: return "addi";
+      case Op::Add: return "add";
+      case Op::Sub: return "sub";
+      case Op::And: return "and";
+      case Op::Or: return "or";
+      case Op::Xor: return "xor";
+      case Op::Lw: return "lw";
+      case Op::Sw: return "sw";
+      case Op::Beq: return "beq";
+      case Op::Bne: return "bne";
+      case Op::Jal: return "jal";
+      case Op::Fence: return "fence";
+      case Op::Invalid: return "invalid";
+    }
+    return "?";
+}
+
+uint32_t
+encode(const Inst &inst)
+{
+    uint32_t rd = static_cast<uint32_t>(inst.rd) & 31;
+    uint32_t rs1 = static_cast<uint32_t>(inst.rs1) & 31;
+    uint32_t rs2 = static_cast<uint32_t>(inst.rs2) & 31;
+    uint32_t imm = static_cast<uint32_t>(inst.imm);
+    switch (inst.op) {
+      case Op::Lui:
+        return (imm << 12) | (rd << 7) | kOpcLui;
+      case Op::Addi:
+        return (bitsOf(imm, 11, 0) << 20) | (rs1 << 15) | (0b000 << 12) |
+               (rd << 7) | kOpcOpImm;
+      case Op::Add:
+      case Op::Sub:
+      case Op::And:
+      case Op::Or:
+      case Op::Xor: {
+        uint32_t funct3, funct7 = 0;
+        switch (inst.op) {
+          case Op::Add: funct3 = 0b000; break;
+          case Op::Sub: funct3 = 0b000; funct7 = 0b0100000; break;
+          case Op::And: funct3 = 0b111; break;
+          case Op::Or: funct3 = 0b110; break;
+          default: funct3 = 0b100; break; // Xor
+        }
+        return (funct7 << 25) | (rs2 << 20) | (rs1 << 15) |
+               (funct3 << 12) | (rd << 7) | kOpcOp;
+      }
+      case Op::Lw:
+        return (bitsOf(imm, 11, 0) << 20) | (rs1 << 15) | (0b010 << 12) |
+               (rd << 7) | kOpcLoad;
+      case Op::Sw:
+        return (bitsOf(imm, 11, 5) << 25) | (rs2 << 20) | (rs1 << 15) |
+               (0b010 << 12) | (bitsOf(imm, 4, 0) << 7) | kOpcStore;
+      case Op::Beq:
+      case Op::Bne: {
+        uint32_t funct3 = inst.op == Op::Beq ? 0b000 : 0b001;
+        return (bitsOf(imm, 12, 12) << 31) | (bitsOf(imm, 10, 5) << 25) |
+               (rs2 << 20) | (rs1 << 15) | (funct3 << 12) |
+               (bitsOf(imm, 4, 1) << 8) | (bitsOf(imm, 11, 11) << 7) |
+               kOpcBranch;
+      }
+      case Op::Jal:
+        return (bitsOf(imm, 20, 20) << 31) | (bitsOf(imm, 10, 1) << 21) |
+               (bitsOf(imm, 11, 11) << 20) | (bitsOf(imm, 19, 12) << 12) |
+               (rd << 7) | kOpcJal;
+      case Op::Fence:
+        return kOpcFence;
+      case Op::Invalid:
+        return inst.raw;
+    }
+    panic("unreachable encode");
+}
+
+Inst
+decode(uint32_t word)
+{
+    Inst inst;
+    inst.raw = word;
+    uint32_t opc = bitsOf(word, 6, 0);
+    uint32_t rd = bitsOf(word, 11, 7);
+    uint32_t funct3 = bitsOf(word, 14, 12);
+    uint32_t rs1 = bitsOf(word, 19, 15);
+    uint32_t rs2 = bitsOf(word, 24, 20);
+    uint32_t funct7 = bitsOf(word, 31, 25);
+    inst.rd = static_cast<int>(rd);
+    inst.rs1 = static_cast<int>(rs1);
+    inst.rs2 = static_cast<int>(rs2);
+
+    switch (opc) {
+      case kOpcLui:
+        inst.op = Op::Lui;
+        inst.imm = static_cast<int32_t>(bitsOf(word, 31, 12));
+        return inst;
+      case kOpcOpImm:
+        if (funct3 != 0b000)
+            break;
+        inst.op = Op::Addi;
+        inst.imm = signExtend(bitsOf(word, 31, 20), 12);
+        return inst;
+      case kOpcOp:
+        if (funct3 == 0b000 && funct7 == 0)
+            inst.op = Op::Add;
+        else if (funct3 == 0b000 && funct7 == 0b0100000)
+            inst.op = Op::Sub;
+        else if (funct3 == 0b111 && funct7 == 0)
+            inst.op = Op::And;
+        else if (funct3 == 0b110 && funct7 == 0)
+            inst.op = Op::Or;
+        else if (funct3 == 0b100 && funct7 == 0)
+            inst.op = Op::Xor;
+        else
+            break;
+        return inst;
+      case kOpcLoad:
+        if (funct3 != 0b010)
+            break;
+        inst.op = Op::Lw;
+        inst.imm = signExtend(bitsOf(word, 31, 20), 12);
+        return inst;
+      case kOpcStore:
+        if (funct3 != 0b010)
+            break;
+        inst.op = Op::Sw;
+        inst.imm = signExtend(
+            (bitsOf(word, 31, 25) << 5) | bitsOf(word, 11, 7), 12);
+        return inst;
+      case kOpcBranch: {
+        if (funct3 == 0b000)
+            inst.op = Op::Beq;
+        else if (funct3 == 0b001)
+            inst.op = Op::Bne;
+        else
+            break;
+        uint32_t imm = (bitsOf(word, 31, 31) << 12) |
+                       (bitsOf(word, 7, 7) << 11) |
+                       (bitsOf(word, 30, 25) << 5) |
+                       (bitsOf(word, 11, 8) << 1);
+        inst.imm = signExtend(imm, 13);
+        return inst;
+      }
+      case kOpcJal: {
+        inst.op = Op::Jal;
+        uint32_t imm = (bitsOf(word, 31, 31) << 20) |
+                       (bitsOf(word, 19, 12) << 12) |
+                       (bitsOf(word, 20, 20) << 11) |
+                       (bitsOf(word, 30, 21) << 1);
+        inst.imm = signExtend(imm, 21);
+        return inst;
+      }
+      case kOpcFence:
+        inst.op = Op::Fence;
+        return inst;
+      default:
+        break;
+    }
+    inst.op = Op::Invalid;
+    return inst;
+}
+
+uint32_t
+nopWord()
+{
+    Inst nop;
+    nop.op = Op::Addi;
+    return encode(nop);
+}
+
+namespace
+{
+
+int
+parseReg(const std::string &tok)
+{
+    if (tok.size() < 2 || (tok[0] != 'x' && tok[0] != 'X'))
+        fatal("bad register '%s'", tok.c_str());
+    int n = 0;
+    for (size_t i = 1; i < tok.size(); i++) {
+        if (!std::isdigit(static_cast<unsigned char>(tok[i])))
+            fatal("bad register '%s'", tok.c_str());
+        n = n * 10 + (tok[i] - '0');
+    }
+    if (n > 31)
+        fatal("register out of range '%s'", tok.c_str());
+    return n;
+}
+
+int32_t
+parseImm(const std::string &tok)
+{
+    try {
+        return static_cast<int32_t>(std::stol(tok, nullptr, 0));
+    } catch (...) {
+        fatal("bad immediate '%s'", tok.c_str());
+    }
+}
+
+/** Split "imm(reg)" into its parts. */
+void
+parseMemOperand(const std::string &tok, int32_t &imm, int &reg)
+{
+    size_t lp = tok.find('(');
+    size_t rp = tok.find(')');
+    if (lp == std::string::npos || rp == std::string::npos || rp < lp)
+        fatal("bad memory operand '%s'", tok.c_str());
+    imm = lp == 0 ? 0 : parseImm(tok.substr(0, lp));
+    reg = parseReg(tok.substr(lp + 1, rp - lp - 1));
+}
+
+} // namespace
+
+Inst
+parseAsm(const std::string &line)
+{
+    std::string clean = line;
+    for (char &c : clean)
+        if (c == ',')
+            c = ' ';
+    auto toks = splitWs(clean);
+    if (toks.empty())
+        fatal("empty assembly line");
+    std::string m = toks[0];
+    for (char &c : m)
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+
+    Inst inst;
+    auto need = [&](size_t n) {
+        if (toks.size() != n + 1)
+            fatal("'%s' expects %zu operands", m.c_str(), n);
+    };
+
+    if (m == "nop") {
+        need(0);
+        inst.op = Op::Addi;
+        return inst;
+    }
+    if (m == "fence") {
+        need(0);
+        inst.op = Op::Fence;
+        return inst;
+    }
+    if (m == "lui") {
+        need(2);
+        inst.op = Op::Lui;
+        inst.rd = parseReg(toks[1]);
+        inst.imm = parseImm(toks[2]);
+        return inst;
+    }
+    if (m == "addi" || m == "li") {
+        inst.op = Op::Addi;
+        if (m == "li") {
+            need(2);
+            inst.rd = parseReg(toks[1]);
+            inst.rs1 = 0;
+            inst.imm = parseImm(toks[2]);
+        } else {
+            need(3);
+            inst.rd = parseReg(toks[1]);
+            inst.rs1 = parseReg(toks[2]);
+            inst.imm = parseImm(toks[3]);
+        }
+        return inst;
+    }
+    if (m == "add" || m == "sub" || m == "and" || m == "or" ||
+        m == "xor") {
+        need(3);
+        if (m == "add") inst.op = Op::Add;
+        else if (m == "sub") inst.op = Op::Sub;
+        else if (m == "and") inst.op = Op::And;
+        else if (m == "or") inst.op = Op::Or;
+        else inst.op = Op::Xor;
+        inst.rd = parseReg(toks[1]);
+        inst.rs1 = parseReg(toks[2]);
+        inst.rs2 = parseReg(toks[3]);
+        return inst;
+    }
+    if (m == "lw") {
+        need(2);
+        inst.op = Op::Lw;
+        inst.rd = parseReg(toks[1]);
+        parseMemOperand(toks[2], inst.imm, inst.rs1);
+        return inst;
+    }
+    if (m == "sw") {
+        need(2);
+        inst.op = Op::Sw;
+        inst.rs2 = parseReg(toks[1]);
+        parseMemOperand(toks[2], inst.imm, inst.rs1);
+        return inst;
+    }
+    if (m == "beq" || m == "bne") {
+        need(3);
+        inst.op = m == "beq" ? Op::Beq : Op::Bne;
+        inst.rs1 = parseReg(toks[1]);
+        inst.rs2 = parseReg(toks[2]);
+        inst.imm = parseImm(toks[3]);
+        return inst;
+    }
+    if (m == "jal") {
+        need(2);
+        inst.op = Op::Jal;
+        inst.rd = parseReg(toks[1]);
+        inst.imm = parseImm(toks[2]);
+        return inst;
+    }
+    fatal("unknown mnemonic '%s'", m.c_str());
+}
+
+std::vector<uint32_t>
+assemble(const std::string &program)
+{
+    std::vector<uint32_t> words;
+    for (const auto &raw_line : split(program, '\n')) {
+        std::string line = raw_line;
+        size_t c = line.find_first_of("#;");
+        if (c != std::string::npos)
+            line = line.substr(0, c);
+        line = trim(line);
+        if (line.empty())
+            continue;
+        words.push_back(encode(parseAsm(line)));
+    }
+    return words;
+}
+
+std::string
+disasm(const Inst &inst)
+{
+    switch (inst.op) {
+      case Op::Lui:
+        return strfmt("lui x%d, %d", inst.rd, inst.imm);
+      case Op::Addi:
+        return strfmt("addi x%d, x%d, %d", inst.rd, inst.rs1, inst.imm);
+      case Op::Add:
+      case Op::Sub:
+      case Op::And:
+      case Op::Or:
+      case Op::Xor:
+        return strfmt("%s x%d, x%d, x%d", opName(inst.op), inst.rd,
+                      inst.rs1, inst.rs2);
+      case Op::Lw:
+        return strfmt("lw x%d, %d(x%d)", inst.rd, inst.imm, inst.rs1);
+      case Op::Sw:
+        return strfmt("sw x%d, %d(x%d)", inst.rs2, inst.imm, inst.rs1);
+      case Op::Beq:
+      case Op::Bne:
+        return strfmt("%s x%d, x%d, %d", opName(inst.op), inst.rs1,
+                      inst.rs2, inst.imm);
+      case Op::Jal:
+        return strfmt("jal x%d, %d", inst.rd, inst.imm);
+      case Op::Fence:
+        return "fence";
+      case Op::Invalid:
+        return strfmt(".word 0x%08x", inst.raw);
+    }
+    return "?";
+}
+
+GoldenCore::GoldenCore(unsigned xlen) : xlen_(xlen)
+{
+    R2U_ASSERT(xlen >= 4 && xlen <= 32, "unsupported xlen %u", xlen);
+}
+
+void
+GoldenCore::reset(uint32_t pc)
+{
+    pc_ = pc;
+    for (auto &r : regs_)
+        r = 0;
+}
+
+void
+GoldenCore::setReg(int index, uint32_t value)
+{
+    R2U_ASSERT(index >= 0 && index < 32, "bad register index");
+    if (index != 0)
+        regs_[index] = mask(value);
+}
+
+} // namespace r2u::isa

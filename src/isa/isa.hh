@@ -1,0 +1,170 @@
+/**
+ * @file
+ * RV32I-subset ISA support: instruction representation, RISC-V binary
+ * encodings, a small assembler, and a golden functional core model.
+ *
+ * The subset covers what the multi-V-scale implements and what litmus
+ * tests need: LUI, ADDI, register ALU ops, LW/SW, BEQ/BNE, JAL and
+ * FENCE (a no-op on this strongly-ordered design). The same encodings
+ * are decoded by the Verilog core, so the golden model doubles as the
+ * reference for RTL correctness tests.
+ */
+
+#ifndef R2U_ISA_ISA_HH
+#define R2U_ISA_ISA_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace r2u::isa
+{
+
+enum class Op {
+    Lui,
+    Addi,
+    Add,
+    Sub,
+    And,
+    Or,
+    Xor,
+    Lw,
+    Sw,
+    Beq,
+    Bne,
+    Jal,
+    Fence,
+    Invalid
+};
+
+const char *opName(Op op);
+
+struct Inst
+{
+    Op op = Op::Invalid;
+    int rd = 0;
+    int rs1 = 0;
+    int rs2 = 0;
+    int32_t imm = 0;
+    uint32_t raw = 0; ///< original encoding (for Invalid round-trips)
+
+    bool isLoad() const { return op == Op::Lw; }
+    bool isStore() const { return op == Op::Sw; }
+    bool isMem() const { return isLoad() || isStore(); }
+};
+
+/** Encode to a 32-bit RV32I instruction word. */
+uint32_t encode(const Inst &inst);
+
+/** Decode a 32-bit word; unknown encodings yield Op::Invalid. */
+Inst decode(uint32_t word);
+
+/** A canonical NOP (addi x0, x0, 0). */
+uint32_t nopWord();
+
+/**
+ * Parse one assembly line, e.g. "addi x1, x0, 1", "sw x1, 0(x2)",
+ * "lw x3, 4(x0)", "beq x1, x2, 8". Branch/jump offsets are byte
+ * offsets relative to the instruction. fatal() on syntax errors.
+ */
+Inst parseAsm(const std::string &line);
+
+/** Assemble a multi-line program ('#' and ';' start comments). */
+std::vector<uint32_t> assemble(const std::string &program);
+
+std::string disasm(const Inst &inst);
+
+/**
+ * Golden single-hart functional model. Memory is word-granular and
+ * supplied by the embedder via simple callbacks, so the same model
+ * drives both single-core checks and the SC interleaving enumerator.
+ */
+class GoldenCore
+{
+  public:
+    explicit GoldenCore(unsigned xlen = 32);
+
+    void reset(uint32_t pc = 0);
+
+    uint32_t pc() const { return pc_; }
+    uint32_t reg(int index) const { return regs_[index]; }
+    void setReg(int index, uint32_t value);
+
+    /**
+     * Execute one instruction. @p load / @p store access word-aligned
+     * addresses. Invalid instructions raise an exception: the golden
+     * model skips them (pc += 4) with no architectural effect,
+     * matching the fixed multi-V-scale's behavior.
+     */
+    template <typename LoadFn, typename StoreFn>
+    void
+    step(const Inst &inst, LoadFn &&load, StoreFn &&store)
+    {
+        uint32_t next_pc = pc_ + 4;
+        switch (inst.op) {
+          case Op::Lui:
+            setReg(inst.rd, mask(static_cast<uint32_t>(inst.imm) << 12));
+            break;
+          case Op::Addi:
+            setReg(inst.rd, mask(regs_[inst.rs1] +
+                                 static_cast<uint32_t>(inst.imm)));
+            break;
+          case Op::Add:
+            setReg(inst.rd, mask(regs_[inst.rs1] + regs_[inst.rs2]));
+            break;
+          case Op::Sub:
+            setReg(inst.rd, mask(regs_[inst.rs1] - regs_[inst.rs2]));
+            break;
+          case Op::And:
+            setReg(inst.rd, regs_[inst.rs1] & regs_[inst.rs2]);
+            break;
+          case Op::Or:
+            setReg(inst.rd, regs_[inst.rs1] | regs_[inst.rs2]);
+            break;
+          case Op::Xor:
+            setReg(inst.rd, regs_[inst.rs1] ^ regs_[inst.rs2]);
+            break;
+          case Op::Lw:
+            setReg(inst.rd,
+                   mask(load(mask(regs_[inst.rs1] +
+                                  static_cast<uint32_t>(inst.imm)))));
+            break;
+          case Op::Sw:
+            store(mask(regs_[inst.rs1] + static_cast<uint32_t>(inst.imm)),
+                  regs_[inst.rs2]);
+            break;
+          case Op::Beq:
+            if (regs_[inst.rs1] == regs_[inst.rs2])
+                next_pc = pc_ + static_cast<uint32_t>(inst.imm);
+            break;
+          case Op::Bne:
+            if (regs_[inst.rs1] != regs_[inst.rs2])
+                next_pc = pc_ + static_cast<uint32_t>(inst.imm);
+            break;
+          case Op::Jal:
+            setReg(inst.rd, pc_ + 4);
+            next_pc = pc_ + static_cast<uint32_t>(inst.imm);
+            break;
+          case Op::Fence:
+          case Op::Invalid:
+            break;
+        }
+        pc_ = next_pc;
+    }
+
+    /** Truncate a value to the architectural width. */
+    uint32_t
+    mask(uint32_t v) const
+    {
+        return xlen_ >= 32 ? v : (v & ((1u << xlen_) - 1));
+    }
+
+  private:
+    unsigned xlen_;
+    uint32_t pc_ = 0;
+    uint32_t regs_[32] = {};
+};
+
+} // namespace r2u::isa
+
+#endif // R2U_ISA_ISA_HH

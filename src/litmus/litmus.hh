@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Litmus tests: small concurrent programs encoding MCM ordering
+ * constraints (paper §2). A test is a set of straight-line threads of
+ * word-granular reads/writes plus an "interesting" outcome condition —
+ * conventionally the weak (non-SC) outcome the test probes.
+ *
+ * The module provides a text format, a diy-style generator that
+ * synthesizes tests from critical-cycle specifications (Rfe/Fre/Wse/
+ * Pod** relation sequences, after Alglave et al.), and the canned
+ * 56-test suite used by the paper's evaluation (hand-written x86-TSO
+ * classics plus generated safe tests).
+ */
+
+#ifndef R2U_LITMUS_LITMUS_HH
+#define R2U_LITMUS_LITMUS_HH
+
+#include <string>
+#include <vector>
+
+namespace r2u::litmus
+{
+
+/** One memory access in a thread. */
+struct Access
+{
+    bool isWrite = false;
+    std::string loc; ///< symbolic location ("x", "y", ...)
+    int value = 0;   ///< writes: value stored
+    int reg = 0;     ///< reads: destination register number (per thread)
+};
+
+struct Thread
+{
+    std::vector<Access> ops;
+};
+
+/** One conjunct of an outcome condition: thread:reg == value. */
+struct RegCond
+{
+    int thread = 0;
+    int reg = 0;
+    int value = 0;
+};
+
+/** Final-memory conjunct: loc == value. */
+struct MemCond
+{
+    std::string loc;
+    int value = 0;
+};
+
+struct Condition
+{
+    std::vector<RegCond> regs;
+    std::vector<MemCond> mem;
+
+    bool empty() const { return regs.empty() && mem.empty(); }
+};
+
+struct Test
+{
+    std::string name;
+    std::vector<Thread> threads;
+    /** The probed (usually SC-forbidden) outcome. */
+    Condition interesting;
+
+    /** Distinct locations in order of first appearance. */
+    std::vector<std::string> locations() const;
+
+    /** Registers read into, per thread. */
+    std::vector<std::vector<int>> readRegs() const;
+
+    std::string print() const;
+    static Test parse(const std::string &text);
+
+    /** RISC-V assembly for one thread (locations at 0,4,8,...). */
+    std::string threadAssembly(size_t thread) const;
+};
+
+/**
+ * diy-style generation: build a test from a critical-cycle relation
+ * string, e.g. "Rfe PodRR Fre PodWW" (MP) or "Fre PodWR Fre PodWR"
+ * (SB). Supported relations: Rfe, Fre, Wse (external rf/from-read/
+ * write-serialization, switching threads) and PodWW/PodWR/PodRW/PodRR
+ * (program order within a thread). The interesting outcome is the one
+ * requiring the cycle, which SC forbids.
+ */
+Test generateFromCycle(const std::string &name,
+                       const std::string &cycle);
+
+/** The 56-test evaluation suite (paper §5.2). */
+std::vector<Test> standardSuite();
+
+} // namespace r2u::litmus
+
+#endif // R2U_LITMUS_LITMUS_HH

@@ -1,0 +1,130 @@
+#include "mcm/sc_ref.hh"
+
+#include "common/logging.hh"
+#include "common/strutil.hh"
+
+namespace r2u::mcm
+{
+
+bool
+Outcome::operator<(const Outcome &o) const
+{
+    if (regs != o.regs)
+        return regs < o.regs;
+    return mem < o.mem;
+}
+
+bool
+Outcome::operator==(const Outcome &o) const
+{
+    return regs == o.regs && mem == o.mem;
+}
+
+bool
+Outcome::satisfies(const litmus::Condition &cond) const
+{
+    for (const auto &rc : cond.regs) {
+        auto it = regs.find({rc.thread, rc.reg});
+        if (it == regs.end() || it->second != rc.value)
+            return false;
+    }
+    for (const auto &mc : cond.mem) {
+        auto it = mem.find(mc.loc);
+        int v = it == mem.end() ? 0 : it->second;
+        if (v != mc.value)
+            return false;
+    }
+    return true;
+}
+
+std::string
+Outcome::toString() const
+{
+    std::string s;
+    for (const auto &[key, v] : regs) {
+        if (!s.empty())
+            s += " ";
+        s += strfmt("%d:x%d=%d", key.first, key.second, v);
+    }
+    for (const auto &[loc, v] : mem) {
+        if (!s.empty())
+            s += " ";
+        s += strfmt("%s=%d", loc.c_str(), v);
+    }
+    return s;
+}
+
+namespace
+{
+
+struct State
+{
+    std::vector<size_t> pc;             ///< per-thread index
+    std::map<std::string, int> mem;     ///< location -> value
+    Outcome outcome;                    ///< registers read so far
+
+    bool
+    operator<(const State &o) const
+    {
+        if (pc != o.pc)
+            return pc < o.pc;
+        if (mem != o.mem)
+            return mem < o.mem;
+        return outcome < o.outcome;
+    }
+};
+
+void
+explore(const litmus::Test &test, State state, std::set<State> &seen,
+        std::set<Outcome> &outcomes)
+{
+    if (!seen.insert(state).second)
+        return;
+    bool done = true;
+    for (size_t t = 0; t < test.threads.size(); t++) {
+        if (state.pc[t] >= test.threads[t].ops.size())
+            continue;
+        done = false;
+        const litmus::Access &a = test.threads[t].ops[state.pc[t]];
+        State next = state;
+        next.pc[t]++;
+        if (a.isWrite) {
+            next.mem[a.loc] = a.value;
+        } else {
+            auto it = next.mem.find(a.loc);
+            int v = it == next.mem.end() ? 0 : it->second;
+            next.outcome
+                .regs[{static_cast<int>(t), a.reg}] = v;
+        }
+        explore(test, std::move(next), seen, outcomes);
+    }
+    if (done) {
+        Outcome out = state.outcome;
+        out.mem = state.mem;
+        outcomes.insert(std::move(out));
+    }
+}
+
+} // namespace
+
+std::set<Outcome>
+enumerateSC(const litmus::Test &test)
+{
+    State init;
+    init.pc.assign(test.threads.size(), 0);
+    std::set<State> seen;
+    std::set<Outcome> outcomes;
+    explore(test, std::move(init), seen, outcomes);
+    return outcomes;
+}
+
+bool
+scAllows(const litmus::Test &test, const litmus::Condition &cond)
+{
+    for (const Outcome &o : enumerateSC(test))
+        if (o.satisfies(cond))
+            return true;
+    return false;
+}
+
+} // namespace r2u::mcm

@@ -1,0 +1,382 @@
+#include "netlist/netlist.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace r2u::nl
+{
+
+const char *
+cellKindName(CellKind kind)
+{
+    switch (kind) {
+      case CellKind::Const: return "$const";
+      case CellKind::Input: return "$input";
+      case CellKind::Add: return "$add";
+      case CellKind::Sub: return "$sub";
+      case CellKind::And: return "$and";
+      case CellKind::Or: return "$or";
+      case CellKind::Xor: return "$xor";
+      case CellKind::Not: return "$not";
+      case CellKind::Mux: return "$mux";
+      case CellKind::Eq: return "$eq";
+      case CellKind::Ult: return "$ult";
+      case CellKind::Slt: return "$slt";
+      case CellKind::RedOr: return "$reduce_or";
+      case CellKind::RedAnd: return "$reduce_and";
+      case CellKind::Shl: return "$shl";
+      case CellKind::Lshr: return "$shr";
+      case CellKind::Ashr: return "$sshr";
+      case CellKind::Concat: return "$concat";
+      case CellKind::Slice: return "$slice";
+      case CellKind::Zext: return "$zext";
+      case CellKind::Sext: return "$sext";
+      case CellKind::Dff: return "$dff";
+      case CellKind::MemRead: return "$memrd";
+      case CellKind::MemWrite: return "$memwr";
+    }
+    return "$unknown";
+}
+
+bool
+isCombinational(CellKind kind)
+{
+    switch (kind) {
+      case CellKind::Const:
+      case CellKind::Input:
+      case CellKind::Dff:
+      case CellKind::MemWrite:
+        return false;
+      default:
+        return true;
+    }
+}
+
+CellId
+Netlist::newCell(CellKind kind, unsigned width, const std::string &name)
+{
+    CellId id = static_cast<CellId>(cells_.size());
+    Cell c;
+    c.id = id;
+    c.kind = kind;
+    c.width = width;
+    c.name = name;
+    cells_.push_back(std::move(c));
+    if (!name.empty()) {
+        auto [it, inserted] = by_name_.emplace(name, id);
+        if (!inserted)
+            fatal("duplicate cell name '%s'", name.c_str());
+    }
+    invalidateTopo();
+    return id;
+}
+
+CellId
+Netlist::addConst(const Bits &value, const std::string &name)
+{
+    CellId id = newCell(CellKind::Const, value.width(), name);
+    cells_[id].value = value;
+    return id;
+}
+
+CellId
+Netlist::addInput(const std::string &name, unsigned width)
+{
+    CellId id = newCell(CellKind::Input, width, name);
+    input_cells_.push_back(id);
+    return id;
+}
+
+CellId
+Netlist::addUnary(CellKind kind, CellId a, const std::string &name)
+{
+    unsigned w;
+    switch (kind) {
+      case CellKind::Not:
+        w = cells_[a].width;
+        break;
+      case CellKind::RedOr:
+      case CellKind::RedAnd:
+        w = 1;
+        break;
+      default:
+        panic("addUnary of non-unary kind %s", cellKindName(kind));
+    }
+    CellId id = newCell(kind, w, name);
+    cells_[id].inputs = {a};
+    return id;
+}
+
+CellId
+Netlist::addBinary(CellKind kind, CellId a, CellId b,
+                   const std::string &name)
+{
+    unsigned wa = cells_[a].width, wb = cells_[b].width;
+    unsigned w;
+    switch (kind) {
+      case CellKind::Add:
+      case CellKind::Sub:
+      case CellKind::And:
+      case CellKind::Or:
+      case CellKind::Xor:
+        R2U_ASSERT(wa == wb, "%s width mismatch %u vs %u",
+                   cellKindName(kind), wa, wb);
+        w = wa;
+        break;
+      case CellKind::Eq:
+      case CellKind::Ult:
+      case CellKind::Slt:
+        R2U_ASSERT(wa == wb, "%s width mismatch %u vs %u",
+                   cellKindName(kind), wa, wb);
+        w = 1;
+        break;
+      case CellKind::Shl:
+      case CellKind::Lshr:
+      case CellKind::Ashr:
+        w = wa;
+        break;
+      default:
+        panic("addBinary of non-binary kind %s", cellKindName(kind));
+    }
+    CellId id = newCell(kind, w, name);
+    cells_[id].inputs = {a, b};
+    return id;
+}
+
+CellId
+Netlist::addMux(CellId sel, CellId a, CellId b, const std::string &name)
+{
+    R2U_ASSERT(cells_[sel].width == 1, "mux select must be 1 bit");
+    R2U_ASSERT(cells_[a].width == cells_[b].width,
+               "mux width mismatch %u vs %u", cells_[a].width,
+               cells_[b].width);
+    CellId id = newCell(CellKind::Mux, cells_[a].width, name);
+    cells_[id].inputs = {sel, a, b};
+    return id;
+}
+
+CellId
+Netlist::addConcat(const std::vector<CellId> &msb_first,
+                   const std::string &name)
+{
+    R2U_ASSERT(!msb_first.empty(), "empty concat");
+    unsigned w = 0;
+    for (CellId c : msb_first)
+        w += cells_[c].width;
+    CellId id = newCell(CellKind::Concat, w, name);
+    cells_[id].inputs = msb_first;
+    return id;
+}
+
+CellId
+Netlist::addSlice(CellId a, unsigned lo, unsigned width,
+                  const std::string &name)
+{
+    R2U_ASSERT(lo + width <= cells_[a].width,
+               "slice [%u +: %u] out of cell width %u", lo, width,
+               cells_[a].width);
+    CellId id = newCell(CellKind::Slice, width, name);
+    cells_[id].inputs = {a};
+    cells_[id].lo = lo;
+    return id;
+}
+
+CellId
+Netlist::addExt(CellKind kind, CellId a, unsigned width,
+                const std::string &name)
+{
+    R2U_ASSERT(kind == CellKind::Zext || kind == CellKind::Sext,
+               "addExt of non-ext kind");
+    R2U_ASSERT(width >= cells_[a].width, "ext shrinks");
+    CellId id = newCell(kind, width, name);
+    cells_[id].inputs = {a};
+    return id;
+}
+
+CellId
+Netlist::addDff(const std::string &name, CellId d, CellId en,
+                const Bits &init)
+{
+    R2U_ASSERT(cells_[en].width == 1, "dff enable must be 1 bit");
+    R2U_ASSERT(cells_[d].width == init.width(),
+               "dff '%s' init width %u != d width %u", name.c_str(),
+               init.width(), cells_[d].width);
+    CellId id = newCell(CellKind::Dff, init.width(), name);
+    cells_[id].inputs = {d, en};
+    cells_[id].value = init;
+    dff_cells_.push_back(id);
+    return id;
+}
+
+MemId
+Netlist::addMemory(const std::string &name, unsigned depth, unsigned width,
+                   const std::vector<Bits> &init)
+{
+    MemId id = static_cast<MemId>(memories_.size());
+    Memory m;
+    m.id = id;
+    m.name = name;
+    m.depth = depth;
+    m.width = width;
+    unsigned abits = 0;
+    while ((1u << abits) < depth)
+        abits++;
+    m.abits = abits == 0 ? 1 : abits;
+    m.init.assign(depth, Bits(width, 0));
+    for (size_t i = 0; i < init.size() && i < depth; i++)
+        m.init[i] = init[i];
+    memories_.push_back(std::move(m));
+    return id;
+}
+
+CellId
+Netlist::addMemRead(MemId mem, CellId addr, const std::string &name)
+{
+    const Memory &m = memories_[mem];
+    CellId id = newCell(CellKind::MemRead, m.width, name);
+    cells_[id].inputs = {addr};
+    cells_[id].mem = mem;
+    memories_[mem].readPorts.push_back(id);
+    return id;
+}
+
+CellId
+Netlist::addMemWrite(MemId mem, CellId addr, CellId data, CellId en)
+{
+    const Memory &m = memories_[mem];
+    R2U_ASSERT(cells_[data].width == m.width,
+               "memwr data width %u != mem width %u", cells_[data].width,
+               m.width);
+    R2U_ASSERT(cells_[en].width == 1, "memwr enable must be 1 bit");
+    CellId id = newCell(CellKind::MemWrite, 0, "");
+    cells_[id].inputs = {addr, data, en};
+    cells_[id].mem = mem;
+    memories_[mem].writePorts.push_back(id);
+    return id;
+}
+
+void
+Netlist::addOutput(const std::string &name, CellId wire)
+{
+    outputs_[name] = wire;
+}
+
+CellId
+Netlist::findByName(const std::string &name) const
+{
+    auto it = by_name_.find(name);
+    return it == by_name_.end() ? kNoCell : it->second;
+}
+
+MemId
+Netlist::findMemoryByName(const std::string &name) const
+{
+    for (const Memory &m : memories_)
+        if (m.name == name)
+            return m.id;
+    return -1;
+}
+
+std::vector<CellId>
+Netlist::findBySuffix(const std::string &suffix) const
+{
+    std::vector<CellId> out;
+    for (const Cell &c : cells_) {
+        if (c.name.size() >= suffix.size() &&
+            c.name.compare(c.name.size() - suffix.size(), suffix.size(),
+                           suffix) == 0) {
+            out.push_back(c.id);
+        }
+    }
+    return out;
+}
+
+std::vector<CellId>
+Netlist::combDeps(CellId id) const
+{
+    const Cell &c = cells_[id];
+    if (!isCombinational(c.kind))
+        return {};
+    return c.inputs;
+}
+
+const std::vector<CellId> &
+Netlist::topoOrder() const
+{
+    if (topo_valid_)
+        return topo_;
+    topo_.clear();
+    // 0 = unvisited, 1 = on stack, 2 = done
+    std::vector<uint8_t> mark(cells_.size(), 0);
+    std::vector<std::pair<CellId, size_t>> stack;
+    for (size_t root = 0; root < cells_.size(); root++) {
+        if (mark[root])
+            continue;
+        stack.emplace_back(static_cast<CellId>(root), 0);
+        mark[root] = 1;
+        while (!stack.empty()) {
+            auto &[id, next] = stack.back();
+            auto deps = combDeps(id);
+            if (next < deps.size()) {
+                CellId dep = deps[next++];
+                if (mark[dep] == 1) {
+                    fatal("combinational cycle through cell '%s' (%s)",
+                          cells_[dep].name.c_str(),
+                          cellKindName(cells_[dep].kind));
+                }
+                if (mark[dep] == 0) {
+                    mark[dep] = 1;
+                    stack.emplace_back(dep, 0);
+                }
+            } else {
+                mark[id] = 2;
+                if (isCombinational(cells_[id].kind))
+                    topo_.push_back(id);
+                stack.pop_back();
+            }
+        }
+    }
+    topo_valid_ = true;
+    return topo_;
+}
+
+NetlistStats
+Netlist::stats() const
+{
+    NetlistStats s;
+    s.cells = cells_.size();
+    for (const Cell &c : cells_) {
+        if (isCombinational(c.kind))
+            s.combCells++;
+        if (c.kind == CellKind::Dff) {
+            s.registers++;
+            s.flopBits += c.width;
+        }
+        if (c.kind == CellKind::Input)
+            s.inputs++;
+    }
+    s.memories = memories_.size();
+    for (const Memory &m : memories_)
+        s.memBits += static_cast<size_t>(m.depth) * m.width;
+    return s;
+}
+
+void
+Netlist::validate() const
+{
+    for (const Cell &c : cells_) {
+        for (CellId in : c.inputs) {
+            R2U_ASSERT(in >= 0 && in < static_cast<CellId>(cells_.size()),
+                       "cell '%s' has dangling input", c.name.c_str());
+        }
+        if (c.kind == CellKind::MemRead || c.kind == CellKind::MemWrite) {
+            R2U_ASSERT(c.mem >= 0 &&
+                           c.mem < static_cast<MemId>(memories_.size()),
+                       "mem port with bad memory id");
+        }
+    }
+    topoOrder(); // fatal()s on combinational cycles
+}
+
+} // namespace r2u::nl

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Word-level synchronous netlist IR — the RTLIL stand-in.
+ *
+ * The Verilog elaborator lowers designs into this IR; the simulator,
+ * the DFG extractor, and the BMC bit-blaster all consume it. The IR is
+ * a flat single-clock netlist: every cell has at most one output wire
+ * (identified with the cell id), registers are $dff cells, and memories
+ * are addressable arrays with combinational read cells and synchronous
+ * write cells, mirroring Yosys's view of a design after `memory` passes.
+ *
+ * Clocking is implicit: all Dff and MemWrite cells update together on
+ * the (single) clock edge. Resets are synchronous and modeled as data;
+ * the power-on value of each state element is an explicit attribute.
+ */
+
+#ifndef R2U_NETLIST_NETLIST_HH
+#define R2U_NETLIST_NETLIST_HH
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bits.hh"
+
+namespace r2u::nl
+{
+
+/** Cell/wire identifier; the output wire of cell i has id i. */
+using CellId = int;
+using MemId = int;
+
+constexpr CellId kNoCell = -1;
+
+enum class CellKind {
+    Const,   ///< no inputs; value attribute
+    Input,   ///< top-level input port
+    Add,     ///< A + B (same width)
+    Sub,     ///< A - B
+    And,     ///< A & B
+    Or,      ///< A | B
+    Xor,     ///< A ^ B
+    Not,     ///< ~A
+    Mux,     ///< S ? A : B (S is 1 bit)
+    Eq,      ///< A == B (1-bit result)
+    Ult,     ///< unsigned A < B (1-bit result)
+    Slt,     ///< signed A < B (1-bit result)
+    RedOr,   ///< |A (1-bit result)
+    RedAnd,  ///< &A (1-bit result)
+    Shl,     ///< A << B
+    Lshr,    ///< A >> B (logical)
+    Ashr,    ///< A >>> B (arithmetic)
+    Concat,  ///< {inputs[0], inputs[1], ...} MSB-first operand order
+    Slice,   ///< A[lo +: width]
+    Zext,    ///< zero-extend A to width
+    Sext,    ///< sign-extend A to width
+    Dff,     ///< register: inputs {D, EN}; Q' = EN ? D : Q
+    MemRead, ///< combinational read: inputs {ADDR}; attr mem
+    MemWrite ///< synchronous write: inputs {ADDR, DATA, EN}; no output
+};
+
+const char *cellKindName(CellKind kind);
+
+/** True for kinds whose output is a function of same-cycle inputs. */
+bool isCombinational(CellKind kind);
+
+struct Cell
+{
+    CellId id = kNoCell;
+    CellKind kind = CellKind::Const;
+    std::string name;  ///< hierarchical name; may be empty for temps
+    unsigned width = 0; ///< output width (0 for MemWrite)
+    std::vector<CellId> inputs;
+    Bits value;        ///< Const: the constant value; Dff: power-on value
+    unsigned lo = 0;   ///< Slice: start bit
+    MemId mem = -1;    ///< MemRead/MemWrite: target memory
+};
+
+struct Memory
+{
+    MemId id = -1;
+    std::string name;
+    unsigned depth = 0; ///< number of words
+    unsigned width = 0; ///< bits per word
+    unsigned abits = 0; ///< address bits used by ports
+    std::vector<Bits> init; ///< power-on contents (size == depth)
+    std::vector<CellId> writePorts; ///< MemWrite cells, priority order
+    std::vector<CellId> readPorts;  ///< MemRead cells (informational)
+};
+
+/** Aggregate size numbers, in the spirit of the paper's §5.1 table. */
+struct NetlistStats
+{
+    size_t cells = 0;        ///< total cells (incl. const/input)
+    size_t combCells = 0;    ///< combinational cells
+    size_t registers = 0;    ///< Dff cells
+    size_t memories = 0;     ///< memory arrays
+    size_t flopBits = 0;     ///< sum of Dff widths
+    size_t memBits = 0;      ///< sum of depth*width over memories
+    size_t inputs = 0;
+};
+
+class Netlist
+{
+  public:
+    /** @name Construction (used by the elaborator and by tests) */
+    /// @{
+    CellId addConst(const Bits &value, const std::string &name = "");
+    CellId addInput(const std::string &name, unsigned width);
+    CellId addUnary(CellKind kind, CellId a, const std::string &name = "");
+    CellId addBinary(CellKind kind, CellId a, CellId b,
+                     const std::string &name = "");
+    CellId addMux(CellId sel, CellId a, CellId b,
+                  const std::string &name = "");
+    CellId addConcat(const std::vector<CellId> &msb_first,
+                     const std::string &name = "");
+    CellId addSlice(CellId a, unsigned lo, unsigned width,
+                    const std::string &name = "");
+    CellId addExt(CellKind kind, CellId a, unsigned width,
+                  const std::string &name = "");
+    CellId addDff(const std::string &name, CellId d, CellId en,
+                  const Bits &init);
+    MemId addMemory(const std::string &name, unsigned depth,
+                    unsigned width, const std::vector<Bits> &init = {});
+    CellId addMemRead(MemId mem, CellId addr, const std::string &name = "");
+    CellId addMemWrite(MemId mem, CellId addr, CellId data, CellId en);
+    /// @}
+
+    /** Register a named output port pointing at a wire. */
+    void addOutput(const std::string &name, CellId wire);
+
+    /** @name Access */
+    /// @{
+    const Cell &cell(CellId id) const { return cells_[id]; }
+    Cell &cell(CellId id) { return cells_[id]; }
+    size_t numCells() const { return cells_.size(); }
+    const Memory &memory(MemId id) const { return memories_[id]; }
+    size_t numMemories() const { return memories_.size(); }
+    const std::vector<CellId> &inputs() const { return input_cells_; }
+    const std::vector<CellId> &dffs() const { return dff_cells_; }
+    const std::unordered_map<std::string, CellId> &outputs() const
+    {
+        return outputs_;
+    }
+
+    /** Find a cell by exact hierarchical name; kNoCell if absent. */
+    CellId findByName(const std::string &name) const;
+
+    /** Find a memory by exact hierarchical name; -1 if absent. */
+    MemId findMemoryByName(const std::string &name) const;
+
+    /** All cells whose name ends with the given suffix. */
+    std::vector<CellId> findBySuffix(const std::string &suffix) const;
+    /// @}
+
+    /**
+     * Combinational evaluation order. Dff/Input/Const/MemRead outputs
+     * are sources w.r.t. sequential state; MemRead still orders after
+     * its address input. fatal()s on a combinational cycle.
+     */
+    const std::vector<CellId> &topoOrder() const;
+
+    /** Comb-dependency inputs of a cell (excludes MemWrite data path). */
+    std::vector<CellId> combDeps(CellId id) const;
+
+    NetlistStats stats() const;
+
+    /** Validate widths and wiring; panics on inconsistency. */
+    void validate() const;
+
+  private:
+    CellId newCell(CellKind kind, unsigned width, const std::string &name);
+    void invalidateTopo() { topo_valid_ = false; }
+
+    std::vector<Cell> cells_;
+    std::vector<Memory> memories_;
+    std::vector<CellId> input_cells_;
+    std::vector<CellId> dff_cells_;
+    std::unordered_map<std::string, CellId> outputs_;
+    std::unordered_map<std::string, CellId> by_name_;
+
+    mutable std::vector<CellId> topo_;
+    mutable bool topo_valid_ = false;
+};
+
+} // namespace r2u::nl
+
+#endif // R2U_NETLIST_NETLIST_HH

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * User-supplied design metadata for rtl2uspec (paper §4.2.1, §4.3.4).
+ *
+ * As in the paper, the designer identifies: the instruction fetch
+ * register (IFR), the per-stage PC registers (PCR array, PCR[0] in the
+ * IFR's stage), the instruction-memory PC (IM_PC), the binary
+ * encodings of the instruction types to model, and — for each remote
+ * resource — the request-response interface signals (transaction
+ * type/address/data/core id, §4.3.4).
+ */
+
+#ifndef R2U_RTL2USPEC_METADATA_HH
+#define R2U_RTL2USPEC_METADATA_HH
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace r2u::rtl2uspec
+{
+
+/** Per-core metadata; one entry per core, index = core id. */
+struct CoreMeta
+{
+    std::string prefix; ///< hierarchical prefix, e.g. "core_0."
+    std::string ifr;    ///< instruction fetch register
+    std::vector<std::string> pcrs; ///< PCR[0], PCR[1], ...
+    std::string imPc;   ///< register feeding the imem address
+    std::string reqEn;  ///< data-memory request enable output
+    std::string reqWen; ///< data-memory write enable output
+};
+
+/** One instruction type to include in the synthesized model. */
+struct InstrType
+{
+    std::string name; ///< "lw", "sw"
+    uint32_t mask = 0, match = 0; ///< valid iff (word & mask) == match
+    bool isRead = false;
+    bool isWrite = false;
+};
+
+/** Request-response interface of a remote resource (§4.3.4). */
+struct RemoteInterface
+{
+    std::string memName;  ///< the remote array, e.g. "dmem.mem"
+    std::string reqValid; ///< boundary signals at the resource
+    std::string reqWen;
+    std::string reqAddr;
+    std::string reqData;
+    std::string reqCore;  ///< core-id tag (§5.1 design modification)
+    std::string grant;    ///< per-core grant bus (bit c = core c)
+    std::string respValid;
+    std::string respCore;
+    std::string respData;
+    /** Request-pipeline registers inside the resource, in order. */
+    std::vector<std::string> pipelineRegs;
+    /** Roles of specific pipeline registers (for Req-Rec/Req-Proc). */
+    std::string pipeValid;
+    std::string pipeWen;
+    std::string pipeCore;
+};
+
+struct DesignMetadata
+{
+    std::vector<CoreMeta> cores;
+    std::vector<InstrType> instrs;
+    RemoteInterface remote;
+
+    /** State elements to exclude as arbitration bookkeeping. */
+    std::set<std::string> exclude;
+
+    /** BMC unrolling depth for HBI-hypothesis evaluation. */
+    unsigned bound = 14;
+    /** Progress SVAs assume the instruction issues by this frame. */
+    unsigned issueByFrame = 5;
+    /** Solver conflict budget per SVA (<0: unlimited). */
+    int64_t conflictBudget = -1;
+
+    /**
+     * §6.2 optimization: evaluate one relaxed (instruction-agnostic)
+     * ordering SVA per pipeline stage instead of one per instruction
+     * pair. Disable for the ablation bench.
+     */
+    bool relaxPairs = true;
+
+    /** §4.4 node merging into mgnode_k rows. Disable for ablation. */
+    bool mergeNodes = true;
+};
+
+} // namespace r2u::rtl2uspec
+
+#endif // R2U_RTL2USPEC_METADATA_HH

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Text format for rtl2uspec design metadata — the stand-alone
+ * equivalent of the artifact's design.h. A metadata file is a list of
+ * directives ('#' comments allowed):
+ *
+ *   bound 14
+ *   issue_by 5
+ *   exclude arbiter.rr_ptr
+ *   core prefix=core_0. ifr=core_0.inst_DX im_pc=core_0.PC_IF \
+ *        pcrs=core_0.PC_DX,core_0.PC_WB \
+ *        req_en=core_0.dmem_en req_wen=core_0.dmem_wen
+ *   instr name=sw mask=0x707f match=0x2023 kind=write
+ *   instr name=lw mask=0x707f match=0x2003 kind=read
+ *   remote mem=dmem.mem grant=grant pipe_valid=dmem.req_valid_q \
+ *          pipe_wen=dmem.req_wen_q pipe_core=dmem.req_core_q \
+ *          pipe_regs=dmem.req_valid_q,dmem.req_wen_q,...
+ *
+ * (Backslash continuations are not needed — each directive is one
+ * line; the example is wrapped for readability.)
+ */
+
+#ifndef R2U_RTL2USPEC_METADATA_IO_HH
+#define R2U_RTL2USPEC_METADATA_IO_HH
+
+#include <string>
+
+#include "rtl2uspec/metadata.hh"
+
+namespace r2u::rtl2uspec
+{
+
+/** Parse metadata text; fatal() on malformed directives. */
+DesignMetadata parseMetadata(const std::string &text);
+
+/** Read and parse a metadata file. */
+DesignMetadata loadMetadata(const std::string &path);
+
+/** Render metadata back to the text format (round-trips). */
+std::string printMetadata(const DesignMetadata &metadata);
+
+} // namespace r2u::rtl2uspec
+
+#endif // R2U_RTL2USPEC_METADATA_IO_HH

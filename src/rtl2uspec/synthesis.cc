@@ -1,0 +1,1217 @@
+#include "rtl2uspec/synthesis.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/strutil.hh"
+#include "common/timer.hh"
+#include "sva/monitors.hh"
+
+namespace r2u::rtl2uspec
+{
+
+using bmc::CheckResult;
+using bmc::PropCtx;
+using bmc::Verdict;
+using dfg::NodeId;
+using sat::Lit;
+using sva::EventVec;
+
+namespace
+{
+
+enum class ElemKind { LocalReg, LocalArray, RemoteReg, RemoteArray };
+
+struct Elem
+{
+    NodeId node = dfg::kNoNode;
+    ElemKind kind = ElemKind::LocalReg;
+    int stage = -1;
+    std::string name;
+};
+
+class Synthesizer
+{
+  public:
+    Synthesizer(const vlog::ElabResult &design,
+                const DesignMetadata &md)
+        : design_(design), md_(md), nl_(*design.netlist)
+    {
+        R2U_ASSERT(!md.cores.empty() && !md.instrs.empty(),
+                   "metadata needs cores and instruction types");
+    }
+
+    SynthesisResult
+    run()
+    {
+        Timer total;
+        Timer phase;
+        buildDfgAndStages();
+        classifyElements();
+        out_.staticSeconds = phase.seconds();
+
+        phase.reset();
+        intraMembership();
+        progressChecks();
+        attributionChecks();
+        interInstruction();
+        out_.proofSeconds = phase.seconds();
+
+        phase.reset();
+        buildInstrDfgs();
+        mergeAndEmit();
+        out_.postSeconds = phase.seconds();
+        out_.totalSeconds = total.seconds();
+        tallyStats();
+        return std::move(out_);
+    }
+
+  private:
+    // ------------------------------------------------------------------
+    // Static analysis (§4.1, §4.2.2).
+    // ------------------------------------------------------------------
+    void
+    buildDfgAndStages()
+    {
+        dfg_ = dfg::FullDesignDfg::build(nl_);
+        out_.fullDfgDot = dfg_.toDot();
+
+        const CoreMeta &core = md_.cores[0];
+        NodeId im_pc = nodeOfSignal(core.imPc);
+        ifr_node_ = nodeOfSignal(core.ifr);
+        if (im_pc == dfg::kNoNode || ifr_node_ == dfg::kNoNode)
+            fatal("IM_PC or IFR metadata does not name a state element");
+        labels_ = dfg::labelStages(dfg_, im_pc, ifr_node_);
+        inform("rtl2uspec: %zu state elements, max stage %d",
+               dfg_.numNodes(), labels_.maxStage);
+    }
+
+    NodeId
+    nodeOfSignal(const std::string &name) const
+    {
+        nl::CellId cell = nl_.findByName(name);
+        if (cell != nl::kNoCell) {
+            NodeId n = dfg_.nodeOfReg(cell);
+            if (n != dfg::kNoNode)
+                return n;
+        }
+        nl::MemId mem = nl_.findMemoryByName(name);
+        if (mem >= 0)
+            return dfg_.nodeOfMem(mem);
+        return dfg::kNoNode;
+    }
+
+    bool
+    isPcOrExcluded(const std::string &name) const
+    {
+        for (const CoreMeta &core : md_.cores) {
+            if (name == core.imPc || name == core.ifr)
+                return true;
+            for (const auto &pcr : core.pcrs)
+                if (name == pcr)
+                    return true;
+        }
+        return md_.exclude.count(name) > 0;
+    }
+
+    void
+    classifyElements()
+    {
+        const CoreMeta &core0 = md_.cores[0];
+        for (size_t n = 0; n < dfg_.numNodes(); n++) {
+            NodeId id = static_cast<NodeId>(n);
+            if (!labels_.included(id))
+                continue;
+            const dfg::Node &node = dfg_.node(id);
+            if (id == ifr_node_ || isPcOrExcluded(node.name))
+                continue;
+
+            Elem e;
+            e.node = id;
+            e.stage = labels_.stage[id];
+            e.name = node.name;
+
+            if (node.name == md_.remote.memName) {
+                e.kind = ElemKind::RemoteArray;
+            } else if (std::find(md_.remote.pipelineRegs.begin(),
+                                 md_.remote.pipelineRegs.end(),
+                                 node.name) !=
+                       md_.remote.pipelineRegs.end()) {
+                e.kind = ElemKind::RemoteReg;
+            } else if (startsWith(node.name, core0.prefix)) {
+                e.kind = node.isMem ? ElemKind::LocalArray
+                                    : ElemKind::LocalReg;
+            } else {
+                // Another core's replica, or unclassified global state.
+                bool other_core = false;
+                for (size_t c = 1; c < md_.cores.size(); c++)
+                    other_core |=
+                        startsWith(node.name, md_.cores[c].prefix);
+                if (!other_core)
+                    warn("rtl2uspec: skipping unclassified global "
+                         "state element '%s'", node.name.c_str());
+                continue;
+            }
+            elems_.push_back(std::move(e));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // SVA plumbing.
+    // ------------------------------------------------------------------
+    bmc::Unroller::Options
+    unrollOptions() const
+    {
+        bmc::Unroller::Options opts;
+        for (size_t m = 0; m < nl_.numMemories(); m++)
+            opts.symbolicMems.insert(static_cast<nl::MemId>(m));
+        return opts;
+    }
+
+    /** Common per-SVA setup; returns the record index. */
+    size_t
+    startSva(const std::string &name, const std::string &category,
+             const std::string &text, unsigned hypotheses, bool global)
+    {
+        SvaRecord rec;
+        rec.name = name;
+        rec.category = category;
+        rec.text = text;
+        rec.hypotheses = hypotheses;
+        rec.global = global;
+        out_.svas.push_back(std::move(rec));
+        return out_.svas.size() - 1;
+    }
+
+    Verdict
+    runSva(size_t idx, const bmc::PropertyFn &prop)
+    {
+        CheckResult res = bmc::checkProperty(
+            nl_, design_.signalMap, unrollOptions(), md_.bound, prop,
+            md_.conflictBudget);
+        out_.svas[idx].verdict = res.verdict;
+        out_.svas[idx].seconds = res.seconds;
+        if (res.verdict == Verdict::Refuted)
+            out_.svas[idx].trace = res.trace.toString();
+        debugLog("SVA %-28s %-12s %.3fs",
+                 out_.svas[idx].name.c_str(),
+                 bmc::verdictName(res.verdict), res.seconds);
+        return res.verdict;
+    }
+
+    /**
+     * Instantiate one symbolic instruction instance: rigids pc<suffix>
+     * and i<suffix> with P0 (one occupancy interval), P2 (IFR binding)
+     * and optional P3 (encoding). Returns the stage-0 occupancy.
+     */
+    EventVec
+    bindInstr(PropCtx &ctx, const std::string &suffix,
+              const InstrType *type)
+    {
+        const CoreMeta &core = md_.cores[0];
+        unsigned pcw = static_cast<unsigned>(
+            ctx.at(0, core.pcrs[0]).size());
+        const sat::Word &pc = ctx.rigid("pc" + suffix, pcw);
+        const sat::Word &enc = ctx.rigid(
+            "i" + suffix,
+            static_cast<unsigned>(ctx.at(0, core.ifr).size()));
+        EventVec occ0 = sva::occupancy(ctx, core.pcrs[0], pc);
+        sva::assumeOneInterval(ctx, occ0);
+        sva::assumeBinding(ctx, occ0, core.ifr, enc);
+        if (type)
+            sva::assumeEncoding(ctx, enc, type->mask, type->match);
+        return occ0;
+    }
+
+    EventVec
+    stageOcc(PropCtx &ctx, const std::string &suffix, unsigned stage)
+    {
+        const CoreMeta &core = md_.cores[0];
+        R2U_ASSERT(stage < core.pcrs.size(), "stage %u has no PCR",
+                   stage);
+        unsigned pcw = static_cast<unsigned>(
+            ctx.at(0, core.pcrs[0]).size());
+        return sva::occupancy(ctx, core.pcrs[stage],
+                              ctx.rigid("pc" + suffix, pcw));
+    }
+
+    /** Per-frame "request granted and issued by core 0". */
+    EventVec
+    grantEvents(PropCtx &ctx, bool write_only)
+    {
+        const CoreMeta &core = md_.cores[0];
+        EventVec ev(ctx.bound());
+        for (unsigned f = 0; f < ctx.bound(); f++) {
+            Lit g = ctx.at(f, md_.remote.grant)[0];
+            Lit en = ctx.at(f, write_only ? core.reqWen : core.reqEn)[0];
+            ev[f] = ctx.cnf().mkAnd(g, en);
+        }
+        return ev;
+    }
+
+    /** Request-send events attributed to instruction <suffix>. */
+    EventVec
+    sentEvents(PropCtx &ctx, const std::string &suffix, bool write_only)
+    {
+        EventVec occ0 = stageOcc(ctx, suffix, 0);
+        return sva::andEvents(ctx, occ0, grantEvents(ctx, write_only));
+    }
+
+    /** Memory-commit events: the cycle after a write request is sent. */
+    EventVec
+    shiftEvents(PropCtx &ctx, const EventVec &ev)
+    {
+        EventVec out(ev.size(), ctx.cnf().falseLit());
+        for (size_t f = 0; f + 1 < ev.size(); f++)
+            out[f + 1] = ev[f];
+        return out;
+    }
+
+    /** Write-port enables of an array, per frame. */
+    EventVec
+    arrayWriteEvents(PropCtx &ctx, nl::MemId mem)
+    {
+        EventVec ev(ctx.bound(), ctx.cnf().falseLit());
+        for (nl::CellId port : nl_.memory(mem).writePorts) {
+            nl::CellId en = nl_.cell(port).inputs[2];
+            for (unsigned f = 0; f < ctx.bound(); f++) {
+                ev[f] = ctx.cnf().mkOr(
+                    ev[f], ctx.unroller().wire(f, en)[0]);
+            }
+        }
+        return ev;
+    }
+
+    /** Regfile-style local array write events attributed to <suffix>. */
+    EventVec
+    localArrayWriteEvents(PropCtx &ctx, const Elem &e,
+                          const std::string &suffix)
+    {
+        unsigned attrib = attribStage(e);
+        EventVec occ = stageOcc(ctx, suffix, attrib);
+        return sva::andEvents(ctx, occ,
+                              arrayWriteEvents(ctx,
+                                               dfg_.node(e.node).mem));
+    }
+
+    unsigned
+    attribStage(const Elem &e) const
+    {
+        // An array's write-port inputs live one stage before the
+        // array itself; clamp to the available PCRs.
+        int s = e.stage - 1;
+        int max_pcr =
+            static_cast<int>(md_.cores[0].pcrs.size()) - 1;
+        return static_cast<unsigned>(std::clamp(s, 0, max_pcr));
+    }
+
+    void
+    watchDefaults(PropCtx &ctx)
+    {
+        const CoreMeta &core = md_.cores[0];
+        ctx.watch(core.ifr);
+        for (const auto &p : core.pcrs)
+            ctx.watch(p);
+        ctx.watch(core.reqEn);
+        ctx.watch(core.reqWen);
+        ctx.watch(md_.remote.grant);
+    }
+
+    // ------------------------------------------------------------------
+    // §4.2: intra-instruction membership (Fig. 4a template A0).
+    // ------------------------------------------------------------------
+    void
+    intraMembership()
+    {
+        for (const InstrType &op : md_.instrs) {
+            std::set<NodeId> &updated = updated_[op.name];
+            updated.insert(ifr_node_); // primary root, by definition
+
+            // Remote pipeline-register group: one SVA for the group.
+            std::vector<const Elem *> remote_regs;
+            for (const Elem &e : elems_)
+                if (e.kind == ElemKind::RemoteReg)
+                    remote_regs.push_back(&e);
+            if (!remote_regs.empty()) {
+                size_t idx = startSva(
+                    op.name + "_updates_req_group", "intra",
+                    strfmt("A0: assert (`PCR_0 == pc0 |-> "
+                           "!(grant[0] && req_en)); // op=%s, "
+                           "s=<request interface group>",
+                           op.name.c_str()),
+                    static_cast<unsigned>(remote_regs.size()), true);
+                Verdict v = runSva(idx, [&](PropCtx &ctx) {
+                    ctx.pinInput("reset", 0);
+                    watchDefaults(ctx);
+                    EventVec occ0 = bindInstr(ctx, "0", &op);
+                    return sva::eventDuring(ctx, occ0,
+                                            grantEvents(ctx, false));
+                });
+                if (v == Verdict::Refuted) {
+                    for (const Elem *e : remote_regs)
+                        updated.insert(e->node);
+                }
+            }
+
+            for (const Elem &e : elems_) {
+                switch (e.kind) {
+                  case ElemKind::LocalReg: {
+                    if (e.stage >=
+                        static_cast<int>(md_.cores[0].pcrs.size())) {
+                        warn("no PCR for stage %d element '%s'; "
+                             "skipping", e.stage, e.name.c_str());
+                        continue;
+                    }
+                    size_t idx = startSva(
+                        op.name + "_updates_" + shortName(e.name),
+                        "intra",
+                        strfmt("A0: assert (`PCR_%d == pc0 |-> %s == "
+                               "$past(%s)); // op=%s",
+                               e.stage, e.name.c_str(), e.name.c_str(),
+                               op.name.c_str()),
+                        1, false);
+                    Verdict v = runSva(idx, [&](PropCtx &ctx) {
+                        ctx.pinInput("reset", 0);
+                        watchDefaults(ctx);
+                        ctx.watch(e.name);
+                        bindInstr(ctx, "0", &op);
+                        EventVec occ = stageOcc(
+                            ctx, "0", static_cast<unsigned>(e.stage));
+                        return sva::changeDuring(
+                            ctx, occ, dfg_.node(e.node).reg);
+                    });
+                    if (v == Verdict::Refuted)
+                        updated.insert(e.node);
+                    break;
+                  }
+                  case ElemKind::LocalArray: {
+                    size_t idx = startSva(
+                        op.name + "_updates_" + shortName(e.name),
+                        "intra",
+                        strfmt("A0: assert (`PCR_%u == pc0 |-> "
+                               "!%s_wen); // op=%s",
+                               attribStage(e), e.name.c_str(),
+                               op.name.c_str()),
+                        1, false);
+                    Verdict v = runSva(idx, [&](PropCtx &ctx) {
+                        ctx.pinInput("reset", 0);
+                        watchDefaults(ctx);
+                        bindInstr(ctx, "0", &op);
+                        EventVec wr =
+                            localArrayWriteEvents(ctx, e, "0");
+                        return sva::occurs(ctx, wr);
+                    });
+                    if (v == Verdict::Refuted)
+                        updated.insert(e.node);
+                    break;
+                  }
+                  case ElemKind::RemoteArray: {
+                    size_t idx = startSva(
+                        op.name + "_updates_" + shortName(e.name),
+                        "intra",
+                        strfmt("Req-Snd: assert (`PCR_0 == pc0 |-> "
+                               "!(grant[0] && req_wen)); // op=%s, "
+                               "s=%s",
+                               op.name.c_str(), e.name.c_str()),
+                        1, true);
+                    Verdict v = runSva(idx, [&](PropCtx &ctx) {
+                        ctx.pinInput("reset", 0);
+                        watchDefaults(ctx);
+                        bindInstr(ctx, "0", &op);
+                        return sva::occurs(
+                            ctx, sentEvents(ctx, "0", true));
+                    });
+                    if (v == Verdict::Refuted)
+                        updated.insert(e.node);
+                    break;
+                  }
+                  case ElemKind::RemoteReg:
+                    break; // handled as a group above
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // §4.2.4: progress SVAs (Fig. 4b template A1).
+    // ------------------------------------------------------------------
+    void
+    progressChecks()
+    {
+        for (const InstrType &op : md_.instrs) {
+            for (unsigned stage = 0;
+                 stage < md_.cores[0].pcrs.size(); stage++) {
+                size_t idx = startSva(
+                    op.name + strfmt("_progress_stage%u", stage),
+                    "intra",
+                    strfmt("A1: assert (first |-> s_eventually("
+                           "(`PCR_%u == pc0) ##1 !(`PCR_%u == pc0)));"
+                           " // op=%s",
+                           stage, stage, op.name.c_str()),
+                    1, false);
+                Verdict v = runSva(idx, [&](PropCtx &ctx) {
+                    ctx.pinInput("reset", 0);
+                    watchDefaults(ctx);
+                    EventVec occ0 = bindInstr(ctx, "0", &op);
+                    // Assume the instruction is fetched early enough.
+                    Lit early = ctx.cnf().falseLit();
+                    for (unsigned f = 0;
+                         f <= md_.issueByFrame && f < ctx.bound(); f++)
+                        early = ctx.cnf().mkOr(early, occ0[f]);
+                    ctx.assume(early);
+                    EventVec occ = stageOcc(ctx, "0", stage);
+                    return ~sva::occurs(ctx,
+                                        sva::exitEvents(ctx, occ));
+                });
+                if (v != Verdict::Proven) {
+                    warn("progress SVA for %s stage %u not proven",
+                         op.name.c_str(), stage);
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Interface attribution well-formedness: the §6.1 bug finder.
+    // ------------------------------------------------------------------
+    void
+    attributionChecks()
+    {
+        const CoreMeta &core = md_.cores[0];
+        struct Check
+        {
+            const char *name;
+            bool write;
+        };
+        for (const Check &chk :
+             {Check{"write_requests_are_valid_stores", true},
+              Check{"read_requests_are_valid_loads", false}}) {
+            size_t idx = startSva(
+                chk.name, "temporal",
+                strfmt("Req-Proc: assert ((grant[0] && %s) |-> "
+                       "<IFR decodes as a declared %s type>);",
+                       chk.write ? "req_wen" : "req_en && !req_wen",
+                       chk.write ? "store" : "load"),
+                1, true);
+            Verdict v = runSva(idx, [&](PropCtx &ctx) {
+                ctx.pinInput("reset", 0);
+                watchDefaults(ctx);
+                auto &cnf = ctx.cnf();
+                Lit bad = cnf.falseLit();
+                for (unsigned f = 0; f < ctx.bound(); f++) {
+                    Lit g = ctx.at(f, md_.remote.grant)[0];
+                    Lit wen = ctx.at(f, core.reqWen)[0];
+                    Lit en = ctx.at(f, core.reqEn)[0];
+                    Lit req = chk.write ? cnf.mkAnd(g, wen)
+                                        : cnf.mkAnd(g,
+                                                    cnf.mkAnd(en, ~wen));
+                    const sat::Word &ifr = ctx.at(f, core.ifr);
+                    Lit matches = cnf.falseLit();
+                    for (const InstrType &op : md_.instrs) {
+                        if ((chk.write && !op.isWrite) ||
+                            (!chk.write && !op.isRead))
+                            continue;
+                        Lit m = cnf.trueLit();
+                        for (size_t b = 0; b < ifr.size() && b < 32;
+                             b++) {
+                            if ((op.mask >> b) & 1) {
+                                bool bit = (op.match >> b) & 1;
+                                m = cnf.mkAnd(m,
+                                              bit ? ifr[b] : ~ifr[b]);
+                            }
+                        }
+                        matches = cnf.mkOr(matches, m);
+                    }
+                    bad = cnf.mkOr(bad, cnf.mkAnd(req, ~matches));
+                }
+                return bad;
+            });
+            if (v == Verdict::Refuted) {
+                out_.bugs.push_back(strfmt(
+                    "DESIGN BUG (paper §6.1 class): %s refuted — an "
+                    "instruction that does not decode to a declared "
+                    "%s type issues a memory %s request. "
+                    "Counterexample:\n%s",
+                    chk.name, chk.write ? "store" : "load",
+                    chk.write ? "write" : "read",
+                    out_.svas[idx].trace.c_str()));
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // §4.3: inter-instruction HBIs.
+    // ------------------------------------------------------------------
+
+    /**
+     * Run an ordering SVA: assume two instruction instances in
+     * program order (fetch order), assert eventsOf("0") strictly
+     * before eventsOf("1"). Returns the verdict.
+     */
+    Verdict
+    orderSva(size_t idx, const InstrType *op0, const InstrType *op1,
+             const std::function<EventVec(PropCtx &,
+                                          const std::string &)> &events)
+    {
+        return runSva(idx, [&](PropCtx &ctx) {
+            ctx.pinInput("reset", 0);
+            watchDefaults(ctx);
+            EventVec occ_a = bindInstr(ctx, "0", op0);
+            EventVec occ_b = bindInstr(ctx, "1", op1);
+            sva::assumeStrictlyBefore(ctx, occ_a, occ_b);
+            EventVec ev_a = events(ctx, "0");
+            EventVec ev_b = events(ctx, "1");
+            ctx.assume(sva::occurs(ctx, ev_a));
+            ctx.assume(sva::occurs(ctx, ev_b));
+            return sva::notStrictlyBefore(ctx, ev_a, ev_b);
+        });
+    }
+
+    void
+    interInstruction()
+    {
+        const CoreMeta &core = md_.cores[0];
+
+        // --- spatial/temporal for same-stage local registers: one
+        // relaxed SVA per pipeline stage (§4.3.3 optimization). ---
+        for (unsigned stage = 0; stage < core.pcrs.size(); stage++) {
+            unsigned hyp = stageHypotheses(stage);
+            if (!md_.relaxPairs) {
+                stage_ordered_.push_back(relaxFallbackStage(stage));
+                continue;
+            }
+            size_t idx = startSva(
+                strfmt("po_order_stage%u", stage),
+                stage == 0 ? "spatial" : "temporal",
+                strfmt("assert (po(pc0, pc1) |-> first(`PCR_%u == "
+                       "pc0) before first(`PCR_%u == pc1)); // all "
+                       "instruction pairs (relaxed)",
+                       stage, stage),
+                hyp, false);
+            Verdict v = orderSva(
+                idx, nullptr, nullptr,
+                [&](PropCtx &ctx, const std::string &s) {
+                    return stageOcc(ctx, s, stage);
+                });
+            stage_ordered_.push_back(v == Verdict::Proven);
+            if (v != Verdict::Proven)
+                relaxFallbackStage(stage);
+        }
+
+        // --- spatial on the local array (regfile): reader pairs. ---
+        const Elem *regfile = findElem(ElemKind::LocalArray);
+        if (regfile) {
+            for (const InstrType &op0 : md_.instrs) {
+                for (const InstrType &op1 : md_.instrs) {
+                    if (!updated_[op0.name].count(regfile->node) ||
+                        !updated_[op1.name].count(regfile->node))
+                        continue;
+                    if (&op0 != &op1)
+                        continue; // one representative per element
+                    size_t idx = startSva(
+                        strfmt("po_order_%s",
+                               shortName(regfile->name).c_str()),
+                        "spatial",
+                        strfmt("assert (po(pc0, pc1) |-> "
+                               "write(%s, pc0) before write(%s, "
+                               "pc1)); // %s/%s",
+                               regfile->name.c_str(),
+                               regfile->name.c_str(),
+                               op0.name.c_str(), op1.name.c_str()),
+                        1, false);
+                    Verdict v = orderSva(
+                        idx, &op0, &op1,
+                        [&](PropCtx &ctx, const std::string &s) {
+                            return localArrayWriteEvents(ctx, *regfile,
+                                                         s);
+                        });
+                    regfile_ordered_ = v == Verdict::Proven;
+                }
+            }
+        }
+
+        // --- remote resource: Req-Snd / Req-Rec / Req-Proc (§4.3.3).
+        reqSndRecProc();
+
+        // --- cross-array temporal HBIs (regfile <-> mem). ---
+        crossArrayTemporal();
+
+        // --- dataflow (§4.3.5): mem -> regfile. ---
+        dataflowSvas();
+    }
+
+    unsigned
+    stageHypotheses(unsigned stage) const
+    {
+        // Element-granular hypothesis count this one SVA covers:
+        // spatial (same element) and temporal (distinct elements in
+        // the stage) pairs across ordered instruction-type pairs.
+        unsigned members = 0;
+        for (const Elem &e : elems_)
+            if (e.kind == ElemKind::LocalReg &&
+                e.stage == static_cast<int>(stage))
+                members++;
+        if (stage == 0)
+            members++; // the IFR shares stage 0
+        unsigned op_pairs = static_cast<unsigned>(
+            md_.instrs.size() * md_.instrs.size());
+        return op_pairs * members * members;
+    }
+
+    bool
+    relaxFallbackStage(unsigned stage)
+    {
+        // §6.2: if the relaxed SVA fails (or relaxation is disabled),
+        // fall back to per-pair opcode-constrained SVAs.
+        bool all_proven = true;
+        for (const InstrType &op0 : md_.instrs) {
+            for (const InstrType &op1 : md_.instrs) {
+                size_t idx = startSva(
+                    strfmt("po_order_stage%u_%s_%s", stage,
+                           op0.name.c_str(), op1.name.c_str()),
+                    stage == 0 ? "spatial" : "temporal",
+                    strfmt("assert (po(pc0:%s, pc1:%s) |-> stage %u "
+                           "entries ordered);",
+                           op0.name.c_str(), op1.name.c_str(), stage),
+                    1, false);
+                Verdict v = orderSva(
+                    idx, &op0, &op1,
+                    [&](PropCtx &ctx, const std::string &s) {
+                        return stageOcc(ctx, s, stage);
+                    });
+                all_proven &= v == Verdict::Proven;
+            }
+        }
+        return all_proven;
+    }
+
+    void
+    reqSndRecProc()
+    {
+        // Req-Snd: same-core requests are sent in program order.
+        size_t idx = startSva(
+            "req_snd_order", "temporal",
+            "Req-Snd: assert (po(pc0, pc1) |-> send(pc0) before "
+            "send(pc1)); // requests to the shared memory",
+            static_cast<unsigned>(md_.instrs.size() *
+                                  md_.instrs.size()),
+            true);
+        Verdict snd = orderSva(
+            idx, nullptr, nullptr,
+            [&](PropCtx &ctx, const std::string &s) {
+                return sentEvents(ctx, s, false);
+            });
+
+        // Req-Rec: a sent request is received next cycle, tagged with
+        // the sender's core id.
+        idx = startSva(
+            "req_rec_in_order", "temporal",
+            "Req-Rec: assert ((grant[0] && req_en) |-> ##1 "
+            "(req_valid_q && req_core_q == 0));",
+            1, true);
+        Verdict rec = runSva(idx, [&](PropCtx &ctx) {
+            ctx.pinInput("reset", 0);
+            watchDefaults(ctx);
+            auto &cnf = ctx.cnf();
+            Lit bad = cnf.falseLit();
+            for (unsigned f = 0; f + 1 < ctx.bound(); f++) {
+                Lit g = ctx.at(f, md_.remote.grant)[0];
+                Lit en = ctx.at(f, md_.cores[0].reqEn)[0];
+                Lit valid = ctx.at(f + 1, md_.remote.pipeValid)[0];
+                const sat::Word &who =
+                    ctx.at(f + 1, md_.remote.pipeCore);
+                Lit tagged = cnf.mkAnd(
+                    valid,
+                    cnf.mkEqW(who,
+                              cnf.constWord(
+                                  static_cast<unsigned>(who.size()),
+                                  0)));
+                bad = cnf.mkOr(bad, cnf.mkAnd(cnf.mkAnd(g, en),
+                                              ~tagged));
+            }
+            return bad;
+        });
+
+        // Req-Proc: a received write request is processed (committed
+        // to the array) in the cycle it sits in the request register.
+        idx = startSva(
+            "req_proc_in_order", "temporal",
+            "Req-Proc: assert ((req_valid_q && req_wen_q) |-> "
+            "mem_write_fire);",
+            1, true);
+        nl::MemId mem = nl_.findMemoryByName(md_.remote.memName);
+        Verdict proc = runSva(idx, [&](PropCtx &ctx) {
+            ctx.pinInput("reset", 0);
+            watchDefaults(ctx);
+            auto &cnf = ctx.cnf();
+            EventVec commits = arrayWriteEvents(ctx, mem);
+            Lit bad = cnf.falseLit();
+            for (unsigned f = 0; f < ctx.bound(); f++) {
+                Lit valid = ctx.at(f, md_.remote.pipeValid)[0];
+                Lit wen = ctx.at(f, md_.remote.pipeWen)[0];
+                bad = cnf.mkOr(
+                    bad, cnf.mkAnd(cnf.mkAnd(valid, wen),
+                                   ~commits[f]));
+            }
+            return bad;
+        });
+
+        remote_chain_proven_ = snd == Verdict::Proven &&
+                               rec == Verdict::Proven &&
+                               proc == Verdict::Proven;
+    }
+
+    void
+    crossArrayTemporal()
+    {
+        const Elem *regfile = findElem(ElemKind::LocalArray);
+        const Elem *mem = findElem(ElemKind::RemoteArray);
+        if (!regfile || !mem)
+            return;
+        const InstrType *rd = nullptr, *wr = nullptr;
+        for (const InstrType &op : md_.instrs) {
+            if (op.isRead)
+                rd = &op;
+            if (op.isWrite)
+                wr = &op;
+        }
+        if (!rd || !wr)
+            return;
+
+        // read-then-write: regfile update before memory commit.
+        size_t idx = startSva(
+            "t_regfile_then_mem", "temporal",
+            strfmt("assert (po(pc0:%s, pc1:%s) |-> write(%s, pc0) "
+                   "before commit(%s, pc1));",
+                   rd->name.c_str(), wr->name.c_str(),
+                   regfile->name.c_str(), mem->name.c_str()),
+            1, true);
+        Verdict v1 = orderSva(
+            idx, rd, wr, [&](PropCtx &ctx, const std::string &s) {
+                if (s == "0")
+                    return localArrayWriteEvents(ctx, *regfile, s);
+                return shiftEvents(ctx, sentEvents(ctx, s, true));
+            });
+        t_read_write_ = v1 == Verdict::Proven;
+
+        // write-then-read: memory commit before regfile update.
+        idx = startSva(
+            "t_mem_then_regfile", "temporal",
+            strfmt("assert (po(pc0:%s, pc1:%s) |-> commit(%s, pc0) "
+                   "before write(%s, pc1));",
+                   wr->name.c_str(), rd->name.c_str(),
+                   mem->name.c_str(), regfile->name.c_str()),
+            1, true);
+        Verdict v2 = orderSva(
+            idx, wr, rd, [&](PropCtx &ctx, const std::string &s) {
+                if (s == "0")
+                    return shiftEvents(ctx, sentEvents(ctx, s, true));
+                return localArrayWriteEvents(ctx, *regfile, s);
+            });
+        t_write_read_ = v2 == Verdict::Proven;
+    }
+
+    void
+    dataflowSvas()
+    {
+        const Elem *regfile = findElem(ElemKind::LocalArray);
+        const Elem *mem = findElem(ElemKind::RemoteArray);
+        if (!regfile || !mem)
+            return;
+        const InstrType *rd = nullptr, *wr = nullptr;
+        for (const InstrType &op : md_.instrs) {
+            if (op.isRead)
+                rd = &op;
+            if (op.isWrite)
+                wr = &op;
+        }
+        if (!rd || !wr)
+            return;
+        // The writer's mem update reaches the reader's regfile update.
+        size_t idx = startSva(
+            "dataflow_mem_to_regfile", "dataflow",
+            strfmt("assert (po(pc0:%s, pc1:%s) |-> commit(%s, pc0) "
+                   "before write(%s, pc1)); // data handoff via %s",
+                   wr->name.c_str(), rd->name.c_str(),
+                   mem->name.c_str(), regfile->name.c_str(),
+                   mem->name.c_str()),
+            1, true);
+        Verdict v = orderSva(
+            idx, wr, rd, [&](PropCtx &ctx, const std::string &s) {
+                if (s == "0")
+                    return shiftEvents(ctx, sentEvents(ctx, s, true));
+                return localArrayWriteEvents(ctx, *regfile, s);
+            });
+        dataflow_proven_ = v == Verdict::Proven;
+    }
+
+    const Elem *
+    findElem(ElemKind kind) const
+    {
+        for (const Elem &e : elems_)
+            if (e.kind == kind)
+                return &e;
+        return nullptr;
+    }
+
+    // ------------------------------------------------------------------
+    // §4.2.3 / §4.4: per-instruction DFGs, merging, emission.
+    // ------------------------------------------------------------------
+    void
+    buildInstrDfgs()
+    {
+        for (const InstrType &op : md_.instrs) {
+            dfg::InstrDfg idfg = dfg::buildInstrDfg(
+                dfg_, op.name, ifr_node_, updated_[op.name]);
+            out_.instrDfgDots[op.name] =
+                dfg::instrDfgToDot(dfg_, idfg);
+            std::vector<std::string> names;
+            for (NodeId n : idfg.nodes)
+                names.push_back(dfg_.node(n).name);
+            out_.instrNodes[op.name] = std::move(names);
+            instr_dfgs_.push_back(std::move(idfg));
+        }
+    }
+
+    /** Strip the core prefix for row naming. */
+    std::string
+    shortName(const std::string &name) const
+    {
+        std::string s = name;
+        if (startsWith(s, md_.cores[0].prefix))
+            s = s.substr(md_.cores[0].prefix.size());
+        for (char &c : s)
+            if (c == '.' || c == '[' || c == ']')
+                c = '_';
+        return s;
+    }
+
+    /** Merged row (location) of a DFG node; -1 if not modeled. */
+    int
+    rowOf(NodeId n) const
+    {
+        auto it = row_of_.find(n);
+        return it == row_of_.end() ? -1 : it->second;
+    }
+
+    void
+    mergeAndEmit()
+    {
+        uspec::Model &m = out_.model;
+        int if_row = m.addStage("IF_");
+        row_of_[ifr_node_] = if_row;
+
+        // Merge local registers per stage (same stage => same PCR =>
+        // identical inter-instruction HBI participation, §4.4).
+        std::map<int, int> stage_row;
+        for (const Elem &e : elems_) {
+            if (e.kind != ElemKind::LocalReg)
+                continue;
+            bool member = false;
+            for (const auto &[op, set] : updated_)
+                member |= set.count(e.node) > 0;
+            if (!member)
+                continue;
+            if (!md_.mergeNodes) {
+                row_of_[e.node] = m.addStage(shortName(e.name));
+                per_element_rows_[e.stage].push_back(
+                    row_of_[e.node]);
+                continue;
+            }
+            auto it = stage_row.find(e.stage);
+            if (it == stage_row.end()) {
+                int row = m.addStage(
+                    strfmt("mgnode_%zu", stage_row.size()));
+                it = stage_row.emplace(e.stage, row).first;
+            }
+            row_of_[e.node] = it->second;
+        }
+        // The remote request group merges into a single access row.
+        // (The access point itself is kept merged even in the
+        // no-merging ablation: the check engine needs one access row.)
+        int acc_row = -1;
+        for (const Elem &e : elems_) {
+            if (e.kind != ElemKind::RemoteReg)
+                continue;
+            if (acc_row < 0)
+                acc_row = m.addStage("mem_if");
+            row_of_[e.node] = acc_row;
+        }
+        // Arrays stay distinct rows.
+        const Elem *regfile = findElem(ElemKind::LocalArray);
+        const Elem *mem = findElem(ElemKind::RemoteArray);
+        int regfile_row = -1, mem_row = -1;
+        if (regfile) {
+            regfile_row = m.addStage(shortName(regfile->name));
+            row_of_[regfile->node] = regfile_row;
+        }
+        if (mem) {
+            mem_row = m.addStage(shortName(mem->name));
+            row_of_[mem->node] = mem_row;
+        }
+        if (acc_row >= 0)
+            m.memAccessStage = m.stageNames[acc_row];
+        if (mem_row >= 0)
+            m.memStage = m.stageNames[mem_row];
+
+        // --- per-instruction path axioms ---
+        for (size_t i = 0; i < instr_dfgs_.size(); i++) {
+            const dfg::InstrDfg &idfg = instr_dfgs_[i];
+            const InstrType &op = md_.instrs[i];
+            std::set<std::pair<int, int>> edges;
+            for (const auto &[a, b] : idfg.edges) {
+                if (!idfg.nodes.count(a) || !idfg.nodes.count(b))
+                    continue; // member->member only
+                // Intra-instruction updates happen in stage order
+                // (single-execution-path); an edge from a later-stage
+                // element into an earlier one is another
+                // instruction's influence (e.g. bypass/redirect
+                // control), not part of this instruction's path.
+                if (labels_.stage[a] >= labels_.stage[b])
+                    continue;
+                int ra = rowOf(a), rb = rowOf(b);
+                if (ra < 0 || rb < 0 || ra == rb)
+                    continue;
+                edges.emplace(ra, rb);
+            }
+            uspec::Axiom ax;
+            ax.name = op.name + "_path";
+            ax.microops = {"i0"};
+            uspec::Pred p;
+            p.kind = op.isRead ? uspec::PredKind::IsAnyRead
+                               : uspec::PredKind::IsAnyWrite;
+            p.i0 = "i0";
+            ax.antecedents.push_back(p);
+            std::vector<uspec::EdgeSpec> list;
+            for (const auto &[ra, rb] : edges) {
+                uspec::EdgeSpec es;
+                es.src = {"i0", ra};
+                es.dst = {"i0", rb};
+                es.label = "path";
+                list.push_back(es);
+            }
+            ax.edgeAlternatives = {list};
+            if (!list.empty())
+                m.axioms.push_back(std::move(ax));
+            hbis_ += static_cast<int>(list.size());
+        }
+
+        // --- ordering axioms from proven SVAs ---
+        auto po_axiom = [&](const std::string &name, int row,
+                            std::vector<uspec::Pred> extra = {}) {
+            uspec::Axiom ax;
+            ax.name = name;
+            ax.microops = {"i0", "i1"};
+            uspec::Pred same{uspec::PredKind::SameCore, "i0", "i1", {}};
+            uspec::Pred po{uspec::PredKind::ProgramOrder, "i0", "i1",
+                           {}};
+            ax.antecedents = {same, po};
+            for (auto &p : extra)
+                ax.antecedents.push_back(p);
+            uspec::EdgeSpec es;
+            es.src = {"i0", row};
+            es.dst = {"i1", row};
+            es.label = name;
+            ax.edgeAlternatives = {{es}};
+            m.axioms.push_back(std::move(ax));
+        };
+
+        if (!stage_ordered_.empty() && stage_ordered_[0])
+            po_axiom("PO_fetch", if_row);
+        for (size_t s = 0; s < stage_ordered_.size(); s++) {
+            if (!stage_ordered_[s])
+                continue;
+            if (md_.mergeNodes) {
+                if (stage_row.count(static_cast<int>(s)))
+                    po_axiom(strfmt("PO_stage%zu", s),
+                             stage_row[static_cast<int>(s)]);
+            } else {
+                int k = 0;
+                for (int row : per_element_rows_[static_cast<int>(s)])
+                    po_axiom(strfmt("PO_stage%zu_%d", s, k++), row);
+            }
+        }
+        if (acc_row >= 0 && remote_chain_proven_) {
+            po_axiom("PO_mem_if", acc_row);
+            if (mem_row >= 0) {
+                uspec::Pred w0{uspec::PredKind::IsAnyWrite, "i0", "",
+                               {}};
+                uspec::Pred w1{uspec::PredKind::IsAnyWrite, "i1", "",
+                               {}};
+                po_axiom("PO_mem", mem_row, {w0, w1});
+            }
+        }
+        if (regfile_row >= 0 && regfile_ordered_) {
+            uspec::Pred r0{uspec::PredKind::IsAnyRead, "i0", "", {}};
+            uspec::Pred r1{uspec::PredKind::IsAnyRead, "i1", "", {}};
+            po_axiom("PO_regfile", regfile_row, {r0, r1});
+        }
+
+        // Unordered cross-core serialization at the shared resource
+        // (§4.3.1: structural HBIs without a reference order).
+        if (acc_row >= 0) {
+            uspec::Axiom ax;
+            ax.name = "Access_serialized";
+            ax.microops = {"i0", "i1"};
+            ax.antecedents = {
+                {uspec::PredKind::NotSame, "i0", "i1", {}},
+                {uspec::PredKind::NotSameCore, "i0", "i1", {}}};
+            uspec::EdgeSpec es;
+            es.src = {"i0", acc_row};
+            es.dst = {"i1", acc_row};
+            es.label = "serial";
+            uspec::EdgeSpec rev = es;
+            std::swap(rev.src, rev.dst);
+            ax.edgeAlternatives = {{es}, {rev}};
+            m.axioms.push_back(std::move(ax));
+            hbis_++;
+        }
+
+        // Cross-array temporal axioms (Fig. 3f "Axiom Temporal").
+        if (regfile_row >= 0 && mem_row >= 0) {
+            if (t_read_write_) {
+                uspec::Axiom ax;
+                ax.name = "T_regfile_mem";
+                ax.microops = {"i0", "i1"};
+                ax.antecedents = {
+                    {uspec::PredKind::IsAnyRead, "i0", "", {}},
+                    {uspec::PredKind::IsAnyWrite, "i1", "", {}},
+                    {uspec::PredKind::SameCore, "i0", "i1", {}},
+                    {uspec::PredKind::ProgramOrder, "i0", "i1", {}}};
+                uspec::EdgeSpec es;
+                es.src = {"i0", regfile_row};
+                es.dst = {"i1", mem_row};
+                es.label = "temporal";
+                ax.edgeAlternatives = {{es}};
+                m.axioms.push_back(std::move(ax));
+                hbis_++;
+            }
+            if (t_write_read_) {
+                uspec::Axiom ax;
+                ax.name = "T_mem_regfile";
+                ax.microops = {"i0", "i1"};
+                ax.antecedents = {
+                    {uspec::PredKind::IsAnyWrite, "i0", "", {}},
+                    {uspec::PredKind::IsAnyRead, "i1", "", {}},
+                    {uspec::PredKind::SameCore, "i0", "i1", {}},
+                    {uspec::PredKind::ProgramOrder, "i0", "i1", {}}};
+                uspec::EdgeSpec es;
+                es.src = {"i0", mem_row};
+                es.dst = {"i1", regfile_row};
+                es.label = "temporal";
+                ax.edgeAlternatives = {{es}};
+                m.axioms.push_back(std::move(ax));
+                hbis_++;
+            }
+            if (dataflow_proven_) {
+                uspec::Axiom ax;
+                ax.name = "Dataflow_mem";
+                ax.microops = {"i0", "i1"};
+                ax.antecedents = {
+                    {uspec::PredKind::IsAnyWrite, "i0", "", {}},
+                    {uspec::PredKind::IsAnyRead, "i1", "", {}},
+                    {uspec::PredKind::SamePA, "i0", "i1", {}},
+                    {uspec::PredKind::SameData, "i0", "i1", {}},
+                    {uspec::PredKind::NoWritesInBetween, "i0", "i1",
+                     {}}};
+                uspec::EdgeSpec es;
+                es.src = {"i0", mem_row};
+                es.dst = {"i1", regfile_row};
+                es.label = "data";
+                es.color = "deeppink";
+                ax.edgeAlternatives = {{es}};
+                m.axioms.push_back(std::move(ax));
+                hbis_++;
+            }
+        }
+    }
+
+    void
+    tallyStats()
+    {
+        for (const SvaRecord &rec : out_.svas) {
+            CategoryStats &cs = out_.stats[rec.category];
+            cs.svas++;
+            cs.seconds += rec.seconds;
+            int &hyp = rec.global ? cs.hypGlobal : cs.hypLocal;
+            hyp += static_cast<int>(rec.hypotheses);
+            if (rec.verdict == Verdict::Proven ||
+                rec.category == "intra") {
+                int &hbi = rec.global ? cs.hbiGlobal : cs.hbiLocal;
+                hbi += static_cast<int>(rec.hypotheses);
+            }
+        }
+    }
+
+    const vlog::ElabResult &design_;
+    const DesignMetadata &md_;
+    const nl::Netlist &nl_;
+    dfg::FullDesignDfg dfg_;
+    dfg::StageLabels labels_;
+    NodeId ifr_node_ = dfg::kNoNode;
+    std::vector<Elem> elems_;
+    std::map<std::string, std::set<NodeId>> updated_;
+    std::vector<dfg::InstrDfg> instr_dfgs_;
+    std::map<NodeId, int> row_of_;
+    std::map<int, std::vector<int>> per_element_rows_;
+    std::vector<bool> stage_ordered_;
+    bool regfile_ordered_ = false;
+    bool remote_chain_proven_ = false;
+    bool t_read_write_ = false;
+    bool t_write_read_ = false;
+    bool dataflow_proven_ = false;
+    int hbis_ = 0;
+    SynthesisResult out_;
+};
+
+} // namespace
+
+std::string
+SynthesisResult::report() const
+{
+    std::string out;
+    out += strfmt("%-22s %8s %12s %14s %10s %10s %10s %10s\n",
+                  "category", "# SVAs", "runtime (s)",
+                  "runtime/SVA (s)", "hyp local", "hyp glob",
+                  "HBI local", "HBI glob");
+    const char *cats[] = {"intra", "spatial", "temporal", "dataflow"};
+    int total_svas = 0;
+    double total_time = 0;
+    int thl = 0, thg = 0, tbl = 0, tbg = 0;
+    for (const char *cat : cats) {
+        auto it = stats.find(cat);
+        if (it == stats.end())
+            continue;
+        const CategoryStats &cs = it->second;
+        out += strfmt("%-22s %8d %12.3f %14.3f %10d %10d %10d %10d\n",
+                      cat, cs.svas, cs.seconds,
+                      cs.svas ? cs.seconds / cs.svas : 0.0, cs.hypLocal,
+                      cs.hypGlobal, cs.hbiLocal, cs.hbiGlobal);
+        total_svas += cs.svas;
+        total_time += cs.seconds;
+        thl += cs.hypLocal;
+        thg += cs.hypGlobal;
+        tbl += cs.hbiLocal;
+        tbg += cs.hbiGlobal;
+    }
+    out += strfmt("%-22s %8d %12.3f %14.3f %10d %10d %10d %10d\n",
+                  "total", total_svas, total_time,
+                  total_svas ? total_time / total_svas : 0.0, thl, thg,
+                  tbl, tbg);
+    out += strfmt("static analysis: %.3f s, SVA evaluation: %.3f s, "
+                  "post-processing: %.3f s, total: %.3f s\n",
+                  staticSeconds, proofSeconds, postSeconds,
+                  totalSeconds);
+    for (const auto &bug : bugs)
+        out += bug + "\n";
+    return out;
+}
+
+SynthesisResult
+synthesize(const vlog::ElabResult &design, const DesignMetadata &metadata)
+{
+    Synthesizer s(design, metadata);
+    return s.run();
+}
+
+} // namespace r2u::rtl2uspec

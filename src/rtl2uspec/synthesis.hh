@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The rtl2uspec synthesis procedure (paper §4): netlist -> full-design
+ * DFG -> stage labeling -> intra-instruction HBI hypotheses (Fig. 4
+ * SVA templates, evaluated by the BMC engine) -> per-instruction DFGs
+ * -> inter-instruction HBI hypotheses (spatial / temporal / dataflow,
+ * §4.3, with the Req-Snd/Req-Rec/Req-Proc decomposition for remote
+ * state) -> node merging (§4.4) -> µspec model.
+ */
+
+#ifndef R2U_RTL2USPEC_SYNTHESIS_HH
+#define R2U_RTL2USPEC_SYNTHESIS_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bmc/checker.hh"
+#include "dfg/dfg.hh"
+#include "rtl2uspec/metadata.hh"
+#include "uspec/uspec.hh"
+#include "verilog/elaborate.hh"
+
+namespace r2u::rtl2uspec
+{
+
+/** One evaluated HBI hypothesis (SVA + verdict), Fig. 5 raw data. */
+struct SvaRecord
+{
+    std::string name;
+    std::string category; ///< "intra", "spatial", "temporal", "dataflow"
+    std::string text;     ///< SVA-style rendering (Fig. 4 flavor)
+    bmc::Verdict verdict = bmc::Verdict::Unknown;
+    double seconds = 0.0;
+    unsigned hypotheses = 1; ///< element-granular hypotheses it covers
+    bool global = false;     ///< involves remote/global state
+    std::string trace;       ///< counterexample (when interesting)
+};
+
+struct CategoryStats
+{
+    int svas = 0;
+    double seconds = 0.0;
+    int hypLocal = 0, hypGlobal = 0;
+    int hbiLocal = 0, hbiGlobal = 0;
+};
+
+struct SynthesisResult
+{
+    uspec::Model model;
+    std::vector<SvaRecord> svas;
+    std::map<std::string, CategoryStats> stats;
+
+    /** Design bugs found (attribution checks refuted, paper §6.1). */
+    std::vector<std::string> bugs;
+
+    /** Per-instruction node membership (element names). */
+    std::map<std::string, std::vector<std::string>> instrNodes;
+
+    /** DOT renderings: full-design DFG and per-instruction DFGs. */
+    std::string fullDfgDot;
+    std::map<std::string, std::string> instrDfgDots;
+
+    double staticSeconds = 0.0; ///< parsing + DFG analysis
+    double proofSeconds = 0.0;  ///< SVA evaluation (the JasperGold part)
+    double postSeconds = 0.0;   ///< merging + model emission
+    double totalSeconds = 0.0;
+
+    /** Fig. 5-style table. */
+    std::string report() const;
+};
+
+/** Run the full synthesis procedure. */
+SynthesisResult synthesize(const vlog::ElabResult &design,
+                           const DesignMetadata &metadata);
+
+} // namespace r2u::rtl2uspec
+
+#endif // R2U_RTL2USPEC_SYNTHESIS_HH

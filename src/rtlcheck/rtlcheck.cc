@@ -1,0 +1,220 @@
+#include "rtlcheck/rtlcheck.hh"
+
+#include "common/logging.hh"
+#include "common/timer.hh"
+#include "isa/isa.hh"
+#include "sim/simulator.hh"
+
+namespace r2u::rtlcheck
+{
+
+using bmc::PropCtx;
+using bmc::Verdict;
+using sat::Lit;
+
+namespace
+{
+
+/** imem image for one core at a given start skew. */
+std::vector<uint32_t>
+layoutProgram(const std::vector<uint32_t> &prog, unsigned skew,
+              unsigned imem_words)
+{
+    std::vector<uint32_t> image(imem_words, isa::nopWord());
+    R2U_ASSERT(skew + prog.size() + 1 <= imem_words,
+               "program with skew does not fit in imem");
+    for (size_t i = 0; i < prog.size(); i++)
+        image[skew + i] = prog[i];
+    isa::Inst spin;
+    spin.op = isa::Op::Jal;
+    image[skew + prog.size()] = isa::encode(spin);
+    return image;
+}
+
+} // namespace
+
+TestVerdict
+verifyTest(const vlog::ElabResult &design, const vscale::Config &config,
+           const litmus::Test &test, const Options &options)
+{
+    Timer timer;
+    TestVerdict verdict;
+    verdict.name = test.name;
+
+    unsigned nskews = options.maxSkew + 1;
+    R2U_ASSERT(nskews >= 1 && nskews <= 4, "skew range must fit 2 bits");
+
+    // Per-core programs (unused cores spin immediately).
+    std::vector<std::vector<uint32_t>> progs(vscale::kNumCores);
+    for (size_t t = 0; t < test.threads.size() && t < vscale::kNumCores;
+         t++)
+        progs[t] = isa::assemble(test.threadAssembly(t));
+
+    // ------------------------------------------------------------------
+    // Bound estimation by simulating the extreme skew assignments.
+    // ------------------------------------------------------------------
+    unsigned worst = 0;
+    for (unsigned skew : {0u, options.maxSkew}) {
+        sim::Simulator sim(*design.netlist);
+        for (unsigned c = 0; c < vscale::kNumCores; c++) {
+            auto image = layoutProgram(progs[c], skew,
+                                       config.imemWords);
+            nl::MemId imem =
+                design.mem("imem_" + std::to_string(c) + ".mem");
+            for (unsigned i = 0; i < config.imemWords; i++)
+                sim.pokeMem(imem, i, Bits(32, image[i]));
+        }
+        sim.setInput("clk", Bits(1, 0));
+        sim.setInput("reset", Bits(1, 1));
+        sim.step();
+        sim.setInput("reset", Bits(1, 0));
+        unsigned cycles = 0;
+        bool done = false;
+        while (cycles < 400 && !done) {
+            sim.step();
+            cycles++;
+            done = true;
+            for (unsigned c = 0; c < vscale::kNumCores; c++) {
+                uint32_t spin = static_cast<uint32_t>(
+                    4 * (skew + progs[c].size()));
+                uint32_t pc = static_cast<uint32_t>(
+                    sim.value(vscale::coreSig(c, "PC_IF")).toUint64());
+                done &= (pc == spin || pc == spin + 4);
+            }
+        }
+        if (!done)
+            fatal("rtlcheck: test '%s' did not complete in simulation",
+                  test.name.c_str());
+        worst = std::max(worst, cycles);
+    }
+    unsigned bound = worst + options.boundMargin + 1;
+    verdict.bound = bound;
+
+    // ------------------------------------------------------------------
+    // Whole-design BMC with symbolic per-core start skew.
+    // ------------------------------------------------------------------
+    bmc::Unroller::Options uopts;
+    for (unsigned c = 0; c < vscale::kNumCores; c++) {
+        uopts.symbolicMems.insert(
+            design.mem("imem_" + std::to_string(c) + ".mem"));
+    }
+    // regfiles and dmem start from power-on zeros (concrete).
+
+    PropCtx ctx(*design.netlist, design.signalMap, uopts, bound);
+    auto &cnf = ctx.cnf();
+    ctx.pinInput("reset", 0);
+
+    auto locs = test.locations();
+
+    // Constrain instruction memories per symbolic skew.
+    std::vector<sat::Word> skew(vscale::kNumCores);
+    for (unsigned c = 0; c < vscale::kNumCores; c++) {
+        skew[c] = ctx.rigid("skew" + std::to_string(c), 2);
+        nl::MemId imem =
+            design.mem("imem_" + std::to_string(c) + ".mem");
+        if (nskews <= 3) {
+            // Exclude out-of-range skew values.
+            for (unsigned k = nskews; k < 4; k++)
+                ctx.assume(~cnf.mkEqW(skew[c], cnf.constWord(2, k)));
+        }
+        for (unsigned k = 0; k < nskews; k++) {
+            Lit sel = cnf.mkEqW(skew[c], cnf.constWord(2, k));
+            auto image = layoutProgram(progs[c], k, config.imemWords);
+            for (unsigned i = 0; i < config.imemWords; i++) {
+                Lit eq = cnf.mkEqW(ctx.unroller().memWord(0, imem, i),
+                                   cnf.constWord(32, image[i]));
+                ctx.assume(cnf.mkImplies(sel, eq));
+            }
+        }
+    }
+
+    // All cores parked at the final frame.
+    unsigned last = bound - 1;
+    Lit parked_all = cnf.trueLit();
+    for (unsigned c = 0; c < vscale::kNumCores; c++) {
+        const sat::Word &pc = ctx.at(
+            last, vscale::coreSig(c, "PC_IF"));
+        Lit parked = cnf.falseLit();
+        for (unsigned k = 0; k < nskews; k++) {
+            Lit sel = cnf.mkEqW(skew[c], cnf.constWord(2, k));
+            uint32_t spin = static_cast<uint32_t>(
+                4 * (k + progs[c].size()));
+            Lit at_spin = cnf.mkOr(
+                cnf.mkEqW(pc, cnf.constWord(
+                                  static_cast<unsigned>(pc.size()),
+                                  spin)),
+                cnf.mkEqW(pc, cnf.constWord(
+                                  static_cast<unsigned>(pc.size()),
+                                  spin + 4)));
+            parked = cnf.mkOr(parked, cnf.mkAnd(sel, at_spin));
+        }
+        parked_all = cnf.mkAnd(parked_all, parked);
+    }
+
+    // The interesting outcome, read from architectural state.
+    Lit outcome = cnf.trueLit();
+    for (const litmus::RegCond &rc : test.interesting.regs) {
+        nl::MemId rf = design.mem(
+            vscale::coreSig(static_cast<unsigned>(rc.thread),
+                            "regfile"));
+        const sat::Word &v = ctx.unroller().memWord(
+            last, rf, static_cast<unsigned>(rc.reg) % config.nregs);
+        outcome = cnf.mkAnd(
+            outcome,
+            cnf.mkEqW(v, cnf.constWord(config.xlen,
+                                       static_cast<uint64_t>(rc.value))));
+    }
+    nl::MemId dmem = design.mem("dmem.mem");
+    for (const litmus::MemCond &mc : test.interesting.mem) {
+        unsigned word = 0;
+        for (size_t i = 0; i < locs.size(); i++)
+            if (locs[i] == mc.loc)
+                word = static_cast<unsigned>(i);
+        const sat::Word &v = ctx.unroller().memWord(last, dmem, word);
+        outcome = cnf.mkAnd(
+            outcome,
+            cnf.mkEqW(v, cnf.constWord(config.xlen,
+                                       static_cast<uint64_t>(mc.value))));
+    }
+
+    for (unsigned c = 0; c < vscale::kNumCores; c++)
+        ctx.watch(vscale::coreSig(c, "PC_IF"));
+
+    // Solve 1: can the forbidden outcome be observed?
+    Lit bad = cnf.mkAnd(parked_all, outcome);
+    ctx.solver().setConflictBudget(options.conflictBudget);
+    sat::Result r = ctx.solver().solve({bad});
+    verdict.cnfVars = static_cast<size_t>(ctx.solver().numVars());
+    switch (r) {
+      case sat::Result::Sat: {
+        verdict.verdict = Verdict::Refuted;
+        bmc::Trace trace;
+        for (unsigned f = 0; f < bound; f++) {
+            bmc::TraceStep step;
+            for (const auto &name : ctx.watched())
+                step.signals[name] =
+                    ctx.unroller().wireValue(f, ctx.cellOf(name));
+            trace.steps.push_back(std::move(step));
+        }
+        verdict.trace = trace.toString();
+        break;
+      }
+      case sat::Result::Unsat:
+        verdict.verdict = Verdict::Proven;
+        break;
+      case sat::Result::Unknown:
+        verdict.verdict = Verdict::Unknown;
+        break;
+    }
+
+    // Solve 2: completion — all executions park within the bound.
+    if (verdict.verdict == Verdict::Proven) {
+        sat::Result done = ctx.solver().solve({~parked_all});
+        verdict.complete = done == sat::Result::Unsat;
+    }
+
+    verdict.seconds = timer.seconds();
+    return verdict;
+}
+
+} // namespace r2u::rtlcheck

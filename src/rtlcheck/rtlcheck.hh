@@ -1,0 +1,62 @@
+/**
+ * @file
+ * RTLCheck-style baseline (Manerkar et al., MICRO 2017; paper §5.2):
+ * verify a litmus test directly against the multi-V-scale RTL, one
+ * whole-design proof per test.
+ *
+ * Each core's program is loaded into its instruction memory with a
+ * symbolic start skew (leading NOPs, like a litmus harness varying
+ * thread timings); the full four-core netlist is unrolled to a bound
+ * that covers the slowest completion, and the SAT engine proves or
+ * refutes "the forbidden outcome holds once all cores have parked".
+ * This reproduces the baseline's cost structure: one large
+ * whole-design property per test versus rtl2uspec's many small
+ * localized ones amortized across tests (Fig. 6).
+ */
+
+#ifndef R2U_RTLCHECK_RTLCHECK_HH
+#define R2U_RTLCHECK_RTLCHECK_HH
+
+#include "bmc/checker.hh"
+#include "litmus/litmus.hh"
+#include "vscale/vscale.hh"
+
+namespace r2u::rtlcheck
+{
+
+struct Options
+{
+    /** Max per-core start skew in cycles (NOP padding), >= 1. */
+    unsigned maxSkew = 2;
+    /** Extra frames beyond the simulated worst-case completion. */
+    unsigned boundMargin = 6;
+    /** Solver conflict budget; exceeding it marks the proof
+     *  incomplete (Fig. 6 patterned bars). */
+    int64_t conflictBudget = -1;
+};
+
+struct TestVerdict
+{
+    std::string name;
+    bmc::Verdict verdict = bmc::Verdict::Unknown;
+    /** True when completion of all cores within the bound was also
+     *  proven (full proof, not just bounded). */
+    bool complete = false;
+    double seconds = 0.0;
+    unsigned bound = 0;
+    size_t cnfVars = 0;
+    std::string trace; ///< counterexample on Refuted
+};
+
+/**
+ * Verify that @p test's interesting (SC-forbidden) outcome is
+ * unreachable on the multi-V-scale RTL elaborated per @p config.
+ */
+TestVerdict verifyTest(const vlog::ElabResult &design,
+                       const vscale::Config &config,
+                       const litmus::Test &test,
+                       const Options &options = {});
+
+} // namespace r2u::rtlcheck
+
+#endif // R2U_RTLCHECK_RTLCHECK_HH

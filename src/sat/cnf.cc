@@ -1,0 +1,400 @@
+#include "sat/cnf.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace r2u::sat
+{
+
+CnfBuilder::CnfBuilder(Solver &solver) : solver_(solver)
+{
+    true_lit_ = mkLit(solver_.newVar());
+    solver_.addClause(true_lit_);
+}
+
+Lit
+CnfBuilder::freshLit()
+{
+    return mkLit(solver_.newVar());
+}
+
+Lit
+CnfBuilder::mkAnd(Lit a, Lit b)
+{
+    // Constant folding and trivial cases.
+    if (isFalse(a) || isFalse(b))
+        return falseLit();
+    if (isTrue(a))
+        return b;
+    if (isTrue(b))
+        return a;
+    if (a == b)
+        return a;
+    if (a == ~b)
+        return falseLit();
+
+    if (b.x < a.x)
+        std::swap(a, b);
+    auto key = std::make_pair(a.x, b.x);
+    auto it = and_cache_.find(key);
+    if (it != and_cache_.end())
+        return it->second;
+
+    Lit y = freshLit();
+    solver_.addClause(~y, a);
+    solver_.addClause(~y, b);
+    solver_.addClause(~a, ~b, y);
+    and_cache_.emplace(key, y);
+    return y;
+}
+
+Lit
+CnfBuilder::mkXor(Lit a, Lit b)
+{
+    if (isFalse(a))
+        return b;
+    if (isFalse(b))
+        return a;
+    if (isTrue(a))
+        return ~b;
+    if (isTrue(b))
+        return ~a;
+    if (a == b)
+        return falseLit();
+    if (a == ~b)
+        return trueLit();
+
+    // Normalize: strip signs into a result inversion.
+    bool invert = false;
+    if (sign(a)) {
+        a = ~a;
+        invert = !invert;
+    }
+    if (sign(b)) {
+        b = ~b;
+        invert = !invert;
+    }
+    if (b.x < a.x)
+        std::swap(a, b);
+    auto key = std::make_pair(a.x, b.x);
+    auto it = xor_cache_.find(key);
+    Lit y;
+    if (it != xor_cache_.end()) {
+        y = it->second;
+    } else {
+        y = freshLit();
+        solver_.addClause(~y, a, b);
+        solver_.addClause({~y, ~a, ~b});
+        solver_.addClause({y, ~a, b});
+        solver_.addClause({y, a, ~b});
+        xor_cache_.emplace(key, y);
+    }
+    return invert ? ~y : y;
+}
+
+Lit
+CnfBuilder::mkMux(Lit sel, Lit t, Lit f)
+{
+    if (isTrue(sel))
+        return t;
+    if (isFalse(sel))
+        return f;
+    if (t == f)
+        return t;
+    // sel ? t : f  ==  (sel & t) | (~sel & f)
+    return mkOr(mkAnd(sel, t), mkAnd(~sel, f));
+}
+
+Lit
+CnfBuilder::mkAndN(const std::vector<Lit> &ls)
+{
+    Lit acc = trueLit();
+    for (Lit l : ls)
+        acc = mkAnd(acc, l);
+    return acc;
+}
+
+Lit
+CnfBuilder::mkOrN(const std::vector<Lit> &ls)
+{
+    Lit acc = falseLit();
+    for (Lit l : ls)
+        acc = mkOr(acc, l);
+    return acc;
+}
+
+Word
+CnfBuilder::constWord(const Bits &value)
+{
+    Word w(value.width());
+    for (unsigned i = 0; i < value.width(); i++)
+        w[i] = value.bit(i) ? trueLit() : falseLit();
+    return w;
+}
+
+Word
+CnfBuilder::constWord(unsigned width, uint64_t value)
+{
+    return constWord(Bits(width, value));
+}
+
+Word
+CnfBuilder::freshWord(unsigned width)
+{
+    Word w(width);
+    for (unsigned i = 0; i < width; i++)
+        w[i] = freshLit();
+    return w;
+}
+
+Word
+CnfBuilder::mkAddW(const Word &a, const Word &b)
+{
+    R2U_ASSERT(a.size() == b.size(), "add width mismatch");
+    Word sum(a.size());
+    Lit carry = falseLit();
+    for (size_t i = 0; i < a.size(); i++) {
+        Lit axb = mkXor(a[i], b[i]);
+        sum[i] = mkXor(axb, carry);
+        carry = mkOr(mkAnd(a[i], b[i]), mkAnd(axb, carry));
+    }
+    return sum;
+}
+
+Word
+CnfBuilder::mkNegW(const Word &a)
+{
+    Word inv = mkNotW(a);
+    Word one = constWord(static_cast<unsigned>(a.size()), 1);
+    return mkAddW(inv, one);
+}
+
+Word
+CnfBuilder::mkSubW(const Word &a, const Word &b)
+{
+    R2U_ASSERT(a.size() == b.size(), "sub width mismatch");
+    // a - b = a + ~b + 1
+    Word sum(a.size());
+    Lit carry = trueLit();
+    for (size_t i = 0; i < a.size(); i++) {
+        Lit nb = ~b[i];
+        Lit axb = mkXor(a[i], nb);
+        sum[i] = mkXor(axb, carry);
+        carry = mkOr(mkAnd(a[i], nb), mkAnd(axb, carry));
+    }
+    return sum;
+}
+
+Word
+CnfBuilder::mkAndW(const Word &a, const Word &b)
+{
+    R2U_ASSERT(a.size() == b.size(), "and width mismatch");
+    Word r(a.size());
+    for (size_t i = 0; i < a.size(); i++)
+        r[i] = mkAnd(a[i], b[i]);
+    return r;
+}
+
+Word
+CnfBuilder::mkOrW(const Word &a, const Word &b)
+{
+    R2U_ASSERT(a.size() == b.size(), "or width mismatch");
+    Word r(a.size());
+    for (size_t i = 0; i < a.size(); i++)
+        r[i] = mkOr(a[i], b[i]);
+    return r;
+}
+
+Word
+CnfBuilder::mkXorW(const Word &a, const Word &b)
+{
+    R2U_ASSERT(a.size() == b.size(), "xor width mismatch");
+    Word r(a.size());
+    for (size_t i = 0; i < a.size(); i++)
+        r[i] = mkXor(a[i], b[i]);
+    return r;
+}
+
+Word
+CnfBuilder::mkNotW(const Word &a)
+{
+    Word r(a.size());
+    for (size_t i = 0; i < a.size(); i++)
+        r[i] = ~a[i];
+    return r;
+}
+
+Word
+CnfBuilder::mkMuxW(Lit sel, const Word &t, const Word &f)
+{
+    R2U_ASSERT(t.size() == f.size(), "mux width mismatch");
+    Word r(t.size());
+    for (size_t i = 0; i < t.size(); i++)
+        r[i] = mkMux(sel, t[i], f[i]);
+    return r;
+}
+
+Lit
+CnfBuilder::mkEqW(const Word &a, const Word &b)
+{
+    R2U_ASSERT(a.size() == b.size(), "eq width mismatch");
+    Lit acc = trueLit();
+    for (size_t i = 0; i < a.size(); i++)
+        acc = mkAnd(acc, mkEq(a[i], b[i]));
+    return acc;
+}
+
+Lit
+CnfBuilder::mkUltW(const Word &a, const Word &b)
+{
+    R2U_ASSERT(a.size() == b.size(), "ult width mismatch");
+    // Ripple from LSB: lt_i = (~a & b) | (a==b) & lt_{i-1}
+    Lit lt = falseLit();
+    for (size_t i = 0; i < a.size(); i++) {
+        Lit here_lt = mkAnd(~a[i], b[i]);
+        Lit here_eq = mkEq(a[i], b[i]);
+        lt = mkOr(here_lt, mkAnd(here_eq, lt));
+    }
+    return lt;
+}
+
+Lit
+CnfBuilder::mkSltW(const Word &a, const Word &b)
+{
+    R2U_ASSERT(a.size() == b.size() && !a.empty(), "slt width mismatch");
+    Lit sa = a.back(), sb = b.back();
+    Lit ult = mkUltW(a, b);
+    // Different signs: a < b iff a negative. Same sign: unsigned compare.
+    return mkMux(mkXor(sa, sb), sa, ult);
+}
+
+Lit
+CnfBuilder::mkRedOrW(const Word &a)
+{
+    Lit acc = falseLit();
+    for (Lit l : a)
+        acc = mkOr(acc, l);
+    return acc;
+}
+
+Lit
+CnfBuilder::mkRedAndW(const Word &a)
+{
+    Lit acc = trueLit();
+    for (Lit l : a)
+        acc = mkAnd(acc, l);
+    return acc;
+}
+
+Word
+CnfBuilder::mkShlW(const Word &a, const Word &sh)
+{
+    Word cur = a;
+    unsigned n = static_cast<unsigned>(a.size());
+    for (size_t s = 0; s < sh.size(); s++) {
+        unsigned amount = 1u << s;
+        if (amount >= n) {
+            // Shifting by >= width zeroes the word if this bit is set.
+            Word zero = constWord(n, 0);
+            cur = mkMuxW(sh[s], zero, cur);
+            continue;
+        }
+        Word shifted(n);
+        for (unsigned i = 0; i < n; i++)
+            shifted[i] = (i >= amount) ? cur[i - amount] : falseLit();
+        cur = mkMuxW(sh[s], shifted, cur);
+    }
+    return cur;
+}
+
+Word
+CnfBuilder::mkLshrW(const Word &a, const Word &sh)
+{
+    Word cur = a;
+    unsigned n = static_cast<unsigned>(a.size());
+    for (size_t s = 0; s < sh.size(); s++) {
+        unsigned amount = 1u << s;
+        if (amount >= n) {
+            Word zero = constWord(n, 0);
+            cur = mkMuxW(sh[s], zero, cur);
+            continue;
+        }
+        Word shifted(n);
+        for (unsigned i = 0; i < n; i++)
+            shifted[i] =
+                (i + amount < n) ? cur[i + amount] : falseLit();
+        cur = mkMuxW(sh[s], shifted, cur);
+    }
+    return cur;
+}
+
+Word
+CnfBuilder::mkAshrW(const Word &a, const Word &sh)
+{
+    Word cur = a;
+    unsigned n = static_cast<unsigned>(a.size());
+    Lit sign_bit = a.empty() ? falseLit() : a.back();
+    for (size_t s = 0; s < sh.size(); s++) {
+        unsigned amount = 1u << s;
+        Word shifted(n);
+        for (unsigned i = 0; i < n; i++)
+            shifted[i] =
+                (i + amount < n) ? cur[i + amount] : sign_bit;
+        cur = mkMuxW(sh[s], shifted, cur);
+    }
+    return cur;
+}
+
+Word
+CnfBuilder::zextW(const Word &a, unsigned width, Lit false_lit)
+{
+    R2U_ASSERT(width >= a.size(), "zext shrinks");
+    Word r = a;
+    r.resize(width, false_lit);
+    return r;
+}
+
+Word
+CnfBuilder::sextW(const Word &a, unsigned width)
+{
+    R2U_ASSERT(width >= a.size() && !a.empty(), "sext shrinks");
+    Word r = a;
+    r.resize(width, a.back());
+    return r;
+}
+
+Word
+CnfBuilder::sliceW(const Word &a, unsigned lo, unsigned width)
+{
+    R2U_ASSERT(lo + width <= a.size(), "slice out of range");
+    return Word(a.begin() + lo, a.begin() + lo + width);
+}
+
+Word
+CnfBuilder::concatW(const Word &hi, const Word &lo)
+{
+    Word r = lo;
+    r.insert(r.end(), hi.begin(), hi.end());
+    return r;
+}
+
+Bits
+CnfBuilder::modelWord(const Word &w) const
+{
+    Bits b(static_cast<unsigned>(w.size()));
+    for (size_t i = 0; i < w.size(); i++) {
+        Lit l = w[i];
+        bool v;
+        if (l == true_lit_)
+            v = true;
+        else if (l == ~true_lit_)
+            v = false;
+        else
+            v = solver_.modelValue(l);
+        b.setBit(static_cast<unsigned>(i), v);
+    }
+    return b;
+}
+
+} // namespace r2u::sat

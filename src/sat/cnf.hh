@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Tseitin-style circuit-to-CNF construction on top of sat::Solver.
+ *
+ * The BMC engine bit-blasts word-level netlist cells through this
+ * builder. Gates are structurally hashed (AIG-style) and constants are
+ * folded, which keeps the unrolled formulas small — the property
+ * localization that makes rtl2uspec's SVAs cheap shows up here as tiny
+ * cone-of-influence CNFs.
+ *
+ * Words are little-endian vectors of literals (index 0 = LSB).
+ */
+
+#ifndef R2U_SAT_CNF_HH
+#define R2U_SAT_CNF_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bits.hh"
+#include "sat/solver.hh"
+
+namespace r2u::sat
+{
+
+using Word = std::vector<Lit>;
+
+class CnfBuilder
+{
+  public:
+    explicit CnfBuilder(Solver &solver);
+
+    Solver &solver() { return solver_; }
+
+    /** Literal that is constrained true (its negation is false). */
+    Lit trueLit() const { return true_lit_; }
+    Lit falseLit() const { return ~true_lit_; }
+
+    /** Fresh unconstrained literal. */
+    Lit freshLit();
+
+    bool isTrue(Lit l) const { return l == true_lit_; }
+    bool isFalse(Lit l) const { return l == ~true_lit_; }
+    bool isConst(Lit l) const { return isTrue(l) || isFalse(l); }
+
+    // --- bit-level gates ---
+    Lit mkAnd(Lit a, Lit b);
+    Lit mkOr(Lit a, Lit b) { return ~mkAnd(~a, ~b); }
+    Lit mkXor(Lit a, Lit b);
+    Lit mkEq(Lit a, Lit b) { return ~mkXor(a, b); }
+    Lit mkMux(Lit sel, Lit t, Lit f);
+    Lit mkImplies(Lit a, Lit b) { return mkOr(~a, b); }
+    Lit mkAndN(const std::vector<Lit> &ls);
+    Lit mkOrN(const std::vector<Lit> &ls);
+
+    // --- word-level operations (operand widths must match) ---
+    Word constWord(const Bits &value);
+    Word constWord(unsigned width, uint64_t value);
+    Word freshWord(unsigned width);
+
+    Word mkAddW(const Word &a, const Word &b);
+    Word mkSubW(const Word &a, const Word &b);
+    Word mkAndW(const Word &a, const Word &b);
+    Word mkOrW(const Word &a, const Word &b);
+    Word mkXorW(const Word &a, const Word &b);
+    Word mkNotW(const Word &a);
+    Word mkMuxW(Lit sel, const Word &t, const Word &f);
+    Word mkNegW(const Word &a);
+
+    Lit mkEqW(const Word &a, const Word &b);
+    Lit mkUltW(const Word &a, const Word &b);
+    Lit mkSltW(const Word &a, const Word &b);
+    Lit mkRedOrW(const Word &a);
+    Lit mkRedAndW(const Word &a);
+
+    /** Barrel shifters; shift amount is a word. Result width = a. */
+    Word mkShlW(const Word &a, const Word &sh);
+    Word mkLshrW(const Word &a, const Word &sh);
+    Word mkAshrW(const Word &a, const Word &sh);
+
+    static Word zextW(const Word &a, unsigned width, Lit false_lit);
+    static Word sextW(const Word &a, unsigned width);
+    static Word sliceW(const Word &a, unsigned lo, unsigned width);
+    static Word concatW(const Word &hi, const Word &lo);
+
+    /** Assert a literal at the root level. */
+    void assertLit(Lit l) { solver_.addClause(l); }
+
+    /** Evaluate a word in the solver's current model. */
+    Bits modelWord(const Word &w) const;
+
+    size_t numGates() const { return and_cache_.size(); }
+
+  private:
+    struct PairHash
+    {
+        size_t
+        operator()(const std::pair<int, int> &p) const
+        {
+            return std::hash<int64_t>{}(
+                (static_cast<int64_t>(p.first) << 32) ^
+                static_cast<uint32_t>(p.second));
+        }
+    };
+
+    Solver &solver_;
+    Lit true_lit_;
+    std::unordered_map<std::pair<int, int>, Lit, PairHash> and_cache_;
+    std::unordered_map<std::pair<int, int>, Lit, PairHash> xor_cache_;
+};
+
+} // namespace r2u::sat
+
+#endif // R2U_SAT_CNF_HH

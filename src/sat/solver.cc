@@ -1,0 +1,549 @@
+#include "sat/solver.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace r2u::sat
+{
+
+Solver::Solver()
+{
+    watches_.clear();
+}
+
+Var
+Solver::newVar()
+{
+    Var v = numVars();
+    assigns_.push_back(LBool::Undef);
+    polarity_.push_back(true); // default phase: assign false first
+    activity_.push_back(0.0);
+    heap_pos_.push_back(-1);
+    reason_.push_back(-1);
+    level_.push_back(0);
+    seen_.push_back(0);
+    watches_.emplace_back();
+    watches_.emplace_back();
+    heapInsert(v);
+    return v;
+}
+
+bool
+Solver::addClause(std::vector<Lit> lits)
+{
+    if (!ok_)
+        return false;
+    R2U_ASSERT(decisionLevel() == 0, "addClause above root level");
+
+    // Sort, dedup, drop false literals, detect tautologies/satisfied.
+    std::sort(lits.begin(), lits.end());
+    std::vector<Lit> out;
+    Lit prev = kLitUndef;
+    for (Lit l : lits) {
+        R2U_ASSERT(var(l) >= 0 && var(l) < numVars(), "bad literal");
+        if (value(l) == LBool::True || l == ~prev)
+            return true; // satisfied or tautology
+        if (value(l) != LBool::False && l != prev) {
+            out.push_back(l);
+            prev = l;
+        }
+    }
+
+    if (out.empty()) {
+        ok_ = false;
+        return false;
+    }
+    if (out.size() == 1) {
+        uncheckedEnqueue(out[0], -1);
+        ok_ = (propagate() == -1);
+        return ok_;
+    }
+
+    int cref = static_cast<int>(clauses_.size());
+    clauses_.push_back(Clause{false, 0.0, std::move(out)});
+    attachClause(cref);
+    return true;
+}
+
+void
+Solver::attachClause(int cref)
+{
+    const Clause &c = clauses_[cref];
+    R2U_ASSERT(c.lits.size() >= 2, "attach of short clause");
+    watches_[(~c.lits[0]).x].push_back(Watcher{cref, c.lits[1]});
+    watches_[(~c.lits[1]).x].push_back(Watcher{cref, c.lits[0]});
+}
+
+void
+Solver::uncheckedEnqueue(Lit l, int reason)
+{
+    R2U_ASSERT(value(l) == LBool::Undef, "enqueue of assigned literal");
+    assigns_[var(l)] = sign(l) ? LBool::False : LBool::True;
+    polarity_[var(l)] = sign(l);
+    reason_[var(l)] = reason;
+    level_[var(l)] = decisionLevel();
+    trail_.push_back(l);
+}
+
+int
+Solver::propagate()
+{
+    int confl = -1;
+    while (qhead_ < trail_.size()) {
+        Lit p = trail_[qhead_++];
+        stats_.propagations++;
+        std::vector<Watcher> &ws = watches_[p.x];
+        size_t i = 0, j = 0;
+        while (i < ws.size()) {
+            Watcher w = ws[i];
+            if (value(w.blocker) == LBool::True) {
+                ws[j++] = ws[i++];
+                continue;
+            }
+            Clause &c = clauses_[w.cref];
+            Lit false_lit = ~p;
+            if (c.lits[0] == false_lit)
+                std::swap(c.lits[0], c.lits[1]);
+            i++;
+
+            Lit first = c.lits[0];
+            if (first != w.blocker && value(first) == LBool::True) {
+                ws[j++] = Watcher{w.cref, first};
+                continue;
+            }
+
+            // Look for a new watch.
+            bool found = false;
+            for (size_t k = 2; k < c.lits.size(); k++) {
+                if (value(c.lits[k]) != LBool::False) {
+                    std::swap(c.lits[1], c.lits[k]);
+                    watches_[(~c.lits[1]).x].push_back(
+                        Watcher{w.cref, first});
+                    found = true;
+                    break;
+                }
+            }
+            if (found)
+                continue;
+
+            // Unit or conflicting.
+            ws[j++] = Watcher{w.cref, first};
+            if (value(first) == LBool::False) {
+                confl = w.cref;
+                qhead_ = trail_.size();
+                while (i < ws.size())
+                    ws[j++] = ws[i++];
+            } else {
+                uncheckedEnqueue(first, w.cref);
+            }
+        }
+        ws.resize(j);
+        if (confl != -1)
+            break;
+    }
+    return confl;
+}
+
+void
+Solver::varBumpActivity(Var v)
+{
+    activity_[v] += var_inc_;
+    if (activity_[v] > 1e100) {
+        for (auto &a : activity_)
+            a *= 1e-100;
+        var_inc_ *= 1e-100;
+    }
+    if (heap_pos_[v] >= 0)
+        siftUp(heap_pos_[v]);
+}
+
+void
+Solver::claBumpActivity(Clause &c)
+{
+    c.activity += cla_inc_;
+    if (c.activity > 1e20) {
+        for (int idx : learnts_)
+            clauses_[idx].activity *= 1e-20;
+        cla_inc_ *= 1e-20;
+    }
+}
+
+void
+Solver::analyze(int confl, std::vector<Lit> &out_learnt, int &out_btlevel)
+{
+    int pathC = 0;
+    Lit p = kLitUndef;
+    out_learnt.clear();
+    out_learnt.push_back(kLitUndef); // slot for the asserting literal
+    int index = static_cast<int>(trail_.size()) - 1;
+
+    do {
+        R2U_ASSERT(confl != -1, "no reason in analyze");
+        Clause &c = clauses_[confl];
+        if (c.learnt)
+            claBumpActivity(c);
+        for (size_t j = (p == kLitUndef) ? 0 : 1; j < c.lits.size(); j++) {
+            Lit q = c.lits[j];
+            if (!seen_[var(q)] && level_[var(q)] > 0) {
+                varBumpActivity(var(q));
+                seen_[var(q)] = 1;
+                if (level_[var(q)] >= decisionLevel())
+                    pathC++;
+                else
+                    out_learnt.push_back(q);
+            }
+        }
+        while (!seen_[var(trail_[index--])]) {
+        }
+        p = trail_[index + 1];
+        confl = reason_[var(p)];
+        seen_[var(p)] = 0;
+        pathC--;
+    } while (pathC > 0);
+    out_learnt[0] = ~p;
+
+    // Conflict-clause minimization (deep).
+    analyze_toclear_ = out_learnt;
+    uint32_t abstract_levels = 0;
+    for (size_t i = 1; i < out_learnt.size(); i++)
+        abstract_levels |= 1u << (level_[var(out_learnt[i])] & 31);
+    size_t j = 1;
+    for (size_t i = 1; i < out_learnt.size(); i++) {
+        Lit l = out_learnt[i];
+        if (reason_[var(l)] == -1 || !litRedundant(l, abstract_levels))
+            out_learnt[j++] = l;
+    }
+    out_learnt.resize(j);
+    stats_.learntLiterals += out_learnt.size();
+
+    // Find the backtrack level (second-highest level in the clause).
+    if (out_learnt.size() == 1) {
+        out_btlevel = 0;
+    } else {
+        size_t max_i = 1;
+        for (size_t i = 2; i < out_learnt.size(); i++)
+            if (level_[var(out_learnt[i])] >
+                level_[var(out_learnt[max_i])])
+                max_i = i;
+        std::swap(out_learnt[1], out_learnt[max_i]);
+        out_btlevel = level_[var(out_learnt[1])];
+    }
+
+    for (Lit l : analyze_toclear_)
+        seen_[var(l)] = 0;
+    analyze_toclear_.clear();
+}
+
+bool
+Solver::litRedundant(Lit p, uint32_t abstract_levels)
+{
+    analyze_stack_.clear();
+    analyze_stack_.push_back(p);
+    size_t top = analyze_toclear_.size();
+    while (!analyze_stack_.empty()) {
+        Lit q = analyze_stack_.back();
+        analyze_stack_.pop_back();
+        R2U_ASSERT(reason_[var(q)] != -1, "decision in litRedundant");
+        const Clause &c = clauses_[reason_[var(q)]];
+        for (size_t i = 1; i < c.lits.size(); i++) {
+            Lit l = c.lits[i];
+            if (!seen_[var(l)] && level_[var(l)] > 0) {
+                uint32_t abst = 1u << (level_[var(l)] & 31);
+                if (reason_[var(l)] != -1 &&
+                    (abst & abstract_levels) != 0) {
+                    seen_[var(l)] = 1;
+                    analyze_stack_.push_back(l);
+                    analyze_toclear_.push_back(l);
+                } else {
+                    for (size_t k = top; k < analyze_toclear_.size(); k++)
+                        seen_[var(analyze_toclear_[k])] = 0;
+                    analyze_toclear_.resize(top);
+                    return false;
+                }
+            }
+        }
+    }
+    return true;
+}
+
+void
+Solver::analyzeFinal(Lit p)
+{
+    conflict_core_.clear();
+    conflict_core_.push_back(~p);
+    if (decisionLevel() == 0)
+        return;
+    seen_[var(p)] = 1;
+    for (int i = static_cast<int>(trail_.size()) - 1;
+         i >= trail_lim_[0]; i--) {
+        Var x = var(trail_[i]);
+        if (!seen_[x])
+            continue;
+        if (reason_[x] == -1) {
+            R2U_ASSERT(level_[x] > 0, "root decision in analyzeFinal");
+            conflict_core_.push_back(~trail_[i]);
+        } else {
+            const Clause &c = clauses_[reason_[x]];
+            for (size_t j = 1; j < c.lits.size(); j++)
+                if (level_[var(c.lits[j])] > 0)
+                    seen_[var(c.lits[j])] = 1;
+        }
+        seen_[x] = 0;
+    }
+    seen_[var(p)] = 0;
+}
+
+void
+Solver::cancelUntil(int level)
+{
+    if (decisionLevel() <= level)
+        return;
+    for (int i = static_cast<int>(trail_.size()) - 1;
+         i >= trail_lim_[level]; i--) {
+        Var x = var(trail_[i]);
+        assigns_[x] = LBool::Undef;
+        if (heap_pos_[x] < 0)
+            heapInsert(x);
+    }
+    qhead_ = static_cast<size_t>(trail_lim_[level]);
+    trail_.resize(static_cast<size_t>(trail_lim_[level]));
+    trail_lim_.resize(static_cast<size_t>(level));
+}
+
+// --- indexed binary max-heap on activity ---
+
+void
+Solver::heapInsert(Var v)
+{
+    heap_pos_[v] = static_cast<int>(heap_.size());
+    heap_.push_back(v);
+    siftUp(heap_pos_[v]);
+}
+
+void
+Solver::siftUp(int i)
+{
+    Var v = heap_[i];
+    while (i > 0) {
+        int parent = (i - 1) / 2;
+        if (activity_[heap_[parent]] >= activity_[v])
+            break;
+        heap_[i] = heap_[parent];
+        heap_pos_[heap_[i]] = i;
+        i = parent;
+    }
+    heap_[i] = v;
+    heap_pos_[v] = i;
+}
+
+void
+Solver::siftDown(int i)
+{
+    Var v = heap_[i];
+    int n = static_cast<int>(heap_.size());
+    while (true) {
+        int child = 2 * i + 1;
+        if (child >= n)
+            break;
+        if (child + 1 < n &&
+            activity_[heap_[child + 1]] > activity_[heap_[child]])
+            child++;
+        if (activity_[heap_[child]] <= activity_[v])
+            break;
+        heap_[i] = heap_[child];
+        heap_pos_[heap_[i]] = i;
+        i = child;
+    }
+    heap_[i] = v;
+    heap_pos_[v] = i;
+}
+
+Var
+Solver::heapRemoveMax()
+{
+    Var v = heap_[0];
+    heap_pos_[v] = -1;
+    Var last = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) {
+        heap_[0] = last;
+        heap_pos_[last] = 0;
+        siftDown(0);
+    }
+    return v;
+}
+
+Lit
+Solver::pickBranchLit()
+{
+    while (!heapEmpty()) {
+        Var v = heapRemoveMax();
+        if (value(v) == LBool::Undef)
+            return mkLit(v, polarity_[v]);
+    }
+    return kLitUndef;
+}
+
+void
+Solver::reduceDB()
+{
+    std::sort(learnts_.begin(), learnts_.end(), [&](int a, int b) {
+        return clauses_[a].activity < clauses_[b].activity;
+    });
+    size_t keep_from = learnts_.size() / 2;
+    std::vector<int> kept;
+    for (size_t i = 0; i < learnts_.size(); i++) {
+        int cref = learnts_[i];
+        Clause &c = clauses_[cref];
+        bool locked = value(c.lits[0]) == LBool::True &&
+                      reason_[var(c.lits[0])] == cref;
+        if (i >= keep_from || c.lits.size() <= 2 || locked) {
+            kept.push_back(cref);
+            continue;
+        }
+        // Detach the two watchers.
+        for (int w = 0; w < 2; w++) {
+            auto &ws = watches_[(~c.lits[w]).x];
+            for (size_t k = 0; k < ws.size(); k++) {
+                if (ws[k].cref == cref) {
+                    ws[k] = ws.back();
+                    ws.pop_back();
+                    break;
+                }
+            }
+        }
+        c.lits.clear();
+        c.lits.shrink_to_fit();
+        stats_.removedClauses++;
+    }
+    learnts_ = std::move(kept);
+}
+
+int64_t
+Solver::luby(int64_t x)
+{
+    // Luby sequence: 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ...
+    int64_t size = 1, seq = 0;
+    while (size < x + 1) {
+        seq++;
+        size = 2 * size + 1;
+    }
+    while (size - 1 != x) {
+        size = (size - 1) / 2;
+        seq--;
+        x = x % size;
+    }
+    return 1ll << seq;
+}
+
+Result
+Solver::search(int64_t conflicts_before_restart)
+{
+    int64_t conflicts_here = 0;
+    std::vector<Lit> learnt;
+    while (true) {
+        int confl = propagate();
+        if (confl != -1) {
+            stats_.conflicts++;
+            conflicts_this_solve_++;
+            conflicts_here++;
+            if (decisionLevel() == 0) {
+                ok_ = false;
+                conflict_core_.clear();
+                return Result::Unsat;
+            }
+            int btlevel;
+            analyze(confl, learnt, btlevel);
+            cancelUntil(btlevel);
+            if (learnt.size() == 1) {
+                uncheckedEnqueue(learnt[0], -1);
+            } else {
+                int cref = static_cast<int>(clauses_.size());
+                clauses_.push_back(Clause{true, cla_inc_, learnt});
+                learnts_.push_back(cref);
+                attachClause(cref);
+                uncheckedEnqueue(learnt[0], cref);
+            }
+            varDecayActivity();
+            cla_inc_ /= cla_decay_;
+        } else {
+            if (conflicts_here >= conflicts_before_restart) {
+                cancelUntil(0);
+                stats_.restarts++;
+                return Result::Unknown;
+            }
+            if (conflict_budget_ >= 0 &&
+                conflicts_this_solve_ >= conflict_budget_) {
+                cancelUntil(0);
+                return Result::Unknown;
+            }
+            if (static_cast<double>(learnts_.size()) >= max_learnts_)
+                reduceDB();
+
+            // Establish assumptions, then decide.
+            Lit next = kLitUndef;
+            while (decisionLevel() <
+                   static_cast<int>(assumptions_.size())) {
+                Lit p = assumptions_[decisionLevel()];
+                if (value(p) == LBool::True) {
+                    trail_lim_.push_back(
+                        static_cast<int>(trail_.size()));
+                } else if (value(p) == LBool::False) {
+                    analyzeFinal(~p);
+                    return Result::Unsat;
+                } else {
+                    next = p;
+                    break;
+                }
+            }
+            if (next == kLitUndef) {
+                stats_.decisions++;
+                next = pickBranchLit();
+                if (next == kLitUndef) {
+                    // All variables assigned: model found.
+                    model_.assign(assigns_.begin(), assigns_.end());
+                    return Result::Sat;
+                }
+            } else {
+                stats_.decisions++;
+            }
+            trail_lim_.push_back(static_cast<int>(trail_.size()));
+            uncheckedEnqueue(next, -1);
+        }
+    }
+}
+
+Result
+Solver::solve(const std::vector<Lit> &assumptions)
+{
+    conflict_core_.clear();
+    if (!ok_)
+        return Result::Unsat;
+    assumptions_ = assumptions;
+    conflicts_this_solve_ = 0;
+    max_learnts_ = std::max<double>(
+        static_cast<double>(clauses_.size()) / 3.0, 1000.0);
+
+    Result status = Result::Unknown;
+    int64_t restart = 0;
+    while (status == Result::Unknown) {
+        status = search(luby(restart++) * 100);
+        if (status == Result::Unknown && conflict_budget_ >= 0 &&
+            conflicts_this_solve_ >= conflict_budget_)
+            break;
+    }
+    cancelUntil(0);
+    assumptions_.clear();
+    return status;
+}
+
+bool
+Solver::modelValue(Var v) const
+{
+    R2U_ASSERT(v >= 0 && v < static_cast<int>(model_.size()),
+               "modelValue of unknown var %d", v);
+    return model_[v] == LBool::True;
+}
+
+} // namespace r2u::sat

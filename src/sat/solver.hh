@@ -1,0 +1,206 @@
+/**
+ * @file
+ * A CDCL SAT solver in the MiniSat lineage.
+ *
+ * This is the proof engine that stands in for the commercial property
+ * verifier (JasperGold) in the paper's flow: the BMC layer (src/bmc)
+ * bit-blasts netlist properties into CNF and asks this solver for a
+ * model (a counterexample trace) or an UNSAT verdict (a proof at bound).
+ *
+ * Features: two-watched-literal propagation, VSIDS decision heuristic
+ * with an indexed max-heap, phase saving, first-UIP conflict analysis
+ * with local clause minimization, Luby restarts, learnt-clause database
+ * reduction, and solving under assumptions (used for incremental BMC).
+ */
+
+#ifndef R2U_SAT_SOLVER_HH
+#define R2U_SAT_SOLVER_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace r2u::sat
+{
+
+/** Variable index, 0-based. */
+using Var = int;
+
+/**
+ * Literal: packed as 2*var + sign, sign bit 1 means negated.
+ * Default-constructed literals are invalid (undef).
+ */
+struct Lit
+{
+    int x = -2;
+
+    bool operator==(const Lit &o) const { return x == o.x; }
+    bool operator!=(const Lit &o) const { return x != o.x; }
+    bool operator<(const Lit &o) const { return x < o.x; }
+};
+
+inline Lit
+mkLit(Var v, bool neg = false)
+{
+    return Lit{2 * v + (neg ? 1 : 0)};
+}
+
+inline Lit operator~(Lit l) { return Lit{l.x ^ 1}; }
+inline bool sign(Lit l) { return l.x & 1; }
+inline Var var(Lit l) { return l.x >> 1; }
+
+constexpr Lit kLitUndef{-2};
+
+/** Tri-state assignment value. */
+enum class LBool : int8_t { False = -1, Undef = 0, True = 1 };
+
+inline LBool
+operator^(LBool v, bool neg)
+{
+    return neg ? static_cast<LBool>(-static_cast<int8_t>(v)) : v;
+}
+
+enum class Result { Sat, Unsat, Unknown };
+
+/** Aggregate search statistics, exposed for benches and logging. */
+struct SolverStats
+{
+    uint64_t conflicts = 0;
+    uint64_t decisions = 0;
+    uint64_t propagations = 0;
+    uint64_t restarts = 0;
+    uint64_t learntLiterals = 0;
+    uint64_t removedClauses = 0;
+};
+
+class Solver
+{
+  public:
+    Solver();
+
+    /** Create a fresh variable and return its index. */
+    Var newVar();
+
+    int numVars() const { return static_cast<int>(assigns_.size()); }
+
+    /**
+     * Add a clause (disjunction of literals). Returns false if the
+     * solver became trivially UNSAT (empty clause / conflicting units).
+     */
+    bool addClause(std::vector<Lit> lits);
+
+    bool addClause(Lit a) { return addClause(std::vector<Lit>{a}); }
+    bool addClause(Lit a, Lit b) { return addClause({a, b}); }
+    bool addClause(Lit a, Lit b, Lit c) { return addClause({a, b, c}); }
+
+    /**
+     * Solve under the given assumptions. Returns Sat, Unsat, or Unknown
+     * if the conflict budget was exhausted.
+     */
+    Result solve(const std::vector<Lit> &assumptions = {});
+
+    /** Model value of a variable after a Sat result. */
+    bool modelValue(Var v) const;
+    bool modelValue(Lit l) const { return modelValue(var(l)) ^ sign(l); }
+
+    /**
+     * After an Unsat result under assumptions, the subset of assumptions
+     * used in the final conflict (analogous to MiniSat's conflict core).
+     */
+    const std::vector<Lit> &conflictCore() const { return conflict_core_; }
+
+    /** Limit total conflicts for one solve() call; <0 means no limit. */
+    void setConflictBudget(int64_t budget) { conflict_budget_ = budget; }
+
+    const SolverStats &stats() const { return stats_; }
+
+    bool okay() const { return ok_; }
+
+  private:
+    struct Clause
+    {
+        bool learnt = false;
+        double activity = 0.0;
+        std::vector<Lit> lits;
+    };
+
+    struct Watcher
+    {
+        int cref;
+        Lit blocker;
+    };
+
+    // --- search core ---
+    LBool value(Var v) const { return assigns_[v]; }
+    LBool value(Lit l) const { return assigns_[var(l)] ^ sign(l); }
+
+    void attachClause(int cref);
+    void uncheckedEnqueue(Lit l, int reason);
+    int propagate(); // returns conflicting clause ref or -1
+    void analyze(int confl, std::vector<Lit> &out_learnt,
+                 int &out_btlevel);
+    void analyzeFinal(Lit p);
+    bool litRedundant(Lit l, uint32_t abstract_levels);
+    void cancelUntil(int level);
+    Lit pickBranchLit();
+    Result search(int64_t conflicts_before_restart);
+    void reduceDB();
+
+    // --- VSIDS heap ---
+    void heapInsert(Var v);
+    void heapDecrease(Var v); // activity increased -> sift up
+    Var heapRemoveMax();
+    bool heapEmpty() const { return heap_.empty(); }
+    void siftUp(int i);
+    void siftDown(int i);
+    void varBumpActivity(Var v);
+    void varDecayActivity() { var_inc_ /= var_decay_; }
+    void claBumpActivity(Clause &c);
+
+    static int64_t luby(int64_t x);
+
+    // --- state ---
+    bool ok_ = true;
+    std::vector<Clause> clauses_;
+    std::vector<int> learnts_; // indices into clauses_
+    std::vector<std::vector<Watcher>> watches_; // indexed by Lit.x
+    std::vector<LBool> assigns_;
+    std::vector<bool> polarity_; // saved phase (true = last was false)
+    std::vector<double> activity_;
+    std::vector<int> heap_;     // binary max-heap of vars
+    std::vector<int> heap_pos_; // var -> index in heap_, -1 if absent
+    std::vector<Lit> trail_;
+    std::vector<int> trail_lim_;
+    std::vector<int> reason_; // var -> clause ref or -1
+    std::vector<int> level_;  // var -> decision level
+    size_t qhead_ = 0;
+
+    std::vector<Lit> assumptions_;
+    std::vector<Lit> conflict_core_;
+    std::vector<LBool> model_;
+
+    // analyze scratch
+    std::vector<uint8_t> seen_;
+    std::vector<Lit> analyze_stack_;
+    std::vector<Lit> analyze_toclear_;
+
+    double var_inc_ = 1.0;
+    double var_decay_ = 0.95;
+    double cla_inc_ = 1.0;
+    double cla_decay_ = 0.999;
+    double max_learnts_ = 0;
+
+    int64_t conflict_budget_ = -1;
+    int64_t conflicts_this_solve_ = 0;
+
+    SolverStats stats_;
+
+    int decisionLevel() const
+    {
+        return static_cast<int>(trail_lim_.size());
+    }
+};
+
+} // namespace r2u::sat
+
+#endif // R2U_SAT_SOLVER_HH

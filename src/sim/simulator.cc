@@ -1,0 +1,230 @@
+#include "sim/simulator.hh"
+
+#include "common/logging.hh"
+
+namespace r2u::sim
+{
+
+using nl::CellId;
+using nl::CellKind;
+
+Simulator::Simulator(const nl::Netlist &netlist) : nl_(netlist)
+{
+    nl_.validate();
+    reset();
+}
+
+void
+Simulator::reset()
+{
+    values_.assign(nl_.numCells(), Bits());
+    for (size_t i = 0; i < nl_.numCells(); i++) {
+        const nl::Cell &c = nl_.cell(static_cast<CellId>(i));
+        switch (c.kind) {
+          case CellKind::Const:
+          case CellKind::Dff:
+            values_[i] = c.value;
+            break;
+          default:
+            values_[i] = Bits(c.width);
+            break;
+        }
+    }
+    mems_.clear();
+    for (size_t m = 0; m < nl_.numMemories(); m++)
+        mems_.push_back(nl_.memory(static_cast<nl::MemId>(m)).init);
+    cycle_ = 0;
+    comb_dirty_ = true;
+}
+
+void
+Simulator::setInput(CellId input, const Bits &value)
+{
+    const nl::Cell &c = nl_.cell(input);
+    R2U_ASSERT(c.kind == CellKind::Input, "setInput on non-input '%s'",
+               c.name.c_str());
+    R2U_ASSERT(c.width == value.width(),
+               "input '%s' width %u, got value width %u", c.name.c_str(),
+               c.width, value.width());
+    values_[input] = value;
+    comb_dirty_ = true;
+}
+
+void
+Simulator::setInput(const std::string &name, const Bits &value)
+{
+    CellId id = nl_.findByName(name);
+    if (id == nl::kNoCell)
+        fatal("no input named '%s'", name.c_str());
+    setInput(id, value);
+}
+
+unsigned
+Simulator::wrapAddr(const nl::Memory &m, const Bits &addr) const
+{
+    uint64_t a = addr.toUint64();
+    return static_cast<unsigned>(a % m.depth);
+}
+
+Bits
+Simulator::evalCell(CellId id) const
+{
+    const nl::Cell &c = nl_.cell(id);
+    auto in = [&](size_t i) -> const Bits & {
+        return values_[c.inputs[i]];
+    };
+    switch (c.kind) {
+      case CellKind::Add: return in(0) + in(1);
+      case CellKind::Sub: return in(0) - in(1);
+      case CellKind::And: return in(0) & in(1);
+      case CellKind::Or: return in(0) | in(1);
+      case CellKind::Xor: return in(0) ^ in(1);
+      case CellKind::Not: return ~in(0);
+      case CellKind::Mux:
+        return in(0).toBool() ? in(1) : in(2);
+      case CellKind::Eq:
+        return Bits(1, in(0) == in(1) ? 1 : 0);
+      case CellKind::Ult:
+        return Bits(1, in(0).ult(in(1)) ? 1 : 0);
+      case CellKind::Slt:
+        return Bits(1, in(0).slt(in(1)) ? 1 : 0);
+      case CellKind::RedOr:
+        return Bits(1, in(0).toBool() ? 1 : 0);
+      case CellKind::RedAnd:
+        return Bits(1, in(0).isAllOnes() ? 1 : 0);
+      case CellKind::Shl: {
+        uint64_t sh = in(1).toUint64();
+        return in(0).shl(sh >= c.width ? c.width : unsigned(sh));
+      }
+      case CellKind::Lshr: {
+        uint64_t sh = in(1).toUint64();
+        return in(0).lshr(sh >= c.width ? c.width : unsigned(sh));
+      }
+      case CellKind::Ashr: {
+        uint64_t sh = in(1).toUint64();
+        return in(0).ashr(sh >= c.width ? c.width : unsigned(sh));
+      }
+      case CellKind::Concat: {
+        Bits acc;
+        // inputs are MSB-first; concat from the last (LSB) up.
+        for (size_t i = c.inputs.size(); i-- > 0;)
+            acc = Bits::concat(values_[c.inputs[i]], acc);
+        return acc;
+      }
+      case CellKind::Slice:
+        return in(0).slice(c.lo, c.width);
+      case CellKind::Zext:
+        return in(0).zext(c.width);
+      case CellKind::Sext:
+        return in(0).sext(c.width);
+      case CellKind::MemRead: {
+        const nl::Memory &m = nl_.memory(c.mem);
+        return mems_[c.mem][wrapAddr(m, in(0))];
+      }
+      default:
+        panic("evalCell on non-combinational cell %s",
+              nl::cellKindName(c.kind));
+    }
+}
+
+void
+Simulator::evalComb()
+{
+    if (!comb_dirty_)
+        return;
+    for (CellId id : nl_.topoOrder())
+        values_[id] = evalCell(id);
+    comb_dirty_ = false;
+}
+
+void
+Simulator::step()
+{
+    evalComb();
+
+    // Capture next-state for all registers (read phase).
+    std::vector<std::pair<CellId, Bits>> dff_next;
+    dff_next.reserve(nl_.dffs().size());
+    for (CellId id : nl_.dffs()) {
+        const nl::Cell &c = nl_.cell(id);
+        const Bits &en = values_[c.inputs[1]];
+        if (en.toBool())
+            dff_next.emplace_back(id, values_[c.inputs[0]]);
+    }
+
+    // Capture memory writes (read phase). Later ports take priority.
+    std::vector<std::tuple<nl::MemId, unsigned, Bits>> writes;
+    for (size_t m = 0; m < nl_.numMemories(); m++) {
+        const nl::Memory &mem = nl_.memory(static_cast<nl::MemId>(m));
+        for (CellId port : mem.writePorts) {
+            const nl::Cell &c = nl_.cell(port);
+            const Bits &en = values_[c.inputs[2]];
+            if (!en.toBool())
+                continue;
+            unsigned addr = wrapAddr(mem, values_[c.inputs[0]]);
+            writes.emplace_back(static_cast<nl::MemId>(m), addr,
+                                values_[c.inputs[1]]);
+        }
+    }
+
+    // Commit phase.
+    for (auto &[id, v] : dff_next)
+        values_[id] = v;
+    for (auto &[m, addr, v] : writes)
+        mems_[m][addr] = v;
+
+    cycle_++;
+    comb_dirty_ = true;
+}
+
+void
+Simulator::run(unsigned n)
+{
+    for (unsigned i = 0; i < n; i++)
+        step();
+}
+
+const Bits &
+Simulator::value(CellId id)
+{
+    evalComb();
+    return values_[id];
+}
+
+const Bits &
+Simulator::value(const std::string &name)
+{
+    CellId id = nl_.findByName(name);
+    if (id == nl::kNoCell)
+        fatal("no wire named '%s'", name.c_str());
+    return value(id);
+}
+
+const Bits &
+Simulator::memWord(nl::MemId mem, unsigned addr) const
+{
+    R2U_ASSERT(addr < nl_.memory(mem).depth, "memWord addr out of range");
+    return mems_[mem][addr];
+}
+
+void
+Simulator::pokeMem(nl::MemId mem, unsigned addr, const Bits &value)
+{
+    R2U_ASSERT(addr < nl_.memory(mem).depth, "pokeMem addr out of range");
+    R2U_ASSERT(value.width() == nl_.memory(mem).width,
+               "pokeMem width mismatch");
+    mems_[mem][addr] = value;
+    comb_dirty_ = true;
+}
+
+void
+Simulator::pokeDff(nl::CellId dff, const Bits &value)
+{
+    const nl::Cell &c = nl_.cell(dff);
+    R2U_ASSERT(c.kind == CellKind::Dff, "pokeDff on non-dff");
+    R2U_ASSERT(c.width == value.width(), "pokeDff width mismatch");
+    values_[dff] = value;
+    comb_dirty_ = true;
+}
+
+} // namespace r2u::sim

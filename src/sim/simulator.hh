@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Cycle-accurate interpreter for nl::Netlist designs.
+ *
+ * Evaluation model: within a cycle, combinational cells are evaluated
+ * in topological order from the current sequential state and inputs;
+ * step() then updates all Dff cells and applies all memory writes
+ * simultaneously (reads see pre-edge state), advancing one clock edge.
+ */
+
+#ifndef R2U_SIM_SIMULATOR_HH
+#define R2U_SIM_SIMULATOR_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bits.hh"
+#include "netlist/netlist.hh"
+
+namespace r2u::sim
+{
+
+class Simulator
+{
+  public:
+    explicit Simulator(const nl::Netlist &netlist);
+
+    /** Return all state to power-on values and clear inputs to zero. */
+    void reset();
+
+    void setInput(nl::CellId input, const Bits &value);
+    void setInput(const std::string &name, const Bits &value);
+
+    /** Advance one clock edge. */
+    void step();
+
+    /** Run @p n clock edges. */
+    void run(unsigned n);
+
+    /** Current (post-combinational) value of any wire. */
+    const Bits &value(nl::CellId id);
+    const Bits &value(const std::string &name);
+
+    /** Current contents of one memory word. */
+    const Bits &memWord(nl::MemId mem, unsigned addr) const;
+
+    /** Overwrite a memory word (e.g., program loading). */
+    void pokeMem(nl::MemId mem, unsigned addr, const Bits &value);
+
+    /** Overwrite a register (e.g., for directed state setup in tests). */
+    void pokeDff(nl::CellId dff, const Bits &value);
+
+    uint64_t cycle() const { return cycle_; }
+
+    const nl::Netlist &netlist() const { return nl_; }
+
+  private:
+    void evalComb();
+    Bits evalCell(nl::CellId id) const;
+    unsigned wrapAddr(const nl::Memory &m, const Bits &addr) const;
+
+    const nl::Netlist &nl_;
+    std::vector<Bits> values_;       ///< wire values, indexed by CellId
+    std::vector<std::vector<Bits>> mems_;
+    uint64_t cycle_ = 0;
+    bool comb_dirty_ = true;
+};
+
+} // namespace r2u::sim
+
+#endif // R2U_SIM_SIMULATOR_HH

@@ -1,0 +1,90 @@
+#include "sim/vcd.hh"
+
+#include "common/logging.hh"
+#include "common/strutil.hh"
+
+namespace r2u::sim
+{
+
+VcdWriter::VcdWriter(Simulator &sim, std::vector<nl::CellId> signals)
+    : sim_(sim), signals_(std::move(signals))
+{
+    last_.resize(signals_.size());
+}
+
+VcdWriter::VcdWriter(Simulator &sim, const std::vector<std::string> &names)
+    : sim_(sim)
+{
+    for (const auto &name : names) {
+        nl::CellId id = sim.netlist().findByName(name);
+        if (id == nl::kNoCell)
+            fatal("vcd: no wire named '%s'", name.c_str());
+        signals_.push_back(id);
+    }
+    last_.resize(signals_.size());
+}
+
+std::string
+VcdWriter::idCode(size_t index) const
+{
+    // Printable VCD identifier characters: '!' (33) .. '~' (126).
+    std::string code;
+    size_t n = index;
+    do {
+        code.push_back(static_cast<char>('!' + n % 94));
+        n /= 94;
+    } while (n > 0);
+    return code;
+}
+
+void
+VcdWriter::sample()
+{
+    body_ += strfmt("#%llu\n",
+                    static_cast<unsigned long long>(sim_.cycle()));
+    for (size_t i = 0; i < signals_.size(); i++) {
+        const Bits &v = sim_.value(signals_[i]);
+        if (!first_sample_ && v == last_[i])
+            continue;
+        const nl::Cell &c = sim_.netlist().cell(signals_[i]);
+        if (c.width == 1) {
+            body_ += strfmt("%c%s\n", v.toBool() ? '1' : '0',
+                            idCode(i).c_str());
+        } else {
+            body_ += "b" + v.toBinString() + " " + idCode(i) + "\n";
+        }
+        last_[i] = v;
+    }
+    first_sample_ = false;
+}
+
+std::string
+VcdWriter::render() const
+{
+    std::string out;
+    out += "$date r2u simulation $end\n";
+    out += "$version rtl2uspec netlist simulator $end\n";
+    out += "$timescale 1ns $end\n";
+    out += "$scope module top $end\n";
+    for (size_t i = 0; i < signals_.size(); i++) {
+        const nl::Cell &c = sim_.netlist().cell(signals_[i]);
+        std::string name =
+            c.name.empty() ? strfmt("cell_%d", c.id) : c.name;
+        for (char &ch : name)
+            if (ch == '.' || ch == '[' || ch == ']')
+                ch = '_';
+        out += strfmt("$var wire %u %s %s $end\n", c.width,
+                      idCode(i).c_str(), name.c_str());
+    }
+    out += "$upscope $end\n$enddefinitions $end\n";
+    out += body_;
+    return out;
+}
+
+void
+VcdWriter::writeTo(const std::string &path) const
+{
+    writeFile(path, render());
+}
+
+} // namespace r2u::sim

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * VCD (Value Change Dump) waveform writer for the netlist simulator.
+ * Record a set of wires each cycle and dump a standard VCD file that
+ * any waveform viewer (GTKWave etc.) can open — the debugging
+ * companion to counterexample traces.
+ */
+
+#ifndef R2U_SIM_VCD_HH
+#define R2U_SIM_VCD_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hh"
+
+namespace r2u::sim
+{
+
+class VcdWriter
+{
+  public:
+    /**
+     * Watch the given wires of @p sim. Signals may be any cell id;
+     * display names default to the cells' hierarchical names.
+     */
+    VcdWriter(Simulator &sim, std::vector<nl::CellId> signals);
+
+    /** Convenience: resolve names through the netlist. */
+    VcdWriter(Simulator &sim, const std::vector<std::string> &names);
+
+    /** Record the current values at the simulator's current cycle. */
+    void sample();
+
+    /** Render the VCD text accumulated so far. */
+    std::string render() const;
+
+    /** Write to a file. */
+    void writeTo(const std::string &path) const;
+
+  private:
+    std::string idCode(size_t index) const;
+
+    Simulator &sim_;
+    std::vector<nl::CellId> signals_;
+    std::vector<Bits> last_;
+    bool first_sample_ = true;
+    std::string body_;
+};
+
+} // namespace r2u::sim
+
+#endif // R2U_SIM_VCD_HH

@@ -1,0 +1,171 @@
+#include "sva/monitors.hh"
+
+#include "common/logging.hh"
+
+namespace r2u::sva
+{
+
+using sat::Lit;
+
+EventVec
+occupancy(bmc::PropCtx &ctx, const std::string &signal,
+          const sat::Word &rigid)
+{
+    return occupancyCell(ctx, ctx.cellOf(signal), rigid);
+}
+
+EventVec
+occupancyCell(bmc::PropCtx &ctx, nl::CellId cell, const sat::Word &rigid)
+{
+    EventVec ev(ctx.bound());
+    for (unsigned f = 0; f < ctx.bound(); f++) {
+        const sat::Word &w = ctx.unroller().wire(f, cell);
+        R2U_ASSERT(w.size() == rigid.size(),
+                   "occupancy width mismatch %zu vs %zu", w.size(),
+                   rigid.size());
+        ev[f] = ctx.cnf().mkEqW(w, rigid);
+    }
+    return ev;
+}
+
+void
+assumeOneInterval(bmc::PropCtx &ctx, const EventVec &ev)
+{
+    auto &cnf = ctx.cnf();
+    Lit started = cnf.falseLit();
+    Lit ended = cnf.falseLit();
+    for (size_t f = 0; f < ev.size(); f++) {
+        // Once the interval has ended, the event may not re-fire.
+        ctx.assume(~cnf.mkAnd(ended, ev[f]));
+        ended = cnf.mkOr(ended, cnf.mkAnd(started, ~ev[f]));
+        started = cnf.mkOr(started, ev[f]);
+    }
+    ctx.assume(started); // non-empty
+    ctx.assume(ended);   // closes within the bound
+}
+
+void
+assumeBinding(bmc::PropCtx &ctx, const EventVec &occ,
+              const std::string &signal, const sat::Word &rigid)
+{
+    auto &cnf = ctx.cnf();
+    nl::CellId cell = ctx.cellOf(signal);
+    for (size_t f = 0; f < occ.size(); f++) {
+        Lit eq = cnf.mkEqW(
+            ctx.unroller().wire(static_cast<unsigned>(f), cell), rigid);
+        ctx.assume(cnf.mkImplies(occ[f], eq));
+    }
+}
+
+void
+assumeEncoding(bmc::PropCtx &ctx, const sat::Word &rigid, uint32_t mask,
+               uint32_t match)
+{
+    R2U_ASSERT(rigid.size() <= 64, "encoding rigid too wide");
+    for (size_t b = 0; b < rigid.size(); b++) {
+        if ((mask >> b) & 1) {
+            bool bit = (match >> b) & 1;
+            ctx.assume(bit ? rigid[b] : ~rigid[b]);
+        }
+    }
+}
+
+Lit
+changeDuring(bmc::PropCtx &ctx, const EventVec &occ, nl::CellId element)
+{
+    auto &cnf = ctx.cnf();
+    Lit bad = cnf.falseLit();
+    for (size_t f = 1; f < occ.size(); f++) {
+        Lit same = cnf.mkEqW(
+            ctx.unroller().wire(static_cast<unsigned>(f), element),
+            ctx.unroller().wire(static_cast<unsigned>(f) - 1, element));
+        bad = cnf.mkOr(bad, cnf.mkAnd(occ[f], ~same));
+    }
+    return bad;
+}
+
+Lit
+eventDuring(bmc::PropCtx &ctx, const EventVec &occ, const EventVec &event)
+{
+    auto &cnf = ctx.cnf();
+    R2U_ASSERT(occ.size() == event.size(), "event vector size mismatch");
+    Lit bad = cnf.falseLit();
+    for (size_t f = 0; f < occ.size(); f++)
+        bad = cnf.mkOr(bad, cnf.mkAnd(occ[f], event[f]));
+    return bad;
+}
+
+EventVec
+andEvents(bmc::PropCtx &ctx, const EventVec &a, const EventVec &b)
+{
+    R2U_ASSERT(a.size() == b.size(), "event vector size mismatch");
+    EventVec out(a.size());
+    for (size_t f = 0; f < a.size(); f++)
+        out[f] = ctx.cnf().mkAnd(a[f], b[f]);
+    return out;
+}
+
+EventVec
+entryEvents(bmc::PropCtx &ctx, const EventVec &ev)
+{
+    EventVec out(ev.size());
+    for (size_t f = 0; f < ev.size(); f++)
+        out[f] = f == 0 ? ev[0] : ctx.cnf().mkAnd(ev[f], ~ev[f - 1]);
+    return out;
+}
+
+EventVec
+exitEvents(bmc::PropCtx &ctx, const EventVec &ev)
+{
+    EventVec out(ev.size());
+    for (size_t f = 0; f < ev.size(); f++) {
+        out[f] = f + 1 < ev.size()
+                     ? ctx.cnf().mkAnd(ev[f], ~ev[f + 1])
+                     : ctx.cnf().falseLit();
+    }
+    return out;
+}
+
+EventVec
+seenPrefix(bmc::PropCtx &ctx, const EventVec &ev)
+{
+    EventVec out(ev.size());
+    sat::Lit acc = ctx.cnf().falseLit();
+    for (size_t f = 0; f < ev.size(); f++) {
+        acc = ctx.cnf().mkOr(acc, ev[f]);
+        out[f] = acc;
+    }
+    return out;
+}
+
+Lit
+occurs(bmc::PropCtx &ctx, const EventVec &ev)
+{
+    return ev.empty() ? ctx.cnf().falseLit()
+                      : seenPrefix(ctx, ev).back();
+}
+
+Lit
+notStrictlyBefore(bmc::PropCtx &ctx, const EventVec &a, const EventVec &b)
+{
+    auto &cnf = ctx.cnf();
+    EventVec seen_a = seenPrefix(ctx, a);
+    EventVec first_b = entryEvents(ctx, seenPrefix(ctx, b));
+    Lit bad = cnf.falseLit();
+    for (size_t f = 0; f < b.size(); f++) {
+        Lit a_before = f == 0 ? cnf.falseLit() : seen_a[f - 1];
+        bad = cnf.mkOr(bad, cnf.mkAnd(first_b[f], ~a_before));
+    }
+    return bad;
+}
+
+void
+assumeStrictlyBefore(bmc::PropCtx &ctx, const EventVec &a,
+                     const EventVec &b)
+{
+    ctx.assume(occurs(ctx, a));
+    ctx.assume(occurs(ctx, b));
+    ctx.assume(~notStrictlyBefore(ctx, a, b));
+}
+
+} // namespace r2u::sva

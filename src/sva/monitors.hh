@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Temporal monitor encodings for the paper's SVA templates (Fig. 4 and
+ * §4.3.3), built over a bmc::PropCtx.
+ *
+ * An instruction instance is identified by a rigid PC (pc0) and rigid
+ * encoding (i0) as in the paper: occupancy of pipeline stage k is the
+ * per-frame predicate PCR[k] == pc0. The helpers build the standard
+ * assumption/assertion pieces:
+ *   - P0: the stage-0 occupancy forms one contiguous interval,
+ *   - P2: while occupying stage 0, the IFR holds i0,
+ *   - P3: i0 matches an instruction type's mask/match encoding,
+ *   - A0: "s never changes during occupancy" violations,
+ *   - ordering: "first event A strictly before first event B".
+ */
+
+#ifndef R2U_SVA_MONITORS_HH
+#define R2U_SVA_MONITORS_HH
+
+#include <string>
+#include <vector>
+
+#include "bmc/checker.hh"
+
+namespace r2u::sva
+{
+
+using EventVec = std::vector<sat::Lit>; ///< one literal per frame
+
+/** Per-frame equality of a signal with a rigid word. */
+EventVec occupancy(bmc::PropCtx &ctx, const std::string &signal,
+                   const sat::Word &rigid);
+
+/** Per-frame equality of a signal (by cell) with a rigid word. */
+EventVec occupancyCell(bmc::PropCtx &ctx, nl::CellId cell,
+                       const sat::Word &rigid);
+
+/**
+ * Assume the event vector is one non-empty contiguous interval that
+ * also ends within the bound (template P0: `!=pc0 [*0:$] ##1 ==pc0
+ * [*1:$] ##1 !=pc0`). Requiring the interval to close keeps update
+ * events attributable within the unrolling.
+ */
+void assumeOneInterval(bmc::PropCtx &ctx, const EventVec &ev);
+
+/** Assume ev[f] -> (signal_f == rigid) for every frame (P2). */
+void assumeBinding(bmc::PropCtx &ctx, const EventVec &occ,
+                   const std::string &signal, const sat::Word &rigid);
+
+/** Assume (rigid & mask) == match (P3). */
+void assumeEncoding(bmc::PropCtx &ctx, const sat::Word &rigid,
+                    uint32_t mask, uint32_t match);
+
+/**
+ * A0 violation: some frame f >= 1 where the stage is occupied and the
+ * state element changed relative to frame f-1.
+ */
+sat::Lit changeDuring(bmc::PropCtx &ctx, const EventVec &occ,
+                      nl::CellId element);
+
+/** Violation: some frame where @p occ holds and @p event fires. */
+sat::Lit eventDuring(bmc::PropCtx &ctx, const EventVec &occ,
+                     const EventVec &event);
+
+/** Conjunction per frame of two event vectors. */
+EventVec andEvents(bmc::PropCtx &ctx, const EventVec &a,
+                   const EventVec &b);
+
+/** ev[f] && !ev[f-1] (entry edges); frame 0 uses ev[0]. */
+EventVec entryEvents(bmc::PropCtx &ctx, const EventVec &ev);
+
+/** ev[f] && !ev[f+1] (exit edges); the last frame never exits. */
+EventVec exitEvents(bmc::PropCtx &ctx, const EventVec &ev);
+
+/** seen[f] = ev[0] | ... | ev[f]. */
+EventVec seenPrefix(bmc::PropCtx &ctx, const EventVec &ev);
+
+/** Lit: event vector fires at least once. */
+sat::Lit occurs(bmc::PropCtx &ctx, const EventVec &ev);
+
+/**
+ * Violation of "first occurrence of A strictly before first
+ * occurrence of B": true iff B first fires at some frame f with no A
+ * occurrence in frames 0..f-1.
+ */
+sat::Lit notStrictlyBefore(bmc::PropCtx &ctx, const EventVec &a,
+                           const EventVec &b);
+
+/**
+ * Assume A's first occurrence is strictly before B's first occurrence
+ * and both occur (used to posit a reference order such as program
+ * order between two instruction instances).
+ */
+void assumeStrictlyBefore(bmc::PropCtx &ctx, const EventVec &a,
+                          const EventVec &b);
+
+} // namespace r2u::sva
+
+#endif // R2U_SVA_MONITORS_HH

@@ -1,0 +1,414 @@
+#include "uhb/uhb.hh"
+
+#include <algorithm>
+#include <set>
+
+#include "common/dot.hh"
+#include "common/logging.hh"
+#include "common/strutil.hh"
+
+namespace r2u::uhb
+{
+
+using uspec::Axiom;
+using uspec::EdgeSpec;
+using uspec::Model;
+using uspec::Pred;
+using uspec::PredKind;
+
+Graph::Graph(size_t num_ops, size_t num_locs)
+    : num_ops_(num_ops), num_locs_(num_locs),
+      adj_(num_ops * num_locs), labels_(num_ops * num_locs)
+{
+}
+
+bool
+Graph::addEdge(int op_a, int loc_a, int op_b, int loc_b,
+               const std::string &label)
+{
+    int a = nodeOf(op_a, loc_a);
+    int b = nodeOf(op_b, loc_b);
+    for (int existing : adj_[a])
+        if (existing == b)
+            return false;
+    adj_[a].push_back(b);
+    labels_[a].push_back(label);
+    edge_count_++;
+    return true;
+}
+
+bool
+Graph::hasEdge(int op_a, int loc_a, int op_b, int loc_b) const
+{
+    int a = nodeOf(op_a, loc_a);
+    int b = nodeOf(op_b, loc_b);
+    for (int existing : adj_[a])
+        if (existing == b)
+            return true;
+    return false;
+}
+
+bool
+Graph::cyclic() const
+{
+    // Iterative DFS with colors.
+    std::vector<uint8_t> color(adj_.size(), 0);
+    std::vector<std::pair<int, size_t>> stack;
+    for (size_t root = 0; root < adj_.size(); root++) {
+        if (color[root])
+            continue;
+        stack.emplace_back(static_cast<int>(root), 0);
+        color[root] = 1;
+        while (!stack.empty()) {
+            auto &[n, next] = stack.back();
+            if (next < adj_[n].size()) {
+                int m = adj_[n][next++];
+                if (color[m] == 1)
+                    return true;
+                if (color[m] == 0) {
+                    color[m] = 1;
+                    stack.emplace_back(m, 0);
+                }
+            } else {
+                color[n] = 2;
+                stack.pop_back();
+            }
+        }
+    }
+    return false;
+}
+
+std::vector<std::pair<int, int>>
+Graph::activeNodes() const
+{
+    std::vector<bool> active(adj_.size(), false);
+    for (size_t a = 0; a < adj_.size(); a++) {
+        if (!adj_[a].empty())
+            active[a] = true;
+        for (int b : adj_[a])
+            active[b] = true;
+    }
+    std::vector<std::pair<int, int>> out;
+    for (size_t n = 0; n < active.size(); n++) {
+        if (active[n]) {
+            out.emplace_back(static_cast<int>(n / num_locs_),
+                             static_cast<int>(n % num_locs_));
+        }
+    }
+    return out;
+}
+
+std::string
+Graph::toDot(const Model &model, const std::vector<Microop> &ops,
+             const std::string &title) const
+{
+    DotWriter dot(title);
+    dot.addRaw("rankdir=TB;");
+    dot.addRaw("splines=true; nodesep=0.6; ranksep=0.45;");
+    dot.addRaw("node [shape=circle, width=0.3, fixedsize=true, "
+               "fontsize=9];");
+    auto id_of = [&](int op, int loc) {
+        return strfmt("n_%d_%d", op, loc);
+    };
+    auto active = activeNodes();
+
+    // Fig. 1b grid: one column per microop (header row of labels),
+    // one row per µhb location, rows aligned with rank=same.
+    std::set<int> used_locs;
+    for (const auto &[op, loc] : active)
+        used_locs.insert(loc);
+    for (size_t op = 0; op < ops.size(); op++) {
+        dot.addNode(strfmt("hdr_%zu", op), ops[op].label,
+                    "shape=plaintext, fixedsize=false");
+    }
+    {
+        std::string rank = "{ rank=same;";
+        for (size_t op = 0; op < ops.size(); op++)
+            rank += strfmt(" \"hdr_%zu\";", op);
+        rank += " }";
+        dot.addRaw(rank);
+    }
+    for (int loc : used_locs) {
+        dot.addNode(strfmt("row_%d", loc), model.stageNames[loc],
+                    "shape=plaintext, fixedsize=false");
+        std::string rank = strfmt("{ rank=same; \"row_%d\";", loc);
+        for (const auto &[op, l] : active)
+            if (l == loc)
+                rank += strfmt(" \"%s\";", id_of(op, l).c_str());
+        rank += " }";
+        dot.addRaw(rank);
+    }
+    // Invisible edges to order header -> first row and keep columns.
+    for (const auto &[op, loc] : active) {
+        dot.addNode(id_of(op, loc), "", "");
+        dot.addEdge(strfmt("hdr_%d", op), id_of(op, loc), "",
+                    "style=invis");
+    }
+    for (size_t a = 0; a < adj_.size(); a++) {
+        for (size_t k = 0; k < adj_[a].size(); k++) {
+            int b = adj_[a][k];
+            dot.addEdge(
+                id_of(static_cast<int>(a / num_locs_),
+                      static_cast<int>(a % num_locs_)),
+                id_of(b / static_cast<int>(num_locs_),
+                      b % static_cast<int>(num_locs_)),
+                labels_[a][k]);
+        }
+    }
+    return dot.render();
+}
+
+namespace
+{
+
+/** One fully-bound axiom instantiation whose plain predicates hold. */
+struct Instance
+{
+    const Axiom *axiom;
+    std::vector<int> binding; ///< microop id per quantified variable
+};
+
+int
+boundOp(const Instance &inst, const std::string &var)
+{
+    for (size_t i = 0; i < inst.axiom->microops.size(); i++)
+        if (inst.axiom->microops[i] == var)
+            return inst.binding[i];
+    fatal("axiom '%s' references unbound microop '%s'",
+          inst.axiom->name.c_str(), var.c_str());
+}
+
+/** Evaluate a non-EdgeExists predicate. */
+bool
+evalPred(const Pred &p, const Instance &inst, const Execution &exec)
+{
+    auto op = [&](const std::string &v) -> const Microop & {
+        return exec.ops[boundOp(inst, v)];
+    };
+    switch (p.kind) {
+      case PredKind::True_:
+        return true;
+      case PredKind::IsAnyRead:
+        return op(p.i0).isRead;
+      case PredKind::IsAnyWrite:
+        return op(p.i0).isWrite;
+      case PredKind::ProgramOrder:
+        return op(p.i0).core == op(p.i1).core &&
+               op(p.i0).index < op(p.i1).index;
+      case PredKind::SameCore:
+        return op(p.i0).core == op(p.i1).core;
+      case PredKind::NotSameCore:
+        return op(p.i0).core != op(p.i1).core;
+      case PredKind::NotSame:
+        return op(p.i0).id != op(p.i1).id;
+      case PredKind::SamePA:
+        return (op(p.i0).isRead || op(p.i0).isWrite) &&
+               (op(p.i1).isRead || op(p.i1).isWrite) &&
+               op(p.i0).addr == op(p.i1).addr;
+      case PredKind::SameData:
+        return op(p.i1).isRead &&
+               exec.rf[op(p.i1).id] == op(p.i0).id;
+      case PredKind::NoWritesInBetween:
+        // With an explicit rf, "i0's write reaches i1 with no
+        // intervening same-address write" is exactly rf(i1) == i0.
+        return op(p.i1).isRead &&
+               exec.rf[op(p.i1).id] == op(p.i0).id;
+      case PredKind::EdgeExists:
+        panic("EdgeExists evaluated as plain predicate");
+    }
+    return false;
+}
+
+/** Add orientation edges implied by the execution's rf/ws/fr. */
+void
+addMemorySemantics(const Model &model, const Execution &exec, Graph &g)
+{
+    int acc = model.memAccessStage.empty()
+                  ? -1
+                  : model.locOf(model.memAccessStage);
+    int mem =
+        model.memStage.empty() ? -1 : model.locOf(model.memStage);
+    if (acc < 0)
+        return;
+
+    // ws: coherence order at the access point and the memory array.
+    for (const auto &[addr, writes] : exec.ws) {
+        for (size_t i = 0; i + 1 < writes.size(); i++) {
+            g.addEdge(writes[i], acc, writes[i + 1], acc, "ws");
+            if (mem >= 0)
+                g.addEdge(writes[i], mem, writes[i + 1], mem, "ws");
+        }
+    }
+    for (const Microop &r : exec.ops) {
+        if (!r.isRead)
+            continue;
+        int w = exec.rf[r.id];
+        // rf: the source write's access precedes the read's access.
+        if (w >= 0)
+            g.addEdge(w, acc, r.id, acc, "rf");
+        // fr: the read's access precedes every coherence successor of
+        // its source (every same-address write, when reading init).
+        auto it = exec.ws.find(r.addr);
+        if (it == exec.ws.end())
+            continue;
+        bool after_src = (w < 0);
+        for (int w2 : it->second) {
+            if (after_src && w2 != w)
+                g.addEdge(r.id, acc, w2, acc, "fr");
+            if (w2 == w)
+                after_src = true;
+        }
+    }
+}
+
+struct Solver
+{
+    const Model &model;
+    const Execution &exec;
+    int branches = 0;
+
+    /** Instances with EdgeExists antecedents (conditional). */
+    std::vector<Instance> conditional;
+    /** Unordered (EitherOrdering) instances to branch over. */
+    std::vector<Instance> eithers;
+
+    bool
+    edgesHold(const Instance &inst, const Graph &g) const
+    {
+        for (const Pred &p : inst.axiom->antecedents) {
+            if (p.kind != PredKind::EdgeExists)
+                continue;
+            if (!g.hasEdge(boundOp(inst, p.edge.src.microop),
+                           p.edge.src.loc,
+                           boundOp(inst, p.edge.dst.microop),
+                           p.edge.dst.loc))
+                return false;
+        }
+        return true;
+    }
+
+    void
+    applyEdges(const Instance &inst, const std::vector<EdgeSpec> &edges,
+               Graph &g) const
+    {
+        for (const EdgeSpec &e : edges) {
+            g.addEdge(boundOp(inst, e.src.microop), e.src.loc,
+                      boundOp(inst, e.dst.microop), e.dst.loc,
+                      e.label.empty() ? inst.axiom->name : e.label);
+        }
+    }
+
+    /** Fixpoint over conditional single-alternative instances. */
+    void
+    fixpoint(Graph &g) const
+    {
+        bool changed = true;
+        while (changed) {
+            changed = false;
+            for (const Instance &inst : conditional) {
+                if (!edgesHold(inst, g))
+                    continue;
+                size_t before = g.numEdges();
+                applyEdges(inst, inst.axiom->edgeAlternatives[0], g);
+                changed |= g.numEdges() != before;
+            }
+        }
+    }
+
+    /** DFS over EitherOrdering choices; true iff an acyclic
+     *  completion exists. */
+    bool
+    branch(Graph g, size_t next_either, Graph &out)
+    {
+        branches++;
+        fixpoint(g);
+        if (g.cyclic()) {
+            out = g;
+            return false;
+        }
+        if (next_either >= eithers.size()) {
+            out = g;
+            return true;
+        }
+        const Instance &inst = eithers[next_either];
+        if (!edgesHold(inst, g))
+            return branch(std::move(g), next_either + 1, out);
+        Graph cyc = g;
+        for (const auto &alt : inst.axiom->edgeAlternatives) {
+            Graph trial = g;
+            applyEdges(inst, alt, trial);
+            Graph sub(0, 0);
+            if (branch(std::move(trial), next_either + 1, sub)) {
+                out = sub;
+                return true;
+            }
+            cyc = sub;
+        }
+        out = cyc;
+        return false;
+    }
+};
+
+} // namespace
+
+SolveResult
+solve(const Model &model, const Execution &exec)
+{
+    size_t num_ops = exec.ops.size();
+    size_t num_locs = model.stageNames.size();
+    Graph base(num_ops, num_locs);
+    addMemorySemantics(model, exec, base);
+
+    Solver solver{model, exec, 0, {}, {}};
+
+    // Enumerate bindings per axiom; filter by plain predicates.
+    for (const Axiom &ax : model.axioms) {
+        size_t arity = ax.microops.size();
+        std::vector<int> binding(arity, 0);
+        while (true) {
+            Instance inst{&ax, binding};
+            bool holds = true;
+            for (const Pred &p : ax.antecedents) {
+                if (p.kind == PredKind::EdgeExists)
+                    continue;
+                if (!evalPred(p, inst, exec)) {
+                    holds = false;
+                    break;
+                }
+            }
+            if (holds) {
+                bool has_cond = false;
+                for (const Pred &p : ax.antecedents)
+                    has_cond |= p.kind == PredKind::EdgeExists;
+                if (ax.isEitherOrdering()) {
+                    solver.eithers.push_back(inst);
+                } else if (has_cond) {
+                    solver.conditional.push_back(inst);
+                } else {
+                    solver.applyEdges(inst, ax.edgeAlternatives[0],
+                                      base);
+                }
+            }
+            // Next binding.
+            size_t d = 0;
+            while (d < arity) {
+                if (++binding[d] < static_cast<int>(num_ops))
+                    break;
+                binding[d] = 0;
+                d++;
+            }
+            if (d == arity || arity == 0)
+                break;
+        }
+    }
+
+    SolveResult result;
+    Graph out(0, 0);
+    result.observable = solver.branch(std::move(base), 0, out);
+    result.graph = std::move(out);
+    result.branchesExplored = solver.branches;
+    result.edges = result.graph.numEdges();
+    return result;
+}
+
+} // namespace r2u::uhb

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * µhb graphs and µspec axiom evaluation (paper §2).
+ *
+ * A candidate Execution fixes each read's source write (rf) and a
+ * coherence order per location (ws). solve() instantiates the model's
+ * axioms over the microops, adds memory-semantics orientation edges
+ * (rf/ws/fr at the model's memory-access row, reflecting the paper's
+ * §4.3.6 functional-correctness assumption), runs the EdgeExists
+ * fixpoint, branches over unordered (EitherOrdering) structural HBIs,
+ * and reports whether an acyclic µhb graph exists: acyclic = the
+ * execution is possible on the microarchitecture, cyclic = impossible.
+ */
+
+#ifndef R2U_UHB_UHB_HH
+#define R2U_UHB_UHB_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "uspec/uspec.hh"
+
+namespace r2u::uhb
+{
+
+struct Microop
+{
+    int id = 0;
+    int core = 0;
+    int index = 0; ///< program-order index within its core
+    bool isRead = false;
+    bool isWrite = false;
+    int addr = 0;
+    int value = 0; ///< writes: stored; reads: observed (per execution)
+    std::string label;
+};
+
+struct Execution
+{
+    std::vector<Microop> ops;
+    /** Per-op rf source: writer op id, -1 for the initial value, -2
+     *  when not a read. */
+    std::vector<int> rf;
+    /** Coherence order: addr -> write op ids, oldest first. */
+    std::map<int, std::vector<int>> ws;
+};
+
+/** A µhb graph over (microop, location) nodes. */
+class Graph
+{
+  public:
+    Graph(size_t num_ops, size_t num_locs);
+
+    int nodeOf(int op, int loc) const
+    {
+        return op * static_cast<int>(num_locs_) + loc;
+    }
+
+    /** Add an edge; returns false if it already existed. */
+    bool addEdge(int op_a, int loc_a, int op_b, int loc_b,
+                 const std::string &label = "");
+
+    bool hasEdge(int op_a, int loc_a, int op_b, int loc_b) const;
+
+    /** True iff the graph currently has a directed cycle. */
+    bool cyclic() const;
+
+    size_t numEdges() const { return edge_count_; }
+
+    /** Nodes that participate in at least one edge. */
+    std::vector<std::pair<int, int>> activeNodes() const;
+
+    /**
+     * Render in the Fig. 1b style: one column per microop, one row
+     * per µhb location.
+     */
+    std::string toDot(const uspec::Model &model,
+                      const std::vector<Microop> &ops,
+                      const std::string &title) const;
+
+  private:
+    size_t num_ops_, num_locs_;
+    std::vector<std::vector<int>> adj_;     ///< per node
+    std::vector<std::vector<std::string>> labels_;
+    size_t edge_count_ = 0;
+};
+
+struct SolveResult
+{
+    bool observable = false;
+    /** Acyclic witness when observable; a cyclic instance otherwise. */
+    Graph graph{0, 0};
+    int branchesExplored = 0;
+    size_t edges = 0;
+};
+
+/**
+ * Decide whether @p exec is possible per @p model. The model's
+ * memAccessStage (and memStage, if nonempty) name the µhb rows used
+ * for rf/ws/fr orientation of memory events.
+ */
+SolveResult solve(const uspec::Model &model, const Execution &exec);
+
+} // namespace r2u::uhb
+
+#endif // R2U_UHB_UHB_HH

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * µspec models: axiomatic microarchitecture specifications (paper §2,
+ * §3). A model declares named µhb-graph row locations (StageName) and
+ * a list of axioms. Each axiom universally quantifies over microops,
+ * states a conjunction of predicate antecedents, and adds happens-
+ * before edges; unordered structural HBIs are expressed as a
+ * disjunction of edge sets ("EitherOrdering").
+ *
+ * The textual DSL mirrors the paper's artifact format (vscale.uarch)
+ * and round-trips through print() / parse().
+ */
+
+#ifndef R2U_USPEC_USPEC_HH
+#define R2U_USPEC_USPEC_HH
+
+#include <string>
+#include <vector>
+
+namespace r2u::uspec
+{
+
+enum class PredKind {
+    True_,            ///< always holds
+    IsAnyRead,        ///< i0 is a memory read
+    IsAnyWrite,       ///< i0 is a memory write
+    ProgramOrder,     ///< i0 before i1 in program order (same core)
+    SameCore,         ///< i0 and i1 on the same core
+    NotSameCore,      ///< i0 and i1 on different cores
+    NotSame,          ///< i0 and i1 are distinct microops
+    SamePA,           ///< same physical address
+    SameData,         ///< i1 reads the value written by i0 (rf)
+    NoWritesInBetween,///< no other same-address write between i0, i1
+    EdgeExists        ///< the given µhb edge has been added
+};
+
+const char *predKindName(PredKind kind);
+
+/** A (microop variable, location) µhb node reference. */
+struct NodeRef
+{
+    std::string microop;
+    int loc = -1;
+
+    bool operator==(const NodeRef &o) const
+    {
+        return microop == o.microop && loc == o.loc;
+    }
+};
+
+struct EdgeSpec
+{
+    NodeRef src, dst;
+    std::string label;
+    std::string color;
+};
+
+struct Pred
+{
+    PredKind kind = PredKind::True_;
+    std::string i0, i1; ///< microop variable operands (i1 may be empty)
+    EdgeSpec edge;      ///< EdgeExists operand
+};
+
+struct Axiom
+{
+    std::string name;
+    std::vector<std::string> microops; ///< quantified variables
+    std::vector<Pred> antecedents;     ///< conjunction
+    /**
+     * Consequent: a disjunction of edge sets. Size 1 is the common
+     * AddEdge/AddEdges case; size 2 encodes EitherOrdering.
+     */
+    std::vector<std::vector<EdgeSpec>> edgeAlternatives;
+
+    bool isEitherOrdering() const { return edgeAlternatives.size() > 1; }
+};
+
+struct Model
+{
+    std::vector<std::string> stageNames;
+    std::vector<Axiom> axioms;
+
+    /**
+     * Name of the µhb row at which memory operations access the
+     * shared memory (the synthesized request-interface node). The
+     * check engine orients rf/ws/fr there (§4.3.6 functional
+     * correctness). Empty when the model has no shared memory.
+     */
+    std::string memAccessStage;
+    /** Name of the shared-memory array row (may be empty). */
+    std::string memStage;
+
+    /** Location id of a stage name; -1 if absent. */
+    int locOf(const std::string &stage) const;
+
+    /** Get-or-create a stage location. */
+    int addStage(const std::string &stage);
+
+    std::string print() const;
+
+    /** Parse the DSL text; fatal() on syntax errors. */
+    static Model parse(const std::string &text);
+
+    /**
+     * Structural well-formedness: every edge references a declared
+     * stage and a quantified microop variable; EitherOrdering axioms
+     * have exactly two alternatives; memAccessStage/memStage (when
+     * set) name declared stages. fatal() on violations.
+     */
+    void validate() const;
+};
+
+} // namespace r2u::uspec
+
+#endif // R2U_USPEC_USPEC_HH

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * AST for the supported synthesizable Verilog-2005 subset.
+ *
+ * Supported constructs (see docs in README / verilog/parser.cc):
+ * modules with ANSI port lists and parameters, wire/reg/logic nets,
+ * memory arrays, continuous assigns, always @(posedge clk) blocks with
+ * nonblocking assignments, always @(*) blocks with blocking
+ * assignments, if/else, case/default, module instantiation with named
+ * connections, generate-for loops with named blocks, and the usual
+ * expression operators including concatenation, replication, part
+ * selects, and $signed/$unsigned.
+ */
+
+#ifndef R2U_VERILOG_AST_HH
+#define R2U_VERILOG_AST_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/bits.hh"
+
+namespace r2u::vlog
+{
+
+struct Expr;
+using ExprP = std::shared_ptr<Expr>;
+
+struct Expr
+{
+    enum class Kind {
+        Number,  ///< literal; value/sized
+        Ident,   ///< name
+        Index,   ///< name[index] — bit select or memory read
+        Range,   ///< name[msb:lsb] — constant part select
+        Unary,   ///< op: ! ~ - & | ^
+        Binary,  ///< op: arithmetic/logical/relational/shift
+        Ternary, ///< cond ? lhs : rhs
+        Concat,  ///< {elems...} MSB first
+        Repl,    ///< {count{elems[0]}}
+        SignCast ///< $signed/$unsigned of elems[0]; op = "signed"/"unsigned"
+    };
+
+    Kind kind;
+    int line = 0;
+
+    // Number
+    Bits number;
+    bool sized = false; ///< width came from an explicit size prefix
+
+    // Ident / Index / Range base name
+    std::string name;
+
+    std::string op;
+    ExprP lhs, rhs, cond; ///< operands; Index uses lhs as the index
+    ExprP msb, lsb;       ///< Range bounds (constant expressions)
+    ExprP count;          ///< Repl count (constant expression)
+    std::vector<ExprP> elems;
+};
+
+struct Stmt;
+using StmtP = std::shared_ptr<Stmt>;
+
+struct CaseItem
+{
+    bool isDefault = false;
+    std::vector<ExprP> labels;
+    StmtP body;
+};
+
+struct Stmt
+{
+    enum class Kind {
+        Block,  ///< begin ... end
+        If,     ///< if (cond) then [else els]
+        Case,   ///< case (subject) items endcase
+        Assign  ///< lhs = / <= rhs
+    };
+
+    Kind kind;
+    int line = 0;
+
+    std::vector<StmtP> stmts; // Block
+    ExprP cond;               // If / Case subject
+    StmtP thenStmt, elseStmt; // If
+    std::vector<CaseItem> items; // Case
+
+    // Assign
+    bool nonblocking = false;
+    std::string lhsName;
+    ExprP lhsIndex; ///< nullptr for whole-variable assignment
+    ExprP rhs;
+};
+
+struct ParamDecl
+{
+    std::string name;
+    ExprP value;
+    bool isLocal = false;
+};
+
+enum class PortDir { None, Input, Output };
+
+struct NetDecl
+{
+    std::string name;
+    PortDir dir = PortDir::None;
+    bool isReg = false;
+    ExprP msb, lsb;           ///< range; null => 1-bit
+    ExprP arrayLeft, arrayRight; ///< memory array bounds; null => scalar
+    int line = 0;
+};
+
+struct ContAssign
+{
+    std::string lhsName;
+    ExprP lhsIndex; ///< optional single bit/element select (must be const)
+    ExprP rhs;
+    int line = 0;
+};
+
+struct AlwaysBlock
+{
+    bool isSequential = false; ///< @(posedge ...) vs @(*)
+    std::string clock;         ///< event signal name for sequential blocks
+    StmtP body;
+    int line = 0;
+};
+
+struct PortConn
+{
+    std::string port;
+    ExprP expr; ///< may be null for unconnected
+};
+
+struct Instance
+{
+    std::string moduleName;
+    std::string instName;
+    std::vector<std::pair<std::string, ExprP>> paramOverrides;
+    std::vector<PortConn> ports;
+    int line = 0;
+};
+
+struct ModuleItem;
+using ModuleItemP = std::shared_ptr<ModuleItem>;
+
+struct GenFor
+{
+    std::string genvar;
+    ExprP init, cond, step;
+    std::string blockName;
+    std::vector<ModuleItemP> body;
+    int line = 0;
+};
+
+struct ModuleItem
+{
+    enum class Kind { Param, Net, Assign, Always, Inst, GenForItem };
+    Kind kind;
+    ParamDecl param;
+    NetDecl net;
+    ContAssign assign;
+    AlwaysBlock always;
+    Instance inst;
+    std::shared_ptr<GenFor> genFor;
+};
+
+struct Module
+{
+    std::string name;
+    std::vector<std::string> portOrder;
+    std::vector<ModuleItemP> items;
+    int line = 0;
+};
+
+struct Design
+{
+    std::vector<std::shared_ptr<Module>> modules;
+
+    const Module *findModule(const std::string &name) const;
+};
+
+} // namespace r2u::vlog
+
+#endif // R2U_VERILOG_AST_HH

@@ -1,0 +1,1198 @@
+#include "verilog/elaborate.hh"
+
+#include <map>
+#include <optional>
+
+#include "common/logging.hh"
+#include "verilog/parser.hh"
+
+namespace r2u::vlog
+{
+
+namespace
+{
+
+using nl::CellId;
+using nl::CellKind;
+using nl::kNoCell;
+
+struct Scope;
+
+/**
+ * Lexical context: which scope we are in plus the stack of generate
+ * block prefixes ("" always first) and active genvar bindings.
+ */
+struct Ctx
+{
+    Scope *scope = nullptr;
+    std::vector<std::string> prefixes{""};
+    std::unordered_map<std::string, int64_t> genvars;
+};
+
+struct BlockInfo; // forward
+
+/** How a signal gets its value. */
+enum class DriverKind {
+    None,      ///< undriven (error when read)
+    TopInput,  ///< top-level input port
+    Expr,      ///< continuous assign
+    BitExprs,  ///< continuous assigns to constant bit positions
+    Block,     ///< assigned in an always block
+    InstOutput,///< output port of a child instance
+    PortExpr   ///< input port bound to a parent expression
+};
+
+/** One "assign sig[k] = expr" contribution. */
+struct BitDriver
+{
+    unsigned bit;
+    ExprP expr;
+    Ctx ctx;
+    int line;
+};
+
+struct Sig
+{
+    std::string key;    ///< scope-local key (includes genblock prefix)
+    unsigned width = 1;
+    bool isMem = false;
+    nl::MemId mem = -1;
+    unsigned depth = 0;
+    PortDir dir = PortDir::None;
+    bool isReg = false;
+    int line = 0;
+
+    DriverKind driver = DriverKind::None;
+    // Expr / PortExpr
+    ExprP expr;
+    Ctx exprCtx;
+    // BitExprs
+    std::vector<BitDriver> bitDrivers;
+    // Block
+    BlockInfo *block = nullptr;
+    // InstOutput
+    Scope *childScope = nullptr;
+    std::string childPort;
+
+    CellId cell = kNoCell;
+    bool resolving = false;
+};
+
+struct BlockInfo
+{
+    const AlwaysBlock *always = nullptr;
+    Ctx ctx;
+    std::vector<std::string> targets; ///< sig keys assigned here
+    bool lowered = false;
+    bool lowering = false;
+};
+
+struct Scope
+{
+    const Module *module = nullptr;
+    std::string prefix; ///< global hierarchical prefix ("core0.")
+    std::unordered_map<std::string, int64_t> params;
+    std::map<std::string, Sig> sigs; ///< ordered for determinism
+    std::vector<std::unique_ptr<BlockInfo>> blocks;
+    std::vector<std::unique_ptr<Scope>> children;
+};
+
+class Elaborator
+{
+  public:
+    Elaborator(const Design &design, const ElabOptions &opts)
+        : design_(design), opts_(opts)
+    {
+        result_.netlist = std::make_shared<nl::Netlist>();
+    }
+
+    ElabResult
+    run()
+    {
+        const Module *top = design_.findModule(opts_.top);
+        if (!top)
+            fatal("top module '%s' not found", opts_.top.c_str());
+        top_ = std::make_unique<Scope>();
+        std::unordered_map<std::string, int64_t> overrides = opts_.params;
+        collectScope(*top_, top, "", overrides);
+
+        // Force resolution of every signal in every scope, then lower
+        // the bodies of all sequential always blocks.
+        forceResolve(*top_);
+        drainPendingSeq();
+
+        // Register top-level outputs.
+        for (auto &[key, sig] : top_->sigs) {
+            if (sig.dir == PortDir::Output)
+                nlist().addOutput(key, sig.cell);
+        }
+        return std::move(result_);
+    }
+
+  private:
+    nl::Netlist &nlist() { return *result_.netlist; }
+
+    [[noreturn]] void
+    err(int line, const std::string &msg) const
+    {
+        fatal("elaboration error (line %d): %s", line, msg.c_str());
+    }
+
+    // ------------------------------------------------------------------
+    // Constant evaluation (parameters, genvars, ranges).
+    // ------------------------------------------------------------------
+    int64_t
+    constEval(const Ctx &ctx, const ExprP &e)
+    {
+        switch (e->kind) {
+          case Expr::Kind::Number:
+            return static_cast<int64_t>(e->number.toUint64());
+          case Expr::Kind::Ident: {
+            auto gv = ctx.genvars.find(e->name);
+            if (gv != ctx.genvars.end())
+                return gv->second;
+            auto p = ctx.scope->params.find(e->name);
+            if (p != ctx.scope->params.end())
+                return p->second;
+            err(e->line, "'" + e->name + "' is not a constant");
+          }
+          case Expr::Kind::Unary: {
+            int64_t a = constEval(ctx, e->lhs);
+            if (e->op == "-") return -a;
+            if (e->op == "!") return a == 0;
+            if (e->op == "~") return ~a;
+            if (e->op == "+") return a;
+            err(e->line, "non-constant unary op " + e->op);
+          }
+          case Expr::Kind::Binary: {
+            int64_t a = constEval(ctx, e->lhs);
+            int64_t b = constEval(ctx, e->rhs);
+            const std::string &op = e->op;
+            if (op == "+") return a + b;
+            if (op == "-") return a - b;
+            if (op == "*") return a * b;
+            if (op == "/") {
+                if (b == 0)
+                    err(e->line, "constant division by zero");
+                return a / b;
+            }
+            if (op == "%") {
+                if (b == 0)
+                    err(e->line, "constant modulo by zero");
+                return a % b;
+            }
+            if (op == "<<") return a << b;
+            if (op == ">>") return static_cast<int64_t>(
+                static_cast<uint64_t>(a) >> b);
+            if (op == "==") return a == b;
+            if (op == "!=") return a != b;
+            if (op == "<") return a < b;
+            if (op == "<=") return a <= b;
+            if (op == ">") return a > b;
+            if (op == ">=") return a >= b;
+            if (op == "&&") return (a != 0) && (b != 0);
+            if (op == "||") return (a != 0) || (b != 0);
+            if (op == "&") return a & b;
+            if (op == "|") return a | b;
+            if (op == "^") return a ^ b;
+            err(e->line, "non-constant binary op " + op);
+          }
+          case Expr::Kind::Ternary:
+            return constEval(ctx, e->cond) ? constEval(ctx, e->lhs)
+                                           : constEval(ctx, e->rhs);
+          default:
+            err(e->line, "expression is not constant");
+        }
+    }
+
+    /** constEval that returns nullopt instead of fatal()ing. */
+    std::optional<int64_t>
+    tryConstEval(const Ctx &ctx, const ExprP &e)
+    {
+        switch (e->kind) {
+          case Expr::Kind::Number:
+            return static_cast<int64_t>(e->number.toUint64());
+          case Expr::Kind::Ident:
+            return findConst(ctx, e->name);
+          case Expr::Kind::Unary: {
+            auto a = tryConstEval(ctx, e->lhs);
+            if (!a)
+                return std::nullopt;
+            if (e->op == "-") return -*a;
+            if (e->op == "+") return *a;
+            if (e->op == "~") return ~*a;
+            if (e->op == "!") return *a == 0;
+            return std::nullopt;
+          }
+          case Expr::Kind::Binary: {
+            auto a = tryConstEval(ctx, e->lhs);
+            auto b = tryConstEval(ctx, e->rhs);
+            if (!a || !b)
+                return std::nullopt;
+            const std::string &op = e->op;
+            if (op == "+") return *a + *b;
+            if (op == "-") return *a - *b;
+            if (op == "*") return *a * *b;
+            if (op == "<<") return *a << *b;
+            if (op == ">>")
+                return static_cast<int64_t>(
+                    static_cast<uint64_t>(*a) >> *b);
+            return std::nullopt;
+          }
+          default:
+            return std::nullopt;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Name resolution within a scope/ctx.
+    // ------------------------------------------------------------------
+    Sig *
+    findSig(const Ctx &ctx, const std::string &name)
+    {
+        for (size_t i = ctx.prefixes.size(); i-- > 0;) {
+            std::string key = ctx.prefixes[i] + name;
+            auto it = ctx.scope->sigs.find(key);
+            if (it != ctx.scope->sigs.end())
+                return &it->second;
+        }
+        return nullptr;
+    }
+
+    std::optional<int64_t>
+    findConst(const Ctx &ctx, const std::string &name)
+    {
+        auto gv = ctx.genvars.find(name);
+        if (gv != ctx.genvars.end())
+            return gv->second;
+        auto p = ctx.scope->params.find(name);
+        if (p != ctx.scope->params.end())
+            return p->second;
+        return std::nullopt;
+    }
+
+    // ------------------------------------------------------------------
+    // Phase 1: scope collection.
+    // ------------------------------------------------------------------
+    void
+    collectScope(Scope &scope, const Module *mod, const std::string &prefix,
+                 const std::unordered_map<std::string, int64_t> &overrides)
+    {
+        scope.module = mod;
+        scope.prefix = prefix;
+        Ctx ctx;
+        ctx.scope = &scope;
+        collectItems(ctx, mod->items, overrides);
+    }
+
+    void
+    collectItems(Ctx &ctx, const std::vector<ModuleItemP> &items,
+                 const std::unordered_map<std::string, int64_t> &overrides)
+    {
+        Scope &scope = *ctx.scope;
+        for (const auto &item : items) {
+            switch (item->kind) {
+              case ModuleItem::Kind::Param: {
+                const ParamDecl &p = item->param;
+                int64_t v;
+                auto ov = overrides.find(p.name);
+                if (!p.isLocal && ov != overrides.end())
+                    v = ov->second;
+                else
+                    v = constEval(ctx, p.value);
+                scope.params[p.name] = v;
+                break;
+              }
+              case ModuleItem::Kind::Net:
+                collectNet(ctx, item->net);
+                break;
+              case ModuleItem::Kind::Assign:
+                collectAssign(ctx, item->assign);
+                break;
+              case ModuleItem::Kind::Always:
+                collectAlways(ctx, item->always);
+                break;
+              case ModuleItem::Kind::Inst:
+                collectInstance(ctx, item->inst);
+                break;
+              case ModuleItem::Kind::GenForItem:
+                collectGenFor(ctx, *item->genFor, overrides);
+                break;
+            }
+        }
+    }
+
+    void
+    collectNet(Ctx &ctx, const NetDecl &net)
+    {
+        Scope &scope = *ctx.scope;
+        std::string key = ctx.prefixes.back() + net.name;
+        if (scope.sigs.count(key))
+            err(net.line, "duplicate declaration of '" + key + "'");
+        Sig sig;
+        sig.key = key;
+        sig.dir = net.dir;
+        sig.isReg = net.isReg;
+        sig.line = net.line;
+        if (net.msb) {
+            int64_t msb = constEval(ctx, net.msb);
+            int64_t lsb = constEval(ctx, net.lsb);
+            if (lsb != 0 || msb < 0)
+                err(net.line, "only [N:0] ranges are supported");
+            sig.width = static_cast<unsigned>(msb + 1);
+        }
+        if (net.arrayLeft) {
+            int64_t l = constEval(ctx, net.arrayLeft);
+            int64_t r = constEval(ctx, net.arrayRight);
+            if (l != 0 || r < 0)
+                err(net.line, "only [0:D-1] array bounds are supported");
+            sig.isMem = true;
+            sig.depth = static_cast<unsigned>(r + 1);
+            sig.mem = nlist().addMemory(scope.prefix + key, sig.depth,
+                                        sig.width);
+            result_.memMap[scope.prefix + key] = sig.mem;
+        }
+        if (net.dir == PortDir::Input) {
+            if (scope.prefix.empty()) {
+                sig.driver = DriverKind::TopInput;
+                sig.cell = nlist().addInput(key, sig.width);
+                result_.signalMap[key] = sig.cell;
+            } else {
+                // Bound later by the parent's instance connection.
+                sig.driver = DriverKind::None;
+            }
+        }
+        scope.sigs.emplace(key, std::move(sig));
+    }
+
+    void
+    setDriver(Sig *sig, DriverKind kind, int line)
+    {
+        if (!sig)
+            err(line, "assignment to undeclared signal");
+        if (sig->driver != DriverKind::None)
+            err(line, "signal '" + sig->key + "' has multiple drivers");
+        sig->driver = kind;
+    }
+
+    void
+    collectAssign(Ctx &ctx, const ContAssign &as)
+    {
+        Sig *sig = findSig(ctx, as.lhsName);
+        if (as.lhsIndex) {
+            // "assign sig[k] = expr" with a constant (or genvar) index:
+            // accumulate per-bit drivers and stitch them at resolve.
+            if (!sig)
+                err(as.line, "assignment to undeclared signal");
+            auto idx = tryConstEval(ctx, as.lhsIndex);
+            if (!idx)
+                err(as.line, "assign LHS index must be constant");
+            if (*idx < 0 || static_cast<unsigned>(*idx) >= sig->width)
+                err(as.line, "assign LHS index out of range");
+            if (sig->driver != DriverKind::None &&
+                sig->driver != DriverKind::BitExprs)
+                err(as.line,
+                    "signal '" + sig->key + "' has multiple drivers");
+            sig->driver = DriverKind::BitExprs;
+            for (const auto &bd : sig->bitDrivers) {
+                if (bd.bit == static_cast<unsigned>(*idx))
+                    err(as.line, "bit " + std::to_string(*idx) + " of '" +
+                                     sig->key + "' has multiple drivers");
+            }
+            sig->bitDrivers.push_back(
+                {static_cast<unsigned>(*idx), as.rhs, ctx, as.line});
+            return;
+        }
+        setDriver(sig, DriverKind::Expr, as.line);
+        sig->expr = as.rhs;
+        sig->exprCtx = ctx;
+    }
+
+    /** Collect the variables (not memories) assigned in a statement. */
+    void
+    collectTargets(Ctx &ctx, const StmtP &stmt,
+                   std::vector<std::string> &out)
+    {
+        if (!stmt)
+            return;
+        switch (stmt->kind) {
+          case Stmt::Kind::Block:
+            for (const auto &s : stmt->stmts)
+                collectTargets(ctx, s, out);
+            break;
+          case Stmt::Kind::If:
+            collectTargets(ctx, stmt->thenStmt, out);
+            collectTargets(ctx, stmt->elseStmt, out);
+            break;
+          case Stmt::Kind::Case:
+            for (const auto &item : stmt->items)
+                collectTargets(ctx, item.body, out);
+            break;
+          case Stmt::Kind::Assign: {
+            Sig *sig = findSig(ctx, stmt->lhsName);
+            if (!sig)
+                err(stmt->line,
+                    "assignment to undeclared '" + stmt->lhsName + "'");
+            if (sig->isMem)
+                break; // memory writes are ports, not drivers
+            if (stmt->lhsIndex)
+                err(stmt->line,
+                    "bit-select on procedural LHS is not supported");
+            bool found = false;
+            for (const auto &t : out)
+                found |= (t == sig->key);
+            if (!found)
+                out.push_back(sig->key);
+            break;
+          }
+        }
+    }
+
+    void
+    collectAlways(Ctx &ctx, const AlwaysBlock &always)
+    {
+        Scope &scope = *ctx.scope;
+        auto info = std::make_unique<BlockInfo>();
+        info->always = &always;
+        info->ctx = ctx;
+        collectTargets(ctx, always.body, info->targets);
+        for (const auto &key : info->targets) {
+            Sig &sig = scope.sigs.at(key);
+            setDriver(&sig, DriverKind::Block, always.line);
+            sig.block = info.get();
+        }
+        scope.blocks.push_back(std::move(info));
+    }
+
+    void
+    collectInstance(Ctx &ctx, const Instance &inst)
+    {
+        Scope &scope = *ctx.scope;
+        const Module *child_mod = design_.findModule(inst.moduleName);
+        if (!child_mod)
+            err(inst.line, "unknown module '" + inst.moduleName + "'");
+
+        std::unordered_map<std::string, int64_t> overrides;
+        for (const auto &[pname, pexpr] : inst.paramOverrides)
+            overrides[pname] = constEval(ctx, pexpr);
+
+        auto child = std::make_unique<Scope>();
+        std::string inst_key = ctx.prefixes.back() + inst.instName;
+        collectScope(*child, child_mod,
+                     scope.prefix + inst_key + ".", overrides);
+
+        // Wire up ports.
+        for (const auto &conn : inst.ports) {
+            auto it = child->sigs.find(conn.port);
+            if (it == child->sigs.end())
+                err(inst.line, "module '" + inst.moduleName +
+                                   "' has no port '" + conn.port + "'");
+            Sig &port_sig = it->second;
+            if (port_sig.dir == PortDir::Input) {
+                if (!conn.expr)
+                    err(inst.line, "input port '" + conn.port +
+                                       "' must be connected");
+                port_sig.driver = DriverKind::PortExpr;
+                port_sig.expr = conn.expr;
+                port_sig.exprCtx = ctx;
+            } else if (port_sig.dir == PortDir::Output) {
+                if (!conn.expr)
+                    continue; // unconnected output: fine
+                if (conn.expr->kind != Expr::Kind::Ident)
+                    err(inst.line, "output port '" + conn.port +
+                                       "' must connect to a plain wire");
+                Sig *parent_sig = findSig(ctx, conn.expr->name);
+                setDriver(parent_sig, DriverKind::InstOutput, inst.line);
+                parent_sig->childScope = child.get();
+                parent_sig->childPort = conn.port;
+            } else {
+                err(inst.line, "connection to non-port '" + conn.port +
+                                   "'");
+            }
+        }
+        // Check all child inputs are driven.
+        for (auto &[key, sig] : child->sigs) {
+            if (sig.dir == PortDir::Input &&
+                sig.driver == DriverKind::None) {
+                err(inst.line, "input port '" + key + "' of instance '" +
+                                   inst_key + "' left unconnected");
+            }
+        }
+        scope.children.push_back(std::move(child));
+    }
+
+    void
+    collectGenFor(Ctx &ctx, const GenFor &gf,
+                  const std::unordered_map<std::string, int64_t> &overrides)
+    {
+        int64_t i = constEval(ctx, gf.init);
+        int guard = 0;
+        while (true) {
+            Ctx iter = ctx;
+            iter.genvars[gf.genvar] = i;
+            if (!constEval(iter, gf.cond))
+                break;
+            iter.prefixes.push_back(ctx.prefixes.back() + gf.blockName +
+                                    "[" + std::to_string(i) + "].");
+            collectItems(iter, gf.body, overrides);
+            i = constEval(iter, gf.step);
+            if (++guard > 4096)
+                err(gf.line, "generate-for exceeds 4096 iterations");
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Phase 2: lowering.
+    // ------------------------------------------------------------------
+
+    /** Adjust a wire to @p width by truncation or zero/sign extension. */
+    CellId
+    adjust(CellId cell, unsigned width, bool sign_extend = false)
+    {
+        unsigned w = nlist().cell(cell).width;
+        if (w == width)
+            return cell;
+        if (w > width)
+            return nlist().addSlice(cell, 0, width);
+        return nlist().addExt(sign_extend ? CellKind::Sext : CellKind::Zext,
+                              cell, width);
+    }
+
+    CellId
+    constCell(unsigned width, uint64_t value)
+    {
+        return nlist().addConst(Bits(width, value));
+    }
+
+    /** Reduce a wire to a 1-bit boolean. */
+    CellId
+    asBool(CellId cell)
+    {
+        if (nlist().cell(cell).width == 1)
+            return cell;
+        return nlist().addUnary(CellKind::RedOr, cell);
+    }
+
+    /** Is this expression explicitly signed (via $signed)? */
+    static bool
+    isSignedExpr(const ExprP &e)
+    {
+        return e->kind == Expr::Kind::SignCast && e->op == "signed";
+    }
+
+    /** Environment for blocking-assignment (comb always) lowering. */
+    using CombEnv = std::map<std::string, CellId>;
+
+    CellId
+    lowerExpr(const Ctx &ctx, const ExprP &e, CombEnv *env = nullptr,
+              const BlockInfo *env_block = nullptr)
+    {
+        switch (e->kind) {
+          case Expr::Kind::Number:
+            return nlist().addConst(e->number);
+          case Expr::Kind::Ident: {
+            if (auto c = findConst(ctx, e->name))
+                return constCell(32, static_cast<uint64_t>(*c));
+            Sig *sig = findSig(ctx, e->name);
+            if (!sig)
+                err(e->line, "unknown signal '" + e->name + "'");
+            if (sig->isMem)
+                err(e->line, "memory '" + e->name +
+                                 "' referenced without an index");
+            if (env && sig->driver == DriverKind::Block &&
+                sig->block == env_block) {
+                auto it = env->find(sig->key);
+                if (it == env->end())
+                    err(e->line, "combinational variable '" + sig->key +
+                                     "' read before assignment");
+                return it->second;
+            }
+            return resolveSig(*ctx.scope, *sig);
+          }
+          case Expr::Kind::Index: {
+            Sig *sig = findSig(ctx, e->name);
+            if (!sig)
+                err(e->line, "unknown signal '" + e->name + "'");
+            // Try constant evaluation first: genvar/parameter index
+            // arithmetic must not be lowered as hardware.
+            auto const_idx = tryConstEval(ctx, e->lhs);
+            if (sig->isMem) {
+                CellId idx =
+                    const_idx
+                        ? constCell(32,
+                                    static_cast<uint64_t>(*const_idx))
+                        : lowerExpr(ctx, e->lhs, env, env_block);
+                return nlist().addMemRead(sig->mem, idx);
+            }
+            CellId base;
+            if (env && sig->driver == DriverKind::Block &&
+                sig->block == env_block) {
+                auto it = env->find(sig->key);
+                if (it == env->end())
+                    err(e->line, "combinational variable '" + sig->key +
+                                     "' read before assignment");
+                base = it->second;
+            } else {
+                base = resolveSig(*ctx.scope, *sig);
+            }
+            // Constant index: direct slice; else shift-and-mask.
+            if (const_idx) {
+                if (*const_idx < 0 ||
+                    static_cast<unsigned>(*const_idx) >=
+                        nlist().cell(base).width)
+                    err(e->line, "constant bit index out of range");
+                return nlist().addSlice(
+                    base, static_cast<unsigned>(*const_idx), 1);
+            }
+            CellId idx = lowerExpr(ctx, e->lhs, env, env_block);
+            CellId shifted = nlist().addBinary(CellKind::Lshr, base, idx);
+            return nlist().addSlice(shifted, 0, 1);
+          }
+          case Expr::Kind::Range: {
+            Sig *sig = findSig(ctx, e->name);
+            if (!sig)
+                err(e->line, "unknown signal '" + e->name + "'");
+            CellId base;
+            if (env && sig->driver == DriverKind::Block &&
+                sig->block == env_block) {
+                auto it = env->find(sig->key);
+                if (it == env->end())
+                    err(e->line, "combinational variable '" + sig->key +
+                                     "' read before assignment");
+                base = it->second;
+            } else {
+                base = resolveSig(*ctx.scope, *sig);
+            }
+            int64_t msb = constEval(ctx, e->msb);
+            int64_t lsb = constEval(ctx, e->lsb);
+            if (lsb < 0 || msb < lsb)
+                err(e->line, "bad part select");
+            return nlist().addSlice(base, static_cast<unsigned>(lsb),
+                                    static_cast<unsigned>(msb - lsb + 1));
+          }
+          case Expr::Kind::Unary: {
+            CellId a = lowerExpr(ctx, e->lhs, env, env_block);
+            const std::string &op = e->op;
+            if (op == "~")
+                return nlist().addUnary(CellKind::Not, a);
+            if (op == "!") {
+                CellId r = asBool(a);
+                return nlist().addUnary(CellKind::Not, r);
+            }
+            if (op == "&")
+                return nlist().addUnary(CellKind::RedAnd, a);
+            if (op == "|")
+                return nlist().addUnary(CellKind::RedOr, a);
+            if (op == "~&") {
+                CellId r = nlist().addUnary(CellKind::RedAnd, a);
+                return nlist().addUnary(CellKind::Not, r);
+            }
+            if (op == "~|") {
+                CellId r = nlist().addUnary(CellKind::RedOr, a);
+                return nlist().addUnary(CellKind::Not, r);
+            }
+            if (op == "-") {
+                unsigned w = nlist().cell(a).width;
+                return nlist().addBinary(CellKind::Sub, constCell(w, 0),
+                                         a);
+            }
+            if (op == "+")
+                return a;
+            err(e->line, "unsupported unary operator " + op);
+          }
+          case Expr::Kind::Binary:
+            return lowerBinary(ctx, e, env, env_block);
+          case Expr::Kind::Ternary: {
+            CellId c = asBool(lowerExpr(ctx, e->cond, env, env_block));
+            CellId t = lowerExpr(ctx, e->lhs, env, env_block);
+            CellId f = lowerExpr(ctx, e->rhs, env, env_block);
+            unsigned w = std::max(nlist().cell(t).width,
+                                  nlist().cell(f).width);
+            return nlist().addMux(c, adjust(t, w), adjust(f, w));
+          }
+          case Expr::Kind::Concat: {
+            std::vector<CellId> parts;
+            for (const auto &el : e->elems)
+                parts.push_back(lowerExpr(ctx, el, env, env_block));
+            return nlist().addConcat(parts);
+          }
+          case Expr::Kind::Repl: {
+            int64_t n = constEval(ctx, e->count);
+            if (n <= 0 || n > 4096)
+                err(e->line, "bad replication count");
+            CellId v = lowerExpr(ctx, e->elems[0], env, env_block);
+            std::vector<CellId> parts(static_cast<size_t>(n), v);
+            return nlist().addConcat(parts);
+          }
+          case Expr::Kind::SignCast:
+            return lowerExpr(ctx, e->elems[0], env, env_block);
+        }
+        panic("unreachable expr kind");
+    }
+
+    CellId
+    lowerBinary(const Ctx &ctx, const ExprP &e, CombEnv *env,
+                const BlockInfo *env_block)
+    {
+        const std::string &op = e->op;
+        CellId a = lowerExpr(ctx, e->lhs, env, env_block);
+        CellId b = lowerExpr(ctx, e->rhs, env, env_block);
+        unsigned wa = nlist().cell(a).width;
+        unsigned wb = nlist().cell(b).width;
+        bool sgn = isSignedExpr(e->lhs) && isSignedExpr(e->rhs);
+
+        auto extend_both = [&]() {
+            unsigned w = std::max(wa, wb);
+            a = adjust(a, w, sgn);
+            b = adjust(b, w, sgn);
+        };
+
+        if (op == "&&" || op == "||") {
+            CellId ba = asBool(a), bb = asBool(b);
+            return nlist().addBinary(
+                op == "&&" ? CellKind::And : CellKind::Or, ba, bb);
+        }
+        if (op == "+" || op == "-" || op == "*" || op == "&" ||
+            op == "|" || op == "^") {
+            extend_both();
+            CellKind k;
+            if (op == "+") k = CellKind::Add;
+            else if (op == "-") k = CellKind::Sub;
+            else if (op == "&") k = CellKind::And;
+            else if (op == "|") k = CellKind::Or;
+            else if (op == "^") k = CellKind::Xor;
+            else {
+                err(e->line, "'*' is only supported in constants");
+            }
+            return nlist().addBinary(k, a, b);
+        }
+        if (op == "==" || op == "!=") {
+            extend_both();
+            CellId eq = nlist().addBinary(CellKind::Eq, a, b);
+            return op == "==" ? eq : nlist().addUnary(CellKind::Not, eq);
+        }
+        if (op == "<" || op == ">" || op == "<=" || op == ">=") {
+            extend_both();
+            CellKind k = sgn ? CellKind::Slt : CellKind::Ult;
+            if (op == "<")
+                return nlist().addBinary(k, a, b);
+            if (op == ">")
+                return nlist().addBinary(k, b, a);
+            if (op == ">=") {
+                CellId lt = nlist().addBinary(k, a, b);
+                return nlist().addUnary(CellKind::Not, lt);
+            }
+            CellId gt = nlist().addBinary(k, b, a);
+            return nlist().addUnary(CellKind::Not, gt);
+        }
+        if (op == "<<")
+            return nlist().addBinary(CellKind::Shl, a, b);
+        if (op == ">>")
+            return nlist().addBinary(CellKind::Lshr, a, b);
+        if (op == ">>>")
+            return nlist().addBinary(CellKind::Ashr, a, b);
+        err(e->line, "unsupported binary operator " + op);
+    }
+
+    CellId
+    resolveSig(Scope &scope, Sig &sig)
+    {
+        if (sig.cell != kNoCell)
+            return sig.cell;
+        if (sig.resolving)
+            fatal("combinational cycle through signal '%s%s'",
+                  scope.prefix.c_str(), sig.key.c_str());
+        sig.resolving = true;
+
+        CellId cell = kNoCell;
+        switch (sig.driver) {
+          case DriverKind::TopInput:
+            panic("top input should have a cell already");
+          case DriverKind::None:
+            fatal("signal '%s%s' (line %d) is never driven",
+                  scope.prefix.c_str(), sig.key.c_str(), sig.line);
+          case DriverKind::Expr:
+          case DriverKind::PortExpr: {
+            CellId rhs = lowerExpr(sig.exprCtx, sig.expr);
+            cell = adjust(rhs, sig.width);
+            break;
+          }
+          case DriverKind::BitExprs: {
+            std::vector<CellId> bits(sig.width, kNoCell);
+            for (const auto &bd : sig.bitDrivers) {
+                CellId v = lowerExpr(bd.ctx, bd.expr);
+                bits[bd.bit] = adjust(v, 1);
+            }
+            for (unsigned i = 0; i < sig.width; i++) {
+                if (bits[i] == kNoCell)
+                    fatal("bit %u of signal '%s%s' is never driven", i,
+                          scope.prefix.c_str(), sig.key.c_str());
+            }
+            // Concat takes MSB-first operands.
+            std::vector<CellId> msb_first(bits.rbegin(), bits.rend());
+            cell = sig.width == 1 ? bits[0]
+                                  : nlist().addConcat(msb_first);
+            break;
+          }
+          case DriverKind::InstOutput: {
+            Scope &child = *sig.childScope;
+            Sig &port = child.sigs.at(sig.childPort);
+            CellId inner = resolveSig(child, port);
+            cell = adjust(inner, sig.width);
+            break;
+          }
+          case DriverKind::Block: {
+            BlockInfo &block = *sig.block;
+            if (block.always->isSequential) {
+                // Create the DFF cells now; the block body (the D/EN
+                // cones) is lowered in a later pass so that reads of
+                // wires currently being resolved don't look like
+                // combinational cycles — a register output never
+                // combinationally depends on its own D input.
+                sig.resolving = false;
+                ensureSeqDffs(scope, block);
+                pending_seq_.emplace_back(&scope, &block);
+                return sig.cell;
+            }
+            sig.resolving = false;
+            lowerCombBlock(scope, block);
+            R2U_ASSERT(sig.cell != kNoCell,
+                       "comb lowering missed target %s", sig.key.c_str());
+            return sig.cell;
+          }
+        }
+        // Give the wire a hierarchical name if the cell is unnamed.
+        registerName(scope, sig, cell);
+        sig.cell = cell;
+        sig.resolving = false;
+        return cell;
+    }
+
+    void
+    registerName(Scope &scope, Sig &sig, CellId cell)
+    {
+        std::string full = scope.prefix + sig.key;
+        nl::Cell &c = nlist().cell(cell);
+        (void)c;
+        result_.signalMap[full] = cell;
+    }
+
+    void
+    ensureSeqDffs(Scope &scope, BlockInfo &block)
+    {
+        for (const auto &key : block.targets) {
+            Sig &t = scope.sigs.at(key);
+            if (t.cell == kNoCell) {
+                CellId dummy = constCell(t.width, 0);
+                CellId en = constCell(1, 1);
+                t.cell = nlist().addDff(scope.prefix + t.key, dummy, en,
+                                        Bits(t.width, 0));
+                result_.signalMap[scope.prefix + t.key] = t.cell;
+            }
+        }
+    }
+
+    struct SeqState
+    {
+        std::map<std::string, CellId> next; ///< target key -> D expr
+        std::map<std::string, CellId> en;   ///< target key -> enable
+    };
+
+    void
+    lowerSeqBlock(Scope &scope, BlockInfo &block)
+    {
+        if (block.lowered)
+            return;
+        if (block.lowering)
+            fatal("recursive sequential block lowering");
+        block.lowering = true;
+
+        SeqState st;
+        for (const auto &key : block.targets) {
+            st.next[key] = scope.sigs.at(key).cell; // hold value
+            st.en[key] = constCell(1, 0);
+        }
+        CellId true_c = constCell(1, 1);
+        walkSeq(block.ctx, block.always->body, true_c, st);
+
+        for (const auto &key : block.targets) {
+            Sig &t = scope.sigs.at(key);
+            nl::Cell &dff = nlist().cell(t.cell);
+            dff.inputs[0] = st.next[key];
+            dff.inputs[1] = st.en[key];
+        }
+        block.lowered = true;
+        block.lowering = false;
+    }
+
+    void
+    walkSeq(const Ctx &ctx, const StmtP &stmt, CellId guard, SeqState &st)
+    {
+        if (!stmt)
+            return;
+        switch (stmt->kind) {
+          case Stmt::Kind::Block:
+            for (const auto &s : stmt->stmts)
+                walkSeq(ctx, s, guard, st);
+            break;
+          case Stmt::Kind::If: {
+            CellId c = asBool(lowerExpr(ctx, stmt->cond));
+            CellId gt = nlist().addBinary(CellKind::And, guard, c);
+            CellId nc = nlist().addUnary(CellKind::Not, c);
+            CellId ge = nlist().addBinary(CellKind::And, guard, nc);
+            walkSeq(ctx, stmt->thenStmt, gt, st);
+            walkSeq(ctx, stmt->elseStmt, ge, st);
+            break;
+          }
+          case Stmt::Kind::Case: {
+            CellId subj = lowerExpr(ctx, stmt->cond);
+            CellId no_prior = constCell(1, 1);
+            for (const auto &item : stmt->items) {
+                CellId match;
+                if (item.isDefault) {
+                    match = no_prior;
+                } else {
+                    CellId any = constCell(1, 0);
+                    for (const auto &lab : item.labels) {
+                        CellId lv = lowerExpr(ctx, lab);
+                        unsigned w =
+                            std::max(nlist().cell(subj).width,
+                                     nlist().cell(lv).width);
+                        CellId eq = nlist().addBinary(
+                            CellKind::Eq, adjust(subj, w), adjust(lv, w));
+                        any = nlist().addBinary(CellKind::Or, any, eq);
+                    }
+                    match = nlist().addBinary(CellKind::And, no_prior,
+                                              any);
+                    CellId nm = nlist().addUnary(CellKind::Not, any);
+                    no_prior =
+                        nlist().addBinary(CellKind::And, no_prior, nm);
+                }
+                CellId g = nlist().addBinary(CellKind::And, guard, match);
+                walkSeq(ctx, item.body, g, st);
+            }
+            break;
+          }
+          case Stmt::Kind::Assign: {
+            if (!stmt->nonblocking)
+                err(stmt->line,
+                    "blocking assignment in sequential always block");
+            Sig *sig = findSig(ctx, stmt->lhsName);
+            R2U_ASSERT(sig, "target vanished");
+            CellId rhs = lowerExpr(ctx, stmt->rhs);
+            if (sig->isMem) {
+                CellId addr = lowerExpr(ctx, stmt->lhsIndex);
+                nlist().addMemWrite(sig->mem, addr,
+                                    adjust(rhs, sig->width), guard);
+                break;
+            }
+            CellId data = adjust(rhs, sig->width);
+            st.next[sig->key] =
+                nlist().addMux(guard, data, st.next[sig->key]);
+            st.en[sig->key] =
+                nlist().addBinary(CellKind::Or, st.en[sig->key], guard);
+            break;
+          }
+        }
+    }
+
+    void
+    lowerCombBlock(Scope &scope, BlockInfo &block)
+    {
+        if (block.lowered)
+            return;
+        if (block.lowering)
+            fatal("combinational cycle through an always @(*) block in "
+                  "module '%s'", scope.module->name.c_str());
+        block.lowering = true;
+
+        CombEnv env;
+        walkComb(block.ctx, block.always->body, &env, &block);
+
+        for (const auto &key : block.targets) {
+            auto it = env.find(key);
+            if (it == env.end())
+                fatal("latch inferred: '%s%s' is not assigned on every "
+                      "path through its always @(*) block",
+                      scope.prefix.c_str(), key.c_str());
+            Sig &t = scope.sigs.at(key);
+            t.cell = adjust(it->second, t.width);
+            result_.signalMap[scope.prefix + t.key] = t.cell;
+        }
+        block.lowered = true;
+        block.lowering = false;
+    }
+
+    void
+    walkComb(const Ctx &ctx, const StmtP &stmt, CombEnv *env,
+             BlockInfo *block)
+    {
+        if (!stmt)
+            return;
+        switch (stmt->kind) {
+          case Stmt::Kind::Block:
+            for (const auto &s : stmt->stmts)
+                walkComb(ctx, s, env, block);
+            break;
+          case Stmt::Kind::If: {
+            CellId c =
+                asBool(lowerExpr(ctx, stmt->cond, env, block));
+            CombEnv env_then = *env;
+            CombEnv env_else = *env;
+            walkComb(ctx, stmt->thenStmt, &env_then, block);
+            walkComb(ctx, stmt->elseStmt, &env_else, block);
+            mergeEnv(c, env_then, env_else, env);
+            break;
+          }
+          case Stmt::Kind::Case: {
+            CellId subj = lowerExpr(ctx, stmt->cond, env, block);
+            walkCombCase(ctx, stmt, subj, 0, env, block);
+            break;
+          }
+          case Stmt::Kind::Assign: {
+            if (stmt->nonblocking)
+                err(stmt->line,
+                    "nonblocking assignment in always @(*) block");
+            Sig *sig = findSig(ctx, stmt->lhsName);
+            R2U_ASSERT(sig, "target vanished");
+            if (sig->isMem)
+                err(stmt->line,
+                    "memory write in combinational always block");
+            CellId rhs = lowerExpr(ctx, stmt->rhs, env, block);
+            (*env)[sig->key] = adjust(rhs, sig->width);
+            break;
+          }
+        }
+    }
+
+    /** Desugar case items into nested if/else over @p subj. */
+    void
+    walkCombCase(const Ctx &ctx, const StmtP &stmt, CellId subj,
+                 size_t item_idx, CombEnv *env, BlockInfo *block)
+    {
+        if (item_idx >= stmt->items.size())
+            return;
+        const CaseItem &item = stmt->items[item_idx];
+        if (item.isDefault) {
+            walkComb(ctx, item.body, env, block);
+            return;
+        }
+        CellId any = constCell(1, 0);
+        for (const auto &lab : item.labels) {
+            CellId lv = lowerExpr(ctx, lab, env, block);
+            unsigned w = std::max(nlist().cell(subj).width,
+                                  nlist().cell(lv).width);
+            CellId eq = nlist().addBinary(CellKind::Eq, adjust(subj, w),
+                                          adjust(lv, w));
+            any = nlist().addBinary(CellKind::Or, any, eq);
+        }
+        CombEnv env_then = *env;
+        CombEnv env_else = *env;
+        walkComb(ctx, item.body, &env_then, block);
+        walkCombCase(ctx, stmt, subj, item_idx + 1, &env_else, block);
+        mergeEnv(any, env_then, env_else, env);
+    }
+
+    void
+    mergeEnv(CellId cond, const CombEnv &env_then, const CombEnv &env_else,
+             CombEnv *out)
+    {
+        out->clear();
+        for (const auto &[key, tv] : env_then) {
+            auto it = env_else.find(key);
+            if (it == env_else.end())
+                continue; // defined on one path only: stays undefined
+            unsigned w = std::max(nlist().cell(tv).width,
+                                  nlist().cell(it->second).width);
+            if (tv == it->second) {
+                (*out)[key] = tv;
+            } else {
+                (*out)[key] = nlist().addMux(cond, adjust(tv, w),
+                                             adjust(it->second, w));
+            }
+        }
+    }
+
+    void
+    forceResolve(Scope &scope)
+    {
+        for (auto &[key, sig] : scope.sigs) {
+            if (sig.isMem)
+                continue;
+            if (sig.driver == DriverKind::None) {
+                // Undriven non-port wires are an error only when read;
+                // tolerate fully unused declarations.
+                continue;
+            }
+            resolveSig(scope, sig);
+        }
+        // Force always blocks that assign only memories, and queue all
+        // sequential blocks for body lowering.
+        for (auto &block : scope.blocks) {
+            if (block->lowered)
+                continue;
+            if (block->always->isSequential) {
+                ensureSeqDffs(scope, *block);
+                pending_seq_.emplace_back(&scope, block.get());
+            } else {
+                lowerCombBlock(scope, *block);
+            }
+        }
+        for (auto &child : scope.children)
+            forceResolve(*child);
+    }
+
+    /** Lower the D/EN cones of all queued sequential blocks. */
+    void
+    drainPendingSeq()
+    {
+        while (!pending_seq_.empty()) {
+            auto [scope, block] = pending_seq_.back();
+            pending_seq_.pop_back();
+            lowerSeqBlock(*scope, *block);
+        }
+    }
+
+    const Design &design_;
+    const ElabOptions &opts_;
+    ElabResult result_;
+    std::unique_ptr<Scope> top_;
+    std::vector<std::pair<Scope *, BlockInfo *>> pending_seq_;
+};
+
+} // namespace
+
+nl::CellId
+ElabResult::signal(const std::string &name) const
+{
+    auto it = signalMap.find(name);
+    if (it == signalMap.end())
+        fatal("no signal named '%s' in elaborated design", name.c_str());
+    return it->second;
+}
+
+nl::MemId
+ElabResult::mem(const std::string &name) const
+{
+    auto it = memMap.find(name);
+    if (it == memMap.end())
+        fatal("no memory named '%s' in elaborated design", name.c_str());
+    return it->second;
+}
+
+ElabResult
+elaborate(const Design &design, const ElabOptions &opts)
+{
+    Elaborator e(design, opts);
+    return e.run();
+}
+
+ElabResult
+elaborateFiles(const std::vector<std::string> &paths,
+               const ElabOptions &opts)
+{
+    Design d = parseFiles(paths);
+    return elaborate(d, opts);
+}
+
+} // namespace r2u::vlog

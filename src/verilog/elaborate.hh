@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Elaboration: AST -> flat word-level netlist.
+ *
+ * This performs the role of Verific+Yosys in the paper's flow (§4.1):
+ * parameter resolution, generate-for unrolling, hierarchy flattening
+ * with dotted hierarchical names ("core_gen_block[0].vscale.inst_DX"),
+ * synthesis of always blocks into mux trees feeding $dff cells, and
+ * memory inference for declared arrays.
+ */
+
+#ifndef R2U_VERILOG_ELABORATE_HH
+#define R2U_VERILOG_ELABORATE_HH
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "netlist/netlist.hh"
+#include "verilog/ast.hh"
+
+namespace r2u::vlog
+{
+
+struct ElabOptions
+{
+    std::string top;
+    /** Parameter overrides for the top module. */
+    std::unordered_map<std::string, int64_t> params;
+};
+
+struct ElabResult
+{
+    std::shared_ptr<nl::Netlist> netlist;
+    /** Hierarchical signal name -> netlist wire (includes aliases). */
+    std::unordered_map<std::string, nl::CellId> signalMap;
+    /** Hierarchical memory name -> netlist memory. */
+    std::unordered_map<std::string, nl::MemId> memMap;
+
+    /** Look up a signal by hierarchical name; fatal() if missing. */
+    nl::CellId signal(const std::string &name) const;
+    /** Look up a memory by hierarchical name; fatal() if missing. */
+    nl::MemId mem(const std::string &name) const;
+};
+
+/** Elaborate @p design rooted at opts.top. fatal() on semantic errors. */
+ElabResult elaborate(const Design &design, const ElabOptions &opts);
+
+/** Convenience: parse files then elaborate. */
+ElabResult elaborateFiles(const std::vector<std::string> &paths,
+                          const ElabOptions &opts);
+
+} // namespace r2u::vlog
+
+#endif // R2U_VERILOG_ELABORATE_HH

@@ -1,0 +1,254 @@
+#include "verilog/lexer.hh"
+
+#include <cctype>
+
+#include "common/logging.hh"
+
+namespace r2u::vlog
+{
+
+namespace
+{
+
+bool
+isIdentStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+isIdentChar(char c)
+{
+    return isIdentStart(c) || std::isdigit(static_cast<unsigned char>(c));
+}
+
+/** Parse digits of the given base into an arbitrary-width value. */
+Bits
+parseBaseDigits(const std::string &digits, unsigned base_bits,
+                unsigned width, const std::string &filename, int line)
+{
+    Bits v(width);
+    for (char c : digits) {
+        if (c == '_')
+            continue;
+        unsigned d;
+        if (c >= '0' && c <= '9')
+            d = static_cast<unsigned>(c - '0');
+        else if (c >= 'a' && c <= 'f')
+            d = static_cast<unsigned>(c - 'a' + 10);
+        else if (c >= 'A' && c <= 'F')
+            d = static_cast<unsigned>(c - 'A' + 10);
+        else
+            fatal("%s:%d: bad digit '%c' in literal", filename.c_str(),
+                  line, c);
+        if (d >= (1u << base_bits))
+            fatal("%s:%d: digit '%c' out of base range", filename.c_str(),
+                  line, c);
+        v = v.shl(base_bits) | Bits(width, d);
+    }
+    return v;
+}
+
+/** Parse a decimal digit string into a width-bit value. */
+Bits
+parseDecDigits(const std::string &digits, unsigned width,
+               const std::string &filename, int line)
+{
+    Bits v(width);
+    Bits ten(width, 10);
+    for (char c : digits) {
+        if (c == '_')
+            continue;
+        if (!std::isdigit(static_cast<unsigned char>(c)))
+            fatal("%s:%d: bad decimal digit '%c'", filename.c_str(), line,
+                  c);
+        v = v * ten + Bits(width, static_cast<uint64_t>(c - '0'));
+    }
+    return v;
+}
+
+} // namespace
+
+std::vector<Token>
+tokenize(const std::string &src, const std::string &filename)
+{
+    std::vector<Token> toks;
+    size_t i = 0;
+    int line = 1;
+    auto peek = [&](size_t k = 0) -> char {
+        return i + k < src.size() ? src[i + k] : '\0';
+    };
+
+    while (i < src.size()) {
+        char c = src[i];
+        if (c == '\n') {
+            line++;
+            i++;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            i++;
+            continue;
+        }
+        // Comments.
+        if (c == '/' && peek(1) == '/') {
+            while (i < src.size() && src[i] != '\n')
+                i++;
+            continue;
+        }
+        if (c == '/' && peek(1) == '*') {
+            i += 2;
+            while (i < src.size() &&
+                   !(src[i] == '*' && peek(1) == '/')) {
+                if (src[i] == '\n')
+                    line++;
+                i++;
+            }
+            if (i >= src.size())
+                fatal("%s:%d: unterminated block comment",
+                      filename.c_str(), line);
+            i += 2;
+            continue;
+        }
+        // Identifiers / keywords.
+        if (isIdentStart(c)) {
+            size_t start = i;
+            while (i < src.size() && isIdentChar(src[i]))
+                i++;
+            Token t;
+            t.kind = TokKind::Ident;
+            t.text = src.substr(start, i - start);
+            t.line = line;
+            toks.push_back(std::move(t));
+            continue;
+        }
+        // System identifiers.
+        if (c == '$') {
+            size_t start = i++;
+            while (i < src.size() && isIdentChar(src[i]))
+                i++;
+            Token t;
+            t.kind = TokKind::SysIdent;
+            t.text = src.substr(start, i - start);
+            t.line = line;
+            toks.push_back(std::move(t));
+            continue;
+        }
+        // Numbers (possibly sized/based).
+        if (std::isdigit(static_cast<unsigned char>(c)) || c == '\'') {
+            size_t start = i;
+            std::string size_digits;
+            while (i < src.size() &&
+                   (std::isdigit(static_cast<unsigned char>(src[i])) ||
+                    src[i] == '_')) {
+                size_digits.push_back(src[i]);
+                i++;
+            }
+            Token t;
+            t.kind = TokKind::Number;
+            t.line = line;
+            if (i < src.size() && src[i] == '\'') {
+                i++; // consume '
+                char base = static_cast<char>(
+                    std::tolower(static_cast<unsigned char>(peek())));
+                unsigned width = 32;
+                bool explicit_size = !size_digits.empty();
+                if (explicit_size) {
+                    width = static_cast<unsigned>(
+                        parseDecDigits(size_digits, 32, filename, line)
+                            .toUint64());
+                    if (width == 0 || width > 4096)
+                        fatal("%s:%d: bad literal size %u",
+                              filename.c_str(), line, width);
+                }
+                i++; // consume base char
+                std::string digits;
+                while (i < src.size() &&
+                       (std::isalnum(
+                            static_cast<unsigned char>(src[i])) ||
+                        src[i] == '_')) {
+                    digits.push_back(src[i]);
+                    i++;
+                }
+                if (digits.empty())
+                    fatal("%s:%d: literal missing digits",
+                          filename.c_str(), line);
+                switch (base) {
+                  case 'b':
+                    t.number =
+                        parseBaseDigits(digits, 1, width, filename, line);
+                    break;
+                  case 'o':
+                    t.number =
+                        parseBaseDigits(digits, 3, width, filename, line);
+                    break;
+                  case 'h':
+                    t.number =
+                        parseBaseDigits(digits, 4, width, filename, line);
+                    break;
+                  case 'd':
+                    t.number =
+                        parseDecDigits(digits, width, filename, line);
+                    break;
+                  default:
+                    fatal("%s:%d: unknown literal base '%c'",
+                          filename.c_str(), line, base);
+                }
+                t.sized = explicit_size;
+            } else {
+                if (size_digits.empty())
+                    fatal("%s:%d: malformed number", filename.c_str(),
+                          line);
+                t.number = parseDecDigits(size_digits, 32, filename, line);
+                t.sized = false;
+            }
+            t.text = src.substr(start, i - start);
+            toks.push_back(std::move(t));
+            continue;
+        }
+        // Punctuation / operators; longest match first.
+        static const char *three[] = {">>>", "<<<", "===", "!=="};
+        static const char *two[] = {"&&", "||", "==", "!=", "<=", ">=",
+                                    "<<", ">>", "+:", "-:", "~|", "~&",
+                                    "~^"};
+        Token t;
+        t.kind = TokKind::Punct;
+        t.line = line;
+        bool matched = false;
+        for (const char *op : three) {
+            if (src.compare(i, 3, op) == 0) {
+                t.text = op;
+                i += 3;
+                matched = true;
+                break;
+            }
+        }
+        if (!matched) {
+            for (const char *op : two) {
+                if (src.compare(i, 2, op) == 0) {
+                    t.text = op;
+                    i += 2;
+                    matched = true;
+                    break;
+                }
+            }
+        }
+        if (!matched) {
+            static const std::string singles = "()[]{}:;,.#?=+-*/%&|^~!<>@";
+            if (singles.find(c) == std::string::npos)
+                fatal("%s:%d: unexpected character '%c'",
+                      filename.c_str(), line, c);
+            t.text = std::string(1, c);
+            i++;
+        }
+        toks.push_back(std::move(t));
+    }
+
+    Token eof;
+    eof.kind = TokKind::Eof;
+    eof.line = line;
+    toks.push_back(eof);
+    return toks;
+}
+
+} // namespace r2u::vlog

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Tokenizer for the supported Verilog subset.
+ */
+
+#ifndef R2U_VERILOG_LEXER_HH
+#define R2U_VERILOG_LEXER_HH
+
+#include <string>
+#include <vector>
+
+#include "common/bits.hh"
+
+namespace r2u::vlog
+{
+
+enum class TokKind {
+    Eof,
+    Ident,   ///< identifiers and keywords (text distinguishes)
+    SysIdent,///< $signed, $unsigned, ...
+    Number,  ///< numeric literal (value + width info)
+    Punct    ///< operator or punctuation (text holds the spelling)
+};
+
+struct Token
+{
+    TokKind kind = TokKind::Eof;
+    std::string text;
+    Bits number;        ///< for Number tokens
+    bool sized = false; ///< literal had an explicit size (e.g. 8'hff)
+    int line = 1;
+};
+
+/**
+ * Tokenize @p src (from @p filename, used in diagnostics). fatal()s on
+ * lexical errors.
+ */
+std::vector<Token> tokenize(const std::string &src,
+                            const std::string &filename);
+
+} // namespace r2u::vlog
+
+#endif // R2U_VERILOG_LEXER_HH

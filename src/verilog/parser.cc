@@ -1,0 +1,653 @@
+#include "verilog/parser.hh"
+
+#include <unordered_set>
+
+#include "common/logging.hh"
+#include "common/strutil.hh"
+#include "verilog/lexer.hh"
+
+namespace r2u::vlog
+{
+
+namespace
+{
+
+const std::unordered_set<std::string> kKeywords = {
+    "module", "endmodule", "input",  "output",   "wire",     "reg",
+    "logic",  "parameter", "localparam", "assign", "always", "posedge",
+    "negedge", "begin",    "end",    "if",       "else",     "case",
+    "endcase", "default",  "generate", "endgenerate", "for", "genvar",
+};
+
+class Parser
+{
+  public:
+    Parser(std::vector<Token> toks, std::string filename)
+        : toks_(std::move(toks)), file_(std::move(filename))
+    {
+    }
+
+    Design
+    parseDesign()
+    {
+        Design d;
+        while (!atEof()) {
+            expectKeyword("module");
+            d.modules.push_back(parseModule());
+        }
+        return d;
+    }
+
+  private:
+    // --- token helpers ---
+    const Token &cur() const { return toks_[pos_]; }
+    const Token &peek(size_t k = 1) const
+    {
+        size_t i = pos_ + k;
+        return i < toks_.size() ? toks_[i] : toks_.back();
+    }
+    bool atEof() const { return cur().kind == TokKind::Eof; }
+
+    [[noreturn]] void
+    err(const std::string &msg) const
+    {
+        fatal("%s:%d: parse error: %s (got '%s')", file_.c_str(),
+              cur().line, msg.c_str(), cur().text.c_str());
+    }
+
+    bool
+    isPunct(const std::string &p) const
+    {
+        return cur().kind == TokKind::Punct && cur().text == p;
+    }
+
+    bool
+    isKeyword(const std::string &k) const
+    {
+        return cur().kind == TokKind::Ident && cur().text == k;
+    }
+
+    bool
+    acceptPunct(const std::string &p)
+    {
+        if (isPunct(p)) {
+            pos_++;
+            return true;
+        }
+        return false;
+    }
+
+    void
+    expectPunct(const std::string &p)
+    {
+        if (!acceptPunct(p))
+            err("expected '" + p + "'");
+    }
+
+    bool
+    acceptKeyword(const std::string &k)
+    {
+        if (isKeyword(k)) {
+            pos_++;
+            return true;
+        }
+        return false;
+    }
+
+    void
+    expectKeyword(const std::string &k)
+    {
+        if (!acceptKeyword(k))
+            err("expected keyword '" + k + "'");
+    }
+
+    std::string
+    expectIdent()
+    {
+        if (cur().kind != TokKind::Ident || kKeywords.count(cur().text))
+            err("expected identifier");
+        std::string s = cur().text;
+        pos_++;
+        return s;
+    }
+
+    // --- expressions ---
+    ExprP
+    mkExpr(Expr::Kind kind)
+    {
+        auto e = std::make_shared<Expr>();
+        e->kind = kind;
+        e->line = cur().line;
+        return e;
+    }
+
+    ExprP
+    parseExpr()
+    {
+        return parseTernary();
+    }
+
+    ExprP
+    parseTernary()
+    {
+        ExprP c = parseBinary(0);
+        if (acceptPunct("?")) {
+            auto e = mkExpr(Expr::Kind::Ternary);
+            e->cond = c;
+            e->lhs = parseTernary();
+            expectPunct(":");
+            e->rhs = parseTernary();
+            return e;
+        }
+        return c;
+    }
+
+    /** Binary-operator precedence levels, loosest first. */
+    int
+    binLevel(const std::string &op) const
+    {
+        if (op == "||") return 1;
+        if (op == "&&") return 2;
+        if (op == "|") return 3;
+        if (op == "^" || op == "~^") return 4;
+        if (op == "&") return 5;
+        if (op == "==" || op == "!=") return 6;
+        if (op == "<" || op == "<=" || op == ">" || op == ">=") return 7;
+        if (op == "<<" || op == ">>" || op == ">>>") return 8;
+        if (op == "+" || op == "-") return 9;
+        if (op == "*" || op == "/" || op == "%") return 10;
+        return -1;
+    }
+
+    ExprP
+    parseBinary(int min_level)
+    {
+        ExprP lhs = parseUnary();
+        while (cur().kind == TokKind::Punct) {
+            int level = binLevel(cur().text);
+            if (level < 0 || level < min_level)
+                break;
+            std::string op = cur().text;
+            pos_++;
+            ExprP rhs = parseBinary(level + 1);
+            auto e = mkExpr(Expr::Kind::Binary);
+            e->op = op;
+            e->lhs = lhs;
+            e->rhs = rhs;
+            lhs = e;
+        }
+        return lhs;
+    }
+
+    ExprP
+    parseUnary()
+    {
+        static const char *unops[] = {"!", "~", "-", "&", "|", "^",
+                                      "~|", "~&", "+"};
+        for (const char *op : unops) {
+            if (isPunct(op)) {
+                std::string o = cur().text;
+                pos_++;
+                auto e = mkExpr(Expr::Kind::Unary);
+                e->op = o;
+                e->lhs = parseUnary();
+                return e;
+            }
+        }
+        return parsePrimary();
+    }
+
+    ExprP
+    parsePrimary()
+    {
+        if (cur().kind == TokKind::Number) {
+            auto e = mkExpr(Expr::Kind::Number);
+            e->number = cur().number;
+            e->sized = cur().sized;
+            pos_++;
+            return e;
+        }
+        if (cur().kind == TokKind::SysIdent) {
+            std::string fn = cur().text;
+            pos_++;
+            if (fn != "$signed" && fn != "$unsigned")
+                err("unsupported system function " + fn);
+            expectPunct("(");
+            auto e = mkExpr(Expr::Kind::SignCast);
+            e->op = fn.substr(1);
+            e->elems.push_back(parseExpr());
+            expectPunct(")");
+            return e;
+        }
+        if (acceptPunct("(")) {
+            ExprP e = parseExpr();
+            expectPunct(")");
+            return e;
+        }
+        if (isPunct("{")) {
+            return parseConcat();
+        }
+        if (cur().kind == TokKind::Ident && !kKeywords.count(cur().text)) {
+            std::string name = parseHierName();
+            if (isPunct("[")) {
+                pos_++;
+                ExprP first = parseExpr();
+                if (acceptPunct(":")) {
+                    auto e = mkExpr(Expr::Kind::Range);
+                    e->name = name;
+                    e->msb = first;
+                    e->lsb = parseExpr();
+                    expectPunct("]");
+                    return e;
+                }
+                expectPunct("]");
+                auto e = mkExpr(Expr::Kind::Index);
+                e->name = name;
+                e->lhs = first;
+                return e;
+            }
+            auto e = mkExpr(Expr::Kind::Ident);
+            e->name = name;
+            return e;
+        }
+        err("expected expression");
+    }
+
+    /** Dotted hierarchical names (used only in metadata contexts). */
+    std::string
+    parseHierName()
+    {
+        std::string name = expectIdent();
+        return name;
+    }
+
+    ExprP
+    parseConcat()
+    {
+        int line = cur().line;
+        expectPunct("{");
+        ExprP first = parseExpr();
+        if (isPunct("{")) {
+            // Replication: {count{value}}
+            pos_++;
+            auto e = mkExpr(Expr::Kind::Repl);
+            e->line = line;
+            e->count = first;
+            e->elems.push_back(parseExpr());
+            expectPunct("}");
+            expectPunct("}");
+            return e;
+        }
+        auto e = mkExpr(Expr::Kind::Concat);
+        e->line = line;
+        e->elems.push_back(first);
+        while (acceptPunct(","))
+            e->elems.push_back(parseExpr());
+        expectPunct("}");
+        return e;
+    }
+
+    // --- statements ---
+    StmtP
+    mkStmt(Stmt::Kind kind)
+    {
+        auto s = std::make_shared<Stmt>();
+        s->kind = kind;
+        s->line = cur().line;
+        return s;
+    }
+
+    StmtP
+    parseStmt()
+    {
+        if (acceptKeyword("begin")) {
+            auto s = mkStmt(Stmt::Kind::Block);
+            while (!isKeyword("end"))
+                s->stmts.push_back(parseStmt());
+            expectKeyword("end");
+            return s;
+        }
+        if (acceptKeyword("if")) {
+            auto s = mkStmt(Stmt::Kind::If);
+            expectPunct("(");
+            s->cond = parseExpr();
+            expectPunct(")");
+            s->thenStmt = parseStmt();
+            if (acceptKeyword("else"))
+                s->elseStmt = parseStmt();
+            return s;
+        }
+        if (acceptKeyword("case")) {
+            auto s = mkStmt(Stmt::Kind::Case);
+            expectPunct("(");
+            s->cond = parseExpr();
+            expectPunct(")");
+            while (!isKeyword("endcase")) {
+                CaseItem item;
+                if (acceptKeyword("default")) {
+                    item.isDefault = true;
+                    acceptPunct(":");
+                } else {
+                    item.labels.push_back(parseExpr());
+                    while (acceptPunct(","))
+                        item.labels.push_back(parseExpr());
+                    expectPunct(":");
+                }
+                item.body = parseStmt();
+                s->items.push_back(std::move(item));
+            }
+            expectKeyword("endcase");
+            return s;
+        }
+        // Assignment statement.
+        auto s = mkStmt(Stmt::Kind::Assign);
+        s->lhsName = expectIdent();
+        if (acceptPunct("[")) {
+            s->lhsIndex = parseExpr();
+            expectPunct("]");
+        }
+        if (acceptPunct("=")) {
+            s->nonblocking = false;
+        } else if (acceptPunct("<=")) {
+            s->nonblocking = true;
+        } else {
+            err("expected '=' or '<=' in assignment");
+        }
+        s->rhs = parseExpr();
+        expectPunct(";");
+        return s;
+    }
+
+    // --- module items ---
+    PortDir
+    parseDir()
+    {
+        if (acceptKeyword("input"))
+            return PortDir::Input;
+        if (acceptKeyword("output"))
+            return PortDir::Output;
+        return PortDir::None;
+    }
+
+    /** Parse "[msb:lsb]" into the decl if present. */
+    void
+    parseRange(ExprP &msb, ExprP &lsb)
+    {
+        if (acceptPunct("[")) {
+            msb = parseExpr();
+            expectPunct(":");
+            lsb = parseExpr();
+            expectPunct("]");
+        }
+    }
+
+    std::shared_ptr<Module>
+    parseModule()
+    {
+        auto m = std::make_shared<Module>();
+        m->line = cur().line;
+        m->name = expectIdent();
+
+        // Parameter port list.
+        if (acceptPunct("#")) {
+            expectPunct("(");
+            do {
+                acceptKeyword("parameter");
+                auto item = std::make_shared<ModuleItem>();
+                item->kind = ModuleItem::Kind::Param;
+                item->param.name = expectIdent();
+                expectPunct("=");
+                item->param.value = parseExpr();
+                item->param.isLocal = false;
+                m->items.push_back(item);
+            } while (acceptPunct(","));
+            expectPunct(")");
+        }
+
+        // ANSI port list.
+        expectPunct("(");
+        if (!isPunct(")")) {
+            do {
+                PortDir dir = parseDir();
+                if (dir == PortDir::None)
+                    err("port requires explicit input/output direction");
+                bool is_reg = false;
+                if (acceptKeyword("wire") || acceptKeyword("logic")) {
+                } else if (acceptKeyword("reg")) {
+                    is_reg = true;
+                }
+                auto item = std::make_shared<ModuleItem>();
+                item->kind = ModuleItem::Kind::Net;
+                item->net.dir = dir;
+                item->net.isReg = is_reg;
+                item->net.line = cur().line;
+                parseRange(item->net.msb, item->net.lsb);
+                item->net.name = expectIdent();
+                m->portOrder.push_back(item->net.name);
+                m->items.push_back(item);
+            } while (acceptPunct(","));
+        }
+        expectPunct(")");
+        expectPunct(";");
+
+        while (!isKeyword("endmodule"))
+            parseModuleItems(m->items);
+        expectKeyword("endmodule");
+        return m;
+    }
+
+    void
+    parseModuleItems(std::vector<ModuleItemP> &out)
+    {
+        if (isKeyword("parameter") || isKeyword("localparam")) {
+            bool is_local = cur().text == "localparam";
+            pos_++;
+            do {
+                auto item = std::make_shared<ModuleItem>();
+                item->kind = ModuleItem::Kind::Param;
+                item->param.isLocal = is_local;
+                item->param.name = expectIdent();
+                expectPunct("=");
+                item->param.value = parseExpr();
+                out.push_back(item);
+            } while (acceptPunct(","));
+            expectPunct(";");
+            return;
+        }
+        if (isKeyword("wire") || isKeyword("reg") || isKeyword("logic")) {
+            bool is_reg = cur().text == "reg" || cur().text == "logic";
+            pos_++;
+            ExprP msb, lsb;
+            parseRange(msb, lsb);
+            do {
+                auto item = std::make_shared<ModuleItem>();
+                item->kind = ModuleItem::Kind::Net;
+                item->net.isReg = is_reg;
+                item->net.msb = msb;
+                item->net.lsb = lsb;
+                item->net.line = cur().line;
+                item->net.name = expectIdent();
+                parseRange(item->net.arrayLeft, item->net.arrayRight);
+                out.push_back(item);
+                // "wire name = expr;" declaration with initializer.
+                if (acceptPunct("=")) {
+                    auto as = std::make_shared<ModuleItem>();
+                    as->kind = ModuleItem::Kind::Assign;
+                    as->assign.line = cur().line;
+                    as->assign.lhsName = item->net.name;
+                    as->assign.rhs = parseExpr();
+                    out.push_back(as);
+                }
+            } while (acceptPunct(","));
+            expectPunct(";");
+            return;
+        }
+        if (acceptKeyword("assign")) {
+            auto item = std::make_shared<ModuleItem>();
+            item->kind = ModuleItem::Kind::Assign;
+            item->assign.line = cur().line;
+            item->assign.lhsName = expectIdent();
+            if (acceptPunct("[")) {
+                item->assign.lhsIndex = parseExpr();
+                expectPunct("]");
+            }
+            expectPunct("=");
+            item->assign.rhs = parseExpr();
+            expectPunct(";");
+            out.push_back(item);
+            return;
+        }
+        if (acceptKeyword("always")) {
+            auto item = std::make_shared<ModuleItem>();
+            item->kind = ModuleItem::Kind::Always;
+            item->always.line = cur().line;
+            expectPunct("@");
+            expectPunct("(");
+            if (acceptPunct("*")) {
+                item->always.isSequential = false;
+            } else if (acceptKeyword("posedge")) {
+                item->always.isSequential = true;
+                item->always.clock = expectIdent();
+            } else {
+                err("expected '*' or 'posedge' in sensitivity list");
+            }
+            expectPunct(")");
+            item->always.body = parseStmt();
+            out.push_back(item);
+            return;
+        }
+        if (acceptKeyword("genvar")) {
+            // Declaration only; the binding happens in the for header.
+            expectIdent();
+            while (acceptPunct(","))
+                expectIdent();
+            expectPunct(";");
+            return;
+        }
+        if (acceptKeyword("generate")) {
+            while (!isKeyword("endgenerate"))
+                parseGenerateItem(out);
+            expectKeyword("endgenerate");
+            return;
+        }
+        if (isKeyword("for")) {
+            parseGenerateItem(out);
+            return;
+        }
+        // Module instantiation: ident [#(...)] ident ( ... ) ;
+        if (cur().kind == TokKind::Ident && !kKeywords.count(cur().text)) {
+            parseInstance(out);
+            return;
+        }
+        err("unexpected module item");
+    }
+
+    void
+    parseGenerateItem(std::vector<ModuleItemP> &out)
+    {
+        if (acceptKeyword("for")) {
+            auto gf = std::make_shared<GenFor>();
+            gf->line = cur().line;
+            expectPunct("(");
+            gf->genvar = expectIdent();
+            expectPunct("=");
+            gf->init = parseExpr();
+            expectPunct(";");
+            gf->cond = parseExpr();
+            expectPunct(";");
+            std::string step_var = expectIdent();
+            if (step_var != gf->genvar)
+                err("generate-for step must assign the genvar");
+            expectPunct("=");
+            gf->step = parseExpr();
+            expectPunct(")");
+            expectKeyword("begin");
+            expectPunct(":");
+            gf->blockName = expectIdent();
+            while (!isKeyword("end"))
+                parseModuleItems(gf->body);
+            expectKeyword("end");
+
+            auto item = std::make_shared<ModuleItem>();
+            item->kind = ModuleItem::Kind::GenForItem;
+            item->genFor = gf;
+            out.push_back(item);
+            return;
+        }
+        parseModuleItems(out);
+    }
+
+    void
+    parseInstance(std::vector<ModuleItemP> &out)
+    {
+        auto item = std::make_shared<ModuleItem>();
+        item->kind = ModuleItem::Kind::Inst;
+        item->inst.line = cur().line;
+        item->inst.moduleName = expectIdent();
+        if (acceptPunct("#")) {
+            expectPunct("(");
+            do {
+                expectPunct(".");
+                std::string pname = expectIdent();
+                expectPunct("(");
+                ExprP v = parseExpr();
+                expectPunct(")");
+                item->inst.paramOverrides.emplace_back(pname, v);
+            } while (acceptPunct(","));
+            expectPunct(")");
+        }
+        item->inst.instName = expectIdent();
+        expectPunct("(");
+        if (!isPunct(")")) {
+            do {
+                expectPunct(".");
+                PortConn pc;
+                pc.port = expectIdent();
+                expectPunct("(");
+                if (!isPunct(")"))
+                    pc.expr = parseExpr();
+                expectPunct(")");
+                item->inst.ports.push_back(std::move(pc));
+            } while (acceptPunct(","));
+        }
+        expectPunct(")");
+        expectPunct(";");
+        out.push_back(item);
+    }
+
+    std::vector<Token> toks_;
+    std::string file_;
+    size_t pos_ = 0;
+};
+
+} // namespace
+
+const Module *
+Design::findModule(const std::string &name) const
+{
+    for (const auto &m : modules)
+        if (m->name == name)
+            return m.get();
+    return nullptr;
+}
+
+Design
+parseString(const std::string &src, const std::string &filename)
+{
+    Parser p(tokenize(src, filename), filename);
+    return p.parseDesign();
+}
+
+Design
+parseFiles(const std::vector<std::string> &paths)
+{
+    Design all;
+    for (const auto &path : paths) {
+        Design d = parseString(readFile(path), path);
+        for (auto &m : d.modules)
+            all.modules.push_back(std::move(m));
+    }
+    return all;
+}
+
+} // namespace r2u::vlog

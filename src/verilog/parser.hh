@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Recursive-descent parser for the supported Verilog subset.
+ */
+
+#ifndef R2U_VERILOG_PARSER_HH
+#define R2U_VERILOG_PARSER_HH
+
+#include <string>
+#include <vector>
+
+#include "verilog/ast.hh"
+
+namespace r2u::vlog
+{
+
+/** Parse source text into a Design (fatal() on syntax errors). */
+Design parseString(const std::string &src, const std::string &filename);
+
+/** Parse and merge several source files. */
+Design parseFiles(const std::vector<std::string> &paths);
+
+} // namespace r2u::vlog
+
+#endif // R2U_VERILOG_PARSER_HH

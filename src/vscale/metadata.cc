@@ -1,0 +1,65 @@
+#include "vscale/metadata.hh"
+
+namespace r2u::vscale
+{
+
+rtl2uspec::DesignMetadata
+vscaleMetadata(const Config &config)
+{
+    (void)config;
+    rtl2uspec::DesignMetadata md;
+
+    for (unsigned c = 0; c < kNumCores; c++) {
+        rtl2uspec::CoreMeta core;
+        core.prefix = "core_" + std::to_string(c) + ".";
+        core.ifr = coreSig(c, "inst_DX");
+        core.pcrs = {coreSig(c, "PC_DX"), coreSig(c, "PC_WB")};
+        core.imPc = coreSig(c, "PC_IF");
+        core.reqEn = coreSig(c, "dmem_en");
+        core.reqWen = coreSig(c, "dmem_wen");
+        md.cores.push_back(std::move(core));
+    }
+
+    // sw first (instruction id 0, as in the artifact), then lw. RISC-V
+    // encodings: opcode + funct3 identify the instruction.
+    rtl2uspec::InstrType sw;
+    sw.name = "sw";
+    sw.mask = 0x0000707f;
+    sw.match = 0x00002023;
+    sw.isWrite = true;
+    md.instrs.push_back(sw);
+
+    rtl2uspec::InstrType lw;
+    lw.name = "lw";
+    lw.mask = 0x0000707f;
+    lw.match = 0x00002003;
+    lw.isRead = true;
+    md.instrs.push_back(lw);
+
+    rtl2uspec::RemoteInterface &remote = md.remote;
+    remote.memName = "dmem.mem";
+    remote.reqValid = "mem_req_valid";
+    remote.reqWen = "mem_req_wen";
+    remote.reqAddr = "mem_req_addr";
+    remote.reqData = "mem_req_wdata";
+    remote.reqCore = "mem_req_core";
+    remote.grant = "grant";
+    remote.respValid = "resp_valid";
+    remote.respCore = "resp_core";
+    remote.respData = "resp_data";
+    remote.pipelineRegs = {"dmem.req_valid_q", "dmem.req_wen_q",
+                           "dmem.req_addr_q", "dmem.req_wdata_q",
+                           "dmem.req_core_q"};
+    remote.pipeValid = "dmem.req_valid_q";
+    remote.pipeWen = "dmem.req_wen_q";
+    remote.pipeCore = "dmem.req_core_q";
+
+    // Round-robin bookkeeping: arbitration state, not program state.
+    md.exclude = {"arbiter.rr_ptr"};
+
+    md.bound = 14;
+    md.issueByFrame = 5;
+    return md;
+}
+
+} // namespace r2u::vscale

@@ -1,0 +1,23 @@
+/**
+ * @file
+ * rtl2uspec design metadata for the multi-V-scale (paper §4.2.1 and
+ * §4.3.4, and the artifact's design.h): IFR / PCR / IM_PC names per
+ * core, lw/sw encodings, and the shared data memory's request-response
+ * interface signals.
+ */
+
+#ifndef R2U_VSCALE_METADATA_HH
+#define R2U_VSCALE_METADATA_HH
+
+#include "rtl2uspec/metadata.hh"
+#include "vscale/vscale.hh"
+
+namespace r2u::vscale
+{
+
+/** Metadata for a multi-V-scale elaborated with the given config. */
+rtl2uspec::DesignMetadata vscaleMetadata(const Config &config);
+
+} // namespace r2u::vscale
+
+#endif // R2U_VSCALE_METADATA_HH

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Unit and property tests for the arbitrary-width Bits value type.
+ * Property tests cross-check every operation against native uint64_t
+ * arithmetic on random values at widths 1..64, plus direct tests at
+ * widths above 64 where the multi-word paths engage.
+ */
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "common/bits.hh"
+
+using r2u::Bits;
+
+TEST(Bits, BasicConstruction)
+{
+    Bits b(8, 0xab);
+    EXPECT_EQ(b.width(), 8u);
+    EXPECT_EQ(b.toUint64(), 0xabu);
+    EXPECT_TRUE(b.bit(0));
+    EXPECT_TRUE(b.bit(1));
+    EXPECT_FALSE(b.bit(2));
+}
+
+TEST(Bits, TruncatesToWidth)
+{
+    Bits b(4, 0xff);
+    EXPECT_EQ(b.toUint64(), 0xfu);
+}
+
+TEST(Bits, OnesAndAllOnes)
+{
+    EXPECT_TRUE(Bits::ones(7).isAllOnes());
+    EXPECT_EQ(Bits::ones(7).toUint64(), 0x7fu);
+    EXPECT_TRUE(Bits::ones(130).isAllOnes());
+    EXPECT_FALSE(Bits(130, 5).isAllOnes());
+}
+
+TEST(Bits, FromBinString)
+{
+    Bits b = Bits::fromBinString("1010");
+    EXPECT_EQ(b.width(), 4u);
+    EXPECT_EQ(b.toUint64(), 10u);
+    EXPECT_EQ(b.toBinString(), "1010");
+}
+
+TEST(Bits, HexString)
+{
+    EXPECT_EQ(Bits(12, 0xabc).toHexString(), "abc");
+    EXPECT_EQ(Bits(13, 0x1abc).toHexString(), "1abc");
+}
+
+TEST(Bits, SignedInterpretation)
+{
+    Bits b(4, 0xf);
+    EXPECT_EQ(b.toInt64(), -1);
+    EXPECT_EQ(Bits(4, 7).toInt64(), 7);
+    EXPECT_TRUE(Bits(4, 0x8).slt(Bits(4, 0)));  // -8 < 0
+    EXPECT_FALSE(Bits(4, 0).slt(Bits(4, 0x8)));
+}
+
+TEST(Bits, ConcatAndSlice)
+{
+    Bits hi(4, 0xa), lo(8, 0x5c);
+    Bits c = Bits::concat(hi, lo);
+    EXPECT_EQ(c.width(), 12u);
+    EXPECT_EQ(c.toUint64(), 0xa5cu);
+    EXPECT_EQ(c.slice(8, 4), hi);
+    EXPECT_EQ(c.slice(0, 8), lo);
+    EXPECT_EQ(c.slice(4, 4).toUint64(), 0x5u);
+}
+
+TEST(Bits, ExtendOps)
+{
+    Bits b(4, 0xc);
+    EXPECT_EQ(b.zext(8).toUint64(), 0x0cu);
+    EXPECT_EQ(b.sext(8).toUint64(), 0xfcu);
+    EXPECT_EQ(Bits(4, 0x4).sext(8).toUint64(), 0x04u);
+}
+
+TEST(Bits, WideArithmetic)
+{
+    // 128-bit: (2^100) + (2^100) == 2^101.
+    Bits a(128);
+    a.setBit(100, true);
+    Bits s = a + a;
+    EXPECT_FALSE(s.bit(100));
+    EXPECT_TRUE(s.bit(101));
+
+    // Carry propagation across the 64-bit word boundary.
+    Bits max64 = Bits::ones(64).zext(128);
+    Bits one(128, 1);
+    Bits r = max64 + one;
+    EXPECT_FALSE(r.bit(63));
+    EXPECT_TRUE(r.bit(64));
+}
+
+TEST(Bits, WideShifts)
+{
+    Bits a(100, 1);
+    Bits s = a.shl(99);
+    EXPECT_TRUE(s.bit(99));
+    EXPECT_EQ(s.lshr(99).toUint64(), 1u);
+    Bits neg = Bits::ones(100);
+    EXPECT_TRUE(neg.ashr(50).isAllOnes());
+}
+
+TEST(Bits, Popcount)
+{
+    EXPECT_EQ(Bits(8, 0xf0).popcount(), 4u);
+    EXPECT_EQ(Bits::ones(130).popcount(), 130u);
+}
+
+namespace
+{
+
+uint64_t
+maskFor(unsigned w)
+{
+    return w >= 64 ? ~0ull : ((1ull << w) - 1);
+}
+
+} // namespace
+
+/** Property sweep: Bits ops agree with uint64 reference at width w. */
+class BitsPropertyTest : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(BitsPropertyTest, MatchesNativeArithmetic)
+{
+    unsigned w = GetParam();
+    std::mt19937_64 rng(12345 + w);
+    uint64_t mask = maskFor(w);
+    for (int iter = 0; iter < 200; iter++) {
+        uint64_t x = rng() & mask;
+        uint64_t y = rng() & mask;
+        Bits a(w, x), b(w, y);
+
+        EXPECT_EQ((a + b).toUint64(), (x + y) & mask);
+        EXPECT_EQ((a - b).toUint64(), (x - y) & mask);
+        EXPECT_EQ((a * b).toUint64(), (x * y) & mask);
+        EXPECT_EQ((a & b).toUint64(), x & y);
+        EXPECT_EQ((a | b).toUint64(), x | y);
+        EXPECT_EQ((a ^ b).toUint64(), x ^ y);
+        EXPECT_EQ((~a).toUint64(), ~x & mask);
+        EXPECT_EQ(a == b, x == y);
+        EXPECT_EQ(a.ult(b), x < y);
+
+        unsigned sh = static_cast<unsigned>(rng() % (w + 1));
+        EXPECT_EQ(a.shl(sh).toUint64(), sh >= 64 ? 0 : (x << sh) & mask);
+        EXPECT_EQ(a.lshr(sh).toUint64(), sh >= 64 ? 0 : x >> sh);
+
+        // Signed compare via sign-extension to int64.
+        int64_t sx = a.toInt64(), sy = b.toInt64();
+        EXPECT_EQ(a.slt(b), sx < sy);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, BitsPropertyTest,
+                         ::testing::Values(1u, 2u, 3u, 7u, 8u, 13u, 16u,
+                                           31u, 32u, 33u, 48u, 63u, 64u));
+
+TEST(Bits, HashConsistency)
+{
+    Bits a(40, 0x123456789a);
+    Bits b(40, 0x123456789a);
+    Bits c(41, 0x123456789a);
+    EXPECT_EQ(a.hash(), b.hash());
+    EXPECT_NE(a, c); // different widths are different values
+}

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Tests for the Tseitin circuit builder: each word-level operation is
+ * cross-checked against Bits semantics by asserting equality with a
+ * constant and solving, and by randomized equivalence checking.
+ */
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "sat/cnf.hh"
+
+using namespace r2u::sat;
+using r2u::Bits;
+
+namespace
+{
+
+/** Force a word to a concrete value via unit clauses. */
+void
+fixWord(CnfBuilder &cnf, const Word &w, const Bits &v)
+{
+    ASSERT_EQ(w.size(), v.width());
+    for (unsigned i = 0; i < v.width(); i++)
+        cnf.assertLit(v.bit(i) ? w[i] : ~w[i]);
+}
+
+} // namespace
+
+TEST(Cnf, ConstantsFold)
+{
+    Solver s;
+    CnfBuilder cnf(s);
+    EXPECT_TRUE(cnf.isTrue(cnf.mkAnd(cnf.trueLit(), cnf.trueLit())));
+    EXPECT_TRUE(cnf.isFalse(cnf.mkAnd(cnf.trueLit(), cnf.falseLit())));
+    Lit x = cnf.freshLit();
+    EXPECT_EQ(cnf.mkAnd(cnf.trueLit(), x), x);
+    EXPECT_TRUE(cnf.isFalse(cnf.mkAnd(x, ~x)));
+    EXPECT_EQ(cnf.mkXor(x, cnf.falseLit()), x);
+    EXPECT_EQ(cnf.mkXor(x, cnf.trueLit()), ~x);
+    EXPECT_TRUE(cnf.isFalse(cnf.mkXor(x, x)));
+}
+
+TEST(Cnf, StructuralHashing)
+{
+    Solver s;
+    CnfBuilder cnf(s);
+    Lit a = cnf.freshLit(), b = cnf.freshLit();
+    Lit g1 = cnf.mkAnd(a, b);
+    Lit g2 = cnf.mkAnd(b, a); // commuted
+    EXPECT_EQ(g1, g2);
+    EXPECT_EQ(cnf.numGates(), 1u);
+}
+
+TEST(Cnf, AndOrXorTruthTables)
+{
+    for (int av = 0; av < 2; av++) {
+        for (int bv = 0; bv < 2; bv++) {
+            Solver s;
+            CnfBuilder cnf(s);
+            Lit a = cnf.freshLit(), b = cnf.freshLit();
+            Lit g_and = cnf.mkAnd(a, b);
+            Lit g_or = cnf.mkOr(a, b);
+            Lit g_xor = cnf.mkXor(a, b);
+            cnf.assertLit(av ? a : ~a);
+            cnf.assertLit(bv ? b : ~b);
+            ASSERT_EQ(s.solve(), Result::Sat);
+            EXPECT_EQ(s.modelValue(g_and), av && bv);
+            EXPECT_EQ(s.modelValue(g_or), av || bv);
+            EXPECT_EQ(s.modelValue(g_xor), (av ^ bv) != 0);
+        }
+    }
+}
+
+TEST(Cnf, MuxSelects)
+{
+    Solver s;
+    CnfBuilder cnf(s);
+    Lit sel = cnf.freshLit(), t = cnf.freshLit(), f = cnf.freshLit();
+    Lit y = cnf.mkMux(sel, t, f);
+    cnf.assertLit(sel);
+    cnf.assertLit(t);
+    cnf.assertLit(~f);
+    ASSERT_EQ(s.solve(), Result::Sat);
+    EXPECT_TRUE(s.modelValue(y));
+}
+
+/** Randomized equivalence of word ops against Bits reference. */
+class CnfWordTest : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(CnfWordTest, WordOpsMatchBits)
+{
+    unsigned w = GetParam();
+    std::mt19937_64 rng(99 + w);
+    for (int round = 0; round < 8; round++) {
+        uint64_t mask = w >= 64 ? ~0ull : ((1ull << w) - 1);
+        Bits x(w, rng() & mask), y(w, rng() & mask);
+
+        Solver s;
+        CnfBuilder cnf(s);
+        Word a = cnf.freshWord(w), b = cnf.freshWord(w);
+        Word add = cnf.mkAddW(a, b);
+        Word sub = cnf.mkSubW(a, b);
+        Word band = cnf.mkAndW(a, b);
+        Word bxor = cnf.mkXorW(a, b);
+        Lit eq = cnf.mkEqW(a, b);
+        Lit ult = cnf.mkUltW(a, b);
+        Lit slt = cnf.mkSltW(a, b);
+        Word sh = cnf.freshWord(3);
+        Word shl = cnf.mkShlW(a, sh);
+        Word lshr = cnf.mkLshrW(a, sh);
+        Word ashr = cnf.mkAshrW(a, sh);
+
+        unsigned shv = static_cast<unsigned>(rng() % 8);
+        fixWord(cnf, a, x);
+        fixWord(cnf, b, y);
+        fixWord(cnf, sh, Bits(3, shv));
+        ASSERT_EQ(s.solve(), Result::Sat);
+
+        EXPECT_EQ(cnf.modelWord(add), x + y);
+        EXPECT_EQ(cnf.modelWord(sub), x - y);
+        EXPECT_EQ(cnf.modelWord(band), x & y);
+        EXPECT_EQ(cnf.modelWord(bxor), x ^ y);
+        auto litVal = [&](Lit l) {
+            return cnf.isTrue(l) ||
+                   (!cnf.isFalse(l) && s.modelValue(l));
+        };
+        EXPECT_EQ(litVal(eq), x == y);
+        EXPECT_EQ(litVal(ult), x.ult(y));
+        EXPECT_EQ(litVal(slt), x.slt(y));
+        unsigned eff = shv >= w ? w : shv;
+        EXPECT_EQ(cnf.modelWord(shl), x.shl(eff));
+        EXPECT_EQ(cnf.modelWord(lshr), x.lshr(eff));
+        EXPECT_EQ(cnf.modelWord(ashr), x.ashr(eff));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, CnfWordTest,
+                         ::testing::Values(1u, 2u, 4u, 7u, 8u, 16u, 32u));
+
+TEST(Cnf, UnsatWhenContradictingEquality)
+{
+    Solver s;
+    CnfBuilder cnf(s);
+    Word a = cnf.freshWord(8);
+    Word b = cnf.mkAddW(a, cnf.constWord(8, 1));
+    // a == a + 1 has no solution at width 8.
+    cnf.assertLit(cnf.mkEqW(a, b));
+    EXPECT_EQ(s.solve(), Result::Unsat);
+}
+
+TEST(Cnf, SolverFindsAdditionPreimage)
+{
+    Solver s;
+    CnfBuilder cnf(s);
+    Word a = cnf.freshWord(16);
+    Word b = cnf.freshWord(16);
+    Word sum = cnf.mkAddW(a, b);
+    fixWord(cnf, sum, Bits(16, 0xbeef));
+    cnf.assertLit(cnf.mkUltW(a, b));
+    ASSERT_EQ(s.solve(), Result::Sat);
+    Bits av = cnf.modelWord(a), bv = cnf.modelWord(b);
+    EXPECT_EQ(av + bv, Bits(16, 0xbeef));
+    EXPECT_TRUE(av.ult(bv));
+}
+
+TEST(Cnf, ZextSextSliceConcat)
+{
+    Solver s;
+    CnfBuilder cnf(s);
+    Word a = cnf.freshWord(4);
+    fixWord(cnf, a, Bits(4, 0xc));
+    Word z = CnfBuilder::zextW(a, 8, cnf.falseLit());
+    Word x = CnfBuilder::sextW(a, 8);
+    Word sl = CnfBuilder::sliceW(a, 2, 2);
+    Word cc = CnfBuilder::concatW(a, a);
+    ASSERT_EQ(s.solve(), Result::Sat);
+    EXPECT_EQ(cnf.modelWord(z).toUint64(), 0x0cu);
+    EXPECT_EQ(cnf.modelWord(x).toUint64(), 0xfcu);
+    EXPECT_EQ(cnf.modelWord(sl).toUint64(), 0x3u);
+    EXPECT_EQ(cnf.modelWord(cc).toUint64(), 0xccu);
+}

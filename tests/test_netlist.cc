@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Tests for the netlist IR and the cycle-accurate simulator: builder
+ * API widths, topological ordering / combinational cycle detection,
+ * register and memory semantics, and stats reporting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "netlist/netlist.hh"
+#include "sim/simulator.hh"
+
+using namespace r2u;
+using namespace r2u::nl;
+
+TEST(Netlist, BuilderWidths)
+{
+    Netlist n;
+    CellId a = n.addInput("a", 8);
+    CellId b = n.addInput("b", 8);
+    CellId sum = n.addBinary(CellKind::Add, a, b, "sum");
+    EXPECT_EQ(n.cell(sum).width, 8u);
+    CellId eq = n.addBinary(CellKind::Eq, a, b);
+    EXPECT_EQ(n.cell(eq).width, 1u);
+    CellId cat = n.addConcat({a, b});
+    EXPECT_EQ(n.cell(cat).width, 16u);
+    CellId sl = n.addSlice(cat, 4, 8);
+    EXPECT_EQ(n.cell(sl).width, 8u);
+    CellId zx = n.addExt(CellKind::Zext, a, 12);
+    EXPECT_EQ(n.cell(zx).width, 12u);
+    n.validate();
+}
+
+TEST(Netlist, FindByName)
+{
+    Netlist n;
+    CellId a = n.addInput("top.a", 4);
+    EXPECT_EQ(n.findByName("top.a"), a);
+    EXPECT_EQ(n.findByName("nope"), kNoCell);
+    auto hits = n.findBySuffix(".a");
+    ASSERT_EQ(hits.size(), 1u);
+    EXPECT_EQ(hits[0], a);
+}
+
+TEST(Netlist, CombinationalCycleDetected)
+{
+    Netlist n;
+    CellId in = n.addInput("in", 1);
+    // Build a <- or(b, in); b <- and(a, in): a real cycle. We need to
+    // patch inputs after creation to create the loop.
+    CellId a = n.addBinary(CellKind::Or, in, in, "a");
+    CellId b = n.addBinary(CellKind::And, a, in, "b");
+    n.cell(a).inputs[0] = b;
+    EXPECT_THROW(n.topoOrder(), FatalError);
+}
+
+TEST(Netlist, DffBreaksCycle)
+{
+    Netlist n;
+    CellId one = n.addConst(Bits(1, 1));
+    CellId c1 = n.addConst(Bits(4, 1));
+    CellId q = n.addDff("q", c1, one, Bits(4, 0));
+    CellId next = n.addBinary(CellKind::Add, q, c1, "next");
+    n.cell(q).inputs[0] = next; // q' = q + 1: fine, dff breaks the loop
+    n.validate();
+
+    sim::Simulator s(n);
+    EXPECT_EQ(s.value(q).toUint64(), 0u);
+    s.step();
+    EXPECT_EQ(s.value(q).toUint64(), 1u);
+    s.run(14);
+    EXPECT_EQ(s.value(q).toUint64(), 15u);
+    s.step();
+    EXPECT_EQ(s.value(q).toUint64(), 0u); // wraps at width 4
+}
+
+TEST(Sim, DffEnableHolds)
+{
+    Netlist n;
+    CellId en = n.addInput("en", 1);
+    CellId d = n.addInput("d", 8);
+    CellId q = n.addDff("q", d, en, Bits(8, 0x55));
+    n.validate();
+
+    sim::Simulator s(n);
+    EXPECT_EQ(s.value(q).toUint64(), 0x55u); // power-on value
+    s.setInput("d", Bits(8, 0xaa));
+    s.setInput("en", Bits(1, 0));
+    s.step();
+    EXPECT_EQ(s.value(q).toUint64(), 0x55u); // held
+    s.setInput("en", Bits(1, 1));
+    s.step();
+    EXPECT_EQ(s.value(q).toUint64(), 0xaau); // loaded
+}
+
+TEST(Sim, MemoryReadBeforeWrite)
+{
+    Netlist n;
+    MemId m = n.addMemory("m", 4, 8);
+    CellId waddr = n.addInput("waddr", 2);
+    CellId wdata = n.addInput("wdata", 8);
+    CellId wen = n.addInput("wen", 1);
+    n.addMemWrite(m, waddr, wdata, wen);
+    CellId raddr = n.addInput("raddr", 2);
+    CellId rdata = n.addMemRead(m, raddr, "rdata");
+    n.validate();
+
+    sim::Simulator s(n);
+    s.setInput("waddr", Bits(2, 1));
+    s.setInput("wdata", Bits(8, 0x7e));
+    s.setInput("wen", Bits(1, 1));
+    s.setInput("raddr", Bits(2, 1));
+    // Combinational read sees pre-edge contents.
+    EXPECT_EQ(s.value(rdata).toUint64(), 0u);
+    s.step();
+    EXPECT_EQ(s.value(rdata).toUint64(), 0x7eu);
+    EXPECT_EQ(s.memWord(m, 1).toUint64(), 0x7eu);
+}
+
+TEST(Sim, MemoryWritePortPriority)
+{
+    Netlist n;
+    MemId m = n.addMemory("m", 4, 8);
+    CellId addr = n.addInput("addr", 2);
+    CellId one = n.addConst(Bits(1, 1));
+    CellId d1 = n.addConst(Bits(8, 0x11));
+    CellId d2 = n.addConst(Bits(8, 0x22));
+    n.addMemWrite(m, addr, d1, one);
+    n.addMemWrite(m, addr, d2, one); // later port wins
+    n.validate();
+
+    sim::Simulator s(n);
+    s.setInput("addr", Bits(2, 3));
+    s.step();
+    EXPECT_EQ(s.memWord(m, 3).toUint64(), 0x22u);
+}
+
+TEST(Sim, MuxAndCompare)
+{
+    Netlist n;
+    CellId a = n.addInput("a", 8);
+    CellId b = n.addInput("b", 8);
+    CellId lt = n.addBinary(CellKind::Ult, a, b, "lt");
+    CellId mn = n.addMux(lt, a, b, "min");
+    n.validate();
+
+    sim::Simulator s(n);
+    s.setInput("a", Bits(8, 5));
+    s.setInput("b", Bits(8, 9));
+    EXPECT_EQ(s.value(mn).toUint64(), 5u);
+    s.setInput("a", Bits(8, 200));
+    EXPECT_EQ(s.value(mn).toUint64(), 9u);
+}
+
+TEST(Sim, ShiftCells)
+{
+    Netlist n;
+    CellId a = n.addInput("a", 8);
+    CellId sh = n.addInput("sh", 4);
+    CellId l = n.addBinary(CellKind::Shl, a, sh, "l");
+    CellId r = n.addBinary(CellKind::Lshr, a, sh, "r");
+    CellId ar = n.addBinary(CellKind::Ashr, a, sh, "ar");
+    n.validate();
+
+    sim::Simulator s(n);
+    s.setInput("a", Bits(8, 0x81));
+    s.setInput("sh", Bits(4, 1));
+    EXPECT_EQ(s.value(l).toUint64(), 0x02u);
+    EXPECT_EQ(s.value(r).toUint64(), 0x40u);
+    EXPECT_EQ(s.value(ar).toUint64(), 0xc0u);
+    // Oversized shift amount clears (logical) / saturates (arith).
+    s.setInput("sh", Bits(4, 9));
+    EXPECT_EQ(s.value(l).toUint64(), 0u);
+    EXPECT_EQ(s.value(r).toUint64(), 0u);
+    EXPECT_EQ(s.value(ar).toUint64(), 0xffu);
+}
+
+TEST(Netlist, StatsCounts)
+{
+    Netlist n;
+    CellId a = n.addInput("a", 8);
+    CellId one = n.addConst(Bits(1, 1));
+    n.addDff("q1", a, one, Bits(8, 0));
+    n.addDff("q2", a, one, Bits(8, 0));
+    n.addMemory("m", 16, 8);
+    NetlistStats st = n.stats();
+    EXPECT_EQ(st.registers, 2u);
+    EXPECT_EQ(st.flopBits, 16u);
+    EXPECT_EQ(st.memories, 1u);
+    EXPECT_EQ(st.memBits, 128u);
+    EXPECT_EQ(st.inputs, 1u);
+}
+
+TEST(Sim, PokeDffAndMem)
+{
+    Netlist n;
+    CellId one = n.addConst(Bits(1, 1));
+    CellId zero8 = n.addConst(Bits(8, 0));
+    CellId q = n.addDff("q", zero8, one, Bits(8, 0));
+    MemId m = n.addMemory("m", 4, 8);
+    CellId raddr = n.addInput("raddr", 2);
+    CellId rd = n.addMemRead(m, raddr, "rd");
+    n.validate();
+
+    sim::Simulator s(n);
+    s.pokeDff(q, Bits(8, 0x42));
+    EXPECT_EQ(s.value(q).toUint64(), 0x42u);
+    s.pokeMem(m, 2, Bits(8, 0x99));
+    s.setInput("raddr", Bits(2, 2));
+    EXPECT_EQ(s.value(rd).toUint64(), 0x99u);
+    s.reset();
+    EXPECT_EQ(s.value(q).toUint64(), 0u);
+    EXPECT_EQ(s.value(rd).toUint64(), 0u);
+}

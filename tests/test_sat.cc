@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Tests for the CDCL SAT solver, including a randomized property test
+ * that cross-checks solver verdicts against brute-force enumeration on
+ * small formulas, and structured instances (pigeonhole, chains) that
+ * exercise conflict analysis, restarts, and assumption handling.
+ */
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "sat/solver.hh"
+
+using namespace r2u::sat;
+
+TEST(Sat, TrivialSat)
+{
+    Solver s;
+    Var a = s.newVar();
+    Var b = s.newVar();
+    s.addClause(mkLit(a), mkLit(b));
+    EXPECT_EQ(s.solve(), Result::Sat);
+    EXPECT_TRUE(s.modelValue(a) || s.modelValue(b));
+}
+
+TEST(Sat, TrivialUnsat)
+{
+    Solver s;
+    Var a = s.newVar();
+    s.addClause(mkLit(a));
+    EXPECT_FALSE(s.addClause(mkLit(a, true)));
+    EXPECT_EQ(s.solve(), Result::Unsat);
+}
+
+TEST(Sat, EmptyFormulaIsSat)
+{
+    Solver s;
+    s.newVar();
+    EXPECT_EQ(s.solve(), Result::Sat);
+}
+
+TEST(Sat, TautologyClausesIgnored)
+{
+    Solver s;
+    Var a = s.newVar();
+    EXPECT_TRUE(s.addClause(mkLit(a), mkLit(a, true)));
+    EXPECT_EQ(s.solve(), Result::Sat);
+}
+
+TEST(Sat, UnitPropagationChain)
+{
+    Solver s;
+    const int n = 50;
+    std::vector<Var> v;
+    for (int i = 0; i < n; i++)
+        v.push_back(s.newVar());
+    // v0 and (vi -> vi+1) forces all true.
+    s.addClause(mkLit(v[0]));
+    for (int i = 0; i + 1 < n; i++)
+        s.addClause(mkLit(v[i], true), mkLit(v[i + 1]));
+    EXPECT_EQ(s.solve(), Result::Sat);
+    for (int i = 0; i < n; i++)
+        EXPECT_TRUE(s.modelValue(v[i]));
+}
+
+TEST(Sat, XorChainUnsat)
+{
+    // x1 ^ x2, x2 ^ x3, ..., xn-1 ^ xn, and x1 == xn with odd chain.
+    Solver s;
+    const int n = 9;
+    std::vector<Var> v;
+    for (int i = 0; i < n; i++)
+        v.push_back(s.newVar());
+    for (int i = 0; i + 1 < n; i++) {
+        // vi != vi+1
+        s.addClause(mkLit(v[i]), mkLit(v[i + 1]));
+        s.addClause(mkLit(v[i], true), mkLit(v[i + 1], true));
+    }
+    // n-1 inequalities over a chain: v0 != v8 has even distance, so
+    // v0 == v8 holds; force v0 != v8 to get UNSAT.
+    s.addClause(mkLit(v[0]), mkLit(v[n - 1]));
+    s.addClause(mkLit(v[0], true), mkLit(v[n - 1], true));
+    EXPECT_EQ(s.solve(), Result::Unsat);
+}
+
+TEST(Sat, PigeonholeUnsat)
+{
+    // 4 pigeons, 3 holes: classic hard-ish UNSAT instance.
+    const int pigeons = 4, holes = 3;
+    Solver s;
+    std::vector<std::vector<Var>> p(pigeons, std::vector<Var>(holes));
+    for (int i = 0; i < pigeons; i++)
+        for (int j = 0; j < holes; j++)
+            p[i][j] = s.newVar();
+    for (int i = 0; i < pigeons; i++) {
+        std::vector<Lit> c;
+        for (int j = 0; j < holes; j++)
+            c.push_back(mkLit(p[i][j]));
+        s.addClause(c);
+    }
+    for (int j = 0; j < holes; j++)
+        for (int i1 = 0; i1 < pigeons; i1++)
+            for (int i2 = i1 + 1; i2 < pigeons; i2++)
+                s.addClause(mkLit(p[i1][j], true), mkLit(p[i2][j], true));
+    EXPECT_EQ(s.solve(), Result::Unsat);
+    EXPECT_GT(s.stats().conflicts, 0u);
+}
+
+TEST(Sat, AssumptionsSatAndUnsat)
+{
+    Solver s;
+    Var a = s.newVar(), b = s.newVar();
+    s.addClause(mkLit(a, true), mkLit(b)); // a -> b
+    EXPECT_EQ(s.solve({mkLit(a)}), Result::Sat);
+    EXPECT_TRUE(s.modelValue(b));
+    // Under assumptions a & ~b it must be UNSAT.
+    EXPECT_EQ(s.solve({mkLit(a), mkLit(b, true)}), Result::Unsat);
+    EXPECT_FALSE(s.conflictCore().empty());
+    // Solver is still usable afterwards.
+    EXPECT_EQ(s.solve(), Result::Sat);
+}
+
+TEST(Sat, ConflictBudgetReturnsUnknown)
+{
+    // A hard pigeonhole with a tiny budget must return Unknown.
+    const int pigeons = 8, holes = 7;
+    Solver s;
+    std::vector<std::vector<Var>> p(pigeons, std::vector<Var>(holes));
+    for (int i = 0; i < pigeons; i++)
+        for (int j = 0; j < holes; j++)
+            p[i][j] = s.newVar();
+    for (int i = 0; i < pigeons; i++) {
+        std::vector<Lit> c;
+        for (int j = 0; j < holes; j++)
+            c.push_back(mkLit(p[i][j]));
+        s.addClause(c);
+    }
+    for (int j = 0; j < holes; j++)
+        for (int i1 = 0; i1 < pigeons; i1++)
+            for (int i2 = i1 + 1; i2 < pigeons; i2++)
+                s.addClause(mkLit(p[i1][j], true), mkLit(p[i2][j], true));
+    s.setConflictBudget(10);
+    EXPECT_EQ(s.solve(), Result::Unknown);
+    s.setConflictBudget(-1);
+    EXPECT_EQ(s.solve(), Result::Unsat);
+}
+
+namespace
+{
+
+/** Brute-force SAT check over up to 16 variables. */
+bool
+bruteForceSat(int nvars, const std::vector<std::vector<Lit>> &clauses)
+{
+    for (uint32_t m = 0; m < (1u << nvars); m++) {
+        bool ok = true;
+        for (const auto &c : clauses) {
+            bool sat = false;
+            for (Lit l : c) {
+                bool v = (m >> var(l)) & 1;
+                if (v != sign(l)) {
+                    sat = true;
+                    break;
+                }
+            }
+            if (!sat) {
+                ok = false;
+                break;
+            }
+        }
+        if (ok)
+            return true;
+    }
+    return false;
+}
+
+} // namespace
+
+/** Randomized cross-check against brute force (3-SAT near threshold). */
+class SatRandomTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(SatRandomTest, AgreesWithBruteForce)
+{
+    std::mt19937 rng(777 + GetParam());
+    for (int round = 0; round < 60; round++) {
+        int nvars = 4 + static_cast<int>(rng() % 9); // 4..12
+        int nclauses = static_cast<int>(nvars * 4.3);
+        std::vector<std::vector<Lit>> clauses;
+        Solver s;
+        for (int i = 0; i < nvars; i++)
+            s.newVar();
+        for (int i = 0; i < nclauses; i++) {
+            std::vector<Lit> c;
+            for (int k = 0; k < 3; k++) {
+                Var v = static_cast<Var>(rng() % nvars);
+                c.push_back(mkLit(v, rng() & 1));
+            }
+            clauses.push_back(c);
+            s.addClause(c);
+        }
+        bool expect = bruteForceSat(nvars, clauses);
+        Result got = s.solve();
+        ASSERT_EQ(got, expect ? Result::Sat : Result::Unsat)
+            << "round " << round << " nvars " << nvars;
+        if (got == Result::Sat) {
+            // The model must actually satisfy every clause.
+            for (const auto &c : clauses) {
+                bool sat = false;
+                for (Lit l : c)
+                    sat |= s.modelValue(l);
+                ASSERT_TRUE(sat);
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SatRandomTest, ::testing::Range(0, 5));

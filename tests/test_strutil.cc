@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Unit tests for string utilities and the DOT writer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/dot.hh"
+#include "common/logging.hh"
+#include "common/strutil.hh"
+
+using namespace r2u;
+
+TEST(StrUtil, Split)
+{
+    auto v = split("a,b,,c", ',');
+    ASSERT_EQ(v.size(), 4u);
+    EXPECT_EQ(v[0], "a");
+    EXPECT_EQ(v[2], "");
+    EXPECT_EQ(v[3], "c");
+}
+
+TEST(StrUtil, SplitWs)
+{
+    auto v = splitWs("  foo \t bar\nbaz ");
+    ASSERT_EQ(v.size(), 3u);
+    EXPECT_EQ(v[0], "foo");
+    EXPECT_EQ(v[2], "baz");
+}
+
+TEST(StrUtil, Trim)
+{
+    EXPECT_EQ(trim("  x y  "), "x y");
+    EXPECT_EQ(trim(""), "");
+    EXPECT_EQ(trim(" \t\n"), "");
+}
+
+TEST(StrUtil, StartsEndsWith)
+{
+    EXPECT_TRUE(startsWith("core_0.inst_DX", "core_0."));
+    EXPECT_FALSE(startsWith("x", "xy"));
+    EXPECT_TRUE(endsWith("core_0.inst_DX", ".inst_DX"));
+    EXPECT_FALSE(endsWith("x", "yx"));
+}
+
+TEST(StrUtil, Join)
+{
+    EXPECT_EQ(join({"a", "b", "c"}, "::"), "a::b::c");
+    EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(StrUtil, Strfmt)
+{
+    EXPECT_EQ(strfmt("%s=%d", "x", 42), "x=42");
+}
+
+TEST(StrUtil, ReadMissingFileThrows)
+{
+    EXPECT_THROW(readFile("/nonexistent/definitely/missing"),
+                 FatalError);
+}
+
+TEST(Dot, RendersNodesAndEdges)
+{
+    DotWriter dot("g");
+    dot.addNode("n1", "label \"quoted\"");
+    dot.addNode("n2", "plain", "shape=box");
+    dot.addEdge("n1", "n2", "e", "color=red");
+    std::string out = dot.render();
+    EXPECT_NE(out.find("digraph \"g\""), std::string::npos);
+    EXPECT_NE(out.find("\\\"quoted\\\""), std::string::npos);
+    EXPECT_NE(out.find("shape=box"), std::string::npos);
+    EXPECT_NE(out.find("color=red"), std::string::npos);
+    EXPECT_NE(out.find("\"n1\" -> \"n2\""), std::string::npos);
+}
+
+TEST(Logging, FatalThrowsPanicsDont)
+{
+    EXPECT_THROW(fatal("nope %d", 1), FatalError);
+    try {
+        fatal("value=%d", 7);
+    } catch (const FatalError &e) {
+        EXPECT_STREQ(e.what(), "value=7");
+    }
+}

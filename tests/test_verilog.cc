@@ -1,0 +1,407 @@
+/**
+ * @file
+ * Tests for the Verilog frontend: lexer, parser, and elaborator,
+ * validated end-to-end by simulating elaborated designs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "sim/simulator.hh"
+#include "verilog/elaborate.hh"
+#include "verilog/lexer.hh"
+#include "verilog/parser.hh"
+
+using namespace r2u;
+using namespace r2u::vlog;
+
+namespace
+{
+
+ElabResult
+elab(const std::string &src, const std::string &top,
+     std::unordered_map<std::string, int64_t> params = {})
+{
+    Design d = parseString(src, "test.v");
+    ElabOptions opts;
+    opts.top = top;
+    opts.params = std::move(params);
+    return elaborate(d, opts);
+}
+
+} // namespace
+
+TEST(Lexer, NumbersAndOperators)
+{
+    auto toks = tokenize("8'hff 4'b1010 'd7 42 <= >>> == x1_a // c\n+", "t");
+    ASSERT_GE(toks.size(), 9u);
+    EXPECT_EQ(toks[0].number.width(), 8u);
+    EXPECT_EQ(toks[0].number.toUint64(), 0xffu);
+    EXPECT_TRUE(toks[0].sized);
+    EXPECT_EQ(toks[1].number.toUint64(), 10u);
+    EXPECT_EQ(toks[2].number.width(), 32u);
+    EXPECT_FALSE(toks[2].sized);
+    EXPECT_EQ(toks[3].number.toUint64(), 42u);
+    EXPECT_EQ(toks[4].text, "<=");
+    EXPECT_EQ(toks[5].text, ">>>");
+    EXPECT_EQ(toks[6].text, "==");
+    EXPECT_EQ(toks[7].text, "x1_a");
+    EXPECT_EQ(toks[8].text, "+");
+}
+
+TEST(Lexer, CommentsAndErrors)
+{
+    auto toks = tokenize("a /* x\ny */ b", "t");
+    ASSERT_EQ(toks.size(), 3u); // a, b, EOF
+    EXPECT_EQ(toks[1].line, 2);
+    EXPECT_THROW(tokenize("8'q1", "t"), FatalError);
+    EXPECT_THROW(tokenize("\"str\"", "t"), FatalError);
+}
+
+TEST(Parser, ModuleStructure)
+{
+    Design d = parseString(R"(
+        module m #(parameter W = 4) (
+            input clk,
+            input [W-1:0] a,
+            output wire [W-1:0] y
+        );
+            assign y = a + 4'd1;
+        endmodule
+    )", "t.v");
+    ASSERT_EQ(d.modules.size(), 1u);
+    const Module *m = d.findModule("m");
+    ASSERT_NE(m, nullptr);
+    EXPECT_EQ(m->portOrder.size(), 3u);
+}
+
+TEST(Parser, SyntaxErrors)
+{
+    EXPECT_THROW(parseString("module m (input a; endmodule", "t"),
+                 FatalError);
+    EXPECT_THROW(parseString("module m (); garbage endmodule", "t"),
+                 FatalError);
+    EXPECT_THROW(parseString("module m (); assign x = ; endmodule", "t"),
+                 FatalError);
+}
+
+TEST(Elab, ContinuousAssignArithmetic)
+{
+    auto r = elab(R"(
+        module top (input [7:0] a, input [7:0] b, output wire [7:0] y);
+            wire [7:0] t = a & b;
+            assign y = (a + b) ^ (t | 8'h0f);
+        endmodule
+    )", "top");
+    sim::Simulator s(*r.netlist);
+    s.setInput("a", Bits(8, 0x35));
+    s.setInput("b", Bits(8, 0x9c));
+    uint64_t t = 0x35 & 0x9c;
+    uint64_t expect = ((0x35 + 0x9c) & 0xff) ^ (t | 0x0f);
+    EXPECT_EQ(s.value(r.signal("y")).toUint64(), expect);
+}
+
+TEST(Elab, TernaryReductionAndCompare)
+{
+    auto r = elab(R"(
+        module top (input [3:0] a, input [3:0] b, output wire [3:0] y);
+            assign y = (a < b) ? (a == b ? 4'd9 : a) : ~b;
+        endmodule
+    )", "top");
+    sim::Simulator s(*r.netlist);
+    s.setInput("a", Bits(4, 2));
+    s.setInput("b", Bits(4, 7));
+    EXPECT_EQ(s.value(r.signal("y")).toUint64(), 2u);
+    s.setInput("a", Bits(4, 9));
+    EXPECT_EQ(s.value(r.signal("y")).toUint64(), 8u); // ~7 & 0xf
+}
+
+TEST(Elab, SignedCompare)
+{
+    auto r = elab(R"(
+        module top (input [3:0] a, input [3:0] b, output wire y);
+            assign y = $signed(a) < $signed(b);
+        endmodule
+    )", "top");
+    sim::Simulator s(*r.netlist);
+    s.setInput("a", Bits(4, 0xf)); // -1
+    s.setInput("b", Bits(4, 1));
+    EXPECT_EQ(s.value(r.signal("y")).toUint64(), 1u);
+    s.setInput("a", Bits(4, 1));
+    s.setInput("b", Bits(4, 0xf));
+    EXPECT_EQ(s.value(r.signal("y")).toUint64(), 0u);
+}
+
+TEST(Elab, ConcatReplicationPartSelect)
+{
+    auto r = elab(R"(
+        module top (input [7:0] a, output wire [15:0] y,
+                    output wire [3:0] z);
+            assign y = {a[3:0], {2{a[7]}}, a[6], 5'b10101};
+            assign z = a[6:3];
+        endmodule
+    )", "top");
+    sim::Simulator s(*r.netlist);
+    s.setInput("a", Bits(8, 0xc5)); // 1100_0101
+    // y = {0101, 11, 1, 10101} = 0101 11 1 10101 (16 bits)
+    uint64_t expect = (0x5ull << 8) | (0x3ull << 6) | (1ull << 5) | 0x15;
+    EXPECT_EQ(s.value(r.signal("y")).toUint64(), expect);
+    EXPECT_EQ(s.value(r.signal("z")).toUint64(), 0x8u); // bits 6..3
+}
+
+TEST(Elab, SequentialCounterWithReset)
+{
+    auto r = elab(R"(
+        module top (input clk, input reset, output wire [3:0] count);
+            reg [3:0] q;
+            always @(posedge clk) begin
+                if (reset)
+                    q <= 4'd0;
+                else
+                    q <= q + 4'd1;
+            end
+            assign count = q;
+        endmodule
+    )", "top");
+    sim::Simulator s(*r.netlist);
+    s.setInput("reset", Bits(1, 1));
+    s.setInput("clk", Bits(1, 0));
+    s.step();
+    s.setInput("reset", Bits(1, 0));
+    s.run(5);
+    EXPECT_EQ(s.value(r.signal("q")).toUint64(), 5u);
+}
+
+TEST(Elab, NonblockingLastWinsAndSwap)
+{
+    auto r = elab(R"(
+        module top (input clk, input swap,
+                    output wire [7:0] ra, output wire [7:0] rb);
+            reg [7:0] a;
+            reg [7:0] b;
+            always @(posedge clk) begin
+                if (swap) begin
+                    a <= b;
+                    b <= a;
+                end else begin
+                    a <= 8'd1;
+                    a <= 8'd2;  // last assignment wins
+                    b <= 8'd3;
+                end
+            end
+            assign ra = a;
+            assign rb = b;
+        endmodule
+    )", "top");
+    sim::Simulator s(*r.netlist);
+    s.setInput("swap", Bits(1, 0));
+    s.step();
+    EXPECT_EQ(s.value(r.signal("a")).toUint64(), 2u);
+    EXPECT_EQ(s.value(r.signal("b")).toUint64(), 3u);
+    s.setInput("swap", Bits(1, 1));
+    s.step();
+    // Nonblocking swap reads old values.
+    EXPECT_EQ(s.value(r.signal("a")).toUint64(), 3u);
+    EXPECT_EQ(s.value(r.signal("b")).toUint64(), 2u);
+}
+
+TEST(Elab, CombAlwaysCaseWithDefault)
+{
+    auto r = elab(R"(
+        module top (input [1:0] sel, input [7:0] a, input [7:0] b,
+                    output wire [7:0] y);
+            reg [7:0] t;
+            always @(*) begin
+                t = 8'd0;
+                case (sel)
+                    2'd0: t = a;
+                    2'd1: t = b;
+                    2'd2: t = a + b;
+                    default: t = 8'hff;
+                endcase
+            end
+            assign y = t;
+        endmodule
+    )", "top");
+    sim::Simulator s(*r.netlist);
+    s.setInput("a", Bits(8, 10));
+    s.setInput("b", Bits(8, 20));
+    s.setInput("sel", Bits(2, 0));
+    EXPECT_EQ(s.value(r.signal("y")).toUint64(), 10u);
+    s.setInput("sel", Bits(2, 1));
+    EXPECT_EQ(s.value(r.signal("y")).toUint64(), 20u);
+    s.setInput("sel", Bits(2, 2));
+    EXPECT_EQ(s.value(r.signal("y")).toUint64(), 30u);
+    s.setInput("sel", Bits(2, 3));
+    EXPECT_EQ(s.value(r.signal("y")).toUint64(), 0xffu);
+}
+
+TEST(Elab, LatchInferenceIsFatal)
+{
+    EXPECT_THROW(elab(R"(
+        module top (input c, input [3:0] a, output wire [3:0] y);
+            reg [3:0] t;
+            always @(*) begin
+                if (c)
+                    t = a;
+            end
+            assign y = t;
+        endmodule
+    )", "top"), FatalError);
+}
+
+TEST(Elab, MultipleDriversIsFatal)
+{
+    EXPECT_THROW(elab(R"(
+        module top (input a, output wire y);
+            assign y = a;
+            assign y = ~a;
+        endmodule
+    )", "top"), FatalError);
+}
+
+TEST(Elab, BlockingInSeqIsFatal)
+{
+    EXPECT_THROW(elab(R"(
+        module top (input clk, input a, output wire y);
+            reg q;
+            always @(posedge clk) begin
+                q = a;
+            end
+            assign y = q;
+        endmodule
+    )", "top"), FatalError);
+}
+
+TEST(Elab, MemoryInference)
+{
+    auto r = elab(R"(
+        module top (input clk, input we, input [1:0] waddr,
+                    input [7:0] wdata, input [1:0] raddr,
+                    output wire [7:0] rdata);
+            reg [7:0] m [0:3];
+            always @(posedge clk) begin
+                if (we)
+                    m[waddr] <= wdata;
+            end
+            assign rdata = m[raddr];
+        endmodule
+    )", "top");
+    EXPECT_NE(r.mem("m"), -1);
+    sim::Simulator s(*r.netlist);
+    s.setInput("we", Bits(1, 1));
+    s.setInput("waddr", Bits(2, 2));
+    s.setInput("wdata", Bits(8, 0x5a));
+    s.setInput("raddr", Bits(2, 2));
+    s.step();
+    s.setInput("we", Bits(1, 0));
+    EXPECT_EQ(s.value(r.signal("rdata")).toUint64(), 0x5au);
+}
+
+TEST(Elab, HierarchyAndParameters)
+{
+    auto r = elab(R"(
+        module adder #(parameter W = 4) (
+            input [W-1:0] x, input [W-1:0] y, output wire [W-1:0] s);
+            assign s = x + y;
+        endmodule
+        module top (input [7:0] a, input [7:0] b, output wire [7:0] y);
+            wire [7:0] partial;
+            adder #(.W(8)) u0 (.x(a), .y(b), .s(partial));
+            adder #(.W(8)) u1 (.x(partial), .y(8'd1), .s(y));
+        endmodule
+    )", "top");
+    sim::Simulator s(*r.netlist);
+    s.setInput("a", Bits(8, 3));
+    s.setInput("b", Bits(8, 4));
+    EXPECT_EQ(s.value(r.signal("y")).toUint64(), 8u);
+    // Hierarchical names are visible.
+    EXPECT_EQ(s.value(r.signal("u0.s")).toUint64(), 7u);
+}
+
+TEST(Elab, GenerateForUnrolling)
+{
+    // A 4-stage shift register built with a generate loop.
+    auto r = elab(R"(
+        module top #(parameter N = 4) (input clk, input d,
+                                       output wire q);
+            wire [N:0] chain;
+            assign chain[0] = d;
+            genvar i;
+            generate
+                for (i = 0; i < N; i = i + 1) begin : stage
+                    reg ff;
+                    always @(posedge clk) begin
+                        ff <= chain[i];
+                    end
+                    assign chain[i+1] = ff;
+                end
+            endgenerate
+            assign q = chain[N];
+        endmodule
+    )", "top");
+    // Generated names exist.
+    EXPECT_NE(r.signalMap.find("stage[0].ff"), r.signalMap.end());
+    EXPECT_NE(r.signalMap.find("stage[3].ff"), r.signalMap.end());
+    sim::Simulator s(*r.netlist);
+    s.setInput("d", Bits(1, 1));
+    s.step();
+    s.setInput("d", Bits(1, 0));
+    EXPECT_EQ(s.value(r.signal("q")).toUint64(), 0u);
+    s.run(3);
+    EXPECT_EQ(s.value(r.signal("q")).toUint64(), 1u);
+    s.step();
+    EXPECT_EQ(s.value(r.signal("q")).toUint64(), 0u);
+}
+
+TEST(Elab, GenerateChainBitSelect)
+{
+    EXPECT_THROW(elab(R"(
+        module top (input a, output wire y);
+            wire [3:0] v;
+            assign y = v[5]; // out of range
+            assign v = 4'd0;
+        endmodule
+    )", "top"), FatalError);
+}
+
+TEST(Elab, DynamicBitSelect)
+{
+    auto r = elab(R"(
+        module top (input [7:0] a, input [2:0] idx, output wire y);
+            assign y = a[idx];
+        endmodule
+    )", "top");
+    sim::Simulator s(*r.netlist);
+    s.setInput("a", Bits(8, 0x40));
+    s.setInput("idx", Bits(3, 6));
+    EXPECT_EQ(s.value(r.signal("y")).toUint64(), 1u);
+    s.setInput("idx", Bits(3, 5));
+    EXPECT_EQ(s.value(r.signal("y")).toUint64(), 0u);
+}
+
+TEST(Elab, TopParameterOverride)
+{
+    auto r = elab(R"(
+        module top #(parameter W = 4) (input [W-1:0] a,
+                                       output wire [W-1:0] y);
+            assign y = a + {{(W-1){1'b0}}, 1'b1};
+        endmodule
+    )", "top", {{"W", 8}});
+    sim::Simulator s(*r.netlist);
+    s.setInput("a", Bits(8, 0x7f));
+    EXPECT_EQ(s.value(r.signal("y")).toUint64(), 0x80u);
+}
+
+TEST(Elab, CombCycleIsFatal)
+{
+    EXPECT_THROW(elab(R"(
+        module top (input a, output wire y);
+            wire p;
+            wire q;
+            assign p = q | a;
+            assign q = p & a;
+            assign y = q;
+        endmodule
+    )", "top"), FatalError);
+}

@@ -1,0 +1,280 @@
+/**
+ * @file
+ * Second battery of Verilog-frontend tests: nested generate loops,
+ * width/extension semantics, case subtleties, multi-level parameter
+ * propagation, per-bit assign drivers, instance wiring corner cases,
+ * and µspec model validation diagnostics (grouped here to keep the
+ * primary suites focused).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "sim/simulator.hh"
+#include "uspec/uspec.hh"
+#include "verilog/elaborate.hh"
+#include "verilog/parser.hh"
+
+using namespace r2u;
+using namespace r2u::vlog;
+
+namespace
+{
+
+ElabResult
+elab(const std::string &src, const std::string &top,
+     std::unordered_map<std::string, int64_t> params = {})
+{
+    Design d = parseString(src, "test2.v");
+    ElabOptions opts;
+    opts.top = top;
+    opts.params = std::move(params);
+    return elaborate(d, opts);
+}
+
+} // namespace
+
+TEST(Elab2, NestedGenerateLoops)
+{
+    // A 2x2 grid of registers built with nested generate-for loops.
+    auto r = elab(R"(
+        module top (input clk, input [3:0] d, output wire [3:0] q);
+            wire [3:0] taps;
+            genvar i;
+            genvar j;
+            generate
+                for (i = 0; i < 2; i = i + 1) begin : row
+                    for (j = 0; j < 2; j = j + 1) begin : col
+                        reg cell;
+                        always @(posedge clk) begin
+                            cell <= d[2*i + j];
+                        end
+                        assign taps[2*i + j] = cell;
+                    end
+                end
+            endgenerate
+            assign q = taps;
+        endmodule
+    )", "top");
+    EXPECT_NE(r.signalMap.find("row[0].col[1].cell"),
+              r.signalMap.end());
+    EXPECT_NE(r.signalMap.find("row[1].col[0].cell"),
+              r.signalMap.end());
+    sim::Simulator s(*r.netlist);
+    s.setInput("d", Bits(4, 0b1010));
+    s.step();
+    EXPECT_EQ(s.value(r.signal("taps")).toUint64(), 0b1010u);
+}
+
+TEST(Elab2, WidthExtensionSemantics)
+{
+    // Narrow + wide extends the narrow operand with zeros; the
+    // assignment truncates back to the LHS width.
+    auto r = elab(R"(
+        module top (input [3:0] a, input [7:0] b,
+                    output wire [7:0] y, output wire [3:0] z);
+            assign y = a + b;
+            assign z = a + b;
+        endmodule
+    )", "top");
+    sim::Simulator s(*r.netlist);
+    s.setInput("a", Bits(4, 0xf));
+    s.setInput("b", Bits(8, 0x10));
+    EXPECT_EQ(s.value(r.signal("y")).toUint64(), 0x1fu);
+    EXPECT_EQ(s.value(r.signal("z")).toUint64(), 0xfu);
+}
+
+TEST(Elab2, ComparisonExtendsUnsigned)
+{
+    auto r = elab(R"(
+        module top (input [3:0] a, input [7:0] b, output wire y);
+            assign y = a > b;
+        endmodule
+    )", "top");
+    sim::Simulator s(*r.netlist);
+    s.setInput("a", Bits(4, 0xf));  // 15 zero-extends to 0x0f
+    s.setInput("b", Bits(8, 0x14)); // 20
+    EXPECT_EQ(s.value(r.signal("y")).toUint64(), 0u);
+    s.setInput("b", Bits(8, 0x0e));
+    EXPECT_EQ(s.value(r.signal("y")).toUint64(), 1u);
+}
+
+TEST(Elab2, CaseMultipleLabelsAndFallthrough)
+{
+    auto r = elab(R"(
+        module top (input [2:0] sel, output wire [3:0] y);
+            reg [3:0] t;
+            always @(*) begin
+                case (sel)
+                    3'd0, 3'd1, 3'd2: t = 4'd1;
+                    3'd3: t = 4'd2;
+                    default: t = 4'd9;
+                endcase
+            end
+            assign y = t;
+        endmodule
+    )", "top");
+    sim::Simulator s(*r.netlist);
+    for (unsigned v = 0; v < 8; v++) {
+        s.setInput("sel", Bits(3, v));
+        unsigned expect = v <= 2 ? 1 : (v == 3 ? 2 : 9);
+        EXPECT_EQ(s.value(r.signal("y")).toUint64(), expect) << v;
+    }
+}
+
+TEST(Elab2, TwoLevelParameterPropagation)
+{
+    auto r = elab(R"(
+        module leaf #(parameter W = 2) (input [W-1:0] a,
+                                        output wire [W-1:0] y);
+            assign y = ~a;
+        endmodule
+        module mid #(parameter W = 2) (input [W-1:0] a,
+                                       output wire [W-1:0] y);
+            leaf #(.W(W)) u (.a(a), .y(y));
+        endmodule
+        module top (input [5:0] a, output wire [5:0] y);
+            mid #(.W(6)) m (.a(a), .y(y));
+        endmodule
+    )", "top");
+    sim::Simulator s(*r.netlist);
+    s.setInput("a", Bits(6, 0b101010));
+    EXPECT_EQ(s.value(r.signal("y")).toUint64(), 0b010101u);
+    EXPECT_EQ(s.value(r.signal("m.u.y")).toUint64(), 0b010101u);
+}
+
+TEST(Elab2, PerBitAssignDrivers)
+{
+    auto r = elab(R"(
+        module top (input [3:0] a, output wire [3:0] y);
+            assign y[0] = a[3];
+            assign y[1] = a[2];
+            assign y[2] = a[1];
+            assign y[3] = a[0];
+        endmodule
+    )", "top");
+    sim::Simulator s(*r.netlist);
+    s.setInput("a", Bits(4, 0b0011));
+    EXPECT_EQ(s.value(r.signal("y")).toUint64(), 0b1100u);
+}
+
+TEST(Elab2, PerBitAssignMissingBitIsFatal)
+{
+    EXPECT_THROW(elab(R"(
+        module top (input a, output wire [1:0] y);
+            assign y[0] = a;
+        endmodule
+    )", "top"), FatalError);
+}
+
+TEST(Elab2, PerBitAssignDuplicateIsFatal)
+{
+    EXPECT_THROW(elab(R"(
+        module top (input a, output wire [1:0] y);
+            assign y[0] = a;
+            assign y[0] = ~a;
+            assign y[1] = a;
+        endmodule
+    )", "top"), FatalError);
+}
+
+TEST(Elab2, UnconnectedInputIsFatal)
+{
+    EXPECT_THROW(elab(R"(
+        module sub (input a, output wire y);
+            assign y = a;
+        endmodule
+        module top (output wire y);
+            sub u (.y(y));
+        endmodule
+    )", "top"), FatalError);
+}
+
+TEST(Elab2, UnconnectedOutputIsFine)
+{
+    auto r = elab(R"(
+        module sub (input a, output wire y, output wire z);
+            assign y = a;
+            assign z = ~a;
+        endmodule
+        module top (input a, output wire y);
+            sub u (.a(a), .y(y));
+        endmodule
+    )", "top");
+    sim::Simulator s(*r.netlist);
+    s.setInput("a", Bits(1, 1));
+    EXPECT_EQ(s.value(r.signal("y")).toUint64(), 1u);
+}
+
+TEST(Elab2, ShiftSemantics)
+{
+    auto r = elab(R"(
+        module top (input [7:0] a, input [3:0] sh,
+                    output wire [7:0] l, output wire [7:0] r,
+                    output wire [7:0] ar);
+            assign l = a << sh;
+            assign r = a >> sh;
+            assign ar = $signed(a) >>> sh;
+        endmodule
+    )", "top");
+    sim::Simulator s(*r.netlist);
+    s.setInput("a", Bits(8, 0x90));
+    s.setInput("sh", Bits(4, 2));
+    EXPECT_EQ(s.value(r.signal("l")).toUint64(), 0x40u);
+    EXPECT_EQ(s.value(r.signal("r")).toUint64(), 0x24u);
+    EXPECT_EQ(s.value(r.signal("ar")).toUint64(), 0xe4u);
+}
+
+TEST(Elab2, MemoryWriteLastWinsSameCycle)
+{
+    auto r = elab(R"(
+        module top (input clk, input [1:0] a1, input [1:0] a2,
+                    input [7:0] d1, input [7:0] d2, input [1:0] ra,
+                    output wire [7:0] q);
+            reg [7:0] m [0:3];
+            always @(posedge clk) begin
+                m[a1] <= d1;
+                m[a2] <= d2;
+            end
+            assign q = m[ra];
+        endmodule
+    )", "top");
+    sim::Simulator s(*r.netlist);
+    s.setInput("a1", Bits(2, 1));
+    s.setInput("a2", Bits(2, 1)); // same address: later write wins
+    s.setInput("d1", Bits(8, 0x11));
+    s.setInput("d2", Bits(8, 0x22));
+    s.setInput("ra", Bits(2, 1));
+    s.step();
+    EXPECT_EQ(s.value(r.signal("q")).toUint64(), 0x22u);
+}
+
+TEST(UspecValidate, RejectsMalformedModels)
+{
+    // Unbound microop in an edge.
+    EXPECT_THROW(uspec::Model::parse(R"(
+StageName 0 "a".
+Axiom "x":
+forall microop "i0",
+AddEdge ((i0, a), (i9, a)).
+)"), FatalError);
+
+    // Undeclared MemoryAccessStage.
+    uspec::Model m;
+    m.addStage("a");
+    m.memAccessStage = "missing";
+    EXPECT_THROW(m.validate(), FatalError);
+
+    // Too many alternatives.
+    uspec::Model m2;
+    int loc = m2.addStage("a");
+    uspec::Axiom ax;
+    ax.name = "bad";
+    ax.microops = {"i0"};
+    uspec::EdgeSpec e;
+    e.src = {"i0", loc};
+    e.dst = {"i0", loc};
+    ax.edgeAlternatives = {{e}, {e}, {e}};
+    m2.axioms.push_back(ax);
+    EXPECT_THROW(m2.validate(), FatalError);
+}

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * diy-style litmus test generation on the command line.
+ *
+ *   litmus_gen --suite DIR            # write the 56-test suite
+ *   litmus_gen --cycle "Rfe PodRR Fre PodWW" [--name mp2]
+ *   litmus_gen --classify FILE.test   # SC-allowed outcome listing
+ */
+
+#include <cstdio>
+
+#include "common/logging.hh"
+#include "common/strutil.hh"
+#include "litmus/litmus.hh"
+#include "mcm/sc_ref.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace r2u;
+
+    std::string suite_dir, cycle, name = "generated", classify;
+    for (int i = 1; i < argc; i++) {
+        std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (++i >= argc)
+                fatal("missing argument after '%s'", arg.c_str());
+            return argv[i];
+        };
+        try {
+            if (arg == "--suite")
+                suite_dir = next();
+            else if (arg == "--cycle")
+                cycle = next();
+            else if (arg == "--name")
+                name = next();
+            else if (arg == "--classify")
+                classify = next();
+            else {
+                std::fprintf(stderr,
+                             "usage: litmus_gen (--suite DIR | "
+                             "--cycle SPEC [--name N] | "
+                             "--classify FILE)\n");
+                return 2;
+            }
+        } catch (const FatalError &e) {
+            std::fprintf(stderr, "error: %s\n", e.what());
+            return 2;
+        }
+    }
+
+    try {
+        if (!suite_dir.empty()) {
+            auto suite = litmus::standardSuite();
+            for (const auto &t : suite)
+                writeFile(suite_dir + "/" + t.name + ".test",
+                          t.print());
+            std::printf("wrote %zu tests to %s\n", suite.size(),
+                        suite_dir.c_str());
+        }
+        if (!cycle.empty()) {
+            litmus::Test t = litmus::generateFromCycle(name, cycle);
+            std::printf("%s", t.print().c_str());
+            bool forbidden = !mcm::scAllows(t, t.interesting);
+            std::printf("# interesting outcome is %s under SC\n",
+                        forbidden ? "FORBIDDEN" : "allowed");
+        }
+        if (!classify.empty()) {
+            litmus::Test t = litmus::Test::parse(readFile(classify));
+            auto outcomes = mcm::enumerateSC(t);
+            std::printf("%zu SC-allowed outcomes of %s:\n",
+                        outcomes.size(), t.name.c_str());
+            for (const auto &o : outcomes)
+                std::printf("  %s%s\n", o.toString().c_str(),
+                            o.satisfies(t.interesting)
+                                ? "   <- interesting"
+                                : "");
+        }
+        return 0;
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+}

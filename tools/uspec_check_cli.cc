@@ -1,0 +1,118 @@
+/**
+ * @file
+ * COATCheck-style command line: verify litmus tests against a µspec
+ * model (synthesized or hand-written).
+ *
+ *   uspec_check --model vscale.uarch --suite
+ *   uspec_check --model vscale.uarch --test mp.test --dot mp.dot
+ *   uspec_check --model vscale.uarch --cycle "Rfe PodRR Fre PodWW"
+ */
+
+#include <cstdio>
+
+#include "check/check.hh"
+#include "common/logging.hh"
+#include "common/strutil.hh"
+#include "litmus/litmus.hh"
+#include "uspec/uspec.hh"
+
+namespace
+{
+
+void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: uspec_check --model FILE.uarch (--suite | --test "
+        "FILE.test | --cycle \"SPEC\") [--dot FILE]\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace r2u;
+
+    std::string model_path, test_path, cycle, dot_path;
+    bool suite = false;
+
+    for (int i = 1; i < argc; i++) {
+        std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (++i >= argc)
+                fatal("missing argument after '%s'", arg.c_str());
+            return argv[i];
+        };
+        try {
+            if (arg == "--model")
+                model_path = next();
+            else if (arg == "--test")
+                test_path = next();
+            else if (arg == "--cycle")
+                cycle = next();
+            else if (arg == "--dot")
+                dot_path = next();
+            else if (arg == "--suite")
+                suite = true;
+            else {
+                usage();
+                return 2;
+            }
+        } catch (const FatalError &e) {
+            std::fprintf(stderr, "error: %s\n", e.what());
+            return 2;
+        }
+    }
+    if (model_path.empty() || (!suite && test_path.empty() &&
+                               cycle.empty())) {
+        usage();
+        return 2;
+    }
+
+    try {
+        uspec::Model model =
+            uspec::Model::parse(readFile(model_path));
+        std::vector<litmus::Test> tests;
+        if (suite) {
+            tests = litmus::standardSuite();
+        } else if (!test_path.empty()) {
+            tests.push_back(litmus::Test::parse(readFile(test_path)));
+        } else {
+            tests.push_back(
+                litmus::generateFromCycle("cycle_test", cycle));
+            std::printf("generated test:\n%s\n",
+                        tests[0].print().c_str());
+        }
+
+        check::Options opts;
+        opts.collectDot = !dot_path.empty();
+        int failures = 0;
+        double total_ms = 0;
+        for (const auto &t : tests) {
+            auto res = check::checkTest(model, t, opts);
+            total_ms += res.ms;
+            std::printf("%s.test,%f\n", t.name.c_str(), res.ms);
+            bool ok = res.pass && !res.interestingObservable;
+            if (!ok) {
+                failures++;
+                std::printf("  FAIL: %s\n", res.summary().c_str());
+                for (const auto &v : res.violations)
+                    std::printf("  observable non-SC outcome: %s\n",
+                                v.c_str());
+            }
+            if (!dot_path.empty() && !res.interestingDot.empty())
+                writeFile(dot_path, res.interestingDot);
+        }
+        std::printf("--- %f ms ---\n", total_ms);
+        std::printf("%s\n",
+                    failures == 0
+                        ? "======= ALL TESTS PASSES ======="
+                        : "======= FAILURES DETECTED =======");
+        return failures == 0 ? 0 : 1;
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+}
