@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_relax"
+  "../bench/bench_ablation_relax.pdb"
+  "CMakeFiles/bench_ablation_relax.dir/bench_ablation_relax.cc.o"
+  "CMakeFiles/bench_ablation_relax.dir/bench_ablation_relax.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_relax.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

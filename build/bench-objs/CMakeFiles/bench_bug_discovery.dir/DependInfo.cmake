@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_bug_discovery.cc" "bench-objs/CMakeFiles/bench_bug_discovery.dir/bench_bug_discovery.cc.o" "gcc" "bench-objs/CMakeFiles/bench_bug_discovery.dir/bench_bug_discovery.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rtl2uspec/CMakeFiles/r2u_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/vscale/CMakeFiles/r2u_vscale.dir/DependInfo.cmake"
+  "/root/repo/build/src/sva/CMakeFiles/r2u_sva.dir/DependInfo.cmake"
+  "/root/repo/build/src/bmc/CMakeFiles/r2u_bmc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sat/CMakeFiles/r2u_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfg/CMakeFiles/r2u_dfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/uspec/CMakeFiles/r2u_uspec.dir/DependInfo.cmake"
+  "/root/repo/build/src/verilog/CMakeFiles/r2u_verilog.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/r2u_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/r2u_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/r2u_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/r2u_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_bug_discovery"
+  "../bench/bench_bug_discovery.pdb"
+  "CMakeFiles/bench_bug_discovery.dir/bench_bug_discovery.cc.o"
+  "CMakeFiles/bench_bug_discovery.dir/bench_bug_discovery.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bug_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig1_uhb"
+  "../bench/bench_fig1_uhb.pdb"
+  "CMakeFiles/bench_fig1_uhb.dir/bench_fig1_uhb.cc.o"
+  "CMakeFiles/bench_fig1_uhb.dir/bench_fig1_uhb.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_uhb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_synthesis"
+  "../bench/bench_fig5_synthesis.pdb"
+  "CMakeFiles/bench_fig5_synthesis.dir/bench_fig5_synthesis.cc.o"
+  "CMakeFiles/bench_fig5_synthesis.dir/bench_fig5_synthesis.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_synthesis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6a_endtoend"
+  "../bench/bench_fig6a_endtoend.pdb"
+  "CMakeFiles/bench_fig6a_endtoend.dir/bench_fig6a_endtoend.cc.o"
+  "CMakeFiles/bench_fig6a_endtoend.dir/bench_fig6a_endtoend.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6a_endtoend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

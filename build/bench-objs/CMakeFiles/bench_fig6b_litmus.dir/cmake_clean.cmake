@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6b_litmus"
+  "../bench/bench_fig6b_litmus.pdb"
+  "CMakeFiles/bench_fig6b_litmus.dir/bench_fig6b_litmus.cc.o"
+  "CMakeFiles/bench_fig6b_litmus.dir/bench_fig6b_litmus.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6b_litmus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_micro_sat"
+  "../bench/bench_micro_sat.pdb"
+  "CMakeFiles/bench_micro_sat.dir/bench_micro_sat.cc.o"
+  "CMakeFiles/bench_micro_sat.dir/bench_micro_sat.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_sat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_pipeline.dir/custom_pipeline.cpp.o"
+  "CMakeFiles/custom_pipeline.dir/custom_pipeline.cpp.o.d"
+  "custom_pipeline"
+  "custom_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

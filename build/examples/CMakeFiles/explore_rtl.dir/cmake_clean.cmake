@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explore_rtl.dir/explore_rtl.cpp.o"
+  "CMakeFiles/explore_rtl.dir/explore_rtl.cpp.o.d"
+  "explore_rtl"
+  "explore_rtl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explore_rtl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/litmus_campaign.dir/litmus_campaign.cpp.o"
+  "CMakeFiles/litmus_campaign.dir/litmus_campaign.cpp.o.d"
+  "litmus_campaign"
+  "litmus_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/litmus_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sat")
+subdirs("netlist")
+subdirs("verilog")
+subdirs("sim")
+subdirs("isa")
+subdirs("vscale")
+subdirs("bmc")
+subdirs("sva")
+subdirs("dfg")
+subdirs("uspec")
+subdirs("litmus")
+subdirs("mcm")
+subdirs("uhb")
+subdirs("check")
+subdirs("rtl2uspec")
+subdirs("rtlcheck")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/r2u_bmc.dir/checker.cc.o"
+  "CMakeFiles/r2u_bmc.dir/checker.cc.o.d"
+  "CMakeFiles/r2u_bmc.dir/unroller.cc.o"
+  "CMakeFiles/r2u_bmc.dir/unroller.cc.o.d"
+  "libr2u_bmc.a"
+  "libr2u_bmc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/r2u_bmc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

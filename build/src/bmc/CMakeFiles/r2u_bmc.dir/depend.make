@@ -1,0 +1,2 @@
+# Empty dependencies file for r2u_bmc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/r2u_check.dir/check.cc.o"
+  "CMakeFiles/r2u_check.dir/check.cc.o.d"
+  "libr2u_check.a"
+  "libr2u_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/r2u_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

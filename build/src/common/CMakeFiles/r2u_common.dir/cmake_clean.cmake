@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/r2u_common.dir/bits.cc.o"
+  "CMakeFiles/r2u_common.dir/bits.cc.o.d"
+  "CMakeFiles/r2u_common.dir/dot.cc.o"
+  "CMakeFiles/r2u_common.dir/dot.cc.o.d"
+  "CMakeFiles/r2u_common.dir/logging.cc.o"
+  "CMakeFiles/r2u_common.dir/logging.cc.o.d"
+  "CMakeFiles/r2u_common.dir/strutil.cc.o"
+  "CMakeFiles/r2u_common.dir/strutil.cc.o.d"
+  "libr2u_common.a"
+  "libr2u_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/r2u_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for r2u_common.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/r2u_dfg.dir/dfg.cc.o"
+  "CMakeFiles/r2u_dfg.dir/dfg.cc.o.d"
+  "libr2u_dfg.a"
+  "libr2u_dfg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/r2u_dfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/r2u_isa.dir/isa.cc.o"
+  "CMakeFiles/r2u_isa.dir/isa.cc.o.d"
+  "libr2u_isa.a"
+  "libr2u_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/r2u_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

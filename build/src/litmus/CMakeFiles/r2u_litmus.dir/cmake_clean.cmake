@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/r2u_litmus.dir/litmus.cc.o"
+  "CMakeFiles/r2u_litmus.dir/litmus.cc.o.d"
+  "libr2u_litmus.a"
+  "libr2u_litmus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/r2u_litmus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/r2u_mcm.dir/sc_ref.cc.o"
+  "CMakeFiles/r2u_mcm.dir/sc_ref.cc.o.d"
+  "libr2u_mcm.a"
+  "libr2u_mcm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/r2u_mcm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/r2u_netlist.dir/netlist.cc.o"
+  "CMakeFiles/r2u_netlist.dir/netlist.cc.o.d"
+  "libr2u_netlist.a"
+  "libr2u_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/r2u_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/r2u_core.dir/metadata_io.cc.o"
+  "CMakeFiles/r2u_core.dir/metadata_io.cc.o.d"
+  "CMakeFiles/r2u_core.dir/synthesis.cc.o"
+  "CMakeFiles/r2u_core.dir/synthesis.cc.o.d"
+  "libr2u_core.a"
+  "libr2u_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/r2u_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

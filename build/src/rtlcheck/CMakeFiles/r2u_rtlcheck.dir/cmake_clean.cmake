@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/r2u_rtlcheck.dir/rtlcheck.cc.o"
+  "CMakeFiles/r2u_rtlcheck.dir/rtlcheck.cc.o.d"
+  "libr2u_rtlcheck.a"
+  "libr2u_rtlcheck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/r2u_rtlcheck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/r2u_sat.dir/cnf.cc.o"
+  "CMakeFiles/r2u_sat.dir/cnf.cc.o.d"
+  "CMakeFiles/r2u_sat.dir/solver.cc.o"
+  "CMakeFiles/r2u_sat.dir/solver.cc.o.d"
+  "libr2u_sat.a"
+  "libr2u_sat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/r2u_sat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

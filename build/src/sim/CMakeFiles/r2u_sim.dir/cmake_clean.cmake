@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/r2u_sim.dir/simulator.cc.o"
+  "CMakeFiles/r2u_sim.dir/simulator.cc.o.d"
+  "CMakeFiles/r2u_sim.dir/vcd.cc.o"
+  "CMakeFiles/r2u_sim.dir/vcd.cc.o.d"
+  "libr2u_sim.a"
+  "libr2u_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/r2u_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sva/monitors.cc" "src/sva/CMakeFiles/r2u_sva.dir/monitors.cc.o" "gcc" "src/sva/CMakeFiles/r2u_sva.dir/monitors.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bmc/CMakeFiles/r2u_bmc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sat/CMakeFiles/r2u_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/r2u_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/r2u_netlist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/r2u_sva.dir/monitors.cc.o"
+  "CMakeFiles/r2u_sva.dir/monitors.cc.o.d"
+  "libr2u_sva.a"
+  "libr2u_sva.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/r2u_sva.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/r2u_uhb.dir/uhb.cc.o"
+  "CMakeFiles/r2u_uhb.dir/uhb.cc.o.d"
+  "libr2u_uhb.a"
+  "libr2u_uhb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/r2u_uhb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

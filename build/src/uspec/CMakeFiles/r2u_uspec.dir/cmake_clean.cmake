@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/r2u_uspec.dir/uspec.cc.o"
+  "CMakeFiles/r2u_uspec.dir/uspec.cc.o.d"
+  "libr2u_uspec.a"
+  "libr2u_uspec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/r2u_uspec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

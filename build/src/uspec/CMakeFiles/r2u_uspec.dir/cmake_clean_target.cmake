@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libr2u_uspec.a"
+)

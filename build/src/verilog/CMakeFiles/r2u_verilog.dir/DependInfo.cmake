@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/verilog/elaborate.cc" "src/verilog/CMakeFiles/r2u_verilog.dir/elaborate.cc.o" "gcc" "src/verilog/CMakeFiles/r2u_verilog.dir/elaborate.cc.o.d"
+  "/root/repo/src/verilog/lexer.cc" "src/verilog/CMakeFiles/r2u_verilog.dir/lexer.cc.o" "gcc" "src/verilog/CMakeFiles/r2u_verilog.dir/lexer.cc.o.d"
+  "/root/repo/src/verilog/parser.cc" "src/verilog/CMakeFiles/r2u_verilog.dir/parser.cc.o" "gcc" "src/verilog/CMakeFiles/r2u_verilog.dir/parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/r2u_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/r2u_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/r2u_verilog.dir/elaborate.cc.o"
+  "CMakeFiles/r2u_verilog.dir/elaborate.cc.o.d"
+  "CMakeFiles/r2u_verilog.dir/lexer.cc.o"
+  "CMakeFiles/r2u_verilog.dir/lexer.cc.o.d"
+  "CMakeFiles/r2u_verilog.dir/parser.cc.o"
+  "CMakeFiles/r2u_verilog.dir/parser.cc.o.d"
+  "libr2u_verilog.a"
+  "libr2u_verilog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/r2u_verilog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/r2u_vscale.dir/metadata.cc.o"
+  "CMakeFiles/r2u_vscale.dir/metadata.cc.o.d"
+  "CMakeFiles/r2u_vscale.dir/vscale.cc.o"
+  "CMakeFiles/r2u_vscale.dir/vscale.cc.o.d"
+  "libr2u_vscale.a"
+  "libr2u_vscale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/r2u_vscale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for r2u_vscale.
+# This may be replaced when dependencies are built.

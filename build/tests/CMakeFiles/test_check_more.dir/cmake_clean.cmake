@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_check_more.dir/test_check_more.cc.o"
+  "CMakeFiles/test_check_more.dir/test_check_more.cc.o.d"
+  "test_check_more"
+  "test_check_more.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_check_more.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_induction_vcd.dir/test_induction_vcd.cc.o"
+  "CMakeFiles/test_induction_vcd.dir/test_induction_vcd.cc.o.d"
+  "test_induction_vcd"
+  "test_induction_vcd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_induction_vcd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_metadata_io.dir/test_metadata_io.cc.o"
+  "CMakeFiles/test_metadata_io.dir/test_metadata_io.cc.o.d"
+  "test_metadata_io"
+  "test_metadata_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_metadata_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rtl2uspec.dir/test_rtl2uspec.cc.o"
+  "CMakeFiles/test_rtl2uspec.dir/test_rtl2uspec.cc.o.d"
+  "test_rtl2uspec"
+  "test_rtl2uspec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rtl2uspec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_sva_monitors.cc" "tests/CMakeFiles/test_sva_monitors.dir/test_sva_monitors.cc.o" "gcc" "tests/CMakeFiles/test_sva_monitors.dir/test_sva_monitors.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sva/CMakeFiles/r2u_sva.dir/DependInfo.cmake"
+  "/root/repo/build/src/verilog/CMakeFiles/r2u_verilog.dir/DependInfo.cmake"
+  "/root/repo/build/src/bmc/CMakeFiles/r2u_bmc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sat/CMakeFiles/r2u_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/r2u_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/r2u_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

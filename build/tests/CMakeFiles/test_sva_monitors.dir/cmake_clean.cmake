@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sva_monitors.dir/test_sva_monitors.cc.o"
+  "CMakeFiles/test_sva_monitors.dir/test_sva_monitors.cc.o.d"
+  "test_sva_monitors"
+  "test_sva_monitors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sva_monitors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

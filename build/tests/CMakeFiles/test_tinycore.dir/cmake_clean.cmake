@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tinycore.dir/test_tinycore.cc.o"
+  "CMakeFiles/test_tinycore.dir/test_tinycore.cc.o.d"
+  "test_tinycore"
+  "test_tinycore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tinycore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

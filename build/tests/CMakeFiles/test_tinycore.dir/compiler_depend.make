@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_tinycore.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_uhb_semantics.dir/test_uhb_semantics.cc.o"
+  "CMakeFiles/test_uhb_semantics.dir/test_uhb_semantics.cc.o.d"
+  "test_uhb_semantics"
+  "test_uhb_semantics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_uhb_semantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

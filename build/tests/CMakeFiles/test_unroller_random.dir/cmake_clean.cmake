@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_unroller_random.dir/test_unroller_random.cc.o"
+  "CMakeFiles/test_unroller_random.dir/test_unroller_random.cc.o.d"
+  "test_unroller_random"
+  "test_unroller_random.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_unroller_random.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_uspec_uhb.dir/test_uspec_uhb.cc.o"
+  "CMakeFiles/test_uspec_uhb.dir/test_uspec_uhb.cc.o.d"
+  "test_uspec_uhb"
+  "test_uspec_uhb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_uspec_uhb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_verilog2.dir/test_verilog2.cc.o"
+  "CMakeFiles/test_verilog2.dir/test_verilog2.cc.o.d"
+  "test_verilog2"
+  "test_verilog2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_verilog2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vscale_rtl.dir/test_vscale_rtl.cc.o"
+  "CMakeFiles/test_vscale_rtl.dir/test_vscale_rtl.cc.o.d"
+  "test_vscale_rtl"
+  "test_vscale_rtl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vscale_rtl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

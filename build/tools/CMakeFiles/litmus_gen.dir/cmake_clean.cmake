@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/litmus_gen.dir/litmus_gen_cli.cc.o"
+  "CMakeFiles/litmus_gen.dir/litmus_gen_cli.cc.o.d"
+  "litmus_gen"
+  "litmus_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/litmus_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtl2uspec.dir/rtl2uspec_cli.cc.o"
+  "CMakeFiles/rtl2uspec.dir/rtl2uspec_cli.cc.o.d"
+  "rtl2uspec"
+  "rtl2uspec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtl2uspec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

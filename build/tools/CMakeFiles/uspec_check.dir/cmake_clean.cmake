@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uspec_check.dir/uspec_check_cli.cc.o"
+  "CMakeFiles/uspec_check.dir/uspec_check_cli.cc.o.d"
+  "uspec_check"
+  "uspec_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uspec_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
