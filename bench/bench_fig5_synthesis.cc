@@ -9,6 +9,8 @@
  */
 
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "bench_util.hh"
 #include "common/timer.hh"
@@ -16,8 +18,25 @@
 using namespace r2u;
 
 int
-main()
+main(int argc, char **argv)
 {
+    unsigned jobs = 0; // 0: hardware concurrency
+    for (int i = 1; i < argc; i++) {
+        if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+            int v = std::atoi(argv[++i]);
+            if (v < 1) {
+                std::fprintf(stderr,
+                             "--jobs expects a positive count\n");
+                return 2;
+            }
+            jobs = static_cast<unsigned>(v);
+        } else {
+            std::fprintf(stderr,
+                         "usage: bench_fig5_synthesis [--jobs N]\n");
+            return 2;
+        }
+    }
+
     bench::banner("Fig. 5 — rtl2uspec synthesis of a multi-V-scale "
                   "uspec model");
 
@@ -38,7 +57,9 @@ main()
     std::printf("  Verilog parse + elaborate: %.2f s\n", elab_s);
 
     auto md = vscale::vscaleMetadata(cfg);
-    auto result = rtl2uspec::synthesize(design, md);
+    rtl2uspec::SynthesisOptions synth_opts;
+    synth_opts.jobs = jobs;
+    auto result = rtl2uspec::synthesize(design, md, synth_opts);
 
     std::printf("\n%s\n", result.report().c_str());
 
@@ -65,6 +86,41 @@ main()
     writeFile(bench::outPath("full_design_dfg.dot"), result.fullDfgDot);
     for (const auto &[instr, dot] : result.instrDfgDots)
         writeFile(bench::outPath("dfg_" + instr + ".dot"), dot);
+
+    // Machine-readable summary for scripted comparisons across runs.
+    {
+        std::string json = "{\n";
+        json += strfmt("  \"jobs\": %u,\n", result.jobs);
+        json += strfmt("  \"unroll_contexts\": %llu,\n",
+                       static_cast<unsigned long long>(
+                           result.unrollContexts));
+        json += strfmt("  \"svas\": %zu,\n", result.svas.size());
+        json += strfmt("  \"static_seconds\": %.3f,\n",
+                       result.staticSeconds);
+        json += strfmt("  \"proof_seconds\": %.3f,\n",
+                       result.proofSeconds);
+        json += strfmt("  \"post_seconds\": %.3f,\n",
+                       result.postSeconds);
+        json += strfmt("  \"total_seconds\": %.3f,\n",
+                       result.totalSeconds);
+        json += "  \"categories\": {\n";
+        bool first = true;
+        for (const auto &[cat, cs] : result.stats) {
+            if (!first)
+                json += ",\n";
+            first = false;
+            json += strfmt("    \"%s\": {\"svas\": %d, \"seconds\": "
+                           "%.3f, \"hyp_local\": %d, \"hyp_global\": "
+                           "%d, \"hbi_local\": %d, \"hbi_global\": %d}",
+                           cat.c_str(), cs.svas, cs.seconds,
+                           cs.hypLocal, cs.hypGlobal, cs.hbiLocal,
+                           cs.hbiGlobal);
+        }
+        json += "\n  }\n}\n";
+        writeFile(bench::outPath("BENCH_fig5.json"), json);
+        std::printf("  JSON summary written to %s\n",
+                    bench::outPath("BENCH_fig5.json").c_str());
+    }
 
     std::printf("\nHeadline (paper: 6.84 min total, 3.34 s/SVA "
                 "average on JasperGold):\n");

@@ -50,13 +50,15 @@ banner(const std::string &title)
 
 /** Elaborate + synthesize the (fixed) multi-V-scale once. */
 inline rtl2uspec::SynthesisResult
-synthesizeVscale(bool buggy = false)
+synthesizeVscale(bool buggy = false, unsigned jobs = 0)
 {
     vscale::Config cfg = formalConfig();
     cfg.buggy = buggy;
     auto design = vscale::elaborateVscale(cfg);
     auto md = vscale::vscaleMetadata(cfg);
-    return rtl2uspec::synthesize(design, md);
+    rtl2uspec::SynthesisOptions opts;
+    opts.jobs = jobs;
+    return rtl2uspec::synthesize(design, md, opts);
 }
 
 } // namespace r2u::bench

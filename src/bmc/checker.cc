@@ -74,9 +74,31 @@ PropCtx::rigid(const std::string &name, unsigned width)
 }
 
 void
+PropCtx::beginQuery()
+{
+    R2U_ASSERT(!in_query_, "beginQuery inside an active query");
+    rigids_.clear();
+    watched_.clear();
+    act_ = cnf_.freshLit();
+    in_query_ = true;
+}
+
+void
+PropCtx::endQuery()
+{
+    R2U_ASSERT(in_query_, "endQuery without beginQuery");
+    in_query_ = false;
+    solver_.addClause(~act_);
+    act_ = sat::kLitUndef;
+}
+
+void
 PropCtx::assume(Lit a)
 {
-    solver_.addClause(a);
+    if (in_query_)
+        solver_.addClause(~act_, a);
+    else
+        solver_.addClause(a);
 }
 
 void
@@ -125,6 +147,21 @@ PropCtx::changedAt(unsigned frame, const std::string &name)
     return ~cnf_.mkEqW(at(frame, name), at(frame - 1, name));
 }
 
+Trace
+extractTrace(PropCtx &ctx)
+{
+    Trace trace;
+    for (unsigned f = 0; f < ctx.bound(); f++) {
+        TraceStep step;
+        for (const auto &name : ctx.watched()) {
+            step.signals[name] =
+                ctx.unroller().wireValue(f, ctx.cellOf(name));
+        }
+        trace.steps.push_back(std::move(step));
+    }
+    return trace;
+}
+
 CheckResult
 checkProperty(const nl::Netlist &netlist,
               const std::unordered_map<std::string, nl::CellId> &signals,
@@ -152,18 +189,10 @@ checkProperty(const nl::Netlist &netlist,
       case sat::Result::Unknown:
         result.verdict = Verdict::Unknown;
         break;
-      case sat::Result::Sat: {
+      case sat::Result::Sat:
         result.verdict = Verdict::Refuted;
-        for (unsigned f = 0; f < bound; f++) {
-            TraceStep step;
-            for (const auto &name : ctx.watched()) {
-                step.signals[name] =
-                    ctx.unroller().wireValue(f, ctx.cellOf(name));
-            }
-            result.trace.steps.push_back(std::move(step));
-        }
+        result.trace = extractTrace(ctx);
         break;
-      }
     }
     return result;
 }
@@ -193,13 +222,7 @@ checkInductive(const nl::Netlist &netlist,
         sat::Result r = ctx.solver().solve();
         if (r == sat::Result::Sat) {
             result.verdict = Verdict::Refuted;
-            for (unsigned f = 0; f < base_bound; f++) {
-                TraceStep step;
-                for (const auto &name : ctx.watched())
-                    step.signals[name] =
-                        ctx.unroller().wireValue(f, ctx.cellOf(name));
-                result.trace.steps.push_back(std::move(step));
-            }
+            result.trace = extractTrace(ctx);
             result.seconds = timer.seconds();
             return result;
         }

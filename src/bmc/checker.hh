@@ -21,6 +21,7 @@
 #include <unordered_map>
 
 #include "bmc/unroller.hh"
+#include "common/logging.hh"
 
 namespace r2u::bmc
 {
@@ -54,6 +55,32 @@ class PropCtx
     sat::CnfBuilder &cnf() { return cnf_; }
     Unroller &unroller() { return unroller_; }
 
+    /**
+     * Begin an isolated query on a long-lived context (incremental
+     * BMC). Per-query state (rigids, watches) is reset and a fresh
+     * activation literal is allocated; until endQuery(), assume()
+     * emits clauses guarded by the activation literal instead of hard
+     * root-level facts, so the shared transition-relation CNF stays
+     * sound for later queries. Solve with
+     * solver().solve({activation()}).
+     */
+    void beginQuery();
+
+    /** The current query's activation literal. */
+    sat::Lit activation() const
+    {
+        R2U_ASSERT(in_query_, "activation() outside a query");
+        return act_;
+    }
+
+    bool inQuery() const { return in_query_; }
+
+    /**
+     * Retire the current query: its activation literal is asserted
+     * false, permanently satisfying every clause it guarded.
+     */
+    void endQuery();
+
     /** Resolve a hierarchical signal name. fatal() if unknown. */
     nl::CellId cellOf(const std::string &name) const;
 
@@ -66,7 +93,11 @@ class PropCtx
      */
     const sat::Word &rigid(const std::string &name, unsigned width);
 
-    /** Add a global assumption. */
+    /**
+     * Add an assumption. Outside a query this is a hard root-level
+     * fact; inside a query it is guarded by the activation literal
+     * (additive-only, so the shared CNF prefix stays sound).
+     */
     void assume(sat::Lit a);
 
     /** Constrain an input to a constant value in every frame. */
@@ -97,6 +128,8 @@ class PropCtx
     unsigned bound_;
     std::map<std::string, sat::Word> rigids_;
     std::vector<std::string> watched_;
+    sat::Lit act_ = sat::kLitUndef;
+    bool in_query_ = false;
 };
 
 struct CheckResult
@@ -111,6 +144,12 @@ struct CheckResult
 
 /** Builds a property and returns its violation literal. */
 using PropertyFn = std::function<sat::Lit(PropCtx &)>;
+
+/**
+ * Counterexample trace of the context's watched signals over all
+ * frames; valid only right after a Sat solver result.
+ */
+Trace extractTrace(PropCtx &ctx);
 
 /**
  * Per-frame property: returns the "bad at this frame" literal; may

@@ -1,0 +1,172 @@
+#include "bmc/engine.hh"
+
+#include <exception>
+#include <map>
+#include <thread>
+
+#include "common/logging.hh"
+#include "common/timer.hh"
+
+namespace r2u::bmc
+{
+
+using sat::Lit;
+
+unsigned
+resolveJobs(unsigned requested)
+{
+    if (requested > 0)
+        return requested;
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+/**
+ * Per-worker state: one incremental context per unroll bound. Only
+ * the owning worker thread touches a Worker after construction, so no
+ * locking is needed here.
+ */
+struct Engine::Worker
+{
+    std::map<unsigned, std::unique_ptr<PropCtx>> contexts;
+    uint64_t contexts_built = 0;
+
+    PropCtx &
+    contextFor(const Engine &engine, unsigned bound)
+    {
+        auto it = contexts.find(bound);
+        if (it == contexts.end()) {
+            it = contexts
+                     .emplace(bound, std::make_unique<PropCtx>(
+                                         engine.nl_, engine.signals_,
+                                         engine.options_, bound))
+                     .first;
+            contexts_built++;
+        }
+        return *it->second;
+    }
+};
+
+Engine::Engine(const nl::Netlist &netlist,
+               const std::unordered_map<std::string, nl::CellId> &signals,
+               Unroller::Options options, unsigned bound,
+               EngineOptions engine_options)
+    : nl_(netlist), signals_(signals), options_(std::move(options)),
+      bound_(bound), default_budget_(engine_options.conflictBudget),
+      jobs_(resolveJobs(engine_options.jobs))
+{
+    R2U_ASSERT(bound_ > 0, "engine needs a positive default bound");
+}
+
+Engine::~Engine() = default;
+
+size_t
+Engine::enqueue(Query query)
+{
+    R2U_ASSERT(query.prop != nullptr, "query without a property");
+    if (query.bound == 0)
+        query.bound = bound_;
+    if (query.conflictBudget == Query::kInheritBudget)
+        query.conflictBudget = default_budget_;
+    batch_.push_back(std::move(query));
+    return batch_.size() - 1;
+}
+
+CheckResult
+Engine::runFresh(const Query &query)
+{
+    return checkProperty(nl_, signals_, options_, query.bound,
+                         query.prop, query.conflictBudget);
+}
+
+CheckResult
+Engine::runIncremental(Worker &worker, const Query &query)
+{
+    Timer timer;
+    CheckResult result;
+    result.bound = query.bound;
+
+    PropCtx &ctx = worker.contextFor(*this, query.bound);
+    sat::Solver &solver = ctx.solver();
+    uint64_t conflicts_before = solver.stats().conflicts;
+
+    ctx.beginQuery();
+    Lit bad = query.prop(ctx);
+    ctx.assume(bad); // guarded assertion of the violation
+    solver.setConflictBudget(query.conflictBudget);
+    sat::Result r = solver.solve({ctx.activation()});
+
+    result.seconds = timer.seconds();
+    result.conflicts = solver.stats().conflicts - conflicts_before;
+    result.cnfVars = static_cast<size_t>(solver.numVars());
+    switch (r) {
+      case sat::Result::Unsat:
+        result.verdict = Verdict::Proven;
+        break;
+      case sat::Result::Unknown:
+        result.verdict = Verdict::Unknown;
+        break;
+      case sat::Result::Sat:
+        result.verdict = Verdict::Refuted;
+        result.trace = extractTrace(ctx);
+        break;
+    }
+    ctx.endQuery();
+    return result;
+}
+
+std::vector<CheckResult>
+Engine::drain()
+{
+    std::vector<Query> batch = std::move(batch_);
+    batch_.clear();
+    std::vector<CheckResult> results(batch.size());
+    if (batch.empty())
+        return results;
+    stats_.queries += batch.size();
+
+    if (jobs_ == 1) {
+        // Reference path: fresh solver + unroller per query, exactly
+        // the classic checkProperty() behavior.
+        for (size_t i = 0; i < batch.size(); i++)
+            results[i] = runFresh(batch[i]);
+        stats_.contexts += batch.size();
+        return results;
+    }
+
+    // The netlist's lazy topological order is computed by the first
+    // caller and cached in a mutable member; force it here, once, on
+    // this thread, so the workers only ever read it.
+    nl_.validate();
+
+    if (!pool_) {
+        pool_ = std::make_unique<ThreadPool>(jobs_);
+        workers_.clear();
+        for (unsigned w = 0; w < jobs_; w++)
+            workers_.push_back(std::make_unique<Worker>());
+    }
+
+    std::vector<std::exception_ptr> errors(batch.size());
+    for (size_t i = 0; i < batch.size(); i++) {
+        pool_->submit([this, &batch, &results, &errors, i](unsigned w) {
+            try {
+                results[i] = runIncremental(*workers_[w], batch[i]);
+            } catch (...) {
+                errors[i] = std::current_exception();
+            }
+        });
+    }
+    pool_->wait();
+
+    stats_.contexts = 0;
+    for (const auto &w : workers_)
+        stats_.contexts += w->contexts_built;
+    stats_.steals = pool_->steals();
+
+    for (size_t i = 0; i < batch.size(); i++)
+        if (errors[i])
+            std::rethrow_exception(errors[i]);
+    return results;
+}
+
+} // namespace r2u::bmc

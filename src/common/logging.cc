@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 #include <vector>
 
 namespace r2u
@@ -10,6 +11,20 @@ namespace r2u
 namespace
 {
 int g_verbosity = 1;
+
+/**
+ * Serializes whole log lines. The BMC engine's workers log from
+ * multiple threads; each message is formatted first and then emitted
+ * under this lock so lines never tear or interleave.
+ */
+std::mutex g_log_mutex;
+
+void
+emitLine(std::FILE *stream, const char *prefix, const std::string &msg)
+{
+    std::lock_guard<std::mutex> lock(g_log_mutex);
+    std::fprintf(stream, "%s%s\n", prefix, msg.c_str());
+}
 } // namespace
 
 int
@@ -55,7 +70,7 @@ inform(const char *fmt, ...)
     va_start(ap, fmt);
     std::string s = vstrfmt(fmt, ap);
     va_end(ap);
-    std::fprintf(stdout, "info: %s\n", s.c_str());
+    emitLine(stdout, "info: ", s);
 }
 
 void
@@ -67,7 +82,7 @@ debugLog(const char *fmt, ...)
     va_start(ap, fmt);
     std::string s = vstrfmt(fmt, ap);
     va_end(ap);
-    std::fprintf(stdout, "debug: %s\n", s.c_str());
+    emitLine(stdout, "debug: ", s);
 }
 
 void
@@ -77,7 +92,7 @@ warn(const char *fmt, ...)
     va_start(ap, fmt);
     std::string s = vstrfmt(fmt, ap);
     va_end(ap);
-    std::fprintf(stderr, "warn: %s\n", s.c_str());
+    emitLine(stderr, "warn: ", s);
 }
 
 void

@@ -1,0 +1,113 @@
+#include "common/thread_pool.hh"
+
+#include "common/logging.hh"
+
+namespace r2u
+{
+
+ThreadPool::ThreadPool(unsigned workers)
+{
+    if (workers < 1)
+        workers = 1;
+    queues_.reserve(workers);
+    for (unsigned i = 0; i < workers; i++)
+        queues_.push_back(std::make_unique<WorkerQueue>());
+    threads_.reserve(workers);
+    for (unsigned i = 0; i < workers; i++)
+        threads_.emplace_back([this, i] { workerMain(i); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    wait();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (std::thread &t : threads_)
+        t.join();
+}
+
+void
+ThreadPool::submit(Task task)
+{
+    R2U_ASSERT(task != nullptr, "null task submitted");
+    unsigned q;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        pending_++;
+        q = next_queue_;
+        next_queue_ = (next_queue_ + 1) % workers();
+    }
+    {
+        std::lock_guard<std::mutex> lock(queues_[q]->mutex);
+        queues_[q]->tasks.push_back(std::move(task));
+    }
+    work_cv_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_cv_.wait(lock, [this] { return pending_ == 0; });
+}
+
+bool
+ThreadPool::tryPop(unsigned self, Task &out)
+{
+    // Own queue first, newest task first.
+    {
+        WorkerQueue &q = *queues_[self];
+        std::lock_guard<std::mutex> lock(q.mutex);
+        if (!q.tasks.empty()) {
+            out = std::move(q.tasks.back());
+            q.tasks.pop_back();
+            return true;
+        }
+    }
+    // Steal the oldest task from someone else.
+    for (unsigned i = 1; i < workers(); i++) {
+        WorkerQueue &q = *queues_[(self + i) % workers()];
+        std::lock_guard<std::mutex> lock(q.mutex);
+        if (!q.tasks.empty()) {
+            out = std::move(q.tasks.front());
+            q.tasks.pop_front();
+            std::lock_guard<std::mutex> slock(mutex_);
+            steals_++;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+ThreadPool::workerMain(unsigned self)
+{
+    while (true) {
+        Task task;
+        if (tryPop(self, task)) {
+            task(self);
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (--pending_ == 0)
+                idle_cv_.notify_all();
+            continue;
+        }
+        std::unique_lock<std::mutex> lock(mutex_);
+        if (stop_)
+            return;
+        // Re-check the queues under the pool lock: a submit may have
+        // raced between our empty scan and this wait.
+        bool any = false;
+        for (auto &q : queues_) {
+            std::lock_guard<std::mutex> qlock(q->mutex);
+            any |= !q->tasks.empty();
+        }
+        if (any)
+            continue;
+        work_cv_.wait(lock);
+    }
+}
+
+} // namespace r2u

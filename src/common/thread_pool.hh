@@ -1,0 +1,86 @@
+/**
+ * @file
+ * A small work-stealing thread pool.
+ *
+ * Built for the BMC query engine (src/bmc/engine): a batch of
+ * independent property queries is submitted and the pool evaluates
+ * them on N long-lived workers. Each worker owns a deque; it pops its
+ * own tasks LIFO (cache-friendly) and steals FIFO from the other
+ * workers when idle, so a few long-running queries do not strand the
+ * rest of the batch behind one worker.
+ *
+ * Tasks receive the worker index they run on, which lets callers keep
+ * per-worker state (the engine's incremental solver contexts) without
+ * any locking of their own.
+ */
+
+#ifndef R2U_COMMON_THREAD_POOL_HH
+#define R2U_COMMON_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace r2u
+{
+
+class ThreadPool
+{
+  public:
+    /** A task; the argument is the index of the worker running it. */
+    using Task = std::function<void(unsigned worker)>;
+
+    /** Spawn @p workers threads (at least 1). */
+    explicit ThreadPool(unsigned workers);
+
+    /** Joins all workers; pending tasks are completed first. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    unsigned workers() const
+    {
+        return static_cast<unsigned>(threads_.size());
+    }
+
+    /** Enqueue a task. Never blocks; tasks may start immediately. */
+    void submit(Task task);
+
+    /**
+     * Block until every task submitted so far has finished. Tasks may
+     * be submitted again afterwards; the pool stays alive.
+     */
+    void wait();
+
+    /** Number of times an idle worker stole from another's queue. */
+    uint64_t steals() const { return steals_; }
+
+  private:
+    struct WorkerQueue
+    {
+        std::mutex mutex;
+        std::deque<Task> tasks;
+    };
+
+    void workerMain(unsigned self);
+    bool tryPop(unsigned self, Task &out);
+
+    std::vector<std::unique_ptr<WorkerQueue>> queues_;
+    std::vector<std::thread> threads_;
+
+    std::mutex mutex_; ///< guards pending_/stop_ and the two cvs
+    std::condition_variable work_cv_; ///< signaled on submit/stop
+    std::condition_variable idle_cv_; ///< signaled when pending_ hits 0
+    size_t pending_ = 0; ///< submitted but not yet finished
+    bool stop_ = false;
+    unsigned next_queue_ = 0; ///< round-robin submission cursor
+    uint64_t steals_ = 0;
+};
+
+} // namespace r2u
+
+#endif // R2U_COMMON_THREAD_POOL_HH

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "bmc/engine.hh"
 #include "common/logging.hh"
 #include "common/strutil.hh"
 #include "common/timer.hh"
@@ -33,12 +34,17 @@ struct Elem
 class Synthesizer
 {
   public:
-    Synthesizer(const vlog::ElabResult &design,
-                const DesignMetadata &md)
+    Synthesizer(const vlog::ElabResult &design, const DesignMetadata &md,
+                const SynthesisOptions &opts)
         : design_(design), md_(md), nl_(*design.netlist)
     {
         R2U_ASSERT(!md.cores.empty() && !md.instrs.empty(),
                    "metadata needs cores and instruction types");
+        bmc::EngineOptions eopts;
+        eopts.jobs = opts.jobs;
+        eopts.conflictBudget = md_.conflictBudget;
+        engine_ = std::make_unique<bmc::Engine>(
+            nl_, design_.signalMap, unrollOptions(), md_.bound, eopts);
     }
 
     SynthesisResult
@@ -56,6 +62,13 @@ class Synthesizer
         attributionChecks();
         interInstruction();
         out_.proofSeconds = phase.seconds();
+        out_.jobs = engine_->jobs();
+        out_.unrollContexts = engine_->stats().contexts;
+        inform("rtl2uspec: %zu SVAs on %u worker(s), "
+               "%zu transition-relation unroll(s), %zu steal(s)",
+               out_.svas.size(), engine_->jobs(),
+               static_cast<size_t>(engine_->stats().contexts),
+               static_cast<size_t>(engine_->stats().steals));
 
         phase.reset();
         buildInstrDfgs();
@@ -183,20 +196,46 @@ class Synthesizer
         return out_.svas.size() - 1;
     }
 
-    Verdict
-    runSva(size_t idx, const bmc::PropertyFn &prop)
+    /**
+     * Enqueue an SVA's property on the engine. The verdict lands in
+     * out_.svas[idx] at the next flushSvas(). Deferred properties run
+     * on worker threads: they must only read state that is stable for
+     * the whole batch (md_, elems_, dfg_, nl_) and must not capture
+     * short-lived locals by reference.
+     */
+    void
+    deferSva(size_t idx, bmc::PropertyFn prop)
     {
-        CheckResult res = bmc::checkProperty(
-            nl_, design_.signalMap, unrollOptions(), md_.bound, prop,
-            md_.conflictBudget);
-        out_.svas[idx].verdict = res.verdict;
-        out_.svas[idx].seconds = res.seconds;
-        if (res.verdict == Verdict::Refuted)
-            out_.svas[idx].trace = res.trace.toString();
-        debugLog("SVA %-28s %-12s %.3fs",
-                 out_.svas[idx].name.c_str(),
-                 bmc::verdictName(res.verdict), res.seconds);
-        return res.verdict;
+        bmc::Query q;
+        q.name = out_.svas[idx].name;
+        q.prop = std::move(prop);
+        engine_->enqueue(std::move(q));
+        pending_.push_back(idx);
+    }
+
+    /** Evaluate every deferred SVA; fill records in enqueue order. */
+    void
+    flushSvas()
+    {
+        std::vector<CheckResult> results = engine_->drain();
+        R2U_ASSERT(results.size() == pending_.size(),
+                   "engine result count mismatch");
+        for (size_t q = 0; q < results.size(); q++) {
+            SvaRecord &rec = out_.svas[pending_[q]];
+            rec.verdict = results[q].verdict;
+            rec.seconds = results[q].seconds;
+            if (results[q].verdict == Verdict::Refuted)
+                rec.trace = results[q].trace.toString();
+            debugLog("SVA %-28s %-12s %.3fs", rec.name.c_str(),
+                     bmc::verdictName(rec.verdict), rec.seconds);
+        }
+        pending_.clear();
+    }
+
+    Verdict
+    verdictOf(size_t idx) const
+    {
+        return out_.svas[idx].verdict;
     }
 
     /**
@@ -323,34 +362,42 @@ class Synthesizer
     void
     intraMembership()
     {
+        // A Refuted membership SVA means "op updates these nodes";
+        // applications are deferred past the batch flush so the
+        // updated_ sets fill in deterministic enqueue order.
+        struct MembershipHit
+        {
+            size_t idx; ///< SVA record index
+            std::set<NodeId> *updated;
+            std::vector<NodeId> nodes;
+        };
+        std::vector<MembershipHit> hits;
+
         for (const InstrType &op : md_.instrs) {
             std::set<NodeId> &updated = updated_[op.name];
             updated.insert(ifr_node_); // primary root, by definition
 
             // Remote pipeline-register group: one SVA for the group.
-            std::vector<const Elem *> remote_regs;
+            std::vector<NodeId> remote_nodes;
             for (const Elem &e : elems_)
                 if (e.kind == ElemKind::RemoteReg)
-                    remote_regs.push_back(&e);
-            if (!remote_regs.empty()) {
+                    remote_nodes.push_back(e.node);
+            if (!remote_nodes.empty()) {
                 size_t idx = startSva(
                     op.name + "_updates_req_group", "intra",
                     strfmt("A0: assert (`PCR_0 == pc0 |-> "
                            "!(grant[0] && req_en)); // op=%s, "
                            "s=<request interface group>",
                            op.name.c_str()),
-                    static_cast<unsigned>(remote_regs.size()), true);
-                Verdict v = runSva(idx, [&](PropCtx &ctx) {
+                    static_cast<unsigned>(remote_nodes.size()), true);
+                deferSva(idx, [this, &op](PropCtx &ctx) {
                     ctx.pinInput("reset", 0);
                     watchDefaults(ctx);
                     EventVec occ0 = bindInstr(ctx, "0", &op);
                     return sva::eventDuring(ctx, occ0,
                                             grantEvents(ctx, false));
                 });
-                if (v == Verdict::Refuted) {
-                    for (const Elem *e : remote_regs)
-                        updated.insert(e->node);
-                }
+                hits.push_back({idx, &updated, std::move(remote_nodes)});
             }
 
             for (const Elem &e : elems_) {
@@ -370,7 +417,7 @@ class Synthesizer
                                e.stage, e.name.c_str(), e.name.c_str(),
                                op.name.c_str()),
                         1, false);
-                    Verdict v = runSva(idx, [&](PropCtx &ctx) {
+                    deferSva(idx, [this, &op, &e](PropCtx &ctx) {
                         ctx.pinInput("reset", 0);
                         watchDefaults(ctx);
                         ctx.watch(e.name);
@@ -380,8 +427,7 @@ class Synthesizer
                         return sva::changeDuring(
                             ctx, occ, dfg_.node(e.node).reg);
                     });
-                    if (v == Verdict::Refuted)
-                        updated.insert(e.node);
+                    hits.push_back({idx, &updated, {e.node}});
                     break;
                   }
                   case ElemKind::LocalArray: {
@@ -393,7 +439,7 @@ class Synthesizer
                                attribStage(e), e.name.c_str(),
                                op.name.c_str()),
                         1, false);
-                    Verdict v = runSva(idx, [&](PropCtx &ctx) {
+                    deferSva(idx, [this, &op, &e](PropCtx &ctx) {
                         ctx.pinInput("reset", 0);
                         watchDefaults(ctx);
                         bindInstr(ctx, "0", &op);
@@ -401,8 +447,7 @@ class Synthesizer
                             localArrayWriteEvents(ctx, e, "0");
                         return sva::occurs(ctx, wr);
                     });
-                    if (v == Verdict::Refuted)
-                        updated.insert(e.node);
+                    hits.push_back({idx, &updated, {e.node}});
                     break;
                   }
                   case ElemKind::RemoteArray: {
@@ -414,21 +459,28 @@ class Synthesizer
                                "s=%s",
                                op.name.c_str(), e.name.c_str()),
                         1, true);
-                    Verdict v = runSva(idx, [&](PropCtx &ctx) {
+                    deferSva(idx, [this, &op, &e](PropCtx &ctx) {
                         ctx.pinInput("reset", 0);
                         watchDefaults(ctx);
                         bindInstr(ctx, "0", &op);
                         return sva::occurs(
                             ctx, sentEvents(ctx, "0", true));
                     });
-                    if (v == Verdict::Refuted)
-                        updated.insert(e.node);
+                    hits.push_back({idx, &updated, {e.node}});
                     break;
                   }
                   case ElemKind::RemoteReg:
                     break; // handled as a group above
                 }
             }
+        }
+
+        flushSvas();
+        for (const MembershipHit &hit : hits) {
+            if (verdictOf(hit.idx) != Verdict::Refuted)
+                continue;
+            for (NodeId n : hit.nodes)
+                hit.updated->insert(n);
         }
     }
 
@@ -438,6 +490,13 @@ class Synthesizer
     void
     progressChecks()
     {
+        struct Pending
+        {
+            size_t idx;
+            const InstrType *op;
+            unsigned stage;
+        };
+        std::vector<Pending> pendings;
         for (const InstrType &op : md_.instrs) {
             for (unsigned stage = 0;
                  stage < md_.cores[0].pcrs.size(); stage++) {
@@ -449,7 +508,7 @@ class Synthesizer
                            " // op=%s",
                            stage, stage, op.name.c_str()),
                     1, false);
-                Verdict v = runSva(idx, [&](PropCtx &ctx) {
+                deferSva(idx, [this, &op, stage](PropCtx &ctx) {
                     ctx.pinInput("reset", 0);
                     watchDefaults(ctx);
                     EventVec occ0 = bindInstr(ctx, "0", &op);
@@ -463,10 +522,14 @@ class Synthesizer
                     return ~sva::occurs(ctx,
                                         sva::exitEvents(ctx, occ));
                 });
-                if (v != Verdict::Proven) {
-                    warn("progress SVA for %s stage %u not proven",
-                         op.name.c_str(), stage);
-                }
+                pendings.push_back({idx, &op, stage});
+            }
+        }
+        flushSvas();
+        for (const Pending &p : pendings) {
+            if (verdictOf(p.idx) != Verdict::Proven) {
+                warn("progress SVA for %s stage %u not proven",
+                     p.op->name.c_str(), p.stage);
             }
         }
     }
@@ -477,23 +540,28 @@ class Synthesizer
     void
     attributionChecks()
     {
-        const CoreMeta &core = md_.cores[0];
         struct Check
         {
             const char *name;
             bool write;
+            size_t idx = 0;
         };
-        for (const Check &chk :
-             {Check{"write_requests_are_valid_stores", true},
-              Check{"read_requests_are_valid_loads", false}}) {
-            size_t idx = startSva(
+        std::vector<Check> checks = {
+            {"write_requests_are_valid_stores", true},
+            {"read_requests_are_valid_loads", false}};
+        for (Check &chk : checks) {
+            chk.idx = startSva(
                 chk.name, "temporal",
                 strfmt("Req-Proc: assert ((grant[0] && %s) |-> "
                        "<IFR decodes as a declared %s type>);",
                        chk.write ? "req_wen" : "req_en && !req_wen",
                        chk.write ? "store" : "load"),
                 1, true);
-            Verdict v = runSva(idx, [&](PropCtx &ctx) {
+            // The Check lives on this function's stack; the deferred
+            // property must capture the flag by value.
+            const bool write = chk.write;
+            deferSva(chk.idx, [this, write](PropCtx &ctx) {
+                const CoreMeta &core = md_.cores[0];
                 ctx.pinInput("reset", 0);
                 watchDefaults(ctx);
                 auto &cnf = ctx.cnf();
@@ -502,14 +570,14 @@ class Synthesizer
                     Lit g = ctx.at(f, md_.remote.grant)[0];
                     Lit wen = ctx.at(f, core.reqWen)[0];
                     Lit en = ctx.at(f, core.reqEn)[0];
-                    Lit req = chk.write ? cnf.mkAnd(g, wen)
-                                        : cnf.mkAnd(g,
-                                                    cnf.mkAnd(en, ~wen));
+                    Lit req = write ? cnf.mkAnd(g, wen)
+                                    : cnf.mkAnd(g,
+                                                cnf.mkAnd(en, ~wen));
                     const sat::Word &ifr = ctx.at(f, core.ifr);
                     Lit matches = cnf.falseLit();
                     for (const InstrType &op : md_.instrs) {
-                        if ((chk.write && !op.isWrite) ||
-                            (!chk.write && !op.isRead))
+                        if ((write && !op.isWrite) ||
+                            (!write && !op.isRead))
                             continue;
                         Lit m = cnf.trueLit();
                         for (size_t b = 0; b < ifr.size() && b < 32;
@@ -526,7 +594,10 @@ class Synthesizer
                 }
                 return bad;
             });
-            if (v == Verdict::Refuted) {
+        }
+        flushSvas();
+        for (const Check &chk : checks) {
+            if (verdictOf(chk.idx) == Verdict::Refuted) {
                 out_.bugs.push_back(strfmt(
                     "DESIGN BUG (paper §6.1 class): %s refuted — an "
                     "instruction that does not decode to a declared "
@@ -534,7 +605,7 @@ class Synthesizer
                     "Counterexample:\n%s",
                     chk.name, chk.write ? "store" : "load",
                     chk.write ? "write" : "read",
-                    out_.svas[idx].trace.c_str()));
+                    out_.svas[chk.idx].trace.c_str()));
             }
         }
     }
@@ -544,16 +615,18 @@ class Synthesizer
     // ------------------------------------------------------------------
 
     /**
-     * Run an ordering SVA: assume two instruction instances in
+     * Enqueue an ordering SVA: assume two instruction instances in
      * program order (fetch order), assert eventsOf("0") strictly
-     * before eventsOf("1"). Returns the verdict.
+     * before eventsOf("1"). op0/op1 must outlive the batch (point
+     * into md_.instrs or be null); events must be self-contained.
      */
-    Verdict
-    orderSva(size_t idx, const InstrType *op0, const InstrType *op1,
-             const std::function<EventVec(PropCtx &,
-                                          const std::string &)> &events)
+    void
+    deferOrderSva(size_t idx, const InstrType *op0, const InstrType *op1,
+                  std::function<EventVec(PropCtx &,
+                                         const std::string &)> events)
     {
-        return runSva(idx, [&](PropCtx &ctx) {
+        deferSva(idx, [this, op0, op1,
+                       events = std::move(events)](PropCtx &ctx) {
             ctx.pinInput("reset", 0);
             watchDefaults(ctx);
             EventVec occ_a = bindInstr(ctx, "0", op0);
@@ -572,33 +645,46 @@ class Synthesizer
     {
         const CoreMeta &core = md_.cores[0];
 
+        // Phase A: enqueue every SVA whose existence does not depend
+        // on another verdict. Only the per-pair fallbacks for a
+        // *failed* relaxed stage must wait for Phase A's verdicts.
+
         // --- spatial/temporal for same-stage local registers: one
         // relaxed SVA per pipeline stage (§4.3.3 optimization). ---
+        struct StagePlan
+        {
+            unsigned stage = 0;
+            bool relaxed = false;
+            size_t relaxedIdx = 0;
+            std::vector<size_t> fallback;
+        };
+        std::vector<StagePlan> plans;
         for (unsigned stage = 0; stage < core.pcrs.size(); stage++) {
-            unsigned hyp = stageHypotheses(stage);
-            if (!md_.relaxPairs) {
-                stage_ordered_.push_back(relaxFallbackStage(stage));
-                continue;
+            StagePlan plan;
+            plan.stage = stage;
+            if (md_.relaxPairs) {
+                plan.relaxed = true;
+                plan.relaxedIdx = startSva(
+                    strfmt("po_order_stage%u", stage),
+                    stage == 0 ? "spatial" : "temporal",
+                    strfmt("assert (po(pc0, pc1) |-> first(`PCR_%u == "
+                           "pc0) before first(`PCR_%u == pc1)); // all "
+                           "instruction pairs (relaxed)",
+                           stage, stage),
+                    stageHypotheses(stage), false);
+                deferOrderSva(plan.relaxedIdx, nullptr, nullptr,
+                              [this, stage](PropCtx &ctx,
+                                            const std::string &s) {
+                                  return stageOcc(ctx, s, stage);
+                              });
+            } else {
+                plan.fallback = deferFallbackStage(stage);
             }
-            size_t idx = startSva(
-                strfmt("po_order_stage%u", stage),
-                stage == 0 ? "spatial" : "temporal",
-                strfmt("assert (po(pc0, pc1) |-> first(`PCR_%u == "
-                       "pc0) before first(`PCR_%u == pc1)); // all "
-                       "instruction pairs (relaxed)",
-                       stage, stage),
-                hyp, false);
-            Verdict v = orderSva(
-                idx, nullptr, nullptr,
-                [&](PropCtx &ctx, const std::string &s) {
-                    return stageOcc(ctx, s, stage);
-                });
-            stage_ordered_.push_back(v == Verdict::Proven);
-            if (v != Verdict::Proven)
-                relaxFallbackStage(stage);
+            plans.push_back(std::move(plan));
         }
 
         // --- spatial on the local array (regfile): reader pairs. ---
+        std::vector<size_t> regfile_idxs;
         const Elem *regfile = findElem(ElemKind::LocalArray);
         if (regfile) {
             for (const InstrType &op0 : md_.instrs) {
@@ -619,25 +705,66 @@ class Synthesizer
                                regfile->name.c_str(),
                                op0.name.c_str(), op1.name.c_str()),
                         1, false);
-                    Verdict v = orderSva(
+                    deferOrderSva(
                         idx, &op0, &op1,
-                        [&](PropCtx &ctx, const std::string &s) {
+                        [this, regfile](PropCtx &ctx,
+                                        const std::string &s) {
                             return localArrayWriteEvents(ctx, *regfile,
                                                          s);
                         });
-                    regfile_ordered_ = v == Verdict::Proven;
+                    regfile_idxs.push_back(idx);
                 }
             }
         }
 
         // --- remote resource: Req-Snd / Req-Rec / Req-Proc (§4.3.3).
-        reqSndRecProc();
+        RemotePlan remote = deferReqSndRecProc();
 
         // --- cross-array temporal HBIs (regfile <-> mem). ---
-        crossArrayTemporal();
+        CrossPlan cross = deferCrossArrayTemporal();
 
         // --- dataflow (§4.3.5): mem -> regfile. ---
-        dataflowSvas();
+        DataflowPlan dflow = deferDataflowSvas();
+
+        flushSvas();
+
+        // Phase B: per-pair fallbacks for relaxed stages that failed.
+        stage_ordered_.assign(core.pcrs.size(), false);
+        for (StagePlan &plan : plans) {
+            if (!plan.relaxed)
+                continue;
+            bool proven =
+                verdictOf(plan.relaxedIdx) == Verdict::Proven;
+            stage_ordered_[plan.stage] = proven;
+            if (!proven)
+                plan.fallback = deferFallbackStage(plan.stage);
+        }
+        flushSvas();
+
+        // With relaxation disabled, a stage is ordered iff every
+        // per-pair fallback proves. (A failed *relaxed* stage stays
+        // unordered even if its fallbacks prove — the fallbacks are
+        // diagnostic, matching the sequential reference behavior.)
+        for (const StagePlan &plan : plans) {
+            if (plan.relaxed)
+                continue;
+            bool all_proven = true;
+            for (size_t idx : plan.fallback)
+                all_proven &= verdictOf(idx) == Verdict::Proven;
+            stage_ordered_[plan.stage] = all_proven;
+        }
+        for (size_t idx : regfile_idxs)
+            regfile_ordered_ = verdictOf(idx) == Verdict::Proven;
+        remote_chain_proven_ =
+            verdictOf(remote.snd) == Verdict::Proven &&
+            verdictOf(remote.rec) == Verdict::Proven &&
+            verdictOf(remote.proc) == Verdict::Proven;
+        if (cross.active) {
+            t_read_write_ = verdictOf(cross.readWrite) == Verdict::Proven;
+            t_write_read_ = verdictOf(cross.writeRead) == Verdict::Proven;
+        }
+        if (dflow.active)
+            dataflow_proven_ = verdictOf(dflow.idx) == Verdict::Proven;
     }
 
     unsigned
@@ -658,12 +785,15 @@ class Synthesizer
         return op_pairs * members * members;
     }
 
-    bool
-    relaxFallbackStage(unsigned stage)
+    /**
+     * §6.2: if the relaxed SVA fails (or relaxation is disabled),
+     * fall back to per-pair opcode-constrained SVAs. Enqueues them
+     * and returns their record indices for the post-flush tally.
+     */
+    std::vector<size_t>
+    deferFallbackStage(unsigned stage)
     {
-        // §6.2: if the relaxed SVA fails (or relaxation is disabled),
-        // fall back to per-pair opcode-constrained SVAs.
-        bool all_proven = true;
+        std::vector<size_t> idxs;
         for (const InstrType &op0 : md_.instrs) {
             for (const InstrType &op1 : md_.instrs) {
                 size_t idx = startSva(
@@ -674,42 +804,48 @@ class Synthesizer
                            "entries ordered);",
                            op0.name.c_str(), op1.name.c_str(), stage),
                     1, false);
-                Verdict v = orderSva(
-                    idx, &op0, &op1,
-                    [&](PropCtx &ctx, const std::string &s) {
-                        return stageOcc(ctx, s, stage);
-                    });
-                all_proven &= v == Verdict::Proven;
+                deferOrderSva(idx, &op0, &op1,
+                              [this, stage](PropCtx &ctx,
+                                            const std::string &s) {
+                                  return stageOcc(ctx, s, stage);
+                              });
+                idxs.push_back(idx);
             }
         }
-        return all_proven;
+        return idxs;
     }
 
-    void
-    reqSndRecProc()
+    struct RemotePlan
     {
+        size_t snd = 0, rec = 0, proc = 0;
+    };
+
+    RemotePlan
+    deferReqSndRecProc()
+    {
+        RemotePlan plan;
+
         // Req-Snd: same-core requests are sent in program order.
-        size_t idx = startSva(
+        plan.snd = startSva(
             "req_snd_order", "temporal",
             "Req-Snd: assert (po(pc0, pc1) |-> send(pc0) before "
             "send(pc1)); // requests to the shared memory",
             static_cast<unsigned>(md_.instrs.size() *
                                   md_.instrs.size()),
             true);
-        Verdict snd = orderSva(
-            idx, nullptr, nullptr,
-            [&](PropCtx &ctx, const std::string &s) {
-                return sentEvents(ctx, s, false);
-            });
+        deferOrderSva(plan.snd, nullptr, nullptr,
+                      [this](PropCtx &ctx, const std::string &s) {
+                          return sentEvents(ctx, s, false);
+                      });
 
         // Req-Rec: a sent request is received next cycle, tagged with
         // the sender's core id.
-        idx = startSva(
+        plan.rec = startSva(
             "req_rec_in_order", "temporal",
             "Req-Rec: assert ((grant[0] && req_en) |-> ##1 "
             "(req_valid_q && req_core_q == 0));",
             1, true);
-        Verdict rec = runSva(idx, [&](PropCtx &ctx) {
+        deferSva(plan.rec, [this](PropCtx &ctx) {
             ctx.pinInput("reset", 0);
             watchDefaults(ctx);
             auto &cnf = ctx.cnf();
@@ -734,13 +870,13 @@ class Synthesizer
 
         // Req-Proc: a received write request is processed (committed
         // to the array) in the cycle it sits in the request register.
-        idx = startSva(
+        plan.proc = startSva(
             "req_proc_in_order", "temporal",
             "Req-Proc: assert ((req_valid_q && req_wen_q) |-> "
             "mem_write_fire);",
             1, true);
         nl::MemId mem = nl_.findMemoryByName(md_.remote.memName);
-        Verdict proc = runSva(idx, [&](PropCtx &ctx) {
+        deferSva(plan.proc, [this, mem](PropCtx &ctx) {
             ctx.pinInput("reset", 0);
             watchDefaults(ctx);
             auto &cnf = ctx.cnf();
@@ -755,19 +891,23 @@ class Synthesizer
             }
             return bad;
         });
-
-        remote_chain_proven_ = snd == Verdict::Proven &&
-                               rec == Verdict::Proven &&
-                               proc == Verdict::Proven;
+        return plan;
     }
 
-    void
-    crossArrayTemporal()
+    struct CrossPlan
     {
+        bool active = false;
+        size_t readWrite = 0, writeRead = 0;
+    };
+
+    CrossPlan
+    deferCrossArrayTemporal()
+    {
+        CrossPlan plan;
         const Elem *regfile = findElem(ElemKind::LocalArray);
         const Elem *mem = findElem(ElemKind::RemoteArray);
         if (!regfile || !mem)
-            return;
+            return plan;
         const InstrType *rd = nullptr, *wr = nullptr;
         for (const InstrType &op : md_.instrs) {
             if (op.isRead)
@@ -776,48 +916,57 @@ class Synthesizer
                 wr = &op;
         }
         if (!rd || !wr)
-            return;
+            return plan;
+        plan.active = true;
 
         // read-then-write: regfile update before memory commit.
-        size_t idx = startSva(
+        plan.readWrite = startSva(
             "t_regfile_then_mem", "temporal",
             strfmt("assert (po(pc0:%s, pc1:%s) |-> write(%s, pc0) "
                    "before commit(%s, pc1));",
                    rd->name.c_str(), wr->name.c_str(),
                    regfile->name.c_str(), mem->name.c_str()),
             1, true);
-        Verdict v1 = orderSva(
-            idx, rd, wr, [&](PropCtx &ctx, const std::string &s) {
+        deferOrderSva(
+            plan.readWrite, rd, wr,
+            [this, regfile](PropCtx &ctx, const std::string &s) {
                 if (s == "0")
                     return localArrayWriteEvents(ctx, *regfile, s);
                 return shiftEvents(ctx, sentEvents(ctx, s, true));
             });
-        t_read_write_ = v1 == Verdict::Proven;
 
         // write-then-read: memory commit before regfile update.
-        idx = startSva(
+        plan.writeRead = startSva(
             "t_mem_then_regfile", "temporal",
             strfmt("assert (po(pc0:%s, pc1:%s) |-> commit(%s, pc0) "
                    "before write(%s, pc1));",
                    wr->name.c_str(), rd->name.c_str(),
                    mem->name.c_str(), regfile->name.c_str()),
             1, true);
-        Verdict v2 = orderSva(
-            idx, wr, rd, [&](PropCtx &ctx, const std::string &s) {
+        deferOrderSva(
+            plan.writeRead, wr, rd,
+            [this, regfile](PropCtx &ctx, const std::string &s) {
                 if (s == "0")
                     return shiftEvents(ctx, sentEvents(ctx, s, true));
                 return localArrayWriteEvents(ctx, *regfile, s);
             });
-        t_write_read_ = v2 == Verdict::Proven;
+        return plan;
     }
 
-    void
-    dataflowSvas()
+    struct DataflowPlan
     {
+        bool active = false;
+        size_t idx = 0;
+    };
+
+    DataflowPlan
+    deferDataflowSvas()
+    {
+        DataflowPlan plan;
         const Elem *regfile = findElem(ElemKind::LocalArray);
         const Elem *mem = findElem(ElemKind::RemoteArray);
         if (!regfile || !mem)
-            return;
+            return plan;
         const InstrType *rd = nullptr, *wr = nullptr;
         for (const InstrType &op : md_.instrs) {
             if (op.isRead)
@@ -826,9 +975,10 @@ class Synthesizer
                 wr = &op;
         }
         if (!rd || !wr)
-            return;
+            return plan;
+        plan.active = true;
         // The writer's mem update reaches the reader's regfile update.
-        size_t idx = startSva(
+        plan.idx = startSva(
             "dataflow_mem_to_regfile", "dataflow",
             strfmt("assert (po(pc0:%s, pc1:%s) |-> commit(%s, pc0) "
                    "before write(%s, pc1)); // data handoff via %s",
@@ -836,13 +986,14 @@ class Synthesizer
                    mem->name.c_str(), regfile->name.c_str(),
                    mem->name.c_str()),
             1, true);
-        Verdict v = orderSva(
-            idx, wr, rd, [&](PropCtx &ctx, const std::string &s) {
+        deferOrderSva(
+            plan.idx, wr, rd,
+            [this, regfile](PropCtx &ctx, const std::string &s) {
                 if (s == "0")
                     return shiftEvents(ctx, sentEvents(ctx, s, true));
                 return localArrayWriteEvents(ctx, *regfile, s);
             });
-        dataflow_proven_ = v == Verdict::Proven;
+        return plan;
     }
 
     const Elem *
@@ -1162,6 +1313,11 @@ class Synthesizer
     bool dataflow_proven_ = false;
     int hbis_ = 0;
     SynthesisResult out_;
+
+    /** The BMC query engine serving every SVA in this run. */
+    std::unique_ptr<bmc::Engine> engine_;
+    /** Record indices of queries enqueued since the last flush. */
+    std::vector<size_t> pending_;
 };
 
 } // namespace
@@ -1208,9 +1364,10 @@ SynthesisResult::report() const
 }
 
 SynthesisResult
-synthesize(const vlog::ElabResult &design, const DesignMetadata &metadata)
+synthesize(const vlog::ElabResult &design, const DesignMetadata &metadata,
+           const SynthesisOptions &options)
 {
-    Synthesizer s(design, metadata);
+    Synthesizer s(design, metadata, options);
     return s.run();
 }
 

@@ -45,11 +45,33 @@ struct CategoryStats
     int hbiLocal = 0, hbiGlobal = 0;
 };
 
+/** Knobs for how the synthesis procedure runs (not what it computes). */
+struct SynthesisOptions
+{
+    /**
+     * Worker count for SVA evaluation (the paper's proof-farm
+     * dimension): 0 picks std::thread::hardware_concurrency(); 1 is
+     * the classic sequential path (fresh solver per SVA); >= 2 runs
+     * the parallel engine with per-worker incremental solver
+     * contexts. Verdicts and the emitted model are identical either
+     * way.
+     */
+    unsigned jobs = 0;
+};
+
 struct SynthesisResult
 {
     uspec::Model model;
     std::vector<SvaRecord> svas;
     std::map<std::string, CategoryStats> stats;
+
+    /** Resolved SVA-evaluation worker count. */
+    unsigned jobs = 1;
+    /**
+     * Transition-relation unrolls built: one per SVA on the
+     * sequential path, one per worker per bound on the parallel path.
+     */
+    uint64_t unrollContexts = 0;
 
     /** Design bugs found (attribution checks refuted, paper §6.1). */
     std::vector<std::string> bugs;
@@ -72,7 +94,8 @@ struct SynthesisResult
 
 /** Run the full synthesis procedure. */
 SynthesisResult synthesize(const vlog::ElabResult &design,
-                           const DesignMetadata &metadata);
+                           const DesignMetadata &metadata,
+                           const SynthesisOptions &options = {});
 
 } // namespace r2u::rtl2uspec
 

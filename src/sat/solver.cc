@@ -518,6 +518,10 @@ Result
 Solver::solve(const std::vector<Lit> &assumptions)
 {
     conflict_core_.clear();
+    // Invalidate the previous call's model up front: a non-Sat result
+    // must not leave a stale (satisfying-looking) assignment around
+    // for modelValue() to read.
+    model_.clear();
     if (!ok_)
         return Result::Unsat;
     assumptions_ = assumptions;

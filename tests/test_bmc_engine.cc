@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Tests for the parallel + incremental BMC query engine: on random
+ * netlists, the incremental-under-assumptions path (jobs >= 2, shared
+ * per-worker solver contexts) must agree query-for-query with the
+ * fresh-solver sequential path (jobs = 1); and on the multi-V-scale,
+ * a full parallel synthesis run must reproduce the sequential run's
+ * SVA records and µspec model exactly.
+ */
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "bmc/engine.hh"
+#include "random_netlist.hh"
+#include "rtl2uspec/synthesis.hh"
+#include "sim/simulator.hh"
+#include "vscale/metadata.hh"
+#include "vscale/vscale.hh"
+
+using namespace r2u;
+using r2u::test::RandomDesign;
+using r2u::test::makeRandom;
+
+TEST(BmcEngine, ResolveJobs)
+{
+    EXPECT_GE(bmc::resolveJobs(0), 1u);
+    EXPECT_EQ(bmc::resolveJobs(1), 1u);
+    EXPECT_EQ(bmc::resolveJobs(7), 7u);
+}
+
+namespace
+{
+
+/**
+ * Build a batch of properties for a simulated random design: one
+ * "probes cannot deviate from the interpreter" query per frame prefix
+ * (all Proven) and one corrupted-expectation query per probe (all
+ * Refuted). Returns the expected verdicts in enqueue order.
+ */
+std::vector<bmc::Verdict>
+enqueueQueries(bmc::Engine &engine, const RandomDesign &d,
+               const std::vector<std::vector<Bits>> &stim,
+               const std::vector<std::vector<Bits>> &expect,
+               unsigned frames)
+{
+    std::vector<bmc::Verdict> want;
+    auto pin_inputs = [&d, &stim](bmc::PropCtx &ctx, unsigned upto) {
+        auto &cnf = ctx.cnf();
+        for (unsigned f = 0; f < upto; f++)
+            for (size_t i = 0; i < d.inputs.size(); i++)
+                ctx.assume(cnf.mkEqW(
+                    ctx.unroller().wire(f, d.inputs[i]),
+                    cnf.constWord(stim[f][i])));
+    };
+
+    for (unsigned upto = 1; upto <= frames; upto++) {
+        bmc::Query q;
+        q.name = "agree_upto_" + std::to_string(upto);
+        q.prop = [&d, &expect, pin_inputs, upto](bmc::PropCtx &ctx) {
+            auto &cnf = ctx.cnf();
+            pin_inputs(ctx, upto);
+            sat::Lit bad = cnf.falseLit();
+            for (unsigned f = 0; f < upto; f++)
+                for (size_t i = 0; i < d.probes.size(); i++)
+                    bad = cnf.mkOr(
+                        bad, ~cnf.mkEqW(
+                                 ctx.unroller().wire(f, d.probes[i]),
+                                 cnf.constWord(expect[f][i])));
+            return bad;
+        };
+        engine.enqueue(std::move(q));
+        want.push_back(bmc::Verdict::Proven);
+    }
+
+    for (size_t p = 0; p < d.probes.size(); p++) {
+        bmc::Query q;
+        q.name = "corrupt_probe_" + std::to_string(p);
+        q.prop = [&d, &expect, pin_inputs, frames, p](bmc::PropCtx &ctx) {
+            auto &cnf = ctx.cnf();
+            pin_inputs(ctx, frames);
+            Bits wrong = ~expect[frames - 1][p];
+            return ~cnf.mkEqW(
+                ctx.unroller().wire(frames - 1, d.probes[p]),
+                cnf.constWord(wrong));
+        };
+        engine.enqueue(std::move(q));
+        want.push_back(bmc::Verdict::Refuted);
+    }
+    return want;
+}
+
+} // namespace
+
+class EngineRandomTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(EngineRandomTest, IncrementalMatchesFresh)
+{
+    std::mt19937 rng(4242 + GetParam());
+    RandomDesign d = makeRandom(rng);
+    const unsigned kFrames = 6;
+
+    sim::Simulator sim(d.netlist);
+    std::vector<std::vector<Bits>> stim(kFrames), expect(kFrames);
+    for (unsigned f = 0; f < kFrames; f++) {
+        for (nl::CellId in : d.inputs) {
+            Bits v(d.netlist.cell(in).width,
+                       static_cast<uint64_t>(rng()));
+            sim.setInput(in, v);
+            stim[f].push_back(v);
+        }
+        for (nl::CellId p : d.probes)
+            expect[f].push_back(sim.value(p));
+        sim.step();
+    }
+
+    std::unordered_map<std::string, nl::CellId> empty_map;
+
+    bmc::EngineOptions seq_opts;
+    seq_opts.jobs = 1;
+    bmc::Engine sequential(d.netlist, empty_map, {}, kFrames, seq_opts);
+
+    bmc::EngineOptions par_opts;
+    par_opts.jobs = 3;
+    bmc::Engine parallel(d.netlist, empty_map, {}, kFrames, par_opts);
+    EXPECT_EQ(parallel.jobs(), 3u);
+
+    auto want = enqueueQueries(sequential, d, stim, expect, kFrames);
+    auto want2 = enqueueQueries(parallel, d, stim, expect, kFrames);
+    ASSERT_EQ(want, want2);
+
+    auto seq_results = sequential.drain();
+    auto par_results = parallel.drain();
+    ASSERT_EQ(seq_results.size(), want.size());
+    ASSERT_EQ(par_results.size(), want.size());
+    for (size_t i = 0; i < want.size(); i++) {
+        EXPECT_EQ(seq_results[i].verdict, want[i]) << "query " << i;
+        EXPECT_EQ(par_results[i].verdict, want[i]) << "query " << i;
+        if (want[i] == bmc::Verdict::Refuted) {
+            EXPECT_FALSE(seq_results[i].trace.toString().empty());
+            EXPECT_FALSE(par_results[i].trace.toString().empty());
+        }
+    }
+    // The parallel engine shares unroll contexts: at most one per
+    // worker here (single bound), never one per query.
+    EXPECT_GE(parallel.stats().contexts, 1u);
+    EXPECT_LE(parallel.stats().contexts, 3u);
+    EXPECT_EQ(parallel.stats().queries, want.size());
+
+    // A second batch on the warm engine must behave identically.
+    auto want3 = enqueueQueries(parallel, d, stim, expect, kFrames);
+    auto warm_results = parallel.drain();
+    ASSERT_EQ(warm_results.size(), want3.size());
+    for (size_t i = 0; i < want3.size(); i++)
+        EXPECT_EQ(warm_results[i].verdict, want3[i]) << "query " << i;
+    EXPECT_LE(parallel.stats().contexts, 3u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineRandomTest,
+                         ::testing::Range(0, 6));
+
+namespace
+{
+
+vscale::Config
+formalConfig()
+{
+    vscale::Config cfg = vscale::Config::formal();
+    cfg.imemWords = 16; // keeps per-SVA CNFs small
+    return cfg;
+}
+
+rtl2uspec::SynthesisResult
+synthesizeAt(unsigned jobs)
+{
+    auto design = vscale::elaborateVscale(formalConfig());
+    auto md = vscale::vscaleMetadata(formalConfig());
+    rtl2uspec::SynthesisOptions opts;
+    opts.jobs = jobs;
+    return rtl2uspec::synthesize(design, md, opts);
+}
+
+} // namespace
+
+TEST(BmcEngine, VscaleParallelSynthesisMatchesSequential)
+{
+    rtl2uspec::SynthesisResult seq = synthesizeAt(1);
+    rtl2uspec::SynthesisResult par = synthesizeAt(4);
+
+    EXPECT_EQ(seq.jobs, 1u);
+    EXPECT_EQ(par.jobs, 4u);
+    // Sequential: one fresh unroll per SVA. Parallel: one context per
+    // worker, shared across its queries.
+    EXPECT_EQ(seq.unrollContexts, seq.svas.size());
+    EXPECT_GE(par.unrollContexts, 1u);
+    EXPECT_LE(par.unrollContexts, 4u);
+
+    // Same SVA records: names, categories, verdicts, hypothesis
+    // counts, and locality — in the same order.
+    ASSERT_EQ(seq.svas.size(), par.svas.size());
+    for (size_t i = 0; i < seq.svas.size(); i++) {
+        const auto &a = seq.svas[i];
+        const auto &b = par.svas[i];
+        EXPECT_EQ(a.name, b.name) << "SVA " << i;
+        EXPECT_EQ(a.category, b.category) << a.name;
+        EXPECT_EQ(a.verdict, b.verdict) << a.name;
+        EXPECT_EQ(a.hypotheses, b.hypotheses) << a.name;
+        EXPECT_EQ(a.global, b.global) << a.name;
+        EXPECT_EQ(a.text, b.text) << a.name;
+    }
+
+    // Same hypothesis/HBI tallies per category.
+    ASSERT_EQ(seq.stats.size(), par.stats.size());
+    for (const auto &[cat, a] : seq.stats) {
+        ASSERT_TRUE(par.stats.count(cat)) << cat;
+        const auto &b = par.stats.at(cat);
+        EXPECT_EQ(a.svas, b.svas) << cat;
+        EXPECT_EQ(a.hypLocal, b.hypLocal) << cat;
+        EXPECT_EQ(a.hypGlobal, b.hypGlobal) << cat;
+        EXPECT_EQ(a.hbiLocal, b.hbiLocal) << cat;
+        EXPECT_EQ(a.hbiGlobal, b.hbiGlobal) << cat;
+    }
+
+    // Same per-instruction membership and identical emitted model.
+    EXPECT_EQ(seq.instrNodes, par.instrNodes);
+    EXPECT_EQ(seq.model.print(), par.model.print());
+    EXPECT_EQ(seq.bugs.size(), par.bugs.size());
+}

@@ -121,6 +121,82 @@ TEST(Sat, AssumptionsSatAndUnsat)
     EXPECT_EQ(s.solve(), Result::Sat);
 }
 
+TEST(Sat, IncrementalAlternatingSatUnsat)
+{
+    // One long-lived solver, many solve() calls alternating SAT and
+    // UNSAT outcomes under assumptions, with the clause DB growing
+    // between calls — the usage pattern of the BMC query engine. Each
+    // call must fully restore solver state for the next one.
+    Solver s;
+    Var x = s.newVar(), y = s.newVar();
+    s.addClause(mkLit(x, true), mkLit(y)); // x -> y
+    for (int round = 0; round < 40; round++) {
+        // Fresh activation literal guarding a per-round constraint,
+        // alternately consistent and inconsistent with x -> y.
+        Var act = s.newVar();
+        bool want_unsat = round & 1;
+        if (want_unsat) {
+            // act -> (x & ~y): contradicts x -> y.
+            s.addClause(mkLit(act, true), mkLit(x));
+            s.addClause(mkLit(act, true), mkLit(y, true));
+            EXPECT_EQ(s.solve({mkLit(act)}), Result::Unsat)
+                << "round " << round;
+            EXPECT_FALSE(s.conflictCore().empty());
+        } else {
+            // act -> (x & y): satisfiable.
+            s.addClause(mkLit(act, true), mkLit(x));
+            s.addClause(mkLit(act, true), mkLit(y));
+            ASSERT_EQ(s.solve({mkLit(act)}), Result::Sat)
+                << "round " << round;
+            EXPECT_TRUE(s.modelValue(x));
+            EXPECT_TRUE(s.modelValue(y));
+        }
+        // Retire the round's constraint.
+        s.addClause(mkLit(act, true));
+        // The base formula stays satisfiable in between.
+        ASSERT_EQ(s.solve(), Result::Sat) << "round " << round;
+    }
+}
+
+TEST(Sat, ConflictBudgetAlternatesWithUnbudgeted)
+{
+    // A budget-exhausted Unknown must not poison later calls on the
+    // same solver (the engine reuses one solver across queries with
+    // differing budgets).
+    // Per round: a fresh pigeonhole instance on fresh variables,
+    // guarded by a fresh assumption literal. Without the guard the
+    // clauses are trivially SAT, so UNSAT is only ever derived *from
+    // the assumption* and the solver survives to the next round.
+    const int pigeons = 7, holes = 6;
+    Solver s;
+    for (int round = 0; round < 3; round++) {
+        Var g = s.newVar();
+        std::vector<std::vector<Var>> p(
+            pigeons, std::vector<Var>(holes));
+        for (int i = 0; i < pigeons; i++)
+            for (int j = 0; j < holes; j++)
+                p[i][j] = s.newVar();
+        for (int i = 0; i < pigeons; i++) {
+            std::vector<Lit> c{mkLit(g, true)};
+            for (int j = 0; j < holes; j++)
+                c.push_back(mkLit(p[i][j]));
+            s.addClause(c);
+        }
+        for (int j = 0; j < holes; j++)
+            for (int i1 = 0; i1 < pigeons; i1++)
+                for (int i2 = i1 + 1; i2 < pigeons; i2++)
+                    s.addClause(mkLit(p[i1][j], true),
+                                mkLit(p[i2][j], true));
+        s.setConflictBudget(5);
+        EXPECT_EQ(s.solve({mkLit(g)}), Result::Unknown)
+            << "round " << round;
+        s.setConflictBudget(-1);
+        EXPECT_EQ(s.solve({mkLit(g)}), Result::Unsat)
+            << "round " << round;
+        EXPECT_EQ(s.solve(), Result::Sat) << "round " << round;
+    }
+}
+
 TEST(Sat, ConflictBudgetReturnsUnknown)
 {
     // A hard pigeonhole with a tiny budget must return Unknown.

@@ -15,102 +15,13 @@
 #include <random>
 
 #include "bmc/checker.hh"
-#include "netlist/netlist.hh"
+#include "random_netlist.hh"
 #include "sim/simulator.hh"
 
 using namespace r2u;
 using namespace r2u::nl;
-
-namespace
-{
-
-struct RandomDesign
-{
-    Netlist netlist;
-    std::vector<CellId> inputs;
-    std::vector<CellId> probes; ///< wires whose values we compare
-};
-
-RandomDesign
-makeRandom(std::mt19937 &rng)
-{
-    RandomDesign d;
-    Netlist &n = d.netlist;
-    auto pick_width = [&]() {
-        static const unsigned widths[] = {1, 3, 8, 13};
-        return widths[rng() % 4];
-    };
-
-    // A few inputs.
-    std::vector<CellId> pool;
-    for (int i = 0; i < 3; i++) {
-        CellId in = n.addInput("in" + std::to_string(i), pick_width());
-        d.inputs.push_back(in);
-        pool.push_back(in);
-    }
-    CellId one = n.addConst(Bits(1, 1));
-    pool.push_back(n.addConst(Bits(8, 0x5a)));
-
-    auto any = [&]() { return pool[rng() % pool.size()]; };
-    auto fit = [&](CellId c, unsigned w) -> CellId {
-        unsigned cw = n.cell(c).width;
-        if (cw == w)
-            return c;
-        if (cw > w)
-            return n.addSlice(c, 0, w);
-        return n.addExt(CellKind::Zext, c, w);
-    };
-    auto bit1 = [&]() { return fit(any(), 1); };
-
-    // A memory with one write port.
-    MemId mem = n.addMemory("m", 4, 8);
-    n.addMemWrite(mem, fit(any(), 2), fit(any(), 8), bit1());
-    pool.push_back(n.addMemRead(mem, fit(any(), 2)));
-
-    // Random combinational cells.
-    for (int i = 0; i < 24; i++) {
-        unsigned w = pick_width();
-        CellId a = fit(any(), w);
-        CellId b = fit(any(), w);
-        CellId out;
-        switch (rng() % 12) {
-          case 0: out = n.addBinary(CellKind::Add, a, b); break;
-          case 1: out = n.addBinary(CellKind::Sub, a, b); break;
-          case 2: out = n.addBinary(CellKind::And, a, b); break;
-          case 3: out = n.addBinary(CellKind::Or, a, b); break;
-          case 4: out = n.addBinary(CellKind::Xor, a, b); break;
-          case 5: out = n.addBinary(CellKind::Eq, a, b); break;
-          case 6: out = n.addBinary(CellKind::Ult, a, b); break;
-          case 7: out = n.addBinary(CellKind::Slt, a, b); break;
-          case 8:
-            out = n.addBinary(CellKind::Shl, a, fit(any(), 3));
-            break;
-          case 9:
-            out = n.addBinary(CellKind::Lshr, a, fit(any(), 3));
-            break;
-          case 10: out = n.addMux(bit1(), a, b); break;
-          default: out = n.addConcat({a, b}); break;
-        }
-        pool.push_back(out);
-    }
-
-    // Registers (with enables) feeding back into the pool.
-    for (int i = 0; i < 4; i++) {
-        unsigned w = pick_width();
-        CellId q = n.addDff("r" + std::to_string(i), fit(any(), w),
-                            bit1(), Bits(w, i * 7u));
-        pool.push_back(q);
-        (void)one;
-    }
-
-    // Probe a handful of wires.
-    for (int i = 0; i < 6; i++)
-        d.probes.push_back(pool[rng() % pool.size()]);
-    n.validate();
-    return d;
-}
-
-} // namespace
+using r2u::test::RandomDesign;
+using r2u::test::makeRandom;
 
 class UnrollerRandomTest : public ::testing::TestWithParam<int>
 {

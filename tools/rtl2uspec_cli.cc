@@ -36,6 +36,8 @@ usage()
         "  --dfg-dir DIR   write full-design and per-instruction DFG\n"
         "                  DOT files into DIR\n"
         "  --bound N       override the BMC bound from the metadata\n"
+        "  --jobs N        SVA-evaluation workers (default: hardware\n"
+        "                  concurrency; 1 = classic sequential path)\n"
         "  --quiet         suppress progress output\n");
 }
 
@@ -51,6 +53,7 @@ main(int argc, char **argv)
     std::unordered_map<std::string, int64_t> params;
     bool report = false, list_svas = false;
     int bound_override = -1;
+    rtl2uspec::SynthesisOptions synth_opts;
 
     for (int i = 1; i < argc; i++) {
         std::string arg = argv[i];
@@ -70,6 +73,11 @@ main(int argc, char **argv)
                 dfg_dir = next();
             } else if (arg == "--bound") {
                 bound_override = std::stoi(next());
+            } else if (arg == "--jobs") {
+                int jobs = std::stoi(next());
+                if (jobs < 1)
+                    fatal("--jobs expects a positive worker count");
+                synth_opts.jobs = static_cast<unsigned>(jobs);
             } else if (arg == "--report") {
                 report = true;
             } else if (arg == "--svas") {
@@ -119,7 +127,7 @@ main(int argc, char **argv)
                st.memories);
 
         rtl2uspec::SynthesisResult synth =
-            rtl2uspec::synthesize(design, md);
+            rtl2uspec::synthesize(design, md, synth_opts);
 
         if (!synth.bugs.empty()) {
             for (const auto &bug : synth.bugs)
