@@ -21,6 +21,7 @@ int
 main(int argc, char **argv)
 {
     unsigned jobs = 0; // 0: hardware concurrency
+    bool full_unroll = false;
     for (int i = 1; i < argc; i++) {
         if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
             int v = std::atoi(argv[++i]);
@@ -30,9 +31,11 @@ main(int argc, char **argv)
                 return 2;
             }
             jobs = static_cast<unsigned>(v);
+        } else if (std::strcmp(argv[i], "--full-unroll") == 0) {
+            full_unroll = true;
         } else {
-            std::fprintf(stderr,
-                         "usage: bench_fig5_synthesis [--jobs N]\n");
+            std::fprintf(stderr, "usage: bench_fig5_synthesis "
+                                 "[--jobs N] [--full-unroll]\n");
             return 2;
         }
     }
@@ -59,19 +62,63 @@ main(int argc, char **argv)
     auto md = vscale::vscaleMetadata(cfg);
     rtl2uspec::SynthesisOptions synth_opts;
     synth_opts.jobs = jobs;
+    synth_opts.fullUnroll = full_unroll;
     auto result = rtl2uspec::synthesize(design, md, synth_opts);
 
     std::printf("\n%s\n", result.report().c_str());
 
     std::printf("Per-SVA detail (verdicts as the property verifier "
                 "reports them):\n");
-    std::printf("  %-34s %-9s %-12s %10s %6s\n", "SVA", "category",
-                "verdict", "time (s)", "hyp");
+    std::printf("  %-34s %-9s %-12s %10s %6s %9s %9s\n", "SVA",
+                "category", "verdict", "time (s)", "hyp", "CNF vars",
+                "clauses");
+    std::vector<double> solve_times;
     for (const auto &sva : result.svas) {
-        std::printf("  %-34s %-9s %-12s %10.3f %6u\n",
+        std::printf("  %-34s %-9s %-12s %10.3f %6u %9zu %9zu\n",
                     sva.name.c_str(), sva.category.c_str(),
                     bmc::verdictName(sva.verdict), sva.seconds,
-                    sva.hypotheses);
+                    sva.hypotheses, sva.cnfVars, sva.cnfClauses);
+        solve_times.push_back(sva.seconds);
+    }
+    double solve_p50 = bench::percentile(solve_times, 0.50);
+    double solve_p95 = bench::percentile(solve_times, 0.95);
+    std::printf("  solve time p50 %.3f s, p95 %.3f s; mean CNF "
+                "%.0f vars / %.0f clauses (%s)\n",
+                solve_p50, solve_p95, result.meanCnfVars,
+                result.meanCnfClauses,
+                result.fullUnroll ? "full unroll" : "COI-sliced");
+
+    // Eager-vs-sliced comparison: rerun SVA evaluation in the
+    // opposite unroll mode at the same job count.
+    auto other = bench::synthesizeVscale(false, jobs, !full_unroll);
+    const auto &eager = full_unroll ? result : other;
+    const auto &sliced = full_unroll ? other : result;
+    std::printf("\nCOI slicing vs full unroll (same %u-worker run):\n",
+                result.jobs);
+    std::printf("  full unroll: proof %.2f s, %.0f CNF vars/query "
+                "mean\n",
+                eager.proofSeconds, eager.meanCnfVars);
+    std::printf("  COI-sliced:  proof %.2f s, %.0f CNF vars/query "
+                "mean\n",
+                sliced.proofSeconds, sliced.meanCnfVars);
+    std::printf("  speedup %.2fx, CNF var reduction %.2fx, models "
+                "%s\n",
+                eager.proofSeconds / sliced.proofSeconds,
+                eager.meanCnfVars / sliced.meanCnfVars,
+                eager.model.print() == sliced.model.print()
+                    ? "identical"
+                    : "DIFFERENT (BUG)");
+    std::printf("  per category (CNF vars/query mean, full unroll -> "
+                "sliced):\n");
+    for (const auto &[cat, ecs] : eager.stats) {
+        auto it = sliced.stats.find(cat);
+        if (it == sliced.stats.end() || !ecs.svas || !it->second.svas)
+            continue;
+        double ev = static_cast<double>(ecs.cnfVarsSum) / ecs.svas;
+        double sv = static_cast<double>(it->second.cnfVarsSum) /
+                    it->second.svas;
+        std::printf("    %-9s %8.0f -> %8.0f (%.2fx)\n", cat.c_str(),
+                    ev, sv, ev / sv);
     }
 
     std::printf("\nPer-instruction DFG membership (cf. Fig. 3c):\n");
@@ -91,6 +138,8 @@ main(int argc, char **argv)
     {
         std::string json = "{\n";
         json += strfmt("  \"jobs\": %u,\n", result.jobs);
+        json += strfmt("  \"full_unroll\": %s,\n",
+                       result.fullUnroll ? "true" : "false");
         json += strfmt("  \"unroll_contexts\": %llu,\n",
                        static_cast<unsigned long long>(
                            result.unrollContexts));
@@ -103,6 +152,47 @@ main(int argc, char **argv)
                        result.postSeconds);
         json += strfmt("  \"total_seconds\": %.3f,\n",
                        result.totalSeconds);
+        json += strfmt("  \"solve_seconds_p50\": %.4f,\n", solve_p50);
+        json += strfmt("  \"solve_seconds_p95\": %.4f,\n", solve_p95);
+        json += strfmt("  \"cnf_vars_mean\": %.1f,\n",
+                       result.meanCnfVars);
+        json += strfmt("  \"cnf_clauses_mean\": %.1f,\n",
+                       result.meanCnfClauses);
+        json += "  \"queries\": [\n";
+        for (size_t i = 0; i < result.svas.size(); i++) {
+            const auto &sva = result.svas[i];
+            json += strfmt("    {\"name\": \"%s\", \"category\": "
+                           "\"%s\", \"seconds\": %.4f, \"cnf_vars\": "
+                           "%zu, \"cnf_clauses\": %zu, \"coi_cells\": "
+                           "%zu}%s\n",
+                           sva.name.c_str(), sva.category.c_str(),
+                           sva.seconds, sva.cnfVars, sva.cnfClauses,
+                           sva.coiCells,
+                           i + 1 < result.svas.size() ? "," : "");
+        }
+        json += "  ],\n";
+        json += "  \"coi_comparison\": {\n";
+        json += strfmt("    \"eager_proof_seconds\": %.3f,\n",
+                       eager.proofSeconds);
+        json += strfmt("    \"sliced_proof_seconds\": %.3f,\n",
+                       sliced.proofSeconds);
+        json += strfmt("    \"eager_cnf_vars_mean\": %.1f,\n",
+                       eager.meanCnfVars);
+        json += strfmt("    \"sliced_cnf_vars_mean\": %.1f,\n",
+                       sliced.meanCnfVars);
+        json += strfmt("    \"eager_cnf_clauses_mean\": %.1f,\n",
+                       eager.meanCnfClauses);
+        json += strfmt("    \"sliced_cnf_clauses_mean\": %.1f,\n",
+                       sliced.meanCnfClauses);
+        json += strfmt("    \"proof_speedup\": %.3f,\n",
+                       eager.proofSeconds / sliced.proofSeconds);
+        json += strfmt("    \"cnf_var_reduction\": %.3f,\n",
+                       eager.meanCnfVars / sliced.meanCnfVars);
+        json += strfmt("    \"models_identical\": %s\n",
+                       eager.model.print() == sliced.model.print()
+                           ? "true"
+                           : "false");
+        json += "  },\n";
         json += "  \"categories\": {\n";
         bool first = true;
         for (const auto &[cat, cs] : result.stats) {

@@ -124,6 +124,14 @@ PropCtx::watch(const std::string &name)
         if (existing == name)
             return;
     watched_.push_back(name);
+    // Trace extraction reads these wires after the solve; with
+    // demand-driven unrolling their cones must be in the CNF before
+    // solving, or wireValue would mint variables the model does not
+    // cover. Demanding here (not at extract time) keeps watch()
+    // the only contract a property needs.
+    nl::CellId cell = cellOf(name);
+    for (unsigned f = 0; f < bound_; f++)
+        unroller_.wire(f, cell);
 }
 
 Lit
@@ -173,6 +181,9 @@ checkProperty(const nl::Netlist &netlist,
     result.bound = bound;
 
     PropCtx ctx(netlist, signals, std::move(options), bound);
+    size_t vars_before = static_cast<size_t>(ctx.solver().numVars());
+    size_t clauses_before =
+        static_cast<size_t>(ctx.solver().numClauses());
     Lit bad = prop(ctx);
     ctx.solver().addClause(bad);
     ctx.solver().setConflictBudget(conflict_budget);
@@ -181,6 +192,9 @@ checkProperty(const nl::Netlist &netlist,
     result.seconds = timer.seconds();
     result.conflicts = ctx.solver().stats().conflicts;
     result.cnfVars = static_cast<size_t>(ctx.solver().numVars());
+    result.cnfClauses = static_cast<size_t>(ctx.solver().numClauses());
+    result.cnfVarsAdded = result.cnfVars - vars_before;
+    result.cnfClausesAdded = result.cnfClauses - clauses_before;
 
     switch (r) {
       case sat::Result::Unsat:

@@ -138,7 +138,16 @@ struct CheckResult
     double seconds = 0.0;
     unsigned bound = 0;
     uint64_t conflicts = 0;
+    /** Solver totals when the query finished (COI-sliced contexts stay
+     *  small; --full-unroll restores the whole-design footprint). */
     size_t cnfVars = 0;
+    size_t cnfClauses = 0;
+    /** What this query alone added to its (possibly shared) context. */
+    size_t cnfVarsAdded = 0;
+    size_t cnfClausesAdded = 0;
+    /** Static cone size when the query declared seeds (0 otherwise). */
+    size_t coiCells = 0;
+    size_t coiMems = 0;
     Trace trace; ///< populated when Refuted
 };
 

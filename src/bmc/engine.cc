@@ -75,8 +75,21 @@ Engine::enqueue(Query query)
 CheckResult
 Engine::runFresh(const Query &query)
 {
-    return checkProperty(nl_, signals_, options_, query.bound,
-                         query.prop, query.conflictBudget);
+    CheckResult result =
+        checkProperty(nl_, signals_, options_, query.bound, query.prop,
+                      query.conflictBudget);
+    fillCoiStats(query, result);
+    return result;
+}
+
+void
+Engine::fillCoiStats(const Query &query, CheckResult &result) const
+{
+    if (query.seeds.empty())
+        return;
+    nl::Coi coi = nl::computeCoi(nl_, query.seeds);
+    result.coiCells = coi.numCells();
+    result.coiMems = coi.numMems();
 }
 
 CheckResult
@@ -89,6 +102,8 @@ Engine::runIncremental(Worker &worker, const Query &query)
     PropCtx &ctx = worker.contextFor(*this, query.bound);
     sat::Solver &solver = ctx.solver();
     uint64_t conflicts_before = solver.stats().conflicts;
+    size_t vars_before = static_cast<size_t>(solver.numVars());
+    size_t clauses_before = static_cast<size_t>(solver.numClauses());
 
     ctx.beginQuery();
     Lit bad = query.prop(ctx);
@@ -99,6 +114,10 @@ Engine::runIncremental(Worker &worker, const Query &query)
     result.seconds = timer.seconds();
     result.conflicts = solver.stats().conflicts - conflicts_before;
     result.cnfVars = static_cast<size_t>(solver.numVars());
+    result.cnfClauses = static_cast<size_t>(solver.numClauses());
+    result.cnfVarsAdded = result.cnfVars - vars_before;
+    result.cnfClausesAdded = result.cnfClauses - clauses_before;
+    fillCoiStats(query, result);
     switch (r) {
       case sat::Result::Unsat:
         result.verdict = Verdict::Proven;
@@ -131,6 +150,10 @@ Engine::drain()
         for (size_t i = 0; i < batch.size(); i++)
             results[i] = runFresh(batch[i]);
         stats_.contexts += batch.size();
+        for (const CheckResult &r : results) {
+            stats_.cnfVarsAdded += r.cnfVarsAdded;
+            stats_.cnfClausesAdded += r.cnfClausesAdded;
+        }
         return results;
     }
 
@@ -162,6 +185,10 @@ Engine::drain()
     for (const auto &w : workers_)
         stats_.contexts += w->contexts_built;
     stats_.steals = pool_->steals();
+    for (const CheckResult &r : results) {
+        stats_.cnfVarsAdded += r.cnfVarsAdded;
+        stats_.cnfClausesAdded += r.cnfClausesAdded;
+    }
 
     for (size_t i = 0; i < batch.size(); i++)
         if (errors[i])

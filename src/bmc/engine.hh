@@ -31,6 +31,7 @@
 
 #include "bmc/checker.hh"
 #include "common/thread_pool.hh"
+#include "netlist/coi.hh"
 
 namespace r2u::bmc
 {
@@ -53,6 +54,15 @@ struct Query
     /** Conflict budget; kInheritBudget uses the engine default. */
     int64_t conflictBudget = kInheritBudget;
 
+    /**
+     * Seed state elements the property reads (optional). Demand-driven
+     * unrolling slices to the cone automatically; declaring the seeds
+     * up front additionally reports the static COI size (cells/mems)
+     * for this query through CheckResult, the analogue of JasperGold's
+     * "COI reduction" log line.
+     */
+    nl::CoiSeeds seeds;
+
     static constexpr int64_t kInheritBudget = INT64_MIN;
 };
 
@@ -62,6 +72,9 @@ struct EngineStats
     /** Incremental contexts built (== transition-relation unrolls). */
     uint64_t contexts = 0;
     uint64_t steals = 0;
+    /** Sum of per-query CNF growth across the batch(es). */
+    uint64_t cnfVarsAdded = 0;
+    uint64_t cnfClausesAdded = 0;
 };
 
 class Engine
@@ -98,6 +111,7 @@ class Engine
 
     CheckResult runIncremental(Worker &worker, const Query &query);
     CheckResult runFresh(const Query &query);
+    void fillCoiStats(const Query &query, CheckResult &result) const;
 
     const nl::Netlist &nl_;
     const std::unordered_map<std::string, nl::CellId> &signals_;

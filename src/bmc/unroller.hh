@@ -9,6 +9,17 @@
  * sim::Simulator. Initial state is either concrete (power-on values,
  * with selected memories made symbolic) or fully free (used by
  * induction-style reasoning).
+ *
+ * Construction is demand-driven by default: wire(frame, cell) builds
+ * only the transitive fan-in of the requested wire (per-cell memoized,
+ * registers chasing D/EN into the previous frame), and a memory array
+ * is materialized at a frame only when a read or a dependent write in
+ * the cone demands it. This is the cone-of-influence reduction the
+ * paper gets from JasperGold: a localized SVA only ever pays for the
+ * few state elements it mentions, not the whole design (see
+ * nl::computeCoi for the static characterization of what can be
+ * built). Options::fullUnroll restores the eager everything-at-every-
+ * frame behavior for differential testing.
  */
 
 #ifndef R2U_BMC_UNROLLER_HH
@@ -31,10 +42,24 @@ class Unroller
     {
         /** Concrete power-on state (vs fully symbolic initial state). */
         bool concreteInit = true;
+        /**
+         * Eagerly bit-blast every cell and every memory word at every
+         * frame (the pre-slicing behavior, exposed as --full-unroll).
+         * Verdicts are identical either way; only CNF size differs.
+         */
+        bool fullUnroll = false;
         /** Memories whose initial contents are symbolic regardless. */
         std::set<nl::MemId> symbolicMems;
         /** Concrete initial contents overriding the netlist defaults. */
         std::map<nl::MemId, std::vector<Bits>> memInit;
+    };
+
+    /** Construction-effort counters (what the laziness saved). */
+    struct Stats
+    {
+        uint64_t wiresBuilt = 0;     ///< (frame, cell) words built
+        uint64_t memArraysBuilt = 0; ///< (frame, mem) arrays built
+        uint64_t memWordsBuilt = 0;  ///< total words in those arrays
     };
 
     Unroller(const nl::Netlist &netlist, sat::CnfBuilder &cnf,
@@ -43,7 +68,10 @@ class Unroller
     sat::CnfBuilder &cnf() { return cnf_; }
     const nl::Netlist &netlist() const { return nl_; }
 
-    /** Build frames so that frames 0..n-1 exist. */
+    /**
+     * Make frames 0..n-1 addressable. Eager mode builds them fully;
+     * demand-driven mode only reserves the memo tables.
+     */
     void ensureFrames(unsigned n);
 
     unsigned frames() const
@@ -51,17 +79,48 @@ class Unroller
         return static_cast<unsigned>(wires_.size());
     }
 
-    /** CNF word for a wire at a frame. */
+    /** CNF word for a wire at a frame (builds its cone on demand). */
     const sat::Word &wire(unsigned frame, nl::CellId cell);
 
-    /** CNF word for one memory word at a frame. */
+    /** CNF word for one memory word at a frame (demands the array). */
     const sat::Word &memWord(unsigned frame, nl::MemId mem, unsigned addr);
 
-    /** After a Sat result: concrete value of a wire in the model. */
+    /**
+     * After a Sat result: concrete value of a wire in the model. The
+     * wire must have been demanded before the solve — a fresh demand
+     * here would mint variables the model does not cover.
+     */
     Bits wireValue(unsigned frame, nl::CellId cell);
 
+    /** Has this (frame, cell) wire been bit-blasted? */
+    bool wireMaterialized(unsigned frame, nl::CellId cell) const;
+
+    /** Has this (frame, mem) array been bit-blasted? */
+    bool memMaterialized(unsigned frame, nl::MemId mem) const;
+
+    /** Has any frame of this memory been bit-blasted? */
+    bool memEverMaterialized(nl::MemId mem) const;
+
+    const Stats &stats() const { return stats_; }
+
   private:
-    void buildFrame(unsigned f);
+    /** One pending (frame, cell-or-mem) construction task. */
+    struct DemandTask
+    {
+        unsigned frame;
+        int id; ///< CellId or MemId depending on isMem
+        bool isMem;
+        bool expanded;
+    };
+
+    void demand(unsigned frame, int id, bool is_mem);
+    void pushDeps(std::vector<DemandTask> &stack, const DemandTask &t);
+    void buildWire(unsigned f, nl::CellId id);
+    void buildMemArray(unsigned f, nl::MemId m);
+    void buildFrameEager(unsigned f);
+
+    /** Wrap an address to the memory's abits (power-of-two modulo). */
+    sat::Word normAddr(const sat::Word &addr, unsigned abits);
     sat::Word readMem(unsigned frame, nl::MemId mem,
                       const sat::Word &addr);
 
@@ -73,6 +132,11 @@ class Unroller
     std::vector<std::vector<sat::Word>> wires_;
     /** mems_[frame][mem][addr] — word contents at frame start. */
     std::vector<std::vector<std::vector<sat::Word>>> mems_;
+    /** mem_built_[frame][mem] — arrays memoized separately (a
+     *  memory's word vector being empty can't distinguish depth-0). */
+    std::vector<std::vector<char>> mem_built_;
+
+    Stats stats_;
 };
 
 } // namespace r2u::bmc

@@ -1,0 +1,82 @@
+#include "netlist/coi.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace r2u::nl
+{
+
+size_t
+Coi::numCells() const
+{
+    return std::count(cells.begin(), cells.end(), true);
+}
+
+size_t
+Coi::numMems() const
+{
+    return std::count(mems.begin(), mems.end(), true);
+}
+
+Coi
+computeCoi(const Netlist &nl, const CoiSeeds &seeds)
+{
+    Coi coi;
+    coi.cells.assign(nl.numCells(), false);
+    coi.mems.assign(nl.numMemories(), false);
+
+    // Worklist of cells whose drivers still need visiting. Memories
+    // are expanded inline when first marked: their write ports'
+    // address/data/enable inputs join the cone.
+    std::vector<CellId> work;
+
+    auto markMem = [&](MemId m) {
+        if (coi.mems[m])
+            return;
+        coi.mems[m] = true;
+        for (CellId port : nl.memory(m).writePorts) {
+            const Cell &w = nl.cell(port);
+            R2U_ASSERT(w.kind == CellKind::MemWrite,
+                       "write port %d is not a MemWrite", port);
+            for (CellId in : w.inputs)
+                work.push_back(in);
+        }
+    };
+
+    for (CellId c : seeds.cells)
+        work.push_back(c);
+    for (MemId m : seeds.mems)
+        markMem(m);
+
+    while (!work.empty()) {
+        CellId id = work.back();
+        work.pop_back();
+        if (coi.cells[id])
+            continue;
+        coi.cells[id] = true;
+
+        const Cell &c = nl.cell(id);
+        switch (c.kind) {
+          case CellKind::Const:
+          case CellKind::Input:
+            break;
+          case CellKind::MemWrite:
+            // Write ports have no output wire; they only appear in
+            // the cone via their array (handled in markMem).
+            panic("MemWrite cell %d reached as a driver", id);
+          case CellKind::MemRead:
+            work.push_back(c.inputs[0]); // address
+            markMem(c.mem);
+            break;
+          default:
+            // Dff (D, EN feed Q across the frame boundary) and every
+            // combinational kind: all inputs are drivers.
+            for (CellId in : c.inputs)
+                work.push_back(in);
+        }
+    }
+    return coi;
+}
+
+} // namespace r2u::nl

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Cone-of-influence analysis over a netlist.
+ *
+ * JasperGold's automatic COI reduction is what makes the paper's
+ * localized HBI hypotheses cheap to prove: each SVA only mentions a
+ * few state elements, so the tool strips the design down to their
+ * transitive fan-in before solving. This is our equivalent: backward
+ * reachability from a seed set of cells/memories, crossing register
+ * boundaries (a Dff's D and EN inputs drive its Q in the next frame)
+ * and treating memory write ports as drivers of their array. The
+ * result is the frame-union cone — exactly the set of cells and
+ * arrays a demand-driven unrolling of the seeds can ever materialize
+ * at any bound (bmc::Unroller's default mode builds precisely this).
+ */
+
+#ifndef R2U_NETLIST_COI_HH
+#define R2U_NETLIST_COI_HH
+
+#include <vector>
+
+#include "netlist/netlist.hh"
+
+namespace r2u::nl
+{
+
+/** Seed state for a cone-of-influence query. */
+struct CoiSeeds
+{
+    std::vector<CellId> cells;
+    std::vector<MemId> mems;
+
+    bool empty() const { return cells.empty() && mems.empty(); }
+};
+
+/** Transitive fan-in closure of a seed set. */
+struct Coi
+{
+    std::vector<bool> cells; ///< indexed by CellId, size numCells()
+    std::vector<bool> mems;  ///< indexed by MemId, size numMemories()
+
+    bool hasCell(CellId id) const { return cells[id]; }
+    bool hasMem(MemId id) const { return mems[id]; }
+
+    /** Number of cells / memories in the cone. */
+    size_t numCells() const;
+    size_t numMems() const;
+};
+
+/**
+ * Backward reachability from @p seeds over the driver relation:
+ * combinational cells pull in their inputs, Dffs pull in D and EN
+ * (previous frame), MemReads pull in their address and array, and an
+ * in-cone array pulls in the address/data/enable inputs of every one
+ * of its write ports (previous frame). MemWrite cells themselves have
+ * no output wire and are not part of the cone.
+ */
+Coi computeCoi(const Netlist &nl, const CoiSeeds &seeds);
+
+} // namespace r2u::nl
+
+#endif // R2U_NETLIST_COI_HH

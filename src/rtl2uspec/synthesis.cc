@@ -36,10 +36,12 @@ class Synthesizer
   public:
     Synthesizer(const vlog::ElabResult &design, const DesignMetadata &md,
                 const SynthesisOptions &opts)
-        : design_(design), md_(md), nl_(*design.netlist)
+        : design_(design), md_(md), nl_(*design.netlist),
+          full_unroll_(opts.fullUnroll)
     {
         R2U_ASSERT(!md.cores.empty() && !md.instrs.empty(),
                    "metadata needs cores and instruction types");
+        base_seeds_ = buildBaseSeeds();
         bmc::EngineOptions eopts;
         eopts.jobs = opts.jobs;
         eopts.conflictBudget = md_.conflictBudget;
@@ -64,11 +66,24 @@ class Synthesizer
         out_.proofSeconds = phase.seconds();
         out_.jobs = engine_->jobs();
         out_.unrollContexts = engine_->stats().contexts;
+        out_.fullUnroll = full_unroll_;
+        if (!out_.svas.empty()) {
+            double vars = 0, clauses = 0;
+            for (const SvaRecord &rec : out_.svas) {
+                vars += static_cast<double>(rec.cnfVars);
+                clauses += static_cast<double>(rec.cnfClauses);
+            }
+            out_.meanCnfVars = vars / out_.svas.size();
+            out_.meanCnfClauses = clauses / out_.svas.size();
+        }
         inform("rtl2uspec: %zu SVAs on %u worker(s), "
-               "%zu transition-relation unroll(s), %zu steal(s)",
+               "%zu transition-relation unroll(s), %zu steal(s), "
+               "%.0f CNF vars/query mean (%s)",
                out_.svas.size(), engine_->jobs(),
                static_cast<size_t>(engine_->stats().contexts),
-               static_cast<size_t>(engine_->stats().steals));
+               static_cast<size_t>(engine_->stats().steals),
+               out_.meanCnfVars,
+               full_unroll_ ? "full unroll" : "COI-sliced");
 
         phase.reset();
         buildInstrDfgs();
@@ -176,9 +191,65 @@ class Synthesizer
     unrollOptions() const
     {
         bmc::Unroller::Options opts;
+        opts.fullUnroll = full_unroll_;
         for (size_t m = 0; m < nl_.numMemories(); m++)
             opts.symbolicMems.insert(static_cast<nl::MemId>(m));
         return opts;
+    }
+
+    // ------------------------------------------------------------------
+    // COI seed declaration: the state elements each SVA reads, used
+    // for per-query cone-size reporting (the slicing itself happens
+    // automatically through demand-driven unrolling).
+    // ------------------------------------------------------------------
+    void
+    addSeed(nl::CoiSeeds &s, const std::string &name) const
+    {
+        nl::CellId cell = nl_.findByName(name);
+        if (cell != nl::kNoCell) {
+            s.cells.push_back(cell);
+            return;
+        }
+        nl::MemId mem = nl_.findMemoryByName(name);
+        if (mem >= 0)
+            s.mems.push_back(mem);
+    }
+
+    /** State every Fig. 4 template instance reads: reset, IFR + PCRs
+     *  (occupancy/binding), the request interface, and the grant. */
+    nl::CoiSeeds
+    buildBaseSeeds() const
+    {
+        nl::CoiSeeds s;
+        const CoreMeta &core = md_.cores[0];
+        addSeed(s, core.ifr);
+        for (const auto &p : core.pcrs)
+            addSeed(s, p);
+        addSeed(s, core.reqEn);
+        addSeed(s, core.reqWen);
+        addSeed(s, md_.remote.grant);
+        return s;
+    }
+
+    /** Write-enable inputs of an array's ports — what
+     *  arrayWriteEvents() actually demands (not the array itself). */
+    void
+    seedArrayWriteEns(nl::CoiSeeds &s, nl::MemId mem) const
+    {
+        for (nl::CellId port : nl_.memory(mem).writePorts)
+            s.cells.push_back(nl_.cell(port).inputs[2]);
+    }
+
+    nl::CoiSeeds
+    elemSeeds(const Elem &e) const
+    {
+        nl::CoiSeeds s;
+        if (e.kind == ElemKind::LocalArray ||
+            e.kind == ElemKind::RemoteArray)
+            seedArrayWriteEns(s, dfg_.node(e.node).mem);
+        else
+            s.cells.push_back(dfg_.node(e.node).reg);
+        return s;
     }
 
     /** Common per-SVA setup; returns the record index. */
@@ -204,11 +275,16 @@ class Synthesizer
      * short-lived locals by reference.
      */
     void
-    deferSva(size_t idx, bmc::PropertyFn prop)
+    deferSva(size_t idx, bmc::PropertyFn prop, nl::CoiSeeds extra = {})
     {
         bmc::Query q;
         q.name = out_.svas[idx].name;
         q.prop = std::move(prop);
+        q.seeds = base_seeds_;
+        q.seeds.cells.insert(q.seeds.cells.end(), extra.cells.begin(),
+                             extra.cells.end());
+        q.seeds.mems.insert(q.seeds.mems.end(), extra.mems.begin(),
+                            extra.mems.end());
         engine_->enqueue(std::move(q));
         pending_.push_back(idx);
     }
@@ -224,6 +300,11 @@ class Synthesizer
             SvaRecord &rec = out_.svas[pending_[q]];
             rec.verdict = results[q].verdict;
             rec.seconds = results[q].seconds;
+            rec.cnfVars = results[q].cnfVars;
+            rec.cnfClauses = results[q].cnfClauses;
+            rec.cnfVarsAdded = results[q].cnfVarsAdded;
+            rec.cnfClausesAdded = results[q].cnfClausesAdded;
+            rec.coiCells = results[q].coiCells;
             if (results[q].verdict == Verdict::Refuted)
                 rec.trace = results[q].trace.toString();
             debugLog("SVA %-28s %-12s %.3fs", rec.name.c_str(),
@@ -426,7 +507,7 @@ class Synthesizer
                             ctx, "0", static_cast<unsigned>(e.stage));
                         return sva::changeDuring(
                             ctx, occ, dfg_.node(e.node).reg);
-                    });
+                    }, elemSeeds(e));
                     hits.push_back({idx, &updated, {e.node}});
                     break;
                   }
@@ -446,7 +527,7 @@ class Synthesizer
                         EventVec wr =
                             localArrayWriteEvents(ctx, e, "0");
                         return sva::occurs(ctx, wr);
-                    });
+                    }, elemSeeds(e));
                     hits.push_back({idx, &updated, {e.node}});
                     break;
                   }
@@ -623,7 +704,8 @@ class Synthesizer
     void
     deferOrderSva(size_t idx, const InstrType *op0, const InstrType *op1,
                   std::function<EventVec(PropCtx &,
-                                         const std::string &)> events)
+                                         const std::string &)> events,
+                  nl::CoiSeeds extra = {})
     {
         deferSva(idx, [this, op0, op1,
                        events = std::move(events)](PropCtx &ctx) {
@@ -637,7 +719,7 @@ class Synthesizer
             ctx.assume(sva::occurs(ctx, ev_a));
             ctx.assume(sva::occurs(ctx, ev_b));
             return sva::notStrictlyBefore(ctx, ev_a, ev_b);
-        });
+        }, std::move(extra));
     }
 
     void
@@ -711,7 +793,8 @@ class Synthesizer
                                         const std::string &s) {
                             return localArrayWriteEvents(ctx, *regfile,
                                                          s);
-                        });
+                        },
+                        elemSeeds(*regfile));
                     regfile_idxs.push_back(idx);
                 }
             }
@@ -866,7 +949,7 @@ class Synthesizer
                                               ~tagged));
             }
             return bad;
-        });
+        }, pipeSeeds(false));
 
         // Req-Proc: a received write request is processed (committed
         // to the array) in the cycle it sits in the request register.
@@ -890,8 +973,20 @@ class Synthesizer
                                    ~commits[f]));
             }
             return bad;
-        });
+        }, pipeSeeds(true, mem));
         return plan;
+    }
+
+    /** Seeds for the Req-Rec / Req-Proc request-pipeline SVAs. */
+    nl::CoiSeeds
+    pipeSeeds(bool proc, nl::MemId commit_mem = -1) const
+    {
+        nl::CoiSeeds s;
+        addSeed(s, md_.remote.pipeValid);
+        addSeed(s, proc ? md_.remote.pipeWen : md_.remote.pipeCore);
+        if (commit_mem >= 0)
+            seedArrayWriteEns(s, commit_mem);
+        return s;
     }
 
     struct CrossPlan
@@ -933,7 +1028,8 @@ class Synthesizer
                 if (s == "0")
                     return localArrayWriteEvents(ctx, *regfile, s);
                 return shiftEvents(ctx, sentEvents(ctx, s, true));
-            });
+            },
+            elemSeeds(*regfile));
 
         // write-then-read: memory commit before regfile update.
         plan.writeRead = startSva(
@@ -949,7 +1045,8 @@ class Synthesizer
                 if (s == "0")
                     return shiftEvents(ctx, sentEvents(ctx, s, true));
                 return localArrayWriteEvents(ctx, *regfile, s);
-            });
+            },
+            elemSeeds(*regfile));
         return plan;
     }
 
@@ -992,7 +1089,8 @@ class Synthesizer
                 if (s == "0")
                     return shiftEvents(ctx, sentEvents(ctx, s, true));
                 return localArrayWriteEvents(ctx, *regfile, s);
-            });
+            },
+            elemSeeds(*regfile));
         return plan;
     }
 
@@ -1284,6 +1382,8 @@ class Synthesizer
             CategoryStats &cs = out_.stats[rec.category];
             cs.svas++;
             cs.seconds += rec.seconds;
+            cs.cnfVarsSum += rec.cnfVars;
+            cs.cnfClausesSum += rec.cnfClauses;
             int &hyp = rec.global ? cs.hypGlobal : cs.hypLocal;
             hyp += static_cast<int>(rec.hypotheses);
             if (rec.verdict == Verdict::Proven ||
@@ -1297,6 +1397,8 @@ class Synthesizer
     const vlog::ElabResult &design_;
     const DesignMetadata &md_;
     const nl::Netlist &nl_;
+    bool full_unroll_ = false;
+    nl::CoiSeeds base_seeds_;
     dfg::FullDesignDfg dfg_;
     dfg::StageLabels labels_;
     NodeId ifr_node_ = dfg::kNoNode;
@@ -1358,6 +1460,9 @@ SynthesisResult::report() const
                   "post-processing: %.3f s, total: %.3f s\n",
                   staticSeconds, proofSeconds, postSeconds,
                   totalSeconds);
+    out += strfmt("CNF per query (%s): %.0f vars / %.0f clauses mean\n",
+                  fullUnroll ? "full unroll" : "COI-sliced",
+                  meanCnfVars, meanCnfClauses);
     for (const auto &bug : bugs)
         out += bug + "\n";
     return out;

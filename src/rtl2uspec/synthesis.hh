@@ -35,6 +35,13 @@ struct SvaRecord
     unsigned hypotheses = 1; ///< element-granular hypotheses it covers
     bool global = false;     ///< involves remote/global state
     std::string trace;       ///< counterexample (when interesting)
+
+    /** Solver CNF footprint when this query finished (COI-sliced
+     *  unless fullUnroll) and what the query alone added. */
+    size_t cnfVars = 0, cnfClauses = 0;
+    size_t cnfVarsAdded = 0, cnfClausesAdded = 0;
+    /** Static cone-of-influence size (cells) of the declared seeds. */
+    size_t coiCells = 0;
 };
 
 struct CategoryStats
@@ -43,6 +50,8 @@ struct CategoryStats
     double seconds = 0.0;
     int hypLocal = 0, hypGlobal = 0;
     int hbiLocal = 0, hbiGlobal = 0;
+    /** Per-query CNF totals summed over the category's SVAs. */
+    uint64_t cnfVarsSum = 0, cnfClausesSum = 0;
 };
 
 /** Knobs for how the synthesis procedure runs (not what it computes). */
@@ -57,6 +66,13 @@ struct SynthesisOptions
      * way.
      */
     unsigned jobs = 0;
+    /**
+     * Disable cone-of-influence slicing: eagerly bit-blast the whole
+     * design at every frame of every unroll context (the pre-slicing
+     * behavior, exposed as --full-unroll). Verdicts and the emitted
+     * model are identical; only CNF sizes and runtime differ.
+     */
+    bool fullUnroll = false;
 };
 
 struct SynthesisResult
@@ -67,6 +83,11 @@ struct SynthesisResult
 
     /** Resolved SVA-evaluation worker count. */
     unsigned jobs = 1;
+    /** True when COI slicing was disabled for this run. */
+    bool fullUnroll = false;
+    /** Mean per-query solver CNF size across all SVAs. */
+    double meanCnfVars = 0.0;
+    double meanCnfClauses = 0.0;
     /**
      * Transition-relation unrolls built: one per SVA on the
      * sequential path, one per worker per bound on the parallel path.

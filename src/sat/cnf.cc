@@ -102,8 +102,46 @@ CnfBuilder::mkMux(Lit sel, Lit t, Lit f)
         return f;
     if (t == f)
         return t;
-    // sel ? t : f  ==  (sel & t) | (~sel & f)
-    return mkOr(mkAnd(sel, t), mkAnd(~sel, f));
+    if (t == ~f)
+        return mkXor(sel, f);
+    if (isTrue(t))
+        return mkOr(sel, f);
+    if (isFalse(t))
+        return mkAnd(~sel, f);
+    if (isTrue(f))
+        return mkOr(~sel, t);
+    if (isFalse(f))
+        return mkAnd(sel, t);
+    if (sel == t)
+        return mkOr(sel, f);
+    if (sel == ~t)
+        return mkAnd(~sel, f);
+    if (sel == f)
+        return mkAnd(sel, t);
+    if (sel == ~f)
+        return mkOr(~sel, t);
+
+    // Canonicalize the select polarity, then encode the mux as a
+    // single variable with six clauses (two redundant, for stronger
+    // unit propagation) instead of two ANDs and an OR.
+    if (sign(sel)) {
+        sel = ~sel;
+        std::swap(t, f);
+    }
+    auto key = std::array<int, 3>{sel.x, t.x, f.x};
+    auto it = mux_cache_.find(key);
+    if (it != mux_cache_.end())
+        return it->second;
+
+    Lit y = freshLit();
+    solver_.addClause({~sel, ~t, y});
+    solver_.addClause({~sel, t, ~y});
+    solver_.addClause({sel, ~f, y});
+    solver_.addClause({sel, f, ~y});
+    solver_.addClause({~t, ~f, y});
+    solver_.addClause({t, f, ~y});
+    mux_cache_.emplace(key, y);
+    return y;
 }
 
 Lit
@@ -122,6 +160,83 @@ CnfBuilder::mkOrN(const std::vector<Lit> &ls)
     for (Lit l : ls)
         acc = mkOr(acc, l);
     return acc;
+}
+
+Lit
+CnfBuilder::mkOrTree(std::vector<Lit> ls)
+{
+    if (ls.empty())
+        return falseLit();
+    while (ls.size() > 1) {
+        size_t out = 0;
+        for (size_t i = 0; i + 1 < ls.size(); i += 2)
+            ls[out++] = mkOr(ls[i], ls[i + 1]);
+        if (ls.size() & 1)
+            ls[out++] = ls.back();
+        ls.resize(out);
+    }
+    return ls[0];
+}
+
+std::vector<Lit>
+CnfBuilder::mkDecodeW(const Word &a)
+{
+    R2U_ASSERT(a.size() <= 24, "decode of a %zu-bit address", a.size());
+    std::vector<Lit> out{trueLit()};
+    for (Lit bit : a) {
+        size_t sz = out.size();
+        out.resize(2 * sz);
+        for (size_t i = 0; i < sz; i++) {
+            out[i + sz] = mkAnd(out[i], bit);
+            out[i] = mkAnd(out[i], ~bit);
+        }
+    }
+    return out;
+}
+
+Word
+CnfBuilder::mkSelectW(const std::vector<Lit> &onehot,
+                      const std::vector<Word> &words, unsigned width)
+{
+    R2U_ASSERT(words.size() <= onehot.size(),
+               "select of %zu words through a %zu-line decode",
+               words.size(), onehot.size());
+    // A constant-true line wins outright: exactly one line is true,
+    // so every other line must be constant-false.
+    for (size_t i = 0; i < onehot.size(); i++)
+        if (isTrue(onehot[i]))
+            return i < words.size() ? words[i] : constWord(width, 0);
+
+    Word out(width);
+    for (unsigned b = 0; b < width; b++) {
+        bool defined = false;
+        for (size_t i = 0; i < words.size() && !defined; i++)
+            defined = !isFalse(onehot[i]) && !isFalse(words[i][b]);
+        if (!defined) {
+            out[b] = falseLit();
+            continue;
+        }
+        // out[b] <-> OR_i (onehot[i] & words[i][b]). Because exactly
+        // one line is true, one implication pair per live line fully
+        // defines the output — no auxiliary and/or variables.
+        Lit y = freshLit();
+        for (size_t i = 0; i < onehot.size(); i++) {
+            Lit o = onehot[i];
+            if (isFalse(o))
+                continue;
+            Lit a = i < words.size() ? words[i][b] : falseLit();
+            if (isTrue(a)) {
+                solver_.addClause(~o, y);
+            } else if (isFalse(a)) {
+                solver_.addClause(~o, ~y);
+            } else {
+                solver_.addClause({~o, ~a, y});
+                solver_.addClause({~o, a, ~y});
+            }
+        }
+        out[b] = y;
+    }
+    return out;
 }
 
 Word

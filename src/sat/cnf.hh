@@ -14,6 +14,7 @@
 #ifndef R2U_SAT_CNF_HH
 #define R2U_SAT_CNF_HH
 
+#include <array>
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
@@ -53,6 +54,34 @@ class CnfBuilder
     Lit mkImplies(Lit a, Lit b) { return mkOr(~a, b); }
     Lit mkAndN(const std::vector<Lit> &ls);
     Lit mkOrN(const std::vector<Lit> &ls);
+
+    /**
+     * Balanced OR over a set of literals. Same function as mkOrN but
+     * tree-shaped (depth log n instead of n), the right shape for wide
+     * memory select terms.
+     */
+    Lit mkOrTree(std::vector<Lit> ls);
+
+    /**
+     * One-hot address decode: result[i] is true iff a == i, for all
+     * 2^|a| indices. Built by serial expansion (doubling the vector
+     * per address bit), so common prefixes are shared across the
+     * outputs — and, via the gate cache, across every decode of the
+     * same address word.
+     */
+    std::vector<Lit> mkDecodeW(const Word &a);
+
+    /**
+     * One-hot select: the word picked by the single true line of
+     * `onehot`, with lines beyond words.size() (and an all-false
+     * onehot) reading as zero. Precondition: exactly one line of
+     * `onehot` is true in every assignment — i.e. a complete
+     * mkDecodeW output. Clause-encoded: one fresh variable per output
+     * bit and two clauses per line, instead of a per-line AND/OR tree
+     * (~2x depth auxiliary variables per bit).
+     */
+    Word mkSelectW(const std::vector<Lit> &onehot,
+                   const std::vector<Word> &words, unsigned width);
 
     // --- word-level operations (operand widths must match) ---
     Word constWord(const Bits &value);
@@ -104,10 +133,25 @@ class CnfBuilder
         }
     };
 
+    struct TripleHash
+    {
+        size_t
+        operator()(const std::array<int, 3> &k) const
+        {
+            uint64_t h = 1469598103934665603ull;
+            for (int v : k) {
+                h ^= static_cast<uint32_t>(v);
+                h *= 1099511628211ull;
+            }
+            return static_cast<size_t>(h);
+        }
+    };
+
     Solver &solver_;
     Lit true_lit_;
     std::unordered_map<std::pair<int, int>, Lit, PairHash> and_cache_;
     std::unordered_map<std::pair<int, int>, Lit, PairHash> xor_cache_;
+    std::unordered_map<std::array<int, 3>, Lit, TripleHash> mux_cache_;
 };
 
 } // namespace r2u::sat

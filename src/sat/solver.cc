@@ -35,6 +35,7 @@ Solver::addClause(std::vector<Lit> lits)
     if (!ok_)
         return false;
     R2U_ASSERT(decisionLevel() == 0, "addClause above root level");
+    added_clauses_++;
 
     // Sort, dedup, drop false literals, detect tautologies/satisfied.
     std::sort(lits.begin(), lits.end());

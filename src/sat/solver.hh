@@ -84,6 +84,12 @@ class Solver
     int numVars() const { return static_cast<int>(assigns_.size()); }
 
     /**
+     * Problem clauses submitted via addClause (learnt clauses are not
+     * counted). Used by the BMC layer to report per-query CNF growth.
+     */
+    uint64_t numClauses() const { return added_clauses_; }
+
+    /**
      * Add a clause (disjunction of literals). Returns false if the
      * solver became trivially UNSAT (empty clause / conflicting units).
      */
@@ -192,6 +198,7 @@ class Solver
 
     int64_t conflict_budget_ = -1;
     int64_t conflicts_this_solve_ = 0;
+    uint64_t added_clauses_ = 0;
 
     SolverStats stats_;
 

@@ -174,13 +174,51 @@ formalConfig()
 }
 
 rtl2uspec::SynthesisResult
-synthesizeAt(unsigned jobs)
+synthesizeAt(unsigned jobs, bool full_unroll = false)
 {
     auto design = vscale::elaborateVscale(formalConfig());
     auto md = vscale::vscaleMetadata(formalConfig());
     rtl2uspec::SynthesisOptions opts;
     opts.jobs = jobs;
+    opts.fullUnroll = full_unroll;
     return rtl2uspec::synthesize(design, md, opts);
+}
+
+void
+expectSameSynthesis(const rtl2uspec::SynthesisResult &a,
+                    const rtl2uspec::SynthesisResult &b)
+{
+    // Same SVA records: names, categories, verdicts, hypothesis
+    // counts, and locality — in the same order.
+    ASSERT_EQ(a.svas.size(), b.svas.size());
+    for (size_t i = 0; i < a.svas.size(); i++) {
+        EXPECT_EQ(a.svas[i].name, b.svas[i].name) << "SVA " << i;
+        EXPECT_EQ(a.svas[i].category, b.svas[i].category)
+            << a.svas[i].name;
+        EXPECT_EQ(a.svas[i].verdict, b.svas[i].verdict)
+            << a.svas[i].name;
+        EXPECT_EQ(a.svas[i].hypotheses, b.svas[i].hypotheses)
+            << a.svas[i].name;
+        EXPECT_EQ(a.svas[i].global, b.svas[i].global) << a.svas[i].name;
+        EXPECT_EQ(a.svas[i].text, b.svas[i].text) << a.svas[i].name;
+    }
+
+    // Same hypothesis/HBI tallies per category.
+    ASSERT_EQ(a.stats.size(), b.stats.size());
+    for (const auto &[cat, sa] : a.stats) {
+        ASSERT_TRUE(b.stats.count(cat)) << cat;
+        const auto &sb = b.stats.at(cat);
+        EXPECT_EQ(sa.svas, sb.svas) << cat;
+        EXPECT_EQ(sa.hypLocal, sb.hypLocal) << cat;
+        EXPECT_EQ(sa.hypGlobal, sb.hypGlobal) << cat;
+        EXPECT_EQ(sa.hbiLocal, sb.hbiLocal) << cat;
+        EXPECT_EQ(sa.hbiGlobal, sb.hbiGlobal) << cat;
+    }
+
+    // Same per-instruction membership and identical emitted model.
+    EXPECT_EQ(a.instrNodes, b.instrNodes);
+    EXPECT_EQ(a.model.print(), b.model.print());
+    EXPECT_EQ(a.bugs.size(), b.bugs.size());
 }
 
 } // namespace
@@ -198,34 +236,25 @@ TEST(BmcEngine, VscaleParallelSynthesisMatchesSequential)
     EXPECT_GE(par.unrollContexts, 1u);
     EXPECT_LE(par.unrollContexts, 4u);
 
-    // Same SVA records: names, categories, verdicts, hypothesis
-    // counts, and locality — in the same order.
-    ASSERT_EQ(seq.svas.size(), par.svas.size());
-    for (size_t i = 0; i < seq.svas.size(); i++) {
-        const auto &a = seq.svas[i];
-        const auto &b = par.svas[i];
-        EXPECT_EQ(a.name, b.name) << "SVA " << i;
-        EXPECT_EQ(a.category, b.category) << a.name;
-        EXPECT_EQ(a.verdict, b.verdict) << a.name;
-        EXPECT_EQ(a.hypotheses, b.hypotheses) << a.name;
-        EXPECT_EQ(a.global, b.global) << a.name;
-        EXPECT_EQ(a.text, b.text) << a.name;
-    }
+    expectSameSynthesis(seq, par);
+}
 
-    // Same hypothesis/HBI tallies per category.
-    ASSERT_EQ(seq.stats.size(), par.stats.size());
-    for (const auto &[cat, a] : seq.stats) {
-        ASSERT_TRUE(par.stats.count(cat)) << cat;
-        const auto &b = par.stats.at(cat);
-        EXPECT_EQ(a.svas, b.svas) << cat;
-        EXPECT_EQ(a.hypLocal, b.hypLocal) << cat;
-        EXPECT_EQ(a.hypGlobal, b.hypGlobal) << cat;
-        EXPECT_EQ(a.hbiLocal, b.hbiLocal) << cat;
-        EXPECT_EQ(a.hbiGlobal, b.hbiGlobal) << cat;
-    }
+TEST(BmcEngine, VscaleSlicedMatchesFullUnroll)
+{
+    rtl2uspec::SynthesisResult sliced = synthesizeAt(4, false);
+    rtl2uspec::SynthesisResult eager = synthesizeAt(4, true);
 
-    // Same per-instruction membership and identical emitted model.
-    EXPECT_EQ(seq.instrNodes, par.instrNodes);
-    EXPECT_EQ(seq.model.print(), par.model.print());
-    EXPECT_EQ(seq.bugs.size(), par.bugs.size());
+    EXPECT_FALSE(sliced.fullUnroll);
+    EXPECT_TRUE(eager.fullUnroll);
+    expectSameSynthesis(sliced, eager);
+
+    // On the multi-V-scale every Fig. 4 template reads the PCRs, whose
+    // cone reaches most of the design through branch resolution and
+    // the shared-bus arbiter — so slicing trims but cannot collapse
+    // these queries. It must never lose: sliced CNFs stay no larger
+    // than the eager ones, and every query carries COI stats.
+    EXPECT_GT(sliced.meanCnfVars, 0.0);
+    EXPECT_LE(sliced.meanCnfVars, eager.meanCnfVars);
+    for (const auto &rec : sliced.svas)
+        EXPECT_GT(rec.coiCells, 0u) << rec.name;
 }

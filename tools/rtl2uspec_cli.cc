@@ -38,6 +38,9 @@ usage()
         "  --bound N       override the BMC bound from the metadata\n"
         "  --jobs N        SVA-evaluation workers (default: hardware\n"
         "                  concurrency; 1 = classic sequential path)\n"
+        "  --full-unroll   disable cone-of-influence slicing: bit-blast\n"
+        "                  the whole design per unroll (same verdicts,\n"
+        "                  bigger CNFs; for differential testing)\n"
         "  --quiet         suppress progress output\n");
 }
 
@@ -78,6 +81,8 @@ main(int argc, char **argv)
                 if (jobs < 1)
                     fatal("--jobs expects a positive worker count");
                 synth_opts.jobs = static_cast<unsigned>(jobs);
+            } else if (arg == "--full-unroll") {
+                synth_opts.fullUnroll = true;
             } else if (arg == "--report") {
                 report = true;
             } else if (arg == "--svas") {
@@ -140,10 +145,12 @@ main(int argc, char **argv)
             std::printf("%s\n", synth.report().c_str());
         if (list_svas) {
             for (const auto &sva : synth.svas)
-                std::printf("%-36s %-9s %-12s %8.3fs\n",
+                std::printf("%-36s %-9s %-12s %8.3fs "
+                            "%8zu vars %8zu cls %6zu coi\n",
                             sva.name.c_str(), sva.category.c_str(),
                             bmc::verdictName(sva.verdict),
-                            sva.seconds);
+                            sva.seconds, sva.cnfVars, sva.cnfClauses,
+                            sva.coiCells);
         }
         if (!dfg_dir.empty()) {
             writeFile(dfg_dir + "/full_design_dfg.dot",
