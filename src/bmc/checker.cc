@@ -20,6 +20,49 @@ verdictName(Verdict verdict)
     return "?";
 }
 
+const char *
+verdictSourceName(VerdictSource source)
+{
+    switch (source) {
+      case VerdictSource::Solve: return "solve";
+      case VerdictSource::Retry: return "retry";
+      case VerdictSource::ConflictBudget: return "conflict-budget";
+      case VerdictSource::PropagationBudget:
+        return "propagation-budget";
+      case VerdictSource::QueryDeadline: return "query-deadline";
+      case VerdictSource::TotalDeadline: return "total-deadline";
+      case VerdictSource::Cancelled: return "cancelled";
+      case VerdictSource::Interrupted: return "interrupted";
+    }
+    return "?";
+}
+
+void
+applyLimits(sat::Solver &solver, const SolveLimits &limits)
+{
+    solver.setConflictBudget(limits.conflicts);
+    solver.setPropagationBudget(limits.propagations);
+    solver.setDeadline(limits.seconds);
+    solver.setExternalInterrupt(limits.cancel);
+}
+
+VerdictSource
+sourceFromStop(sat::StopReason reason)
+{
+    switch (reason) {
+      case sat::StopReason::None: return VerdictSource::Solve;
+      case sat::StopReason::ConflictBudget:
+        return VerdictSource::ConflictBudget;
+      case sat::StopReason::PropagationBudget:
+        return VerdictSource::PropagationBudget;
+      case sat::StopReason::Deadline:
+        return VerdictSource::QueryDeadline;
+      case sat::StopReason::Interrupt:
+        return VerdictSource::Interrupted;
+    }
+    return VerdictSource::Solve;
+}
+
 std::string
 Trace::toString() const
 {
@@ -176,6 +219,18 @@ checkProperty(const nl::Netlist &netlist,
               Unroller::Options options, unsigned bound,
               const PropertyFn &prop, int64_t conflict_budget)
 {
+    SolveLimits limits;
+    limits.conflicts = conflict_budget;
+    return checkProperty(netlist, signals, std::move(options), bound,
+                         prop, limits);
+}
+
+CheckResult
+checkProperty(const nl::Netlist &netlist,
+              const std::unordered_map<std::string, nl::CellId> &signals,
+              Unroller::Options options, unsigned bound,
+              const PropertyFn &prop, const SolveLimits &limits)
+{
     Timer timer;
     CheckResult result;
     result.bound = bound;
@@ -186,11 +241,12 @@ checkProperty(const nl::Netlist &netlist,
         static_cast<size_t>(ctx.solver().numClauses());
     Lit bad = prop(ctx);
     ctx.solver().addClause(bad);
-    ctx.solver().setConflictBudget(conflict_budget);
+    applyLimits(ctx.solver(), limits);
 
     sat::Result r = ctx.solver().solve();
     result.seconds = timer.seconds();
     result.conflicts = ctx.solver().stats().conflicts;
+    result.propagations = ctx.solver().stats().propagations;
     result.cnfVars = static_cast<size_t>(ctx.solver().numVars());
     result.cnfClauses = static_cast<size_t>(ctx.solver().numClauses());
     result.cnfVarsAdded = result.cnfVars - vars_before;
@@ -199,12 +255,15 @@ checkProperty(const nl::Netlist &netlist,
     switch (r) {
       case sat::Result::Unsat:
         result.verdict = Verdict::Proven;
+        result.source = VerdictSource::Solve;
         break;
       case sat::Result::Unknown:
         result.verdict = Verdict::Unknown;
+        result.source = sourceFromStop(ctx.solver().stopReason());
         break;
       case sat::Result::Sat:
         result.verdict = Verdict::Refuted;
+        result.source = VerdictSource::Solve;
         result.trace = extractTrace(ctx);
         break;
     }

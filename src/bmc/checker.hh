@@ -15,6 +15,7 @@
 #ifndef R2U_BMC_CHECKER_HH
 #define R2U_BMC_CHECKER_HH
 
+#include <atomic>
 #include <functional>
 #include <map>
 #include <string>
@@ -29,6 +30,39 @@ namespace r2u::bmc
 enum class Verdict { Proven, Refuted, Unknown };
 
 const char *verdictName(Verdict verdict);
+
+/**
+ * How a query's final verdict came about — in particular, *why* an
+ * Unknown is Unknown (which budget or deadline bit). Definite verdicts
+ * are Solve (first attempt) or Retry (a budget-escalation retry
+ * resolved an earlier Unknown).
+ */
+enum class VerdictSource : uint8_t {
+    Solve,             ///< definite verdict on the first attempt
+    Retry,             ///< definite verdict on an escalated retry
+    ConflictBudget,    ///< Unknown: conflict budget exhausted
+    PropagationBudget, ///< Unknown: propagation budget exhausted
+    QueryDeadline,     ///< Unknown: per-query deadline passed
+    TotalDeadline,     ///< Unknown: batch/total deadline passed mid-solve
+    Cancelled,         ///< Unknown: never solved (cancelled while queued)
+    Interrupted,       ///< Unknown: asynchronous interrupt mid-solve
+};
+
+const char *verdictSourceName(VerdictSource source);
+
+/**
+ * Resource limits for one solve. Defaults impose nothing; the BMC
+ * engine layers per-query deadlines, retry escalation, and a shared
+ * cancellation flag on top of these.
+ */
+struct SolveLimits
+{
+    int64_t conflicts = -1;    ///< conflict budget (<0: unlimited)
+    int64_t propagations = -1; ///< propagation budget (<0: unlimited)
+    double seconds = -1.0;     ///< wall-clock deadline (<0: none)
+    /** Optional shared stop flag polled during the solve. */
+    const std::atomic<bool> *cancel = nullptr;
+};
 
 struct TraceStep
 {
@@ -135,9 +169,14 @@ class PropCtx
 struct CheckResult
 {
     Verdict verdict = Verdict::Unknown;
+    /** Why the verdict is what it is (budget class for Unknowns). */
+    VerdictSource source = VerdictSource::Solve;
     double seconds = 0.0;
     unsigned bound = 0;
     uint64_t conflicts = 0;
+    uint64_t propagations = 0;
+    /** Escalated re-solves this query needed (engine retry policy). */
+    unsigned retries = 0;
     /** Solver totals when the query finished (COI-sliced contexts stay
      *  small; --full-unroll restores the whole-design footprint). */
     size_t cnfVars = 0;
@@ -179,6 +218,28 @@ CheckResult checkProperty(
     const std::unordered_map<std::string, nl::CellId> &signals,
     Unroller::Options options, unsigned bound, const PropertyFn &prop,
     int64_t conflict_budget = -1);
+
+/**
+ * Check one property under full solve limits (budgets, deadline,
+ * shared cancellation flag). Any exhausted limit yields
+ * Verdict::Unknown with the limit recorded in CheckResult::source.
+ */
+CheckResult checkProperty(
+    const nl::Netlist &netlist,
+    const std::unordered_map<std::string, nl::CellId> &signals,
+    Unroller::Options options, unsigned bound, const PropertyFn &prop,
+    const SolveLimits &limits);
+
+/** Apply limits to a solver ahead of one solve() call. */
+void applyLimits(sat::Solver &solver, const SolveLimits &limits);
+
+/**
+ * Map the solver's stop reason onto a verdict source. The solver
+ * cannot tell a per-query deadline from a clamped total deadline or a
+ * user interrupt from a batch cancellation — callers that know refine
+ * Deadline/Interrupt afterwards.
+ */
+VerdictSource sourceFromStop(sat::StopReason reason);
 
 struct InductiveResult
 {

@@ -1,5 +1,6 @@
 #include "bmc/engine.hh"
 
+#include <algorithm>
 #include <exception>
 #include <map>
 #include <thread>
@@ -52,10 +53,18 @@ Engine::Engine(const nl::Netlist &netlist,
                Unroller::Options options, unsigned bound,
                EngineOptions engine_options)
     : nl_(netlist), signals_(signals), options_(std::move(options)),
-      bound_(bound), default_budget_(engine_options.conflictBudget),
+      bound_(bound), eopts_(engine_options),
       jobs_(resolveJobs(engine_options.jobs))
 {
     R2U_ASSERT(bound_ > 0, "engine needs a positive default bound");
+    if (eopts_.totalSeconds >= 0) {
+        has_total_deadline_ = true;
+        total_deadline_ =
+            std::chrono::steady_clock::now() +
+            std::chrono::duration_cast<
+                std::chrono::steady_clock::duration>(
+                std::chrono::duration<double>(eopts_.totalSeconds));
+    }
 }
 
 Engine::~Engine() = default;
@@ -67,17 +76,152 @@ Engine::enqueue(Query query)
     if (query.bound == 0)
         query.bound = bound_;
     if (query.conflictBudget == Query::kInheritBudget)
-        query.conflictBudget = default_budget_;
+        query.conflictBudget = eopts_.conflictBudget;
     batch_.push_back(std::move(query));
     return batch_.size() - 1;
 }
 
+double
+Engine::escFactor(unsigned attempt) const
+{
+    if (eopts_.retryEscalation <= 1.0)
+        return 1.0;
+    double f = 1.0;
+    for (unsigned i = 0; i < attempt; i++)
+        f *= eopts_.retryEscalation;
+    return f;
+}
+
+bool
+Engine::attemptLimits(const Query &query, unsigned attempt,
+                      SolveLimits &limits, bool &total_binding) const
+{
+    total_binding = false;
+    if (cancel_.load(std::memory_order_relaxed))
+        return false;
+
+    limits = SolveLimits{};
+    limits.cancel = &cancel_;
+    double esc = escFactor(attempt);
+
+    // Attempt 0 uses the configured budgets verbatim (a budget of 0 is
+    // a legal "give up immediately"); retries escalate from at least 1
+    // so a multiplied budget can never stay stuck at 0.
+    if (query.conflictBudget >= 0) {
+        int64_t base = std::max<int64_t>(query.conflictBudget, 1);
+        limits.conflicts =
+            attempt == 0 ? query.conflictBudget
+                         : static_cast<int64_t>(
+                               static_cast<double>(base) * esc);
+    }
+    if (eopts_.propagationBudget >= 0) {
+        int64_t base = std::max<int64_t>(eopts_.propagationBudget, 1);
+        limits.propagations =
+            attempt == 0 ? eopts_.propagationBudget
+                         : static_cast<int64_t>(
+                               static_cast<double>(base) * esc);
+    }
+
+    double query_deadline = -1.0;
+    if (eopts_.querySeconds >= 0)
+        query_deadline = eopts_.querySeconds * esc;
+
+    if (has_total_deadline_) {
+        double remaining =
+            std::chrono::duration<double>(
+                total_deadline_ - std::chrono::steady_clock::now())
+                .count();
+        if (remaining <= 0)
+            return false;
+        if (query_deadline < 0 || remaining < query_deadline) {
+            query_deadline = remaining;
+            total_binding = true;
+        }
+    }
+    limits.seconds = query_deadline;
+    return true;
+}
+
+bool
+Engine::shouldRetry(const CheckResult &result, unsigned attempt) const
+{
+    if (result.verdict != Verdict::Unknown)
+        return false;
+    if (eopts_.retryEscalation <= 1.0 || attempt >= eopts_.maxRetries)
+        return false;
+    switch (result.source) {
+      case VerdictSource::ConflictBudget:
+      case VerdictSource::PropagationBudget:
+      case VerdictSource::QueryDeadline:
+        return true;
+      default:
+        // TotalDeadline / Cancelled / Interrupted: more budget will
+        // not help (or the user asked us to stop).
+        return false;
+    }
+}
+
+namespace
+{
+
+/** A query that was never solved (cancelled while queued). */
+CheckResult
+cancelledResult(unsigned bound)
+{
+    CheckResult result;
+    result.bound = bound;
+    result.verdict = Verdict::Unknown;
+    result.source = VerdictSource::Cancelled;
+    return result;
+}
+
+/**
+ * Rewrite the checker-level verdict source with engine knowledge:
+ * a solver deadline that was really the clamped total deadline, and
+ * definite verdicts reached only through retries.
+ */
+void
+refineSource(CheckResult &result, bool total_binding)
+{
+    if (result.verdict == Verdict::Unknown) {
+        if (result.source == VerdictSource::QueryDeadline &&
+            total_binding)
+            result.source = VerdictSource::TotalDeadline;
+    } else if (result.retries > 0) {
+        result.source = VerdictSource::Retry;
+    }
+}
+
+} // namespace
+
 CheckResult
 Engine::runFresh(const Query &query)
 {
-    CheckResult result =
-        checkProperty(nl_, signals_, options_, query.bound, query.prop,
-                      query.conflictBudget);
+    CheckResult result;
+    unsigned attempt = 0;
+    while (true) {
+        SolveLimits limits;
+        bool total_binding = false;
+        if (!attemptLimits(query, attempt, limits, total_binding)) {
+            if (attempt == 0)
+                result = cancelledResult(query.bound);
+            // else: keep the last attempt's honest Unknown.
+            break;
+        }
+        CheckResult r = checkProperty(nl_, signals_, options_,
+                                      query.bound, query.prop, limits);
+        if (attempt > 0) {
+            r.seconds += result.seconds;
+            r.conflicts += result.conflicts;
+            r.propagations += result.propagations;
+        }
+        result = std::move(r);
+        result.retries = attempt;
+        refineSource(result, total_binding);
+        if (!shouldRetry(result, attempt))
+            break;
+        attempt++;
+    }
     fillCoiStats(query, result);
     return result;
 }
@@ -99,37 +243,64 @@ Engine::runIncremental(Worker &worker, const Query &query)
     CheckResult result;
     result.bound = query.bound;
 
+    SolveLimits limits;
+    bool total_binding = false;
+    if (!attemptLimits(query, 0, limits, total_binding)) {
+        result = cancelledResult(query.bound);
+        fillCoiStats(query, result);
+        return result;
+    }
+
     PropCtx &ctx = worker.contextFor(*this, query.bound);
     sat::Solver &solver = ctx.solver();
     uint64_t conflicts_before = solver.stats().conflicts;
+    uint64_t props_before = solver.stats().propagations;
     size_t vars_before = static_cast<size_t>(solver.numVars());
     size_t clauses_before = static_cast<size_t>(solver.numClauses());
 
     ctx.beginQuery();
     Lit bad = query.prop(ctx);
     ctx.assume(bad); // guarded assertion of the violation
-    solver.setConflictBudget(query.conflictBudget);
-    sat::Result r = solver.solve({ctx.activation()});
+
+    // Attempt/retry loop on the shared context: a retry just re-solves
+    // with bigger limits — the learnt clauses from the failed attempt
+    // carry over, so escalation resumes rather than restarts the work.
+    unsigned attempt = 0;
+    while (true) {
+        applyLimits(solver, limits);
+        sat::Result r = solver.solve({ctx.activation()});
+        switch (r) {
+          case sat::Result::Unsat:
+            result.verdict = Verdict::Proven;
+            result.source = VerdictSource::Solve;
+            break;
+          case sat::Result::Unknown:
+            result.verdict = Verdict::Unknown;
+            result.source = sourceFromStop(solver.stopReason());
+            break;
+          case sat::Result::Sat:
+            result.verdict = Verdict::Refuted;
+            result.source = VerdictSource::Solve;
+            result.trace = extractTrace(ctx);
+            break;
+        }
+        result.retries = attempt;
+        refineSource(result, total_binding);
+        if (!shouldRetry(result, attempt))
+            break;
+        attempt++;
+        if (!attemptLimits(query, attempt, limits, total_binding))
+            break; // keep the last attempt's honest Unknown
+    }
 
     result.seconds = timer.seconds();
     result.conflicts = solver.stats().conflicts - conflicts_before;
+    result.propagations = solver.stats().propagations - props_before;
     result.cnfVars = static_cast<size_t>(solver.numVars());
     result.cnfClauses = static_cast<size_t>(solver.numClauses());
     result.cnfVarsAdded = result.cnfVars - vars_before;
     result.cnfClausesAdded = result.cnfClauses - clauses_before;
     fillCoiStats(query, result);
-    switch (r) {
-      case sat::Result::Unsat:
-        result.verdict = Verdict::Proven;
-        break;
-      case sat::Result::Unknown:
-        result.verdict = Verdict::Unknown;
-        break;
-      case sat::Result::Sat:
-        result.verdict = Verdict::Refuted;
-        result.trace = extractTrace(ctx);
-        break;
-    }
     ctx.endQuery();
     return result;
 }
@@ -153,6 +324,9 @@ Engine::drain()
         for (const CheckResult &r : results) {
             stats_.cnfVarsAdded += r.cnfVarsAdded;
             stats_.cnfClausesAdded += r.cnfClausesAdded;
+            stats_.retries += r.retries;
+            if (r.verdict == Verdict::Unknown)
+                stats_.unknowns++;
         }
         return results;
     }
@@ -188,6 +362,9 @@ Engine::drain()
     for (const CheckResult &r : results) {
         stats_.cnfVarsAdded += r.cnfVarsAdded;
         stats_.cnfClausesAdded += r.cnfClausesAdded;
+        stats_.retries += r.retries;
+        if (r.verdict == Verdict::Unknown)
+            stats_.unknowns++;
     }
 
     for (size_t i = 0; i < batch.size(); i++)

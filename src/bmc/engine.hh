@@ -26,6 +26,8 @@
 #ifndef R2U_BMC_ENGINE_HH
 #define R2U_BMC_ENGINE_HH
 
+#include <atomic>
+#include <chrono>
 #include <memory>
 #include <string>
 
@@ -42,6 +44,29 @@ struct EngineOptions
     unsigned jobs = 0;
     /** Default solver conflict budget per query (<0: unlimited). */
     int64_t conflictBudget = -1;
+    /** Solver propagation budget per query (<0: unlimited). */
+    int64_t propagationBudget = -1;
+    /** Per-query wall-clock deadline in seconds (<0: none). */
+    double querySeconds = -1.0;
+    /**
+     * Total wall-clock deadline in seconds, measured from Engine
+     * construction so it spans every drain() of a synthesis run
+     * (<0: none). When it passes, in-flight solves stop (their
+     * per-solve deadline is clamped to the remaining total) and
+     * still-queued queries come back Cancelled.
+     */
+    double totalSeconds = -1.0;
+    /**
+     * Retry-with-escalating-budget policy: when > 1, a query that
+     * comes back Unknown from its conflict/propagation budget or its
+     * per-query deadline is re-solved with every budget multiplied by
+     * this factor per retry (cheap first pass, escalate the
+     * stragglers). <= 1 disables retries. TotalDeadline, Cancelled,
+     * and Interrupted Unknowns are never retried.
+     */
+    double retryEscalation = 0.0;
+    /** Maximum escalated retries per query. */
+    unsigned maxRetries = 3;
 };
 
 /** One property query in a batch. */
@@ -75,6 +100,10 @@ struct EngineStats
     /** Sum of per-query CNF growth across the batch(es). */
     uint64_t cnfVarsAdded = 0;
     uint64_t cnfClausesAdded = 0;
+    /** Escalated re-solves across the batch(es). */
+    uint64_t retries = 0;
+    /** Queries whose final verdict stayed Unknown. */
+    uint64_t unknowns = 0;
 };
 
 class Engine
@@ -93,6 +122,24 @@ class Engine
     unsigned jobs() const { return jobs_; }
 
     const EngineStats &stats() const { return stats_; }
+
+    /**
+     * Asynchronously stop the engine: in-flight solves return Unknown
+     * (Interrupted) at their next stop check and still-queued queries
+     * come back Cancelled. Safe to call from any thread; sticky until
+     * clearInterrupt().
+     */
+    void interrupt() { cancel_.store(true, std::memory_order_relaxed); }
+
+    void clearInterrupt()
+    {
+        cancel_.store(false, std::memory_order_relaxed);
+    }
+
+    bool interrupted() const
+    {
+        return cancel_.load(std::memory_order_relaxed);
+    }
 
     /** Add a query to the pending batch; returns its batch index. */
     size_t enqueue(Query query);
@@ -113,12 +160,32 @@ class Engine
     CheckResult runFresh(const Query &query);
     void fillCoiStats(const Query &query, CheckResult &result) const;
 
+    /** retryEscalation^attempt (1.0 when escalation is disabled). */
+    double escFactor(unsigned attempt) const;
+
+    /**
+     * Compute the solve limits for one attempt of a query. Returns
+     * false when the query must not be solved at all (engine
+     * interrupted, or the total deadline already passed);
+     * @p total_binding reports whether the clamped total deadline —
+     * rather than the per-query one — is the effective deadline.
+     */
+    bool attemptLimits(const Query &query, unsigned attempt,
+                       SolveLimits &limits, bool &total_binding) const;
+
+    /** Retry policy: escalate this Unknown? (see EngineOptions). */
+    bool shouldRetry(const CheckResult &result, unsigned attempt) const;
+
     const nl::Netlist &nl_;
     const std::unordered_map<std::string, nl::CellId> &signals_;
     Unroller::Options options_;
     unsigned bound_;
-    int64_t default_budget_;
+    EngineOptions eopts_;
     unsigned jobs_;
+
+    std::atomic<bool> cancel_{false};
+    bool has_total_deadline_ = false;
+    std::chrono::steady_clock::time_point total_deadline_;
 
     std::vector<Query> batch_;
     std::vector<std::unique_ptr<Worker>> workers_;

@@ -1,5 +1,7 @@
 #include "common/thread_pool.hh"
 
+#include <utility>
+
 #include "common/logging.hh"
 
 namespace r2u
@@ -19,7 +21,12 @@ ThreadPool::ThreadPool(unsigned workers)
 
 ThreadPool::~ThreadPool()
 {
-    wait();
+    try {
+        wait();
+    } catch (...) {
+        // A task exception nobody collected via wait(); dropping it is
+        // the best a destructor can do.
+    }
     {
         std::lock_guard<std::mutex> lock(mutex_);
         stop_ = true;
@@ -52,6 +59,11 @@ ThreadPool::wait()
 {
     std::unique_lock<std::mutex> lock(mutex_);
     idle_cv_.wait(lock, [this] { return pending_ == 0; });
+    if (first_error_) {
+        std::exception_ptr err = std::exchange(first_error_, nullptr);
+        lock.unlock();
+        std::rethrow_exception(err);
+    }
 }
 
 bool
@@ -67,15 +79,18 @@ ThreadPool::tryPop(unsigned self, Task &out)
             return true;
         }
     }
-    // Steal the oldest task from someone else.
-    for (unsigned i = 1; i < workers(); i++) {
-        WorkerQueue &q = *queues_[(self + i) % workers()];
+    // Steal the oldest task from someone else. Count via queues_ (not
+    // workers()): threads_ is still growing in the constructor while
+    // early workers already run, but queues_ is complete before the
+    // first thread starts.
+    const unsigned n = static_cast<unsigned>(queues_.size());
+    for (unsigned i = 1; i < n; i++) {
+        WorkerQueue &q = *queues_[(self + i) % n];
         std::lock_guard<std::mutex> lock(q.mutex);
         if (!q.tasks.empty()) {
             out = std::move(q.tasks.front());
             q.tasks.pop_front();
-            std::lock_guard<std::mutex> slock(mutex_);
-            steals_++;
+            steals_.fetch_add(1, std::memory_order_relaxed);
             return true;
         }
     }
@@ -88,8 +103,15 @@ ThreadPool::workerMain(unsigned self)
     while (true) {
         Task task;
         if (tryPop(self, task)) {
-            task(self);
+            std::exception_ptr err;
+            try {
+                task(self);
+            } catch (...) {
+                err = std::current_exception();
+            }
             std::lock_guard<std::mutex> lock(mutex_);
+            if (err && !first_error_)
+                first_error_ = err;
             if (--pending_ == 0)
                 idle_cv_.notify_all();
             continue;

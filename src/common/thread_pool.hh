@@ -17,8 +17,10 @@
 #ifndef R2U_COMMON_THREAD_POOL_HH
 #define R2U_COMMON_THREAD_POOL_HH
 
+#include <atomic>
 #include <condition_variable>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -53,11 +55,17 @@ class ThreadPool
     /**
      * Block until every task submitted so far has finished. Tasks may
      * be submitted again afterwards; the pool stays alive.
+     *
+     * If any task threw, the first captured exception is rethrown here
+     * (after all tasks have settled) and the pool is left reusable.
      */
     void wait();
 
     /** Number of times an idle worker stole from another's queue. */
-    uint64_t steals() const { return steals_; }
+    uint64_t steals() const
+    {
+        return steals_.load(std::memory_order_relaxed);
+    }
 
   private:
     struct WorkerQueue
@@ -72,13 +80,14 @@ class ThreadPool
     std::vector<std::unique_ptr<WorkerQueue>> queues_;
     std::vector<std::thread> threads_;
 
-    std::mutex mutex_; ///< guards pending_/stop_ and the two cvs
+    std::mutex mutex_; ///< guards pending_/stop_/first_error_ and the cvs
     std::condition_variable work_cv_; ///< signaled on submit/stop
     std::condition_variable idle_cv_; ///< signaled when pending_ hits 0
     size_t pending_ = 0; ///< submitted but not yet finished
     bool stop_ = false;
     unsigned next_queue_ = 0; ///< round-robin submission cursor
-    uint64_t steals_ = 0;
+    std::exception_ptr first_error_; ///< first task exception, for wait()
+    std::atomic<uint64_t> steals_{0};
 };
 
 } // namespace r2u

@@ -44,7 +44,15 @@ class Synthesizer
         base_seeds_ = buildBaseSeeds();
         bmc::EngineOptions eopts;
         eopts.jobs = opts.jobs;
-        eopts.conflictBudget = md_.conflictBudget;
+        eopts.conflictBudget =
+            opts.conflictBudget == SynthesisOptions::kInheritBudget
+                ? md_.conflictBudget
+                : opts.conflictBudget;
+        eopts.propagationBudget = opts.propagationBudget;
+        eopts.querySeconds = opts.queryTimeoutSeconds;
+        eopts.totalSeconds = opts.totalTimeoutSeconds;
+        eopts.retryEscalation = opts.retryEscalation;
+        eopts.maxRetries = opts.maxRetries;
         engine_ = std::make_unique<bmc::Engine>(
             nl_, design_.signalMap, unrollOptions(), md_.bound, eopts);
     }
@@ -299,14 +307,25 @@ class Synthesizer
         for (size_t q = 0; q < results.size(); q++) {
             SvaRecord &rec = out_.svas[pending_[q]];
             rec.verdict = results[q].verdict;
+            rec.source = results[q].source;
             rec.seconds = results[q].seconds;
+            rec.conflicts = results[q].conflicts;
+            rec.propagations = results[q].propagations;
+            rec.retries = results[q].retries;
             rec.cnfVars = results[q].cnfVars;
             rec.cnfClauses = results[q].cnfClauses;
             rec.cnfVarsAdded = results[q].cnfVarsAdded;
             rec.cnfClausesAdded = results[q].cnfClausesAdded;
             rec.coiCells = results[q].coiCells;
-            if (results[q].verdict == Verdict::Refuted)
+            switch (results[q].verdict) {
+              case Verdict::Refuted:
                 rec.trace = results[q].trace.toString();
+                break;
+              case Verdict::Proven:
+                break;
+              case Verdict::Unknown:
+                break;
+            }
             debugLog("SVA %-28s %-12s %.3fs", rec.name.c_str(),
                      bmc::verdictName(rec.verdict), rec.seconds);
         }
@@ -317,6 +336,74 @@ class Synthesizer
     verdictOf(size_t idx) const
     {
         return out_.svas[idx].verdict;
+    }
+
+    // ------------------------------------------------------------------
+    // Three-valued verdict consumption. Every consumer below uses an
+    // enumerator-exhaustive switch: the test suite rejects any Verdict
+    // enumerator mention in this file that is not a `case` label, so
+    // an Unknown can never silently act as Proven or Refuted again.
+    // ------------------------------------------------------------------
+
+    /**
+     * Record that an Unknown verdict forced a conservative synthesis
+     * choice. The note lands in the SVA record, the run summary, and
+     * (via mergeAndEmit) the printed model.
+     */
+    void
+    degrade(size_t idx, const std::string &note)
+    {
+        SvaRecord &rec = out_.svas[idx];
+        rec.degraded = true;
+        rec.degradeNote = note;
+        out_.degraded.push_back(rec.name + ": " + note);
+        warn("rtl2uspec: SVA %s undetermined (%s); %s",
+             rec.name.c_str(), bmc::verdictSourceName(rec.source),
+             note.c_str());
+    }
+
+    /**
+     * Membership-style consumer: Refuted means "the event happens"
+     * (e.g. the op updates the element). Unknown degrades to "does
+     * not happen" — the element stays out of the instruction's node
+     * set, so the model gets *fewer* path edges and stays an
+     * over-approximation of the hardware (weaker, hence sound).
+     */
+    bool
+    eventHappens(size_t idx, const std::string &note)
+    {
+        switch (verdictOf(idx)) {
+          case Verdict::Refuted:
+            return true;
+          case Verdict::Proven:
+            return false;
+          case Verdict::Unknown:
+            degrade(idx, note);
+            return false;
+        }
+        return false;
+    }
+
+    /**
+     * Ordering-style consumer: Proven means the ordering holds and
+     * its axiom may be emitted. Unknown degrades to "unordered" — the
+     * axiom is omitted, so the model permits *more* interleavings
+     * than the hardware exhibits (weaker, hence sound).
+     */
+    bool
+    orderingProven(size_t idx)
+    {
+        switch (verdictOf(idx)) {
+          case Verdict::Proven:
+            return true;
+          case Verdict::Refuted:
+            return false;
+          case Verdict::Unknown:
+            degrade(idx, "ordering undetermined; axiom omitted "
+                         "(weaker model: fewer hb edges)");
+            return false;
+        }
+        return false;
     }
 
     /**
@@ -451,6 +538,7 @@ class Synthesizer
             size_t idx; ///< SVA record index
             std::set<NodeId> *updated;
             std::vector<NodeId> nodes;
+            std::string op; ///< instruction type, for degradation tags
         };
         std::vector<MembershipHit> hits;
 
@@ -478,7 +566,8 @@ class Synthesizer
                     return sva::eventDuring(ctx, occ0,
                                             grantEvents(ctx, false));
                 });
-                hits.push_back({idx, &updated, std::move(remote_nodes)});
+                hits.push_back(
+                    {idx, &updated, std::move(remote_nodes), op.name});
             }
 
             for (const Elem &e : elems_) {
@@ -508,7 +597,7 @@ class Synthesizer
                         return sva::changeDuring(
                             ctx, occ, dfg_.node(e.node).reg);
                     }, elemSeeds(e));
-                    hits.push_back({idx, &updated, {e.node}});
+                    hits.push_back({idx, &updated, {e.node}, op.name});
                     break;
                   }
                   case ElemKind::LocalArray: {
@@ -528,7 +617,7 @@ class Synthesizer
                             localArrayWriteEvents(ctx, e, "0");
                         return sva::occurs(ctx, wr);
                     }, elemSeeds(e));
-                    hits.push_back({idx, &updated, {e.node}});
+                    hits.push_back({idx, &updated, {e.node}, op.name});
                     break;
                   }
                   case ElemKind::RemoteArray: {
@@ -547,7 +636,7 @@ class Synthesizer
                         return sva::occurs(
                             ctx, sentEvents(ctx, "0", true));
                     });
-                    hits.push_back({idx, &updated, {e.node}});
+                    hits.push_back({idx, &updated, {e.node}, op.name});
                     break;
                   }
                   case ElemKind::RemoteReg:
@@ -558,10 +647,15 @@ class Synthesizer
 
         flushSvas();
         for (const MembershipHit &hit : hits) {
-            if (verdictOf(hit.idx) != Verdict::Refuted)
-                continue;
-            for (NodeId n : hit.nodes)
-                hit.updated->insert(n);
+            if (eventHappens(hit.idx,
+                             "membership undetermined; element(s) "
+                             "excluded from the instruction's node set "
+                             "(weaker model: fewer path edges)")) {
+                for (NodeId n : hit.nodes)
+                    hit.updated->insert(n);
+            } else if (out_.svas[hit.idx].degraded) {
+                degraded_ops_.insert(hit.op);
+            }
         }
     }
 
@@ -608,9 +702,20 @@ class Synthesizer
         }
         flushSvas();
         for (const Pending &p : pendings) {
-            if (verdictOf(p.idx) != Verdict::Proven) {
+            switch (verdictOf(p.idx)) {
+              case Verdict::Proven:
+                break;
+              case Verdict::Refuted:
                 warn("progress SVA for %s stage %u not proven",
                      p.op->name.c_str(), p.stage);
+                break;
+              case Verdict::Unknown:
+                degrade(p.idx,
+                        strfmt("progress for %s stage %u "
+                               "undetermined; treated as unproven "
+                               "(diagnostic only, no model impact)",
+                               p.op->name.c_str(), p.stage));
+                break;
             }
         }
     }
@@ -678,7 +783,12 @@ class Synthesizer
         }
         flushSvas();
         for (const Check &chk : checks) {
-            if (verdictOf(chk.idx) == Verdict::Refuted) {
+            if (eventHappens(chk.idx,
+                             strfmt("attribution check %s "
+                                    "undetermined; cannot certify "
+                                    "absence of the §6.1 bug class "
+                                    "(not reported as a bug)",
+                                    chk.name))) {
                 out_.bugs.push_back(strfmt(
                     "DESIGN BUG (paper §6.1 class): %s refuted — an "
                     "instruction that does not decode to a declared "
@@ -816,8 +926,7 @@ class Synthesizer
         for (StagePlan &plan : plans) {
             if (!plan.relaxed)
                 continue;
-            bool proven =
-                verdictOf(plan.relaxedIdx) == Verdict::Proven;
+            bool proven = orderingProven(plan.relaxedIdx);
             stage_ordered_[plan.stage] = proven;
             if (!proven)
                 plan.fallback = deferFallbackStage(plan.stage);
@@ -833,21 +942,23 @@ class Synthesizer
                 continue;
             bool all_proven = true;
             for (size_t idx : plan.fallback)
-                all_proven &= verdictOf(idx) == Verdict::Proven;
+                all_proven &= orderingProven(idx);
             stage_ordered_[plan.stage] = all_proven;
         }
         for (size_t idx : regfile_idxs)
-            regfile_ordered_ = verdictOf(idx) == Verdict::Proven;
-        remote_chain_proven_ =
-            verdictOf(remote.snd) == Verdict::Proven &&
-            verdictOf(remote.rec) == Verdict::Proven &&
-            verdictOf(remote.proc) == Verdict::Proven;
+            regfile_ordered_ = orderingProven(idx);
+        // No && short-circuit: every undetermined link in the chain
+        // must record its own degradation.
+        bool snd_ok = orderingProven(remote.snd);
+        bool rec_ok = orderingProven(remote.rec);
+        bool proc_ok = orderingProven(remote.proc);
+        remote_chain_proven_ = snd_ok && rec_ok && proc_ok;
         if (cross.active) {
-            t_read_write_ = verdictOf(cross.readWrite) == Verdict::Proven;
-            t_write_read_ = verdictOf(cross.writeRead) == Verdict::Proven;
+            t_read_write_ = orderingProven(cross.readWrite);
+            t_write_read_ = orderingProven(cross.writeRead);
         }
         if (dflow.active)
-            dataflow_proven_ = verdictOf(dflow.idx) == Verdict::Proven;
+            dataflow_proven_ = orderingProven(dflow.idx);
     }
 
     unsigned
@@ -1240,8 +1351,16 @@ class Synthesizer
                 list.push_back(es);
             }
             ax.edgeAlternatives = {list};
+            if (degraded_ops_.count(op.name)) {
+                ax.note = "degraded: one or more membership proofs "
+                          "undetermined; node set (and these path "
+                          "edges) may be incomplete";
+            }
             if (!list.empty())
                 m.axioms.push_back(std::move(ax));
+            else if (!ax.note.empty())
+                m.notes.push_back(op.name + "_path omitted: " +
+                                  ax.note);
             hbis_ += static_cast<int>(list.size());
         }
 
@@ -1373,6 +1492,13 @@ class Synthesizer
                 hbis_++;
             }
         }
+
+        // Every degradation an Unknown verdict forced is tagged in
+        // the emitted model itself (parser-skipped `%` notes), so a
+        // consumer of the .uarch file sees that — and why — the model
+        // is weaker than a full proof run would make it.
+        for (const std::string &note : out_.degraded)
+            m.notes.push_back("degraded: " + note);
     }
 
     void
@@ -1386,11 +1512,31 @@ class Synthesizer
             cs.cnfClausesSum += rec.cnfClauses;
             int &hyp = rec.global ? cs.hypGlobal : cs.hypLocal;
             hyp += static_cast<int>(rec.hypotheses);
-            if (rec.verdict == Verdict::Proven ||
-                rec.category == "intra") {
+            // Intra (membership) SVAs tally their hypotheses as
+            // examined HBIs regardless of verdict, matching the
+            // paper's Fig. 5 accounting; other categories count only
+            // proven orderings. Unknowns never count as proven.
+            bool counts = rec.category == "intra";
+            switch (rec.verdict) {
+              case Verdict::Proven:
+                counts = true;
+                break;
+              case Verdict::Refuted:
+                break;
+              case Verdict::Unknown:
+                out_.unknownSvas++;
+                break;
+            }
+            if (counts) {
                 int &hbi = rec.global ? cs.hbiGlobal : cs.hbiLocal;
                 hbi += static_cast<int>(rec.hypotheses);
             }
+        }
+        if (out_.unknownSvas > 0) {
+            inform("rtl2uspec: %zu SVA(s) undetermined, %zu "
+                   "conservative degradation(s) recorded",
+                   static_cast<size_t>(out_.unknownSvas),
+                   out_.degraded.size());
         }
     }
 
@@ -1404,6 +1550,8 @@ class Synthesizer
     NodeId ifr_node_ = dfg::kNoNode;
     std::vector<Elem> elems_;
     std::map<std::string, std::set<NodeId>> updated_;
+    /** Instruction types with an undetermined membership proof. */
+    std::set<std::string> degraded_ops_;
     std::vector<dfg::InstrDfg> instr_dfgs_;
     std::map<NodeId, int> row_of_;
     std::map<int, std::vector<int>> per_element_rows_;
@@ -1463,8 +1611,89 @@ SynthesisResult::report() const
     out += strfmt("CNF per query (%s): %.0f vars / %.0f clauses mean\n",
                   fullUnroll ? "full unroll" : "COI-sliced",
                   meanCnfVars, meanCnfClauses);
+    if (unknownSvas > 0) {
+        out += strfmt("undetermined SVAs: %zu (model degraded "
+                      "conservatively; see notes below)\n",
+                      static_cast<size_t>(unknownSvas));
+        for (const auto &note : degraded)
+            out += "  degraded: " + note + "\n";
+    }
     for (const auto &bug : bugs)
         out += bug + "\n";
+    return out;
+}
+
+namespace
+{
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                out += strfmt("\\u%04x", c);
+            else
+                out += c;
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+SynthesisResult::jsonReport() const
+{
+    std::string out = "{\n";
+    out += strfmt("  \"jobs\": %u,\n", jobs);
+    out += strfmt("  \"full_unroll\": %s,\n",
+                  fullUnroll ? "true" : "false");
+    out += strfmt("  \"sva_count\": %zu,\n", svas.size());
+    out += strfmt("  \"unknown_svas\": %zu,\n",
+                  static_cast<size_t>(unknownSvas));
+    out += strfmt("  \"bug_count\": %zu,\n", bugs.size());
+    out += strfmt(
+        "  \"timings\": {\"static_s\": %.6f, \"proof_s\": %.6f, "
+        "\"post_s\": %.6f, \"total_s\": %.6f},\n",
+        staticSeconds, proofSeconds, postSeconds, totalSeconds);
+    out += "  \"degraded\": [";
+    for (size_t i = 0; i < degraded.size(); i++) {
+        out += i ? ", " : "";
+        out += "\"" + jsonEscape(degraded[i]) + "\"";
+    }
+    out += "],\n";
+    out += "  \"svas\": [\n";
+    for (size_t i = 0; i < svas.size(); i++) {
+        const SvaRecord &r = svas[i];
+        out += strfmt(
+            "    {\"name\": \"%s\", \"category\": \"%s\", "
+            "\"verdict\": \"%s\", \"source\": \"%s\", "
+            "\"retries\": %u, \"seconds\": %.6f, "
+            "\"conflicts\": %zu, \"propagations\": %zu, "
+            "\"cnf_vars\": %zu, \"cnf_clauses\": %zu, "
+            "\"degraded\": %s%s%s%s}%s\n",
+            jsonEscape(r.name).c_str(), r.category.c_str(),
+            bmc::verdictName(r.verdict),
+            bmc::verdictSourceName(r.source), r.retries, r.seconds,
+            static_cast<size_t>(r.conflicts),
+            static_cast<size_t>(r.propagations), r.cnfVars,
+            r.cnfClauses, r.degraded ? "true" : "false",
+            r.degraded ? ", \"degrade_note\": \"" : "",
+            r.degraded ? jsonEscape(r.degradeNote).c_str() : "",
+            r.degraded ? "\"" : "",
+            i + 1 < svas.size() ? "," : "");
+    }
+    out += "  ]\n";
+    out += "}\n";
     return out;
 }
 

@@ -11,6 +11,7 @@
 #ifndef R2U_RTL2USPEC_SYNTHESIS_HH
 #define R2U_RTL2USPEC_SYNTHESIS_HH
 
+#include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
@@ -31,7 +32,19 @@ struct SvaRecord
     std::string category; ///< "intra", "spatial", "temporal", "dataflow"
     std::string text;     ///< SVA-style rendering (Fig. 4 flavor)
     bmc::Verdict verdict = bmc::Verdict::Unknown;
+    /** How the verdict came about (which budget/deadline, retries). */
+    bmc::VerdictSource source = bmc::VerdictSource::Solve;
     double seconds = 0.0;
+    uint64_t conflicts = 0;
+    uint64_t propagations = 0;
+    /** Escalated re-solves this SVA needed (engine retry policy). */
+    unsigned retries = 0;
+    /**
+     * True when this SVA's Unknown verdict forced a conservative
+     * (weaker-model) synthesis choice; degradeNote says which.
+     */
+    bool degraded = false;
+    std::string degradeNote;
     unsigned hypotheses = 1; ///< element-granular hypotheses it covers
     bool global = false;     ///< involves remote/global state
     std::string trace;       ///< counterexample (when interesting)
@@ -73,6 +86,28 @@ struct SynthesisOptions
      * model are identical; only CNF sizes and runtime differ.
      */
     bool fullUnroll = false;
+
+    /**
+     * Per-SVA solver conflict budget; kInheritBudget defers to the
+     * design metadata's conflictBudget, <0 is unlimited. Exhaustion
+     * yields Unknown verdicts that degrade the model conservatively.
+     */
+    int64_t conflictBudget = kInheritBudget;
+    /** Per-SVA solver propagation budget (<0: unlimited). */
+    int64_t propagationBudget = -1;
+    /** Per-SVA wall-clock deadline in seconds (<0: none). */
+    double queryTimeoutSeconds = -1.0;
+    /** Whole-run wall-clock deadline in seconds (<0: none). */
+    double totalTimeoutSeconds = -1.0;
+    /**
+     * Retry-with-escalating-budget factor (>1 enables; see
+     * bmc::EngineOptions::retryEscalation).
+     */
+    double retryEscalation = 0.0;
+    /** Maximum escalated retries per SVA. */
+    unsigned maxRetries = 3;
+
+    static constexpr int64_t kInheritBudget = INT64_MIN;
 };
 
 struct SynthesisResult
@@ -97,6 +132,15 @@ struct SynthesisResult
     /** Design bugs found (attribution checks refuted, paper §6.1). */
     std::vector<std::string> bugs;
 
+    /** SVAs whose final verdict stayed Unknown. */
+    uint64_t unknownSvas = 0;
+    /**
+     * Human-readable record of every conservative degradation an
+     * Unknown verdict forced (one entry per degraded SVA; also
+     * emitted as `%` notes in the printed model).
+     */
+    std::vector<std::string> degraded;
+
     /** Per-instruction node membership (element names). */
     std::map<std::string, std::vector<std::string>> instrNodes;
 
@@ -111,6 +155,13 @@ struct SynthesisResult
 
     /** Fig. 5-style table. */
     std::string report() const;
+
+    /**
+     * Structured run report (JSON): per-SVA verdict, verdict source,
+     * retries, CNF size, solve time; plus run-level unknown/degraded
+     * accounting. Schema documented in EXPERIMENTS.md.
+     */
+    std::string jsonReport() const;
 };
 
 /** Run the full synthesis procedure. */

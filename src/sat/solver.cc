@@ -7,6 +7,19 @@
 namespace r2u::sat
 {
 
+const char *
+stopReasonName(StopReason reason)
+{
+    switch (reason) {
+      case StopReason::None: return "none";
+      case StopReason::ConflictBudget: return "conflict-budget";
+      case StopReason::PropagationBudget: return "propagation-budget";
+      case StopReason::Deadline: return "deadline";
+      case StopReason::Interrupt: return "interrupt";
+    }
+    return "?";
+}
+
 Solver::Solver()
 {
     watches_.clear();
@@ -94,6 +107,7 @@ Solver::propagate()
     while (qhead_ < trail_.size()) {
         Lit p = trail_[qhead_++];
         stats_.propagations++;
+        propagations_this_solve_++;
         std::vector<Watcher> &ws = watches_[p.x];
         size_t i = 0, j = 0;
         while (i < ws.size()) {
@@ -474,8 +488,9 @@ Solver::search(int64_t conflicts_before_restart)
                 stats_.restarts++;
                 return Result::Unknown;
             }
-            if (conflict_budget_ >= 0 &&
-                conflicts_this_solve_ >= conflict_budget_) {
+            StopReason stop = stopCheck();
+            if (stop != StopReason::None) {
+                stop_reason_ = stop;
                 cancelUntil(0);
                 return Result::Unknown;
             }
@@ -515,6 +530,28 @@ Solver::search(int64_t conflicts_before_restart)
     }
 }
 
+StopReason
+Solver::stopCheck()
+{
+    if (interrupt_.load(std::memory_order_relaxed) ||
+        (ext_interrupt_ &&
+         ext_interrupt_->load(std::memory_order_relaxed)))
+        return StopReason::Interrupt;
+    if (conflict_budget_ >= 0 &&
+        conflicts_this_solve_ >= conflict_budget_)
+        return StopReason::ConflictBudget;
+    if (propagation_budget_ >= 0 &&
+        propagations_this_solve_ >= propagation_budget_)
+        return StopReason::PropagationBudget;
+    if (has_deadline_ && --stop_check_countdown_ <= 0) {
+        constexpr int kStopCheckInterval = 256;
+        stop_check_countdown_ = kStopCheckInterval;
+        if (std::chrono::steady_clock::now() >= deadline_point_)
+            return StopReason::Deadline;
+    }
+    return StopReason::None;
+}
+
 Result
 Solver::solve(const std::vector<Lit> &assumptions)
 {
@@ -523,10 +560,21 @@ Solver::solve(const std::vector<Lit> &assumptions)
     // must not leave a stale (satisfying-looking) assignment around
     // for modelValue() to read.
     model_.clear();
+    stop_reason_ = StopReason::None;
     if (!ok_)
         return Result::Unsat;
     assumptions_ = assumptions;
     conflicts_this_solve_ = 0;
+    propagations_this_solve_ = 0;
+    has_deadline_ = deadline_seconds_ >= 0.0;
+    if (has_deadline_) {
+        deadline_point_ =
+            std::chrono::steady_clock::now() +
+            std::chrono::duration_cast<
+                std::chrono::steady_clock::duration>(
+                std::chrono::duration<double>(deadline_seconds_));
+    }
+    stop_check_countdown_ = 1; // read the clock on the first check
     max_learnts_ = std::max<double>(
         static_cast<double>(clauses_.size()) / 3.0, 1000.0);
 
@@ -534,8 +582,8 @@ Solver::solve(const std::vector<Lit> &assumptions)
     int64_t restart = 0;
     while (status == Result::Unknown) {
         status = search(luby(restart++) * 100);
-        if (status == Result::Unknown && conflict_budget_ >= 0 &&
-            conflicts_this_solve_ >= conflict_budget_)
+        if (status == Result::Unknown &&
+            stop_reason_ != StopReason::None)
             break;
     }
     cancelUntil(0);

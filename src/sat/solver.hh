@@ -11,11 +11,20 @@
  * with an indexed max-heap, phase saving, first-UIP conflict analysis
  * with local clause minimization, Luby restarts, learnt-clause database
  * reduction, and solving under assumptions (used for incremental BMC).
+ *
+ * A solve() can be bounded by a conflict budget, a propagation budget,
+ * and a wall-clock deadline (checked periodically), and stopped
+ * asynchronously from another thread via interrupt() or a shared
+ * external flag — the machinery behind the BMC layer's per-query and
+ * total timeouts. Every early exit returns Result::Unknown and records
+ * why in stopReason().
  */
 
 #ifndef R2U_SAT_SOLVER_HH
 #define R2U_SAT_SOLVER_HH
 
+#include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -61,6 +70,17 @@ operator^(LBool v, bool neg)
 }
 
 enum class Result { Sat, Unsat, Unknown };
+
+/** Why a solve() gave up with Result::Unknown (None otherwise). */
+enum class StopReason : uint8_t {
+    None,              ///< ran to completion (Sat or Unsat)
+    ConflictBudget,    ///< conflict budget exhausted
+    PropagationBudget, ///< propagation budget exhausted
+    Deadline,          ///< wall-clock deadline passed
+    Interrupt,         ///< interrupt() or the external flag fired
+};
+
+const char *stopReasonName(StopReason reason);
 
 /** Aggregate search statistics, exposed for benches and logging. */
 struct SolverStats
@@ -118,6 +138,44 @@ class Solver
     /** Limit total conflicts for one solve() call; <0 means no limit. */
     void setConflictBudget(int64_t budget) { conflict_budget_ = budget; }
 
+    /** Limit total propagations for one solve(); <0 means no limit. */
+    void setPropagationBudget(int64_t budget)
+    {
+        propagation_budget_ = budget;
+    }
+
+    /**
+     * Wall-clock deadline for one solve(), in seconds from the start
+     * of the call; <0 disables. Checked periodically during search,
+     * so a solve may overshoot by a small amount of work.
+     */
+    void setDeadline(double seconds) { deadline_seconds_ = seconds; }
+
+    /**
+     * Request an asynchronous stop of the current (or next) solve().
+     * Safe to call from another thread; sticky until clearInterrupt().
+     */
+    void interrupt() { interrupt_.store(true, std::memory_order_relaxed); }
+
+    void clearInterrupt()
+    {
+        interrupt_.store(false, std::memory_order_relaxed);
+    }
+
+    /**
+     * Register a shared stop flag polled alongside the solver's own
+     * interrupt bit — one flag can stop a whole fleet of solvers (the
+     * BMC engine's total-timeout / drain cancellation). The pointee
+     * must outlive the solver or be cleared with nullptr.
+     */
+    void setExternalInterrupt(const std::atomic<bool> *flag)
+    {
+        ext_interrupt_ = flag;
+    }
+
+    /** Why the last solve() returned Unknown (None if it completed). */
+    StopReason stopReason() const { return stop_reason_; }
+
     const SolverStats &stats() const { return stats_; }
 
     bool okay() const { return ok_; }
@@ -165,6 +223,14 @@ class Solver
 
     static int64_t luby(int64_t x);
 
+    /**
+     * Poll every stop condition. The deadline clock is only read every
+     * kStopCheckInterval calls (steady_clock::now() is too expensive
+     * for every search iteration); the interrupt flags and budgets are
+     * checked on every call.
+     */
+    StopReason stopCheck();
+
     // --- state ---
     bool ok_ = true;
     std::vector<Clause> clauses_;
@@ -198,6 +264,15 @@ class Solver
 
     int64_t conflict_budget_ = -1;
     int64_t conflicts_this_solve_ = 0;
+    int64_t propagation_budget_ = -1;
+    int64_t propagations_this_solve_ = 0;
+    double deadline_seconds_ = -1.0;
+    bool has_deadline_ = false;
+    std::chrono::steady_clock::time_point deadline_point_;
+    int stop_check_countdown_ = 0;
+    std::atomic<bool> interrupt_{false};
+    const std::atomic<bool> *ext_interrupt_ = nullptr;
+    StopReason stop_reason_ = StopReason::None;
     uint64_t added_clauses_ = 0;
 
     SolverStats stats_;

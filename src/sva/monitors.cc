@@ -58,8 +58,8 @@ assumeBinding(bmc::PropCtx &ctx, const EventVec &occ,
 }
 
 void
-assumeEncoding(bmc::PropCtx &ctx, const sat::Word &rigid, uint32_t mask,
-               uint32_t match)
+assumeEncoding(bmc::PropCtx &ctx, const sat::Word &rigid, uint64_t mask,
+               uint64_t match)
 {
     R2U_ASSERT(rigid.size() <= 64, "encoding rigid too wide");
     for (size_t b = 0; b < rigid.size(); b++) {

@@ -47,9 +47,12 @@ void assumeOneInterval(bmc::PropCtx &ctx, const EventVec &ev);
 void assumeBinding(bmc::PropCtx &ctx, const EventVec &occ,
                    const std::string &signal, const sat::Word &rigid);
 
-/** Assume (rigid & mask) == match (P3). */
+/**
+ * Assume (rigid & mask) == match (P3). The mask/match words are 64-bit
+ * so encodings wider than 32 bits index every rigid bit defined-ly.
+ */
 void assumeEncoding(bmc::PropCtx &ctx, const sat::Word &rigid,
-                    uint32_t mask, uint32_t match);
+                    uint64_t mask, uint64_t match);
 
 /**
  * A0 violation: some frame f >= 1 where the stage is occupied and the

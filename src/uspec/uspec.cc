@@ -77,9 +77,13 @@ Model::print() const
         out += "MemoryAccessStage \"" + memAccessStage + "\".\n";
     if (!memStage.empty())
         out += "MemoryStage \"" + memStage + "\".\n";
+    for (const std::string &note : notes)
+        out += "% " + note + "\n";
     out += "\n";
     for (const Axiom &ax : axioms) {
         out += "Axiom \"" + ax.name + "\":\n";
+        if (!ax.note.empty())
+            out += "% " + ax.note + "\n";
         out += "forall " +
                std::string(ax.microops.size() == 1 ? "microop"
                                                    : "microops");

@@ -73,6 +73,14 @@ struct Axiom
      */
     std::vector<std::vector<EdgeSpec>> edgeAlternatives;
 
+    /**
+     * Free-form annotation printed as a `%` comment line under the
+     * axiom header (e.g. "degraded: ... undetermined"). Comments are
+     * skipped by the parser, so notes do not survive a round-trip;
+     * an empty note prints nothing (bit-identical output).
+     */
+    std::string note;
+
     bool isEitherOrdering() const { return edgeAlternatives.size() > 1; }
 };
 
@@ -90,6 +98,14 @@ struct Model
     std::string memAccessStage;
     /** Name of the shared-memory array row (may be empty). */
     std::string memStage;
+
+    /**
+     * Model-level annotations printed as `%` comment lines after the
+     * stage declarations (e.g. axioms omitted because their ordering
+     * proof came back undetermined). Parser-skipped; empty prints
+     * nothing.
+     */
+    std::vector<std::string> notes;
 
     /** Location id of a stage name; -1 if absent. */
     int locOf(const std::string &stage) const;

@@ -10,7 +10,9 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <random>
+#include <thread>
 
 #include "bmc/engine.hh"
 #include "random_netlist.hh"
@@ -239,6 +241,177 @@ TEST(BmcEngine, VscaleParallelSynthesisMatchesSequential)
     expectSameSynthesis(seq, par);
 }
 
+namespace
+{
+
+/**
+ * A query whose CNF is a pigeonhole instance over rigid bits —
+ * independent of the design, UNSAT (Proven), and deterministically
+ * hard, so budgets/deadlines/interrupts fire without timing luck.
+ */
+bmc::Query
+pigeonholeQuery(const std::string &name, int pigeons, int holes)
+{
+    bmc::Query q;
+    q.name = name;
+    q.prop = [pigeons, holes](bmc::PropCtx &ctx) {
+        auto &cnf = ctx.cnf();
+        std::vector<std::vector<sat::Lit>> p(pigeons);
+        for (int i = 0; i < pigeons; i++)
+            for (int j = 0; j < holes; j++)
+                p[i].push_back(ctx.rigid("p_" + std::to_string(i) +
+                                             "_" + std::to_string(j),
+                                         1)[0]);
+        for (int i = 0; i < pigeons; i++) {
+            sat::Lit any = cnf.falseLit();
+            for (int j = 0; j < holes; j++)
+                any = cnf.mkOr(any, p[i][j]);
+            ctx.assume(any);
+        }
+        for (int j = 0; j < holes; j++)
+            for (int i1 = 0; i1 < pigeons; i1++)
+                for (int i2 = i1 + 1; i2 < pigeons; i2++)
+                    ctx.assume(cnf.mkOr(~p[i1][j], ~p[i2][j]));
+        return cnf.trueLit();
+    };
+    return q;
+}
+
+} // namespace
+
+TEST(BmcEngine, TightBudgetYieldsUnknownNotWrongVerdict)
+{
+    std::mt19937 rng(91);
+    RandomDesign d = makeRandom(rng);
+    std::unordered_map<std::string, nl::CellId> empty_map;
+
+    bmc::EngineOptions tight;
+    tight.jobs = 1;
+    tight.conflictBudget = 5;
+    bmc::Engine engine(d.netlist, empty_map, {}, 2, tight);
+    engine.enqueue(pigeonholeQuery("php", 7, 6));
+    auto res = engine.drain();
+    ASSERT_EQ(res.size(), 1u);
+    EXPECT_EQ(res[0].verdict, bmc::Verdict::Unknown);
+    EXPECT_EQ(res[0].source, bmc::VerdictSource::ConflictBudget);
+    EXPECT_EQ(res[0].retries, 0u);
+    EXPECT_EQ(engine.stats().unknowns, 1u);
+    EXPECT_EQ(engine.stats().retries, 0u);
+}
+
+TEST(BmcEngine, RetryEscalationResolvesUnknowns)
+{
+    std::mt19937 rng(92);
+    RandomDesign d = makeRandom(rng);
+    std::unordered_map<std::string, nl::CellId> empty_map;
+
+    // Same tight first pass as above, but escalation multiplies the
+    // budget per retry until the instance resolves — the final verdict
+    // must be the true one (Proven: pigeonhole is UNSAT).
+    bmc::EngineOptions esc;
+    esc.jobs = 1;
+    esc.conflictBudget = 5;
+    esc.retryEscalation = 10.0;
+    esc.maxRetries = 8;
+    bmc::Engine fresh(d.netlist, empty_map, {}, 2, esc);
+    fresh.enqueue(pigeonholeQuery("php", 7, 6));
+    auto res = fresh.drain();
+    ASSERT_EQ(res.size(), 1u);
+    EXPECT_EQ(res[0].verdict, bmc::Verdict::Proven);
+    EXPECT_EQ(res[0].source, bmc::VerdictSource::Retry);
+    EXPECT_GT(res[0].retries, 0u);
+    EXPECT_EQ(fresh.stats().unknowns, 0u);
+    EXPECT_GT(fresh.stats().retries, 0u);
+
+    // The incremental (jobs >= 2) path retries on the shared solver
+    // context; learnt clauses carry over between attempts.
+    esc.jobs = 2;
+    bmc::Engine incr(d.netlist, empty_map, {}, 2, esc);
+    incr.enqueue(pigeonholeQuery("php_a", 7, 6));
+    incr.enqueue(pigeonholeQuery("php_b", 7, 6));
+    auto res2 = incr.drain();
+    ASSERT_EQ(res2.size(), 2u);
+    for (const auto &r : res2) {
+        EXPECT_EQ(r.verdict, bmc::Verdict::Proven);
+        EXPECT_EQ(r.source, bmc::VerdictSource::Retry);
+        EXPECT_GT(r.retries, 0u);
+    }
+    EXPECT_EQ(incr.stats().unknowns, 0u);
+}
+
+TEST(BmcEngine, InterruptMidFlightYieldsUnknown)
+{
+    std::mt19937 rng(93);
+    RandomDesign d = makeRandom(rng);
+    std::unordered_map<std::string, nl::CellId> empty_map;
+
+    bmc::EngineOptions opts;
+    opts.jobs = 2;
+    // Backstop so a broken interrupt cannot hang CI; the interrupt
+    // fires orders of magnitude earlier.
+    opts.querySeconds = 20.0;
+    bmc::Engine engine(d.netlist, empty_map, {}, 2, opts);
+    for (int i = 0; i < 4; i++)
+        engine.enqueue(
+            pigeonholeQuery("php_" + std::to_string(i), 11, 10));
+
+    std::thread stopper([&engine] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(60));
+        engine.interrupt();
+    });
+    auto results = engine.drain();
+    stopper.join();
+    ASSERT_EQ(results.size(), 4u);
+    for (const auto &r : results) {
+        // Never a wrong definite verdict: an interrupted solve must
+        // come back Unknown, tagged with why.
+        EXPECT_EQ(r.verdict, bmc::Verdict::Unknown);
+        EXPECT_TRUE(r.source == bmc::VerdictSource::Interrupted ||
+                    r.source == bmc::VerdictSource::Cancelled)
+            << bmc::verdictSourceName(r.source);
+    }
+    EXPECT_EQ(engine.stats().unknowns, 4u);
+
+    // The engine survives the interrupt: clear it and run more work.
+    engine.clearInterrupt();
+    EXPECT_FALSE(engine.interrupted());
+    bmc::Query easy;
+    easy.name = "easy";
+    easy.prop = [](bmc::PropCtx &ctx) { return ctx.cnf().falseLit(); };
+    engine.enqueue(std::move(easy));
+    auto after = engine.drain();
+    ASSERT_EQ(after.size(), 1u);
+    EXPECT_EQ(after[0].verdict, bmc::Verdict::Proven);
+    EXPECT_EQ(after[0].source, bmc::VerdictSource::Solve);
+}
+
+TEST(BmcEngine, TotalTimeoutCancelsQueuedQueries)
+{
+    std::mt19937 rng(94);
+    RandomDesign d = makeRandom(rng);
+    std::unordered_map<std::string, nl::CellId> empty_map;
+
+    bmc::EngineOptions opts;
+    opts.jobs = 1;
+    opts.totalSeconds = 0.1;
+    bmc::Engine engine(d.netlist, empty_map, {}, 2, opts);
+    for (int i = 0; i < 3; i++)
+        engine.enqueue(
+            pigeonholeQuery("php_" + std::to_string(i), 11, 10));
+    auto results = engine.drain();
+    ASSERT_EQ(results.size(), 3u);
+    for (const auto &r : results) {
+        EXPECT_EQ(r.verdict, bmc::Verdict::Unknown);
+        EXPECT_TRUE(r.source == bmc::VerdictSource::TotalDeadline ||
+                    r.source == bmc::VerdictSource::Cancelled)
+            << bmc::verdictSourceName(r.source);
+    }
+    // Once the total deadline has passed mid-batch, the tail of the
+    // queue is never solved at all.
+    EXPECT_EQ(results.back().source, bmc::VerdictSource::Cancelled);
+    EXPECT_EQ(engine.stats().unknowns, 3u);
+}
+
 TEST(BmcEngine, VscaleSlicedMatchesFullUnroll)
 {
     rtl2uspec::SynthesisResult sliced = synthesizeAt(4, false);
@@ -257,4 +430,49 @@ TEST(BmcEngine, VscaleSlicedMatchesFullUnroll)
     EXPECT_LE(sliced.meanCnfVars, eager.meanCnfVars);
     for (const auto &rec : sliced.svas)
         EXPECT_GT(rec.coiCells, 0u) << rec.name;
+}
+
+TEST(BmcEngine, TightBudgetSynthesisDegradesConservatively)
+{
+    // With a conflict budget of 0 every SVA gives up immediately: the
+    // run must still complete, count its Unknowns, tag the degraded
+    // axioms, and never let an Unknown masquerade as Proven/Refuted.
+    auto design = vscale::elaborateVscale(formalConfig());
+    auto md = vscale::vscaleMetadata(formalConfig());
+    rtl2uspec::SynthesisOptions opts;
+    opts.jobs = 2;
+    opts.conflictBudget = 0;
+    auto res = rtl2uspec::synthesize(design, md, opts);
+
+    EXPECT_GT(res.unknownSvas, 0u);
+    EXPECT_FALSE(res.degraded.empty());
+    for (const auto &sva : res.svas) {
+        if (sva.verdict == bmc::Verdict::Unknown) {
+            // An Unknown always records which limit produced it.
+            EXPECT_NE(sva.source, bmc::VerdictSource::Solve)
+                << sva.name;
+            EXPECT_NE(sva.source, bmc::VerdictSource::Retry)
+                << sva.name;
+        }
+    }
+
+    // Conservative direction: undetermined attribution checks must
+    // not be reported as design bugs.
+    EXPECT_TRUE(res.bugs.empty());
+
+    // The emitted model carries the degradation tags as `%` notes and
+    // still round-trips through the parser (notes are comments).
+    std::string printed = res.model.print();
+    EXPECT_NE(printed.find("% degraded"), std::string::npos);
+    EXPECT_NO_THROW({
+        uspec::Model reparsed = uspec::Model::parse(printed);
+        (void)reparsed;
+    });
+
+    // The structured run report accounts for the degradation.
+    std::string json = res.jsonReport();
+    EXPECT_NE(json.find("\"unknown_svas\""), std::string::npos);
+    EXPECT_NE(json.find("\"degraded\""), std::string::npos);
+    EXPECT_NE(json.find("\"degrade_note\""), std::string::npos);
+    EXPECT_NE(json.find("\"conflict-budget\""), std::string::npos);
 }

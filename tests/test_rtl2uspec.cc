@@ -214,3 +214,43 @@ TEST(Rtl2uspec, BuggyDesignTriggersBugDiscovery)
     // The counterexample trace shows the offending encoding.
     EXPECT_NE(r.bugs[0].find("inst_DX"), std::string::npos);
 }
+
+#ifdef R2U_SOURCE_DIR
+#include "common/strutil.hh"
+
+TEST(Rtl2Uspec, NoVerdictConsumerTreatsUnknownAsDefinite)
+{
+    // Grep-proof audit of the Unknown-degradation policy: every
+    // mention of a Verdict constant in synthesis.cc must be a `case`
+    // label of an enum-exhaustive switch. Boolean comparisons like
+    // `verdict != Verdict::Refuted` are how Unknown used to silently
+    // flip to Proven (and `!= Proven` to Refuted); a switch forces the
+    // author to say what Unknown means at every consumer.
+    std::string src =
+        readFile(std::string(R2U_SOURCE_DIR) +
+                 "/src/rtl2uspec/synthesis.cc");
+    ASSERT_FALSE(src.empty());
+
+    size_t line_no = 0, mentions = 0, pos = 0;
+    while (pos <= src.size()) {
+        size_t eol = src.find('\n', pos);
+        if (eol == std::string::npos)
+            eol = src.size();
+        std::string line = src.substr(pos, eol - pos);
+        line_no++;
+        for (const char *name :
+             {"Verdict::Proven", "Verdict::Refuted",
+              "Verdict::Unknown"}) {
+            if (line.find(name) == std::string::npos)
+                continue;
+            mentions++;
+            EXPECT_NE(line.find("case "), std::string::npos)
+                << "synthesis.cc:" << line_no
+                << " consumes a Verdict outside a switch: " << line;
+        }
+        pos = eol + 1;
+    }
+    // The audit only means something if the file still names verdicts.
+    EXPECT_GT(mentions, 0u);
+}
+#endif // R2U_SOURCE_DIR

@@ -8,7 +8,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <random>
+#include <thread>
 
 #include "sat/solver.hh"
 
@@ -220,6 +223,164 @@ TEST(Sat, ConflictBudgetReturnsUnknown)
     EXPECT_EQ(s.solve(), Result::Unknown);
     s.setConflictBudget(-1);
     EXPECT_EQ(s.solve(), Result::Unsat);
+}
+
+namespace
+{
+
+/**
+ * Add an (optionally guard-literal-protected) pigeonhole instance:
+ * UNSAT, and deterministically hard — PHP(n+1, n) needs exponentially
+ * many resolution steps, so small sizes already burn through budgets
+ * and deadlines without any timing assumptions.
+ */
+std::vector<Lit>
+addPigeonhole(Solver &s, int pigeons, int holes,
+              Lit guard = kLitUndef)
+{
+    std::vector<std::vector<Var>> p(pigeons, std::vector<Var>(holes));
+    for (int i = 0; i < pigeons; i++)
+        for (int j = 0; j < holes; j++)
+            p[i][j] = s.newVar();
+    for (int i = 0; i < pigeons; i++) {
+        std::vector<Lit> c;
+        if (guard != kLitUndef)
+            c.push_back(~guard);
+        for (int j = 0; j < holes; j++)
+            c.push_back(mkLit(p[i][j]));
+        s.addClause(c);
+    }
+    for (int j = 0; j < holes; j++)
+        for (int i1 = 0; i1 < pigeons; i1++)
+            for (int i2 = i1 + 1; i2 < pigeons; i2++) {
+                if (guard != kLitUndef)
+                    s.addClause({~guard, mkLit(p[i1][j], true),
+                                 mkLit(p[i2][j], true)});
+                else
+                    s.addClause(mkLit(p[i1][j], true),
+                                mkLit(p[i2][j], true));
+            }
+    std::vector<Lit> assumps;
+    if (guard != kLitUndef)
+        assumps.push_back(guard);
+    return assumps;
+}
+
+} // namespace
+
+TEST(Sat, StopReasonNoneOnCompletedSolves)
+{
+    Solver s;
+    Var a = s.newVar();
+    s.addClause(mkLit(a));
+    EXPECT_EQ(s.solve(), Result::Sat);
+    EXPECT_EQ(s.stopReason(), StopReason::None);
+    s.addClause(mkLit(a, true));
+    EXPECT_EQ(s.solve(), Result::Unsat);
+    EXPECT_EQ(s.stopReason(), StopReason::None);
+}
+
+TEST(Sat, ConflictBudgetSetsStopReason)
+{
+    Solver s;
+    addPigeonhole(s, 8, 7);
+    s.setConflictBudget(10);
+    EXPECT_EQ(s.solve(), Result::Unknown);
+    EXPECT_EQ(s.stopReason(), StopReason::ConflictBudget);
+    // Lifting the budget resolves the instance and resets the reason.
+    s.setConflictBudget(-1);
+    EXPECT_EQ(s.solve(), Result::Unsat);
+    EXPECT_EQ(s.stopReason(), StopReason::None);
+}
+
+TEST(Sat, PropagationBudgetReturnsUnknown)
+{
+    Solver s;
+    addPigeonhole(s, 8, 7);
+    s.setPropagationBudget(200);
+    EXPECT_EQ(s.solve(), Result::Unknown);
+    EXPECT_EQ(s.stopReason(), StopReason::PropagationBudget);
+    s.setPropagationBudget(-1);
+    EXPECT_EQ(s.solve(), Result::Unsat);
+    EXPECT_EQ(s.stopReason(), StopReason::None);
+}
+
+TEST(Sat, DeadlineReturnsUnknown)
+{
+    // Hard enough that a 1 ms deadline always fires well before the
+    // refutation completes; the deadline is polled every 256 stop
+    // checks, so the solve returns promptly rather than exactly.
+    Solver s;
+    addPigeonhole(s, 10, 9);
+    s.setDeadline(0.001);
+    auto t0 = std::chrono::steady_clock::now();
+    EXPECT_EQ(s.solve(), Result::Unknown);
+    EXPECT_EQ(s.stopReason(), StopReason::Deadline);
+    double waited = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+    EXPECT_LT(waited, 30.0); // generous; typical is milliseconds
+}
+
+TEST(Sat, InterruptFromAnotherThread)
+{
+    // Guarded hard instance: the interrupt stops the assumption solve,
+    // and dropping the guard afterwards shows the solver survived.
+    Solver s;
+    Lit guard = mkLit(s.newVar());
+    auto assumps = addPigeonhole(s, 11, 10, guard);
+
+    std::thread stopper([&s] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        s.interrupt();
+    });
+    EXPECT_EQ(s.solve(assumps), Result::Unknown);
+    EXPECT_EQ(s.stopReason(), StopReason::Interrupt);
+    stopper.join();
+
+    // Sticky until cleared: the next solve stops immediately too.
+    EXPECT_EQ(s.solve(assumps), Result::Unknown);
+    EXPECT_EQ(s.stopReason(), StopReason::Interrupt);
+
+    s.clearInterrupt();
+    EXPECT_EQ(s.solve(), Result::Sat); // guard free -> trivially SAT
+    EXPECT_EQ(s.stopReason(), StopReason::None);
+    EXPECT_FALSE(s.modelValue(guard));
+}
+
+TEST(Sat, ExternalInterruptFlag)
+{
+    Solver s;
+    Lit guard = mkLit(s.newVar());
+    auto assumps = addPigeonhole(s, 11, 10, guard);
+
+    std::atomic<bool> stop{false};
+    s.setExternalInterrupt(&stop);
+    std::thread stopper([&stop] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        stop.store(true);
+    });
+    EXPECT_EQ(s.solve(assumps), Result::Unknown);
+    EXPECT_EQ(s.stopReason(), StopReason::Interrupt);
+    stopper.join();
+
+    // The shared flag is owned by the caller; clearing it (not the
+    // solver) re-arms the solver.
+    stop.store(false);
+    EXPECT_EQ(s.solve(), Result::Sat);
+    EXPECT_EQ(s.stopReason(), StopReason::None);
+    s.setExternalInterrupt(nullptr);
+}
+
+TEST(Sat, StopReasonNames)
+{
+    EXPECT_STREQ(stopReasonName(StopReason::None), "none");
+    EXPECT_STREQ(stopReasonName(StopReason::ConflictBudget),
+                 "conflict-budget");
+    EXPECT_STREQ(stopReasonName(StopReason::PropagationBudget),
+                 "propagation-budget");
+    EXPECT_STREQ(stopReasonName(StopReason::Deadline), "deadline");
+    EXPECT_STREQ(stopReasonName(StopReason::Interrupt), "interrupt");
 }
 
 namespace

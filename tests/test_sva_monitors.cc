@@ -175,3 +175,52 @@ TEST(SvaMonitors, EventDuringAndChangeDuring)
         });
     EXPECT_EQ(res.verdict, Verdict::Proven);
 }
+
+TEST(SvaMonitors, AssumeEncodingWideRigid)
+{
+    // Regression: mask/match used to be uint32_t, so encoding bits at
+    // positions >= 32 of a wide rigid were silently dropped (and
+    // `1 << b` was UB for b >= 32). A 40-bit rigid constrained only in
+    // its top byte must take exactly the match value there.
+    auto design = counterDesign();
+    const uint64_t mask = 0xFFull << 32;
+    const uint64_t match = 0xABull << 32;
+    auto res = checkProperty(
+        *design.netlist, design.signalMap, {}, 2, [&](PropCtx &ctx) {
+            auto &cnf = ctx.cnf();
+            const sat::Word &r = ctx.rigid("wide", 40);
+            sva::assumeEncoding(ctx, r, mask, match);
+            // Violation: some masked bit disagrees with the match.
+            Lit bad = cnf.falseLit();
+            for (size_t b = 0; b < r.size(); b++) {
+                if (!((mask >> b) & 1))
+                    continue;
+                bool bit = (match >> b) & 1;
+                bad = cnf.mkOr(bad, bit ? ~r[b] : r[b]);
+            }
+            return bad;
+        });
+    // With the truncation bug no assumptions were emitted and the
+    // violation was satisfiable (Refuted); widened, it is Proven.
+    EXPECT_EQ(res.verdict, Verdict::Proven);
+}
+
+TEST(SvaMonitors, AssumeEncodingLowBitsUnaffectedByWideMask)
+{
+    // The unmasked low bits stay free: both polarities of bit 0 must
+    // be satisfiable under a high-half-only encoding assumption.
+    auto design = counterDesign();
+    const uint64_t mask = 0x3ull << 38;
+    const uint64_t match = 0x2ull << 38;
+    for (bool want : {false, true}) {
+        auto res = checkProperty(
+            *design.netlist, design.signalMap, {}, 2,
+            [&](PropCtx &ctx) {
+                const sat::Word &r = ctx.rigid("wide", 40);
+                sva::assumeEncoding(ctx, r, mask, match);
+                ctx.assume(want ? r[0] : ~r[0]);
+                return ctx.cnf().trueLit(); // SAT iff assumptions hold
+            });
+        EXPECT_EQ(res.verdict, Verdict::Refuted) << want;
+    }
+}

@@ -31,7 +31,12 @@ usage()
         "  -P NAME=VALUE   top-level parameter override (repeatable)\n"
         "  --out FILE      write the synthesized model (default:\n"
         "                  <top>.uarch)\n"
-        "  --report        print the Fig. 5-style synthesis report\n"
+        "  --table         print the Fig. 5-style synthesis report\n"
+        "                  (this was --report before the JSON report\n"
+        "                  existed)\n"
+        "  --report FILE   write the structured JSON run report\n"
+        "                  (per-SVA verdict, verdict source, retries,\n"
+        "                  CNF size, solve time)\n"
         "  --svas          list every evaluated SVA and its verdict\n"
         "  --dfg-dir DIR   write full-design and per-instruction DFG\n"
         "                  DOT files into DIR\n"
@@ -41,7 +46,19 @@ usage()
         "  --full-unroll   disable cone-of-influence slicing: bit-blast\n"
         "                  the whole design per unroll (same verdicts,\n"
         "                  bigger CNFs; for differential testing)\n"
-        "  --quiet         suppress progress output\n");
+        "  --conflict-budget N  per-SVA solver conflict budget\n"
+        "                  (overrides the metadata; -1 = unlimited)\n"
+        "  --query-timeout S    per-SVA wall-clock deadline, seconds\n"
+        "  --total-timeout S    whole-run wall-clock deadline, seconds\n"
+        "  --retry-escalation K re-solve budget/deadline Unknowns with\n"
+        "                  budgets scaled by K per retry (K > 1\n"
+        "                  enables; cheap first pass, escalate)\n"
+        "  --max-retries N cap on escalated retries per SVA "
+        "(default 3)\n"
+        "  --quiet         suppress progress output\n"
+        "exit codes: 0 ok, 1/2 errors, 3 design bugs found,\n"
+        "            4 degraded synthesis (undetermined SVAs, no "
+        "bugs)\n");
 }
 
 } // namespace
@@ -51,10 +68,10 @@ main(int argc, char **argv)
 {
     using namespace r2u;
 
-    std::string top, meta_path, out_path, dfg_dir;
+    std::string top, meta_path, out_path, dfg_dir, report_path;
     std::vector<std::string> files;
     std::unordered_map<std::string, int64_t> params;
-    bool report = false, list_svas = false;
+    bool table = false, list_svas = false;
     int bound_override = -1;
     rtl2uspec::SynthesisOptions synth_opts;
 
@@ -83,8 +100,23 @@ main(int argc, char **argv)
                 synth_opts.jobs = static_cast<unsigned>(jobs);
             } else if (arg == "--full-unroll") {
                 synth_opts.fullUnroll = true;
+            } else if (arg == "--conflict-budget") {
+                synth_opts.conflictBudget = std::stoll(next());
+            } else if (arg == "--query-timeout") {
+                synth_opts.queryTimeoutSeconds = std::stod(next());
+            } else if (arg == "--total-timeout") {
+                synth_opts.totalTimeoutSeconds = std::stod(next());
+            } else if (arg == "--retry-escalation") {
+                synth_opts.retryEscalation = std::stod(next());
+            } else if (arg == "--max-retries") {
+                int n = std::stoi(next());
+                if (n < 0)
+                    fatal("--max-retries expects a count >= 0");
+                synth_opts.maxRetries = static_cast<unsigned>(n);
+            } else if (arg == "--table") {
+                table = true;
             } else if (arg == "--report") {
-                report = true;
+                report_path = next();
             } else if (arg == "--svas") {
                 list_svas = true;
             } else if (arg == "--quiet") {
@@ -141,14 +173,19 @@ main(int argc, char **argv)
                          "synthesis found design bugs; the model was "
                          "still emitted but fix the design first\n");
         }
-        if (report)
+        if (table)
             std::printf("%s\n", synth.report().c_str());
+        if (!report_path.empty()) {
+            writeFile(report_path, synth.jsonReport());
+            inform("run report written to %s", report_path.c_str());
+        }
         if (list_svas) {
             for (const auto &sva : synth.svas)
-                std::printf("%-36s %-9s %-12s %8.3fs "
+                std::printf("%-36s %-9s %-12s %-18s %8.3fs "
                             "%8zu vars %8zu cls %6zu coi\n",
                             sva.name.c_str(), sva.category.c_str(),
                             bmc::verdictName(sva.verdict),
+                            bmc::verdictSourceName(sva.source),
                             sva.seconds, sva.cnfVars, sva.cnfClauses,
                             sva.coiCells);
         }
@@ -165,7 +202,17 @@ main(int argc, char **argv)
                "%.1f s)",
                out.c_str(), synth.model.stageNames.size(),
                synth.model.axioms.size(), synth.totalSeconds);
-        return synth.bugs.empty() ? 0 : 3;
+        if (synth.unknownSvas > 0) {
+            std::fprintf(stderr,
+                         "warning: %zu SVA(s) undetermined; the "
+                         "emitted model is conservatively degraded "
+                         "(see %% notes in %s)\n",
+                         static_cast<size_t>(synth.unknownSvas),
+                         out.c_str());
+        }
+        if (!synth.bugs.empty())
+            return 3;
+        return synth.unknownSvas > 0 ? 4 : 0;
     } catch (const FatalError &e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 1;
