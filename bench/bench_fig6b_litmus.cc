@@ -44,8 +44,7 @@ main()
         auto cv = check::checkTest(synth.model, t);
         rtl_total += rv.seconds;
         check_total += cv.ms;
-        bool pass = cv.pass && !cv.interestingObservable &&
-                    rv.verdict == bmc::Verdict::Proven;
+        bool pass = cv.ok() && rv.verdict == bmc::Verdict::Proven;
         all_pass &= pass;
         std::printf("%-10s %14.3f %14.3f %8s\n", t.name.c_str(),
                     rv.seconds, cv.ms, pass ? "pass" : "FAIL");

@@ -1,13 +1,10 @@
 #include "check/check.hh"
 
 #include <algorithm>
-#include <functional>
 #include <map>
 
 #include "common/logging.hh"
 #include "common/strutil.hh"
-#include "common/timer.hh"
-#include "isa/isa.hh"
 
 namespace r2u::check
 {
@@ -16,12 +13,13 @@ std::string
 TestResult::summary() const
 {
     return strfmt("%-10s %-4s interesting=%s/%s obs=%d sc=%d "
-                  "exec=%d %.3f ms",
-                  name.c_str(), pass ? "PASS" : "FAIL",
+                  "exec=%d/%d pruned=%d %.3f ms",
+                  name.c_str(), ok() ? "PASS" : "FAIL",
                   interestingObservable ? "observable" : "forbidden",
                   interestingScAllowed ? "sc-allowed" : "sc-forbidden",
                   observableOutcomes, scAllowedOutcomes,
-                  executionsExplored, ms);
+                  executionsExplored, executionsTotal,
+                  executionsPruned, ms);
 }
 
 std::vector<uhb::Microop>
@@ -59,74 +57,99 @@ microopsOf(const litmus::Test &test)
     return ops;
 }
 
+namespace
+{
+
+uint64_t
+factorial(size_t n)
+{
+    uint64_t f = 1;
+    for (size_t i = 2; i <= n; i++)
+        f *= i;
+    return f;
+}
+
+} // namespace
+
+ExecutionSpace::ExecutionSpace(const litmus::Test &test)
+    : ops_(microopsOf(test))
+{
+    std::map<int, std::vector<int>> writes;
+    for (const uhb::Microop &op : ops_) {
+        if (op.isWrite)
+            writes[op.addr].push_back(op.id);
+        else if (op.isRead)
+            reads_.push_back(op.id);
+    }
+    for (int rid : reads_) {
+        std::vector<int> srcs{-1};
+        auto it = writes.find(ops_[rid].addr);
+        if (it != writes.end())
+            srcs.insert(srcs.end(), it->second.begin(),
+                        it->second.end());
+        size_ *= srcs.size();
+        read_srcs_.push_back(std::move(srcs));
+    }
+    for (auto &[addr, ws] : writes) {
+        std::sort(ws.begin(), ws.end());
+        size_ *= factorial(ws.size());
+        write_groups_.emplace_back(addr, ws);
+    }
+}
+
+uhb::Execution
+ExecutionSpace::makeScratch() const
+{
+    uhb::Execution exec;
+    exec.ops = ops_;
+    exec.rf.assign(ops_.size(), -2);
+    for (const auto &[addr, ws] : write_groups_)
+        exec.ws[addr] = ws;
+    return exec;
+}
+
+void
+ExecutionSpace::materialize(uint64_t k, uhb::Execution &exec) const
+{
+    R2U_ASSERT(k < size_, "execution index out of range");
+    for (size_t r = 0; r < reads_.size(); r++) {
+        const std::vector<int> &srcs = read_srcs_[r];
+        int src = srcs[k % srcs.size()];
+        k /= srcs.size();
+        int rid = reads_[r];
+        exec.rf[rid] = src;
+        exec.ops[rid].value = src < 0 ? 0 : ops_[src].value;
+    }
+    for (const auto &[addr, ws] : write_groups_) {
+        uint64_t nperm = factorial(ws.size());
+        uint64_t p = k % nperm;
+        k /= nperm;
+        // Lehmer decode of permutation p over the sorted write list.
+        std::vector<int> pool = ws;
+        std::vector<int> &order = exec.ws[addr];
+        order.clear();
+        for (size_t left = ws.size(); left > 0; left--) {
+            uint64_t f = factorial(left - 1);
+            size_t d = static_cast<size_t>(p / f);
+            p %= f;
+            order.push_back(pool[d]);
+            pool.erase(pool.begin() + static_cast<long>(d));
+        }
+    }
+}
+
 void
 forEachExecution(const litmus::Test &test,
                  const std::function<void(const uhb::Execution &)> &fn)
 {
-    uhb::Execution base;
-    base.ops = microopsOf(test);
-    base.rf.assign(base.ops.size(), -2);
-
-    // Per-address write lists and read lists.
-    std::map<int, std::vector<int>> writes;
-    std::vector<int> reads;
-    for (const uhb::Microop &op : base.ops) {
-        if (op.isWrite)
-            writes[op.addr].push_back(op.id);
-        else if (op.isRead)
-            reads.push_back(op.id);
+    ExecutionSpace space(test);
+    uhb::Execution exec = space.makeScratch();
+    for (uint64_t k = 0; k < space.size(); k++) {
+        space.materialize(k, exec);
+        fn(exec);
     }
-
-    // Enumerate ws: product of permutations per address.
-    std::vector<std::map<int, std::vector<int>>> ws_choices;
-    std::map<int, std::vector<int>> ws_current;
-    std::function<void(std::map<int, std::vector<int>>::iterator)>
-        perm = [&](std::map<int, std::vector<int>>::iterator it) {
-            if (it == writes.end()) {
-                ws_choices.push_back(ws_current);
-                return;
-            }
-            std::vector<int> order = it->second;
-            std::sort(order.begin(), order.end());
-            auto next = std::next(it);
-            do {
-                ws_current[it->first] = order;
-                perm(next);
-            } while (std::next_permutation(order.begin(), order.end()));
-        };
-    perm(writes.begin());
-
-    // Enumerate rf: each read picks init (-1) or any same-addr write.
-    std::function<void(size_t, uhb::Execution &)> pick =
-        [&](size_t r, uhb::Execution &exec) {
-            if (r == reads.size()) {
-                for (const auto &ws : ws_choices) {
-                    exec.ws = ws;
-                    fn(exec);
-                }
-                return;
-            }
-            int rid = reads[r];
-            int addr = exec.ops[rid].addr;
-            exec.rf[rid] = -1;
-            exec.ops[rid].value = 0;
-            pick(r + 1, exec);
-            auto it = writes.find(addr);
-            if (it != writes.end()) {
-                for (int w : it->second) {
-                    exec.rf[rid] = w;
-                    exec.ops[rid].value = exec.ops[w].value;
-                    pick(r + 1, exec);
-                }
-            }
-        };
-    pick(0, base);
 }
 
-namespace
-{
-
-/** The architectural outcome of one candidate execution. */
 mcm::Outcome
 outcomeOf(const litmus::Test &test, const uhb::Execution &exec)
 {
@@ -152,54 +175,6 @@ outcomeOf(const litmus::Test &test, const uhb::Execution &exec)
             out.mem[loc_of(addr)] = exec.ops[order.back()].value;
     }
     return out;
-}
-
-} // namespace
-
-TestResult
-checkTest(const uspec::Model &model, const litmus::Test &test,
-          const Options &options)
-{
-    Timer timer;
-    TestResult result;
-    result.name = test.name;
-
-    // Ground truth from the operational SC reference.
-    std::set<mcm::Outcome> sc = mcm::enumerateSC(test);
-    result.scAllowedOutcomes = static_cast<int>(sc.size());
-    result.interestingScAllowed = false;
-    for (const mcm::Outcome &o : sc)
-        result.interestingScAllowed |= o.satisfies(test.interesting);
-
-    std::set<mcm::Outcome> observable;
-    forEachExecution(test, [&](const uhb::Execution &exec) {
-        result.executionsExplored++;
-        uhb::SolveResult sr = uhb::solve(model, exec);
-        mcm::Outcome out = outcomeOf(test, exec);
-        bool interesting = out.satisfies(test.interesting);
-        if (sr.observable) {
-            observable.insert(out);
-            if (interesting)
-                result.interestingObservable = true;
-        } else if (interesting && options.collectDot &&
-                   result.interestingDot.empty()) {
-            result.interestingDot = sr.graph.toDot(
-                model, exec.ops, "uhb_" + test.name);
-        }
-    });
-
-    result.observableOutcomes = static_cast<int>(observable.size());
-    result.pass = true;
-    for (const mcm::Outcome &o : observable) {
-        if (!sc.count(o)) {
-            result.pass = false;
-            result.violations.push_back(o.toString());
-        }
-    }
-    result.tight = result.pass &&
-                   observable.size() == sc.size();
-    result.ms = timer.milliseconds();
-    return result;
 }
 
 } // namespace r2u::check

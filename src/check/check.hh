@@ -11,11 +11,18 @@
  * SC-allowed. The paper's headline check — the forbidden outcome is
  * unobservable — is the interestingObservable / interestingScAllowed
  * pair.
+ *
+ * Candidate executions live in a lazily-decoded ExecutionSpace (a
+ * mixed-radix index over rf choices and per-address coherence
+ * permutations), which is what lets the campaign engine
+ * (check/campaign.hh) shard them across worker threads and prune
+ * whole outcome classes without materializing the product up front.
  */
 
 #ifndef R2U_CHECK_CHECK_HH
 #define R2U_CHECK_CHECK_HH
 
+#include <cstdint>
 #include <functional>
 #include <set>
 #include <string>
@@ -32,8 +39,22 @@ namespace r2u::check
 struct Options
 {
     /** Collect a DOT rendering of a cyclic graph witnessing that the
-     *  interesting outcome is forbidden (Fig. 1b). */
+     *  interesting outcome is forbidden (Fig. 1b). Disables pruning
+     *  (a pruned run may skip every cyclic witness candidate). */
     bool collectDot = false;
+    /** Worker threads solving candidate executions (1 = fully
+     *  sequential, 0 = hardware concurrency). Verdicts are identical
+     *  at any job count. */
+    unsigned jobs = 1;
+    /** Outcome-level pruning: once some execution proves an outcome
+     *  observable, skip the remaining executions with that same
+     *  outcome (they cannot change the observable set). Forced off
+     *  when collectDot is set. */
+    bool prune = true;
+    /** Stop exploring a test at its first observable non-SC outcome
+     *  (the verdict is then pass = false; exploration counts become
+     *  timing-dependent, verdicts do not). */
+    bool failFast = false;
 };
 
 struct TestResult
@@ -43,12 +64,29 @@ struct TestResult
     bool tight = false; ///< observable outcomes == SC-allowed outcomes
     bool interestingObservable = false;
     bool interestingScAllowed = false;
-    double ms = 0.0;
-    int executionsExplored = 0;
+    double ms = 0.0; ///< aggregate solve time (≈ wall time at jobs=1)
+    int executionsTotal = 0;    ///< candidate executions in the space
+    int executionsExplored = 0; ///< µhb solver invocations
+    int executionsPruned = 0;   ///< candidates skipped by pruning
+    long long branches = 0;     ///< EitherOrdering branches explored
     int observableOutcomes = 0;
     int scAllowedOutcomes = 0;
     std::vector<std::string> violations; ///< non-SC observable outcomes
+    /** Sorted rendering of every observable outcome (for report and
+     *  identity checks across job counts / pruning modes). */
+    std::vector<std::string> outcomes;
     std::string interestingDot; ///< when Options::collectDot
+
+    /**
+     * The per-test verdict: every observable outcome is SC-allowed,
+     * and the interesting outcome is only observable if SC itself
+     * allows it. (An SC-allowed interesting outcome being observable
+     * is correct behavior, not a failure.)
+     */
+    bool ok() const
+    {
+        return pass && (!interestingObservable || interestingScAllowed);
+    }
 
     std::string summary() const;
 };
@@ -59,6 +97,49 @@ TestResult checkTest(const uspec::Model &model, const litmus::Test &test,
 
 /** Convert a litmus test into microops (program order per core). */
 std::vector<uhb::Microop> microopsOf(const litmus::Test &test);
+
+/** The architectural outcome of one candidate execution. */
+mcm::Outcome outcomeOf(const litmus::Test &test,
+                       const uhb::Execution &exec);
+
+/**
+ * The space of candidate executions of a litmus test: every rf
+ * assignment (each read observes the initial value or any same-address
+ * write) crossed with every per-address coherence permutation. Rather
+ * than materializing the product, each candidate is addressed by a
+ * mixed-radix index in [0, size()) and decoded on demand — read
+ * digits select the rf source, address digits select the coherence
+ * permutation (Lehmer decode of the sorted write list).
+ */
+class ExecutionSpace
+{
+  public:
+    explicit ExecutionSpace(const litmus::Test &test);
+
+    /** Number of candidate executions. */
+    uint64_t size() const { return size_; }
+
+    const std::vector<uhb::Microop> &ops() const { return ops_; }
+
+    /** A fresh execution skeleton for materialize() to write into. */
+    uhb::Execution makeScratch() const;
+
+    /**
+     * Decode candidate @p k into @p exec, which must come from
+     * makeScratch() (or a previous materialize() on this space) —
+     * only the rf/value/ws fields are rewritten.
+     */
+    void materialize(uint64_t k, uhb::Execution &exec) const;
+
+  private:
+    std::vector<uhb::Microop> ops_;
+    std::vector<int> reads_; ///< read op ids, program order
+    /** Per read: candidate rf sources (-1 = init, then write ids). */
+    std::vector<std::vector<int>> read_srcs_;
+    /** Per address: its write ids, sorted (permutation base). */
+    std::vector<std::pair<int, std::vector<int>>> write_groups_;
+    uint64_t size_ = 1;
+};
 
 /**
  * Enumerate all candidate executions (rf choices x ws permutations)

@@ -161,15 +161,8 @@ Graph::toDot(const Model &model, const std::vector<Microop> &ops,
 namespace
 {
 
-/** One fully-bound axiom instantiation whose plain predicates hold. */
-struct Instance
-{
-    const Axiom *axiom;
-    std::vector<int> binding; ///< microop id per quantified variable
-};
-
 int
-boundOp(const Instance &inst, const std::string &var)
+boundOp(const AxiomInstance &inst, const std::string &var)
 {
     for (size_t i = 0; i < inst.axiom->microops.size(); i++)
         if (inst.axiom->microops[i] == var)
@@ -178,12 +171,24 @@ boundOp(const Instance &inst, const std::string &var)
           inst.axiom->name.c_str(), var.c_str());
 }
 
-/** Evaluate a non-EdgeExists predicate. */
+/** Does evaluating @p kind require the execution's rf assignment? */
 bool
-evalPred(const Pred &p, const Instance &inst, const Execution &exec)
+predNeedsRf(PredKind kind)
+{
+    return kind == PredKind::SameData ||
+           kind == PredKind::NoWritesInBetween;
+}
+
+/**
+ * Evaluate a predicate that only reads static microop fields (valid
+ * for every execution sharing @p ops).
+ */
+bool
+evalStaticPred(const Pred &p, const AxiomInstance &inst,
+               const std::vector<Microop> &ops)
 {
     auto op = [&](const std::string &v) -> const Microop & {
-        return exec.ops[boundOp(inst, v)];
+        return ops[boundOp(inst, v)];
     };
     switch (p.kind) {
       case PredKind::True_:
@@ -206,6 +211,24 @@ evalPred(const Pred &p, const Instance &inst, const Execution &exec)
                (op(p.i1).isRead || op(p.i1).isWrite) &&
                op(p.i0).addr == op(p.i1).addr;
       case PredKind::SameData:
+      case PredKind::NoWritesInBetween:
+        panic("rf-dependent predicate evaluated as static");
+      case PredKind::EdgeExists:
+        panic("EdgeExists evaluated as plain predicate");
+    }
+    return false;
+}
+
+/** Evaluate an rf-dependent predicate against a concrete execution. */
+bool
+evalRfPred(const Pred &p, const AxiomInstance &inst,
+           const Execution &exec)
+{
+    auto op = [&](const std::string &v) -> const Microop & {
+        return exec.ops[boundOp(inst, v)];
+    };
+    switch (p.kind) {
+      case PredKind::SameData:
         return op(p.i1).isRead &&
                exec.rf[op(p.i1).id] == op(p.i0).id;
       case PredKind::NoWritesInBetween:
@@ -213,8 +236,8 @@ evalPred(const Pred &p, const Instance &inst, const Execution &exec)
         // intervening same-address write" is exactly rf(i1) == i0.
         return op(p.i1).isRead &&
                exec.rf[op(p.i1).id] == op(p.i0).id;
-      case PredKind::EdgeExists:
-        panic("EdgeExists evaluated as plain predicate");
+      default:
+        panic("static predicate evaluated as rf-dependent");
     }
     return false;
 }
@@ -263,17 +286,15 @@ addMemorySemantics(const Model &model, const Execution &exec, Graph &g)
 
 struct Solver
 {
-    const Model &model;
-    const Execution &exec;
     int branches = 0;
 
     /** Instances with EdgeExists antecedents (conditional). */
-    std::vector<Instance> conditional;
+    std::vector<const AxiomInstance *> conditional;
     /** Unordered (EitherOrdering) instances to branch over. */
-    std::vector<Instance> eithers;
+    std::vector<const AxiomInstance *> eithers;
 
     bool
-    edgesHold(const Instance &inst, const Graph &g) const
+    edgesHold(const AxiomInstance &inst, const Graph &g) const
     {
         for (const Pred &p : inst.axiom->antecedents) {
             if (p.kind != PredKind::EdgeExists)
@@ -287,9 +308,9 @@ struct Solver
         return true;
     }
 
-    void
-    applyEdges(const Instance &inst, const std::vector<EdgeSpec> &edges,
-               Graph &g) const
+    static void
+    applyEdges(const AxiomInstance &inst,
+               const std::vector<EdgeSpec> &edges, Graph &g)
     {
         for (const EdgeSpec &e : edges) {
             g.addEdge(boundOp(inst, e.src.microop), e.src.loc,
@@ -305,11 +326,11 @@ struct Solver
         bool changed = true;
         while (changed) {
             changed = false;
-            for (const Instance &inst : conditional) {
-                if (!edgesHold(inst, g))
+            for (const AxiomInstance *inst : conditional) {
+                if (!edgesHold(*inst, g))
                     continue;
                 size_t before = g.numEdges();
-                applyEdges(inst, inst.axiom->edgeAlternatives[0], g);
+                applyEdges(*inst, inst->axiom->edgeAlternatives[0], g);
                 changed |= g.numEdges() != before;
             }
         }
@@ -330,7 +351,7 @@ struct Solver
             out = g;
             return true;
         }
-        const Instance &inst = eithers[next_either];
+        const AxiomInstance &inst = *eithers[next_either];
         if (!edgesHold(inst, g))
             return branch(std::move(g), next_either + 1, out);
         Graph cyc = g;
@@ -351,43 +372,40 @@ struct Solver
 
 } // namespace
 
-SolveResult
-solve(const Model &model, const Execution &exec)
+InstanceTable::InstanceTable(const Model &model,
+                             const std::vector<Microop> &ops)
 {
-    size_t num_ops = exec.ops.size();
-    size_t num_locs = model.stageNames.size();
-    Graph base(num_ops, num_locs);
-    addMemorySemantics(model, exec, base);
-
-    Solver solver{model, exec, 0, {}, {}};
-
-    // Enumerate bindings per axiom; filter by plain predicates.
+    size_t num_ops = ops.size();
     for (const Axiom &ax : model.axioms) {
         size_t arity = ax.microops.size();
+        // A quantifier over microops has no bindings on an empty
+        // execution (the pre-table enumerator evaluated one bogus
+        // all-zero binding here, indexing ops[0] out of bounds).
+        if (arity > 0 && num_ops == 0)
+            continue;
         std::vector<int> binding(arity, 0);
         while (true) {
-            Instance inst{&ax, binding};
+            AxiomInstance inst;
+            inst.axiom = &ax;
+            inst.binding = binding;
             bool holds = true;
             for (const Pred &p : ax.antecedents) {
-                if (p.kind == PredKind::EdgeExists)
+                if (p.kind == PredKind::EdgeExists ||
+                    predNeedsRf(p.kind))
                     continue;
-                if (!evalPred(p, inst, exec)) {
+                if (!evalStaticPred(p, inst, ops)) {
                     holds = false;
                     break;
                 }
             }
             if (holds) {
-                bool has_cond = false;
-                for (const Pred &p : ax.antecedents)
-                    has_cond |= p.kind == PredKind::EdgeExists;
-                if (ax.isEitherOrdering()) {
-                    solver.eithers.push_back(inst);
-                } else if (has_cond) {
-                    solver.conditional.push_back(inst);
-                } else {
-                    solver.applyEdges(inst, ax.edgeAlternatives[0],
-                                      base);
+                for (const Pred &p : ax.antecedents) {
+                    if (p.kind == PredKind::EdgeExists)
+                        inst.hasEdgeCond = true;
+                    else if (predNeedsRf(p.kind))
+                        inst.rfPreds.push_back(&p);
                 }
+                instances_.push_back(std::move(inst));
             }
             // Next binding.
             size_t d = 0;
@@ -400,6 +418,46 @@ solve(const Model &model, const Execution &exec)
             if (d == arity || arity == 0)
                 break;
         }
+    }
+}
+
+SolveResult
+solve(const Model &model, const Execution &exec)
+{
+    InstanceTable table(model, exec.ops);
+    return solve(model, exec, table);
+}
+
+SolveResult
+solve(const Model &model, const Execution &exec,
+      const InstanceTable &table)
+{
+    size_t num_ops = exec.ops.size();
+    size_t num_locs = model.stageNames.size();
+    Graph base(num_ops, num_locs);
+    addMemorySemantics(model, exec, base);
+
+    Solver solver;
+
+    // The static filtering already happened at table build; only the
+    // rf-dependent antecedents remain to be checked per execution.
+    for (const AxiomInstance &inst : table.instances()) {
+        bool holds = true;
+        for (const Pred *p : inst.rfPreds) {
+            if (!evalRfPred(*p, inst, exec)) {
+                holds = false;
+                break;
+            }
+        }
+        if (!holds)
+            continue;
+        if (inst.axiom->isEitherOrdering())
+            solver.eithers.push_back(&inst);
+        else if (inst.hasEdgeCond)
+            solver.conditional.push_back(&inst);
+        else
+            Solver::applyEdges(inst, inst.axiom->edgeAlternatives[0],
+                               base);
     }
 
     SolveResult result;

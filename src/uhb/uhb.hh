@@ -96,11 +96,62 @@ struct SolveResult
 };
 
 /**
+ * One fully-bound axiom instantiation whose execution-independent
+ * antecedents already hold over a fixed microop list. The rf-dependent
+ * antecedents (SameData / NoWritesInBetween) are kept symbolic and
+ * re-evaluated per execution by solve().
+ */
+struct AxiomInstance
+{
+    const uspec::Axiom *axiom = nullptr;
+    std::vector<int> binding; ///< microop id per quantified variable
+    /** Antecedents that read the execution's rf assignment. */
+    std::vector<const uspec::Pred *> rfPreds;
+    bool hasEdgeCond = false; ///< has EdgeExists antecedents
+};
+
+/**
+ * Per-(model, microop-list) axiom-binding precomputation. Every
+ * candidate execution of a litmus test shares the same microops, so
+ * the O(num_ops^arity) binding enumeration — and the filtering by
+ * predicates that only read static microop fields (core, index,
+ * address, read/write kind) — is hoisted here and done once per test
+ * instead of once per execution. The model and the microop list must
+ * outlive the table (it stores pointers into the model's axioms).
+ */
+class InstanceTable
+{
+  public:
+    InstanceTable() = default;
+    InstanceTable(const uspec::Model &model,
+                  const std::vector<Microop> &ops);
+
+    const std::vector<AxiomInstance> &instances() const
+    {
+        return instances_;
+    }
+
+  private:
+    std::vector<AxiomInstance> instances_;
+};
+
+/**
  * Decide whether @p exec is possible per @p model. The model's
  * memAccessStage (and memStage, if nonempty) name the µhb rows used
- * for rf/ws/fr orientation of memory events.
+ * for rf/ws/fr orientation of memory events. Builds a fresh
+ * InstanceTable per call; when solving many executions of the same
+ * test, build the table once and use the overload below.
  */
 SolveResult solve(const uspec::Model &model, const Execution &exec);
+
+/**
+ * Same, with the axiom-binding enumeration precomputed. @p table must
+ * have been built from @p model and @p exec.ops' microop list (same
+ * ids, kinds, cores, indices and addresses). Thread-safe for
+ * concurrent calls sharing one table.
+ */
+SolveResult solve(const uspec::Model &model, const Execution &exec,
+                  const InstanceTable &table);
 
 } // namespace r2u::uhb
 

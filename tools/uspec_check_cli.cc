@@ -1,15 +1,17 @@
 /**
  * @file
  * COATCheck-style command line: verify litmus tests against a µspec
- * model (synthesized or hand-written).
+ * model (synthesized or hand-written) with the parallel, pruned
+ * campaign engine.
  *
- *   uspec_check --model vscale.uarch --suite
+ *   uspec_check --model vscale.uarch --suite --jobs 4 --report out.json
  *   uspec_check --model vscale.uarch --test mp.test --dot mp.dot
  *   uspec_check --model vscale.uarch --cycle "Rfe PodRR Fre PodWW"
  */
 
 #include <cstdio>
 
+#include "check/campaign.hh"
 #include "check/check.hh"
 #include "common/logging.hh"
 #include "common/strutil.hh"
@@ -25,7 +27,22 @@ usage()
     std::fprintf(
         stderr,
         "usage: uspec_check --model FILE.uarch (--suite | --test "
-        "FILE.test | --cycle \"SPEC\") [--dot FILE]\n");
+        "FILE.test | --cycle \"SPEC\") [options]\n"
+        "  --jobs N        campaign workers (default: hardware\n"
+        "                  concurrency; 1 = sequential; verdicts are\n"
+        "                  identical at any job count)\n"
+        "  --report FILE   write the structured JSON campaign report\n"
+        "                  (per-test verdicts, outcome sets,\n"
+        "                  explored/pruned counts)\n"
+        "  --exhaustive    disable outcome-level pruning (solve every\n"
+        "                  candidate execution; same verdicts)\n"
+        "  --fail-fast     stop a test at its first observable non-SC\n"
+        "                  outcome\n"
+        "  --dot FILE      write cyclic-witness DOTs; with several\n"
+        "                  tests each gets FILE's stem + _<test>\n"
+        "  --dot-test NAME restrict --dot (and its pruning opt-out) to\n"
+        "                  test NAME (repeatable)\n"
+        "exit codes: 0 all tests ok, 1 failures/errors, 2 usage\n");
 }
 
 } // namespace
@@ -35,8 +52,10 @@ main(int argc, char **argv)
 {
     using namespace r2u;
 
-    std::string model_path, test_path, cycle, dot_path;
+    std::string model_path, test_path, cycle, dot_path, report_path;
     bool suite = false;
+    check::CampaignOptions opts;
+    opts.jobs = 0; // hardware concurrency
 
     for (int i = 1; i < argc; i++) {
         std::string arg = argv[i];
@@ -54,6 +73,19 @@ main(int argc, char **argv)
                 cycle = next();
             else if (arg == "--dot")
                 dot_path = next();
+            else if (arg == "--dot-test")
+                opts.dotTests.push_back(next());
+            else if (arg == "--report")
+                report_path = next();
+            else if (arg == "--jobs") {
+                int jobs = std::stoi(next());
+                if (jobs < 0)
+                    fatal("--jobs expects a count >= 0");
+                opts.jobs = static_cast<unsigned>(jobs);
+            } else if (arg == "--exhaustive")
+                opts.prune = false;
+            else if (arg == "--fail-fast")
+                opts.failFast = true;
             else if (arg == "--suite")
                 suite = true;
             else {
@@ -86,31 +118,38 @@ main(int argc, char **argv)
                         tests[0].print().c_str());
         }
 
-        check::Options opts;
         opts.collectDot = !dot_path.empty();
-        int failures = 0;
-        double total_ms = 0;
-        for (const auto &t : tests) {
-            auto res = check::checkTest(model, t, opts);
-            total_ms += res.ms;
-            std::printf("%s.test,%f\n", t.name.c_str(), res.ms);
-            bool ok = res.pass && !res.interestingObservable;
-            if (!ok) {
-                failures++;
+        check::CampaignResult campaign =
+            check::runCampaign(model, tests, opts);
+
+        for (const auto &res : campaign.tests) {
+            std::printf("%s.test,%f\n", res.name.c_str(), res.ms);
+            // A test fails when a non-SC outcome is observable, or
+            // when the interesting outcome is observable despite
+            // being SC-forbidden. An SC-allowed interesting outcome
+            // showing up is correct behavior.
+            if (!res.ok()) {
                 std::printf("  FAIL: %s\n", res.summary().c_str());
                 for (const auto &v : res.violations)
                     std::printf("  observable non-SC outcome: %s\n",
                                 v.c_str());
             }
-            if (!dot_path.empty() && !res.interestingDot.empty())
-                writeFile(dot_path, res.interestingDot);
+            if (!res.interestingDot.empty()) {
+                std::string path =
+                    tests.size() == 1
+                        ? dot_path
+                        : check::dotPathFor(dot_path, res.name);
+                writeFile(path, res.interestingDot);
+            }
         }
-        std::printf("--- %f ms ---\n", total_ms);
+        if (!report_path.empty())
+            writeFile(report_path, campaign.jsonReport());
+        std::printf("--- %s ---\n", campaign.summary().c_str());
         std::printf("%s\n",
-                    failures == 0
-                        ? "======= ALL TESTS PASSES ======="
+                    campaign.failures == 0
+                        ? "======= ALL TESTS PASS ======="
                         : "======= FAILURES DETECTED =======");
-        return failures == 0 ? 0 : 1;
+        return campaign.failures == 0 ? 0 : 1;
     } catch (const FatalError &e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 1;
