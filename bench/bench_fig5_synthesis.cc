@@ -116,6 +116,29 @@ main(int argc, char **argv)
                 result.meanCnfClauses,
                 result.fullUnroll ? "full unroll" : "COI-sliced");
 
+    // Trust-but-verify overhead: replay validation rides along inside
+    // proofSeconds, so the interesting number is its fraction of the
+    // SVA-evaluation wall time (acceptance: < 10%).
+    double replay_overhead = result.proofSeconds > 0
+                                 ? result.replaySeconds /
+                                       result.proofSeconds
+                                 : 0.0;
+    std::printf("\nVerdict validation (%s):\n",
+                result.validateMode.c_str());
+    std::printf("  %zu replay(s) %.3f s, %zu proof re-check(s) "
+                "%.3f s (%zu inconclusive), %zu mismatch(es), "
+                "%zu degraded\n",
+                static_cast<size_t>(result.replays),
+                result.replaySeconds,
+                static_cast<size_t>(result.proofRechecks),
+                result.recheckSeconds,
+                static_cast<size_t>(result.recheckInconclusive),
+                static_cast<size_t>(result.validationMismatches),
+                static_cast<size_t>(result.validationFailures));
+    std::printf("  replay overhead: %.2f%% of SVA-evaluation wall "
+                "time (acceptance < 10%%)\n",
+                100.0 * replay_overhead);
+
     // Eager-vs-sliced comparison: rerun SVA evaluation in the
     // opposite unroll mode at the same job count.
     auto other = bench::synthesizeVscale(false, jobs, !full_unroll);
@@ -208,6 +231,31 @@ main(int argc, char **argv)
                            i + 1 < result.svas.size() ? "," : "");
         }
         json += "  ],\n";
+        json += "  \"validation\": {\n";
+        json += strfmt("    \"mode\": \"%s\",\n",
+                       result.validateMode.c_str());
+        json += strfmt("    \"replays\": %zu,\n",
+                       static_cast<size_t>(result.replays));
+        json += strfmt("    \"proof_rechecks\": %zu,\n",
+                       static_cast<size_t>(result.proofRechecks));
+        json += strfmt("    \"recheck_inconclusive\": %zu,\n",
+                       static_cast<size_t>(result.recheckInconclusive));
+        json += strfmt("    \"mismatches\": %zu,\n",
+                       static_cast<size_t>(
+                           result.validationMismatches));
+        json += strfmt("    \"validation_failures\": %zu,\n",
+                       static_cast<size_t>(result.validationFailures));
+        json += strfmt("    \"replay_s\": %.4f,\n",
+                       result.replaySeconds);
+        json += strfmt("    \"recheck_s\": %.4f,\n",
+                       result.recheckSeconds);
+        json += strfmt("    \"validate_s\": %.4f,\n",
+                       result.validateSeconds);
+        json += strfmt("    \"proof_s\": %.4f,\n",
+                       result.proofSeconds);
+        json += strfmt("    \"replay_overhead_fraction\": %.5f\n",
+                       replay_overhead);
+        json += "  },\n";
         json += "  \"coi_comparison\": {\n";
         json += strfmt("    \"eager_proof_seconds\": %.3f,\n",
                        eager.proofSeconds);

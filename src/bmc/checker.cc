@@ -33,6 +33,7 @@ verdictSourceName(VerdictSource source)
       case VerdictSource::TotalDeadline: return "total-deadline";
       case VerdictSource::Cancelled: return "cancelled";
       case VerdictSource::Interrupted: return "interrupted";
+      case VerdictSource::ValidationFailed: return "validation-failed";
     }
     return "?";
 }
@@ -70,6 +71,10 @@ Trace::toString() const
     for (size_t f = 0; f < steps.size(); f++) {
         out += strfmt("cycle %zu:\n", f);
         for (const auto &[name, value] : steps[f].signals) {
+            out += strfmt("  %-40s = 0x%s\n", name.c_str(),
+                          value.toHexString().c_str());
+        }
+        for (const auto &[name, value] : steps[f].memReads) {
             out += strfmt("  %-40s = 0x%s\n", name.c_str(),
                           value.toHexString().c_str());
         }
@@ -122,6 +127,7 @@ PropCtx::beginQuery()
     R2U_ASSERT(!in_query_, "beginQuery inside an active query");
     rigids_.clear();
     watched_.clear();
+    watched_mems_.clear();
     act_ = cnf_.freshLit();
     in_query_ = true;
 }
@@ -177,6 +183,24 @@ PropCtx::watch(const std::string &name)
         unroller_.wire(f, cell);
 }
 
+void
+PropCtx::watchMem(const std::string &mem_name)
+{
+    nl::MemId mem = unroller_.netlist().findMemoryByName(mem_name);
+    if (mem < 0)
+        fatal("watchMem: unknown memory '%s'", mem_name.c_str());
+    for (nl::MemId existing : watched_mems_)
+        if (existing == mem)
+            return;
+    watched_mems_.push_back(mem);
+    // Same contract as watch(): demand the read-port outputs (and
+    // hence the memory arrays in their cones) before the solve so
+    // trace extraction only reads model-covered variables.
+    for (nl::CellId port : unroller_.netlist().memory(mem).readPorts)
+        for (unsigned f = 0; f < bound_; f++)
+            unroller_.wire(f, port);
+}
+
 Lit
 PropCtx::eqConst(unsigned frame, const std::string &name, uint64_t value)
 {
@@ -202,13 +226,55 @@ Trace
 extractTrace(PropCtx &ctx)
 {
     Trace trace;
+    Unroller &unr = ctx.unroller();
+    const nl::Netlist &nl = unr.netlist();
     for (unsigned f = 0; f < ctx.bound(); f++) {
         TraceStep step;
         for (const auto &name : ctx.watched()) {
-            step.signals[name] =
-                ctx.unroller().wireValue(f, ctx.cellOf(name));
+            step.signals[name] = unr.wireValue(f, ctx.cellOf(name));
+        }
+        for (nl::MemId mem : ctx.watchedMems()) {
+            const nl::Memory &m = nl.memory(mem);
+            for (size_t p = 0; p < m.readPorts.size(); p++) {
+                if (!unr.wireMaterialized(f, m.readPorts[p]))
+                    continue;
+                step.memReads[strfmt("%s#%zu", m.name.c_str(), p)] =
+                    unr.wireValue(f, m.readPorts[p]);
+            }
         }
         trace.steps.push_back(std::move(step));
+    }
+
+    // Everything a replay needs to reproduce this execution: the model
+    // values of every materialized input at every frame, and the
+    // model's choice of symbolic initial state. Unmaterialized wires
+    // are outside every demanded cone, so the values the simulator
+    // defaults them to cannot change a recorded signal.
+    trace.inputs.resize(ctx.bound());
+    for (nl::CellId in : nl.inputs()) {
+        for (unsigned f = 0; f < ctx.bound(); f++) {
+            if (!unr.wireMaterialized(f, in))
+                continue;
+            trace.inputs[f][nl.cell(in).name] = unr.wireValue(f, in);
+        }
+    }
+    if (!unr.options().concreteInit) {
+        for (nl::CellId d : nl.dffs())
+            if (unr.wireMaterialized(0, d) && !nl.cell(d).name.empty())
+                trace.initRegs[nl.cell(d).name] = unr.wireValue(0, d);
+    }
+    for (size_t m = 0; m < nl.numMemories(); m++) {
+        nl::MemId mem = static_cast<nl::MemId>(m);
+        bool symbolic = !unr.options().concreteInit ||
+                        unr.options().symbolicMems.count(mem) > 0 ||
+                        unr.options().memInit.count(mem) > 0;
+        if (!symbolic || !unr.memMaterialized(0, mem))
+            continue;
+        const nl::Memory &mm = nl.memory(mem);
+        std::vector<Bits> words(mm.depth);
+        for (unsigned a = 0; a < mm.depth; a++)
+            words[a] = ctx.cnf().modelWord(unr.memWord(0, mem, a));
+        trace.initMems[mm.name] = std::move(words);
     }
     return trace;
 }

@@ -46,6 +46,14 @@ enum class VerdictSource : uint8_t {
     TotalDeadline,     ///< Unknown: batch/total deadline passed mid-solve
     Cancelled,         ///< Unknown: never solved (cancelled while queued)
     Interrupted,       ///< Unknown: asynchronous interrupt mid-solve
+    /**
+     * Unknown: the verdict-validation layer caught an inconsistency
+     * (a counterexample that does not replay, or a proof re-check
+     * that disagrees) and the quarantine re-solve could not restore a
+     * consistent definite verdict. Degrading beats propagating a
+     * possibly-unsound verdict into the synthesized model.
+     */
+    ValidationFailed,
 };
 
 const char *verdictSourceName(VerdictSource source);
@@ -67,12 +75,32 @@ struct SolveLimits
 struct TraceStep
 {
     std::map<std::string, Bits> signals;
+    /**
+     * Watched memory-port reads, keyed "memname#port" (port = index
+     * into nl::Memory::readPorts). Populated for memories registered
+     * through PropCtx::watchMem so replayed traces can be compared on
+     * memory-backed designs too.
+     */
+    std::map<std::string, Bits> memReads;
 };
 
-/** Counterexample trace: one step per frame, watched signals only. */
+/**
+ * Counterexample trace: one step per frame with the watched signals,
+ * plus everything needed to replay the trace through sim::Simulator —
+ * the full per-frame input valuations and the model's choice of
+ * symbolic initial state (free registers / symbolic memories). Only
+ * wires the query's cone actually materialized are recorded; anything
+ * absent cannot influence the watched values.
+ */
 struct Trace
 {
     std::vector<TraceStep> steps;
+    /** inputs[frame][input-name] = model value (materialized only). */
+    std::vector<std::map<std::string, Bits>> inputs;
+    /** Frame-0 values of symbolic-initial-state registers. */
+    std::map<std::string, Bits> initRegs;
+    /** Frame-0 contents of symbolic/overridden memories (full array). */
+    std::map<std::string, std::vector<Bits>> initMems;
 
     std::string toString() const;
 };
@@ -144,6 +172,14 @@ class PropCtx
     /** Record a signal in counterexample traces. */
     void watch(const std::string &name);
 
+    /**
+     * Record a memory's read ports in counterexample traces (netlist
+     * memory name, resolved through the unroller's netlist). Each read
+     * port's output is demanded at every frame and lands in
+     * TraceStep::memReads as "memname#port".
+     */
+    void watchMem(const std::string &mem_name);
+
     // --- small property-building helpers ---
     sat::Lit eqConst(unsigned frame, const std::string &name,
                      uint64_t value);
@@ -153,6 +189,10 @@ class PropCtx
     sat::Lit changedAt(unsigned frame, const std::string &name);
 
     const std::vector<std::string> &watched() const { return watched_; }
+    const std::vector<nl::MemId> &watchedMems() const
+    {
+        return watched_mems_;
+    }
 
   private:
     const std::unordered_map<std::string, nl::CellId> &signals_;
@@ -162,6 +202,7 @@ class PropCtx
     unsigned bound_;
     std::map<std::string, sat::Word> rigids_;
     std::vector<std::string> watched_;
+    std::vector<nl::MemId> watched_mems_;
     sat::Lit act_ = sat::kLitUndef;
     bool in_query_ = false;
 };
@@ -188,6 +229,29 @@ struct CheckResult
     size_t coiCells = 0;
     size_t coiMems = 0;
     Trace trace; ///< populated when Refuted
+
+    // --- trust-but-verify validation accounting (bmc::Engine) ---
+    /** Verdict independently confirmed (replay or proof re-check). */
+    bool validated = false;
+    /** Verdict loaded from a resume journal (validated when written). */
+    bool fromJournal = false;
+    /** This result was appended to the run journal. */
+    bool journaled = false;
+    /** Counterexample replays performed for this query. */
+    unsigned replays = 0;
+    /** Fresh non-incremental proof re-solves performed. */
+    unsigned proofRechecks = 0;
+    /** Proof re-checks that came back Unknown (neither confirms nor
+     *  contradicts; the primary Proven verdict is kept). */
+    unsigned recheckInconclusive = 0;
+    /** Primary-vs-validation disagreements observed (quarantined). */
+    unsigned validationMismatches = 0;
+    double replaySeconds = 0.0;
+    double recheckSeconds = 0.0;
+    double validateSeconds = 0.0;
+    /** Diagnostic bundle on mismatch (trace + CNF stats) or recovery
+     *  note; empty when validation passed cleanly. */
+    std::string validationNote;
 };
 
 /** Builds a property and returns its violation literal. */

@@ -1,10 +1,13 @@
 #include "bmc/engine.hh"
 
 #include <algorithm>
+#include <cctype>
 #include <exception>
+#include <filesystem>
 #include <map>
 #include <thread>
 
+#include "bmc/validate.hh"
 #include "common/logging.hh"
 #include "common/timer.hh"
 
@@ -12,6 +15,22 @@ namespace r2u::bmc
 {
 
 using sat::Lit;
+
+const char *
+validateModeName(ValidateMode mode)
+{
+    switch (mode) {
+      case ValidateMode::Off:
+        return "off";
+      case ValidateMode::Replay:
+        return "replay";
+      case ValidateMode::Sample:
+        return "sample";
+      case ValidateMode::Full:
+        return "full";
+    }
+    panic("bad ValidateMode");
+}
 
 unsigned
 resolveJobs(unsigned requested)
@@ -57,6 +76,13 @@ Engine::Engine(const nl::Netlist &netlist,
       jobs_(resolveJobs(engine_options.jobs))
 {
     R2U_ASSERT(bound_ > 0, "engine needs a positive default bound");
+    if (!eopts_.cexVcdDir.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(eopts_.cexVcdDir, ec);
+        if (ec)
+            fatal("cannot create --cex-vcd directory %s: %s",
+                  eopts_.cexVcdDir.c_str(), ec.message().c_str());
+    }
     if (eopts_.totalSeconds >= 0) {
         has_total_deadline_ = true;
         total_deadline_ =
@@ -236,6 +262,255 @@ Engine::fillCoiStats(const Query &query, CheckResult &result) const
     result.coiMems = coi.numMems();
 }
 
+namespace
+{
+
+/**
+ * The end of the quarantine road: neither the original evidence nor a
+ * fresh re-solve produced a self-consistent definite verdict. Degrade
+ * to Unknown per the PR 3 policy (synthesis treats it exactly like a
+ * budget Unknown: drop the hypothesis, never trust the verdict) and
+ * pack the diagnostic bundle into validationNote.
+ */
+void
+degradeToValidationFailure(CheckResult &result, const std::string &why)
+{
+    std::string diag = strfmt(
+        "validation failure: %s\n"
+        "primary verdict: %s (%s), bound %u, retries %u\n"
+        "cnf: %zu vars, %zu clauses (+%zu vars / +%zu clauses this "
+        "query)\n",
+        why.c_str(), verdictName(result.verdict),
+        verdictSourceName(result.source), result.bound, result.retries,
+        result.cnfVars, result.cnfClauses, result.cnfVarsAdded,
+        result.cnfClausesAdded);
+    if (!result.trace.steps.empty())
+        diag += "quarantined trace:\n" + result.trace.toString();
+    result.verdict = Verdict::Unknown;
+    result.source = VerdictSource::ValidationFailed;
+    result.validated = false;
+    result.trace = Trace{};
+    result.validationNote = std::move(diag);
+}
+
+} // namespace
+
+std::string
+Engine::vcdPathFor(const Query &query) const
+{
+    if (eopts_.cexVcdDir.empty())
+        return "";
+    std::string name = query.name.empty() ? "query" : query.name;
+    for (char &c : name)
+        if (!std::isalnum(static_cast<unsigned char>(c)))
+            c = '_';
+    return strfmt("%s/cex_%s_b%u.vcd", eopts_.cexVcdDir.c_str(),
+                  name.c_str(), query.bound);
+}
+
+CheckResult
+Engine::quarantineSolve(const Query &query)
+{
+    SolveLimits limits;
+    bool total_binding = false;
+    if (!attemptLimits(query, 0, limits, total_binding)) {
+        CheckResult r = cancelledResult(query.bound);
+        if (eopts_.faultHook)
+            eopts_.faultHook(query, r, SolveStage::Quarantine);
+        return r;
+    }
+    CheckResult r = checkProperty(nl_, signals_, options_, query.bound,
+                                  query.prop, limits);
+    refineSource(r, total_binding);
+    if (eopts_.faultHook)
+        eopts_.faultHook(query, r, SolveStage::Quarantine);
+    return r;
+}
+
+void
+Engine::validateResult(const Query &query, CheckResult &result,
+                       bool recheck_proof)
+{
+    Timer vtimer;
+    switch (result.verdict) {
+      case Verdict::Unknown:
+        // Already the degraded verdict; nothing to cross-check.
+        return;
+
+      case Verdict::Refuted: {
+        std::string vcd = vcdPathFor(query);
+        ReplayResult rep =
+            replayTrace(nl_, signals_, options_, result.bound,
+                        query.prop, result.trace, vcd);
+        result.replays++;
+        result.replaySeconds += rep.seconds;
+        if (rep.ok) {
+            result.validated = true;
+            break;
+        }
+        // Quarantine: the counterexample does not stand on its own.
+        // One fresh, non-incremental re-solve; if it refutes with a
+        // trace that *does* replay, that independent evidence is
+        // adopted. Anything else degrades to Unknown.
+        result.validationMismatches++;
+        warn("validate: counterexample for '%s' failed replay; "
+             "quarantining and re-solving fresh",
+             query.name.c_str());
+        CheckResult fresh = quarantineSolve(query);
+        if (fresh.verdict == Verdict::Refuted) {
+            ReplayResult rep2 =
+                replayTrace(nl_, signals_, options_, fresh.bound,
+                            query.prop, fresh.trace, vcd);
+            result.replays++;
+            result.replaySeconds += rep2.seconds;
+            if (rep2.ok) {
+                result.trace = std::move(fresh.trace);
+                result.validated = true;
+                result.validationNote = strfmt(
+                    "quarantine recovery: primary counterexample "
+                    "failed replay but a fresh re-solve produced a "
+                    "replayable refutation. primary replay "
+                    "diagnostics:\n%s",
+                    rep.note.c_str());
+                break;
+            }
+        }
+        degradeToValidationFailure(
+            result,
+            strfmt("counterexample failed replay and quarantine "
+                   "re-solve answered %s.\nprimary replay "
+                   "diagnostics:\n%s",
+                   verdictName(fresh.verdict), rep.note.c_str()));
+        break;
+      }
+
+      case Verdict::Proven: {
+        if (!recheck_proof)
+            break;
+        CheckResult fresh = quarantineSolve(query);
+        result.proofRechecks++;
+        result.recheckSeconds += fresh.seconds;
+        switch (fresh.verdict) {
+          case Verdict::Proven:
+            result.validated = true;
+            break;
+          case Verdict::Unknown:
+            // The fresh solve hit a budget; neither confirms nor
+            // contradicts. Keep the primary Proven verdict.
+            result.recheckInconclusive++;
+            break;
+          case Verdict::Refuted: {
+            result.validationMismatches++;
+            warn("validate: proof re-check for '%s' found a "
+                 "counterexample; replaying it",
+                 query.name.c_str());
+            std::string vcd = vcdPathFor(query);
+            ReplayResult rep =
+                replayTrace(nl_, signals_, options_, fresh.bound,
+                            query.prop, fresh.trace, vcd);
+            result.replays++;
+            result.replaySeconds += rep.seconds;
+            if (rep.ok) {
+                // A concretely replayable counterexample beats the
+                // incremental UNSAT: adopt the refutation.
+                result.verdict = Verdict::Refuted;
+                result.source = fresh.source;
+                result.trace = std::move(fresh.trace);
+                result.validated = true;
+                result.validationNote =
+                    "proof re-check refuted the property with a "
+                    "replayable counterexample; Proven verdict "
+                    "discarded";
+            } else {
+                degradeToValidationFailure(
+                    result,
+                    strfmt("proof re-check disagreed (Refuted) but "
+                           "its counterexample failed replay.\n"
+                           "re-check replay diagnostics:\n%s",
+                           rep.note.c_str()));
+            }
+            break;
+          }
+        }
+        break;
+      }
+    }
+    result.validateSeconds += vtimer.seconds();
+}
+
+void
+Engine::postProcess(size_t index, const Query &query,
+                    CheckResult &result)
+{
+    if (eopts_.faultHook)
+        eopts_.faultHook(query, result, SolveStage::Primary);
+
+    if (eopts_.validate != ValidateMode::Off) {
+        bool recheck_proof = false;
+        switch (eopts_.validate) {
+          case ValidateMode::Off:
+          case ValidateMode::Replay:
+            break;
+          case ValidateMode::Sample:
+            recheck_proof =
+                index % std::max(1u, eopts_.validateSampleN) == 0;
+            break;
+          case ValidateMode::Full:
+            recheck_proof = true;
+            break;
+        }
+        validateResult(query, result, recheck_proof);
+    }
+
+    if (eopts_.journal && eopts_.journal->isOpen() &&
+        result.verdict != Verdict::Unknown) {
+        Journal::Record rec;
+        rec.key = journalKey(query.name, result.bound);
+        rec.name = query.name;
+        rec.verdict = result.verdict;
+        rec.source = result.source;
+        rec.validated = result.validated;
+        rec.bound = result.bound;
+        rec.retries = result.retries;
+        rec.seconds = result.seconds;
+        rec.conflicts = result.conflicts;
+        rec.propagations = result.propagations;
+        result.journaled = eopts_.journal->append(rec);
+    }
+}
+
+void
+Engine::resolveFromJournal(const std::vector<Query> &batch,
+                           std::vector<CheckResult> &results,
+                           std::vector<char> &done)
+{
+    Journal *journal = eopts_.journal;
+    if (!journal || journal->numLoaded() == 0)
+        return;
+    for (size_t i = 0; i < batch.size(); i++) {
+        const Journal::Record *rec =
+            journal->lookup(journalKey(batch[i].name, batch[i].bound));
+        if (!rec)
+            continue;
+        CheckResult r;
+        r.verdict = rec->verdict;
+        r.source = rec->source;
+        r.bound = rec->bound;
+        r.retries = rec->retries;
+        r.seconds = rec->seconds;
+        r.conflicts = rec->conflicts;
+        r.propagations = rec->propagations;
+        r.validated = rec->validated;
+        r.fromJournal = true;
+        if (r.verdict == Verdict::Refuted)
+            r.validationNote = "verdict resumed from journal; the "
+                               "counterexample trace is not stored";
+        fillCoiStats(batch[i], r);
+        results[i] = std::move(r);
+        done[i] = 1;
+    }
+}
+
 CheckResult
 Engine::runIncremental(Worker &worker, const Query &query)
 {
@@ -315,19 +590,44 @@ Engine::drain()
         return results;
     stats_.queries += batch.size();
 
+    // Resume: queries with a journaled (already-validated) verdict are
+    // answered up front, single-threaded, and never dispatched.
+    std::vector<char> done(batch.size(), 0);
+    resolveFromJournal(batch, results, done);
+
+    auto accumulate = [this](const CheckResult &r) {
+        stats_.cnfVarsAdded += r.cnfVarsAdded;
+        stats_.cnfClausesAdded += r.cnfClausesAdded;
+        stats_.retries += r.retries;
+        if (r.verdict == Verdict::Unknown)
+            stats_.unknowns++;
+        stats_.replays += r.replays;
+        stats_.proofRechecks += r.proofRechecks;
+        stats_.recheckInconclusive += r.recheckInconclusive;
+        stats_.validationMismatches += r.validationMismatches;
+        if (r.source == VerdictSource::ValidationFailed)
+            stats_.validationFailures++;
+        if (r.fromJournal)
+            stats_.journalHits++;
+        if (r.journaled)
+            stats_.journalAppends++;
+        stats_.replaySeconds += r.replaySeconds;
+        stats_.recheckSeconds += r.recheckSeconds;
+        stats_.validateSeconds += r.validateSeconds;
+    };
+
     if (jobs_ == 1) {
         // Reference path: fresh solver + unroller per query, exactly
         // the classic checkProperty() behavior.
-        for (size_t i = 0; i < batch.size(); i++)
+        for (size_t i = 0; i < batch.size(); i++) {
+            if (done[i])
+                continue;
             results[i] = runFresh(batch[i]);
-        stats_.contexts += batch.size();
-        for (const CheckResult &r : results) {
-            stats_.cnfVarsAdded += r.cnfVarsAdded;
-            stats_.cnfClausesAdded += r.cnfClausesAdded;
-            stats_.retries += r.retries;
-            if (r.verdict == Verdict::Unknown)
-                stats_.unknowns++;
+            postProcess(i, batch[i], results[i]);
+            stats_.contexts++;
         }
+        for (const CheckResult &r : results)
+            accumulate(r);
         return results;
     }
 
@@ -345,9 +645,12 @@ Engine::drain()
 
     std::vector<std::exception_ptr> errors(batch.size());
     for (size_t i = 0; i < batch.size(); i++) {
+        if (done[i])
+            continue;
         pool_->submit([this, &batch, &results, &errors, i](unsigned w) {
             try {
                 results[i] = runIncremental(*workers_[w], batch[i]);
+                postProcess(i, batch[i], results[i]);
             } catch (...) {
                 errors[i] = std::current_exception();
             }
@@ -359,13 +662,8 @@ Engine::drain()
     for (const auto &w : workers_)
         stats_.contexts += w->contexts_built;
     stats_.steals = pool_->steals();
-    for (const CheckResult &r : results) {
-        stats_.cnfVarsAdded += r.cnfVarsAdded;
-        stats_.cnfClausesAdded += r.cnfClausesAdded;
-        stats_.retries += r.retries;
-        if (r.verdict == Verdict::Unknown)
-            stats_.unknowns++;
-    }
+    for (const CheckResult &r : results)
+        accumulate(r);
 
     for (size_t i = 0; i < batch.size(); i++)
         if (errors[i])

@@ -32,11 +32,36 @@
 #include <string>
 
 #include "bmc/checker.hh"
+#include "bmc/journal.hh"
 #include "common/thread_pool.hh"
 #include "netlist/coi.hh"
 
 namespace r2u::bmc
 {
+
+struct Query;
+
+/**
+ * How much independent cross-checking each definite verdict gets
+ * (trust-but-verify; see bmc/validate.hh):
+ *  - Off: verdicts are taken at face value.
+ *  - Replay: every Refuted verdict's counterexample is replayed
+ *    through sim::Simulator and a fresh pinned monitor context.
+ *  - Sample: Replay, plus every Nth Proven verdict (by batch index,
+ *    deterministic) is re-solved in a fresh non-incremental context.
+ *  - Full: Replay, plus *every* Proven verdict is re-solved.
+ */
+enum class ValidateMode : uint8_t { Off, Replay, Sample, Full };
+
+const char *validateModeName(ValidateMode mode);
+
+/**
+ * Which solve a fault-injection hook is intercepting: the primary
+ * (possibly incremental) solve, or a quarantine/re-check fresh solve.
+ * Test seam only — lets tests corrupt a verdict or trace at a precise
+ * point and prove the validation layer catches it.
+ */
+enum class SolveStage : uint8_t { Primary, Quarantine };
 
 struct EngineOptions
 {
@@ -67,6 +92,37 @@ struct EngineOptions
     double retryEscalation = 0.0;
     /** Maximum escalated retries per query. */
     unsigned maxRetries = 3;
+
+    /**
+     * Verdict validation policy. The default replays every
+     * counterexample (cheap — one simulator run + one pinned solve on
+     * an already-satisfiable cone) and spot-checks a deterministic
+     * sample of proofs. See ValidateMode.
+     */
+    ValidateMode validate = ValidateMode::Sample;
+    /** Sample mode: re-check every Nth Proven verdict (min 1). */
+    unsigned validateSampleN = 8;
+    /**
+     * Optional crash-safe run journal (owned by the caller, must
+     * outlive the engine). Definite verdicts are appended after
+     * validation; journaled queries found at drain() time are answered
+     * without solving. nullptr disables journaling.
+     */
+    Journal *journal = nullptr;
+    /**
+     * When non-empty, each refutation's replayed trace is dumped as a
+     * VCD waveform under this directory (created on demand) with a
+     * deterministic per-query filename.
+     */
+    std::string cexVcdDir;
+    /**
+     * Fault-injection test seam: called after the primary solve and
+     * after every quarantine/re-check solve, free to corrupt the
+     * result in place. Must be thread-safe at jobs > 1. Production
+     * runs leave this empty.
+     */
+    std::function<void(const Query &, CheckResult &, SolveStage)>
+        faultHook;
 };
 
 /** One property query in a batch. */
@@ -104,6 +160,26 @@ struct EngineStats
     uint64_t retries = 0;
     /** Queries whose final verdict stayed Unknown. */
     uint64_t unknowns = 0;
+
+    // --- trust-but-verify validation (see ValidateMode) ---
+    /** Counterexample replays (sim + pinned monitor re-check). */
+    uint64_t replays = 0;
+    /** Fresh non-incremental proof re-solves. */
+    uint64_t proofRechecks = 0;
+    /** Proof re-checks that came back Unknown (primary verdict kept). */
+    uint64_t recheckInconclusive = 0;
+    /** Primary-vs-validation disagreements (quarantined). */
+    uint64_t validationMismatches = 0;
+    /** Verdicts degraded to Unknown(ValidationFailed). */
+    uint64_t validationFailures = 0;
+    /** Queries answered from the resume journal without solving. */
+    uint64_t journalHits = 0;
+    /** Verdicts durably appended to the journal this run. */
+    uint64_t journalAppends = 0;
+    double replaySeconds = 0.0;
+    double recheckSeconds = 0.0;
+    /** Total validation wall time (replays + re-checks + policy). */
+    double validateSeconds = 0.0;
 };
 
 class Engine
@@ -159,6 +235,28 @@ class Engine
     CheckResult runIncremental(Worker &worker, const Query &query);
     CheckResult runFresh(const Query &query);
     void fillCoiStats(const Query &query, CheckResult &result) const;
+
+    /**
+     * Everything between "the solver answered" and "the caller sees
+     * the result": fault-injection seam, verdict validation per
+     * EngineOptions::validate (with quarantine + degradation on
+     * mismatch), and the journal append. Thread-safe; runs on the
+     * worker that solved the query.
+     */
+    void postProcess(size_t index, const Query &query,
+                     CheckResult &result);
+    /** @p recheck_proof: spot-check this Proven verdict too? */
+    void validateResult(const Query &query, CheckResult &result,
+                        bool recheck_proof);
+    /** Fresh, non-incremental re-solve of a query (quarantine path). */
+    CheckResult quarantineSolve(const Query &query);
+    /** Deterministic VCD path for a query's counterexample ("" if
+     *  --cex-vcd is off). */
+    std::string vcdPathFor(const Query &query) const;
+    /** Answer journaled queries in-place; marks them done. */
+    void resolveFromJournal(const std::vector<Query> &batch,
+                            std::vector<CheckResult> &results,
+                            std::vector<char> &done);
 
     /** retryEscalation^attempt (1.0 when escalation is disabled). */
     double escFactor(unsigned attempt) const;

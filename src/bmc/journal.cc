@@ -1,0 +1,267 @@
+#include "bmc/journal.hh"
+
+#include <cstring>
+#include <vector>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "common/logging.hh"
+
+namespace r2u::bmc
+{
+
+namespace
+{
+
+constexpr char kMagic[4] = {'R', '2', 'U', 'J'};
+constexpr uint32_t kVersion = 1;
+constexpr size_t kHeaderSize = 4 + sizeof(uint32_t) + sizeof(uint64_t);
+/** payload bytes before the variable-length name */
+constexpr size_t kFixedPayload = 8 + 4 + 4 + 4 + 8 + 8 + 8 + 4;
+constexpr uint8_t kFlagValidated = 0x01;
+
+uint64_t
+fnv1a(const uint8_t *data, size_t n, uint64_t h = 14695981039346656037ull)
+{
+    for (size_t i = 0; i < n; i++) {
+        h ^= data[i];
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+template <typename T>
+void
+put(std::vector<uint8_t> &buf, T v)
+{
+    uint8_t raw[sizeof(T)];
+    std::memcpy(raw, &v, sizeof(T));
+    buf.insert(buf.end(), raw, raw + sizeof(T));
+}
+
+template <typename T>
+T
+get(const uint8_t *&p)
+{
+    T v;
+    std::memcpy(&v, p, sizeof(T));
+    p += sizeof(T);
+    return v;
+}
+
+bool
+writeAll(int fd, const uint8_t *data, size_t n)
+{
+    while (n > 0) {
+        ssize_t w = ::write(fd, data, n);
+        if (w < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        data += w;
+        n -= static_cast<size_t>(w);
+    }
+    return true;
+}
+
+std::vector<uint8_t>
+encodePayload(const Journal::Record &rec)
+{
+    std::vector<uint8_t> p;
+    p.reserve(kFixedPayload + rec.name.size());
+    put<uint64_t>(p, rec.key);
+    put<uint8_t>(p, static_cast<uint8_t>(rec.verdict));
+    put<uint8_t>(p, static_cast<uint8_t>(rec.source));
+    put<uint8_t>(p, rec.validated ? kFlagValidated : 0);
+    put<uint8_t>(p, 0); // pad
+    put<uint32_t>(p, rec.bound);
+    put<uint32_t>(p, rec.retries);
+    put<double>(p, rec.seconds);
+    put<uint64_t>(p, rec.conflicts);
+    put<uint64_t>(p, rec.propagations);
+    put<uint32_t>(p, static_cast<uint32_t>(rec.name.size()));
+    p.insert(p.end(), rec.name.begin(), rec.name.end());
+    return p;
+}
+
+bool
+decodePayload(const uint8_t *data, size_t n, Journal::Record &rec)
+{
+    if (n < kFixedPayload)
+        return false;
+    const uint8_t *p = data;
+    rec.key = get<uint64_t>(p);
+    uint8_t verdict = get<uint8_t>(p);
+    uint8_t source = get<uint8_t>(p);
+    uint8_t flags = get<uint8_t>(p);
+    get<uint8_t>(p); // pad
+    rec.bound = get<uint32_t>(p);
+    rec.retries = get<uint32_t>(p);
+    rec.seconds = get<double>(p);
+    rec.conflicts = get<uint64_t>(p);
+    rec.propagations = get<uint64_t>(p);
+    uint32_t name_len = get<uint32_t>(p);
+    if (verdict > static_cast<uint8_t>(Verdict::Unknown) ||
+        source > static_cast<uint8_t>(VerdictSource::ValidationFailed))
+        return false;
+    if (n != kFixedPayload + name_len)
+        return false;
+    rec.verdict = static_cast<Verdict>(verdict);
+    rec.source = static_cast<VerdictSource>(source);
+    rec.validated = (flags & kFlagValidated) != 0;
+    rec.name.assign(reinterpret_cast<const char *>(p), name_len);
+    return true;
+}
+
+} // namespace
+
+uint64_t
+journalKey(const std::string &name, unsigned bound)
+{
+    uint64_t h = fnv1a(
+        reinterpret_cast<const uint8_t *>(name.data()), name.size());
+    uint32_t b = bound;
+    return fnv1a(reinterpret_cast<const uint8_t *>(&b), sizeof(b), h);
+}
+
+Journal::~Journal()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+void
+Journal::open(const std::string &path, uint64_t config_hash,
+              bool resume)
+{
+    R2U_ASSERT(fd_ < 0, "journal already open");
+    path_ = path;
+
+    if (resume) {
+        // Load whatever survives; stop at the first record that does
+        // not parse or whose checksum disagrees — everything after a
+        // torn write is suspect by construction (appends are ordered).
+        int rfd = ::open(path.c_str(), O_RDONLY);
+        off_t good = 0;
+        if (rfd >= 0) {
+            std::vector<uint8_t> file;
+            uint8_t chunk[1 << 16];
+            ssize_t n;
+            while ((n = ::read(rfd, chunk, sizeof(chunk))) > 0)
+                file.insert(file.end(), chunk, chunk + n);
+            ::close(rfd);
+
+            if (file.size() >= kHeaderSize) {
+                const uint8_t *p = file.data();
+                if (std::memcmp(p, kMagic, 4) != 0)
+                    fatal("journal %s: bad magic", path.c_str());
+                p += 4;
+                uint32_t version = get<uint32_t>(p);
+                if (version != kVersion)
+                    fatal("journal %s: version %u (expected %u)",
+                          path.c_str(), version, kVersion);
+                uint64_t hash = get<uint64_t>(p);
+                if (hash != config_hash)
+                    fatal("journal %s: config hash mismatch "
+                          "(%llx vs %llx) — produced by a different "
+                          "design/bound/unroll configuration",
+                          path.c_str(),
+                          static_cast<unsigned long long>(hash),
+                          static_cast<unsigned long long>(config_hash));
+                good = static_cast<off_t>(kHeaderSize);
+                size_t off = kHeaderSize;
+                while (off + sizeof(uint32_t) + sizeof(uint64_t) <=
+                       file.size()) {
+                    const uint8_t *rp = file.data() + off;
+                    uint32_t len = get<uint32_t>(rp);
+                    uint64_t sum = get<uint64_t>(rp);
+                    size_t total =
+                        sizeof(uint32_t) + sizeof(uint64_t) + len;
+                    if (off + total > file.size())
+                        break; // truncated tail
+                    if (fnv1a(rp, len) != sum)
+                        break; // corrupt record; drop it and the rest
+                    Record rec;
+                    if (!decodePayload(rp, len, rec))
+                        break;
+                    loaded_[rec.key] = std::move(rec);
+                    off += total;
+                    good = static_cast<off_t>(off);
+                }
+                if (good != static_cast<off_t>(file.size()))
+                    warn("journal %s: dropping %zu torn/corrupt tail "
+                         "bytes (%zu valid records)",
+                         path.c_str(),
+                         file.size() - static_cast<size_t>(good),
+                         loaded_.size());
+            } else if (!file.empty()) {
+                fatal("journal %s: shorter than its header",
+                      path.c_str());
+            }
+        }
+        fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT, 0644);
+        if (fd_ < 0)
+            fatal("journal %s: open failed: %s", path.c_str(),
+                  strerror(errno));
+        if (good > 0) {
+            if (::ftruncate(fd_, good) != 0)
+                fatal("journal %s: truncate failed: %s", path.c_str(),
+                      strerror(errno));
+            if (::lseek(fd_, good, SEEK_SET) < 0)
+                fatal("journal %s: seek failed: %s", path.c_str(),
+                      strerror(errno));
+            return;
+        }
+        // Empty or absent file: fall through to write a fresh header.
+        if (::ftruncate(fd_, 0) != 0)
+            fatal("journal %s: truncate failed: %s", path.c_str(),
+                  strerror(errno));
+    } else {
+        fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+        if (fd_ < 0)
+            fatal("journal %s: open failed: %s", path.c_str(),
+                  strerror(errno));
+    }
+
+    std::vector<uint8_t> hdr;
+    hdr.insert(hdr.end(), kMagic, kMagic + 4);
+    put<uint32_t>(hdr, kVersion);
+    put<uint64_t>(hdr, config_hash);
+    if (!writeAll(fd_, hdr.data(), hdr.size()) || ::fsync(fd_) != 0)
+        fatal("journal %s: header write failed: %s", path.c_str(),
+              strerror(errno));
+}
+
+const Journal::Record *
+Journal::lookup(uint64_t key) const
+{
+    auto it = loaded_.find(key);
+    return it == loaded_.end() ? nullptr : &it->second;
+}
+
+bool
+Journal::append(const Record &rec)
+{
+    R2U_ASSERT(fd_ >= 0, "append on a closed journal");
+    std::vector<uint8_t> payload = encodePayload(rec);
+    std::vector<uint8_t> frame;
+    frame.reserve(sizeof(uint32_t) + sizeof(uint64_t) + payload.size());
+    put<uint32_t>(frame, static_cast<uint32_t>(payload.size()));
+    put<uint64_t>(frame, fnv1a(payload.data(), payload.size()));
+    frame.insert(frame.end(), payload.begin(), payload.end());
+
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!writeAll(fd_, frame.data(), frame.size()) ||
+        ::fsync(fd_) != 0) {
+        warn("journal %s: append failed: %s — run continues without "
+             "resumability for this record",
+             path_.c_str(), strerror(errno));
+        return false;
+    }
+    appended_++;
+    return true;
+}
+
+} // namespace r2u::bmc

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Crash-safe append-only run journal for validated BMC verdicts.
+ *
+ * A synthesis run that is killed mid-flight loses hours of solver
+ * work; the journal makes every *validated* definite verdict durable
+ * the moment it is produced. Records are appended with write()+fsync()
+ * under a mutex, each carrying its own FNV-1a checksum, so a crash at
+ * any byte offset leaves at worst one torn record at the tail — the
+ * loader detects it, drops it, and truncates the file back to the last
+ * good offset. On --resume the engine answers journaled queries
+ * without re-solving them.
+ *
+ * Format (all little-endian, native widths — the journal is a local
+ * restart aid, not an interchange format):
+ *
+ *   header:  "R2UJ"  u32 version  u64 configHash
+ *   record:  u32 payloadLen  u64 fnv1a(payload)  payload
+ *   payload: u64 key  u8 verdict  u8 source  u8 flags  u8 pad
+ *            u32 bound  u32 retries  f64 seconds
+ *            u64 conflicts  u64 propagations
+ *            u32 nameLen  name bytes
+ *
+ * flags bit0 = verdict was independently validated. configHash binds
+ * the journal to the producing configuration (netlist shape, bound,
+ * unroll mode — NOT --jobs: a run may resume at any parallelism).
+ * Only Proven/Refuted verdicts are journaled; Unknowns are cheap to
+ * reproduce and may resolve differently under different budgets.
+ * Traces are not stored — a resumed Refuted verdict re-solves only if
+ * its consumer needs the counterexample (synthesis keeps the verdict).
+ */
+
+#ifndef R2U_BMC_JOURNAL_HH
+#define R2U_BMC_JOURNAL_HH
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "bmc/checker.hh"
+
+namespace r2u::bmc
+{
+
+/** FNV-1a over a query's identity; the journal's lookup key. */
+uint64_t journalKey(const std::string &name, unsigned bound);
+
+class Journal
+{
+  public:
+    struct Record
+    {
+        uint64_t key = 0;
+        std::string name;
+        Verdict verdict = Verdict::Unknown;
+        VerdictSource source = VerdictSource::Solve;
+        bool validated = false;
+        unsigned bound = 0;
+        unsigned retries = 0;
+        double seconds = 0.0;
+        uint64_t conflicts = 0;
+        uint64_t propagations = 0;
+    };
+
+    Journal() = default;
+    ~Journal();
+
+    Journal(const Journal &) = delete;
+    Journal &operator=(const Journal &) = delete;
+
+    /**
+     * Open (creating if absent) a journal bound to @p config_hash.
+     * With @p resume, existing records are loaded for lookup() and any
+     * torn tail is truncated away; without it an existing file is
+     * truncated to empty (a fresh run must not inherit stale
+     * verdicts). fatal() on I/O errors or a resume config-hash
+     * mismatch (a journal from a different design/bound/unroll mode
+     * must never answer this run's queries).
+     */
+    void open(const std::string &path, uint64_t config_hash,
+              bool resume);
+
+    bool isOpen() const { return fd_ >= 0; }
+
+    /** Records loaded from disk at open(resume=true) time. */
+    size_t numLoaded() const { return loaded_.size(); }
+
+    /** Look up a previously journaled verdict. nullptr if absent. */
+    const Record *lookup(uint64_t key) const;
+
+    /**
+     * Durably append one validated verdict (write + fsync under a
+     * mutex; safe from worker threads). Returns false (after a warn)
+     * on I/O failure — the run continues, it just loses resumability.
+     */
+    bool append(const Record &rec);
+
+    /** Records appended by *this* process (excludes loaded ones). */
+    size_t numAppended() const { return appended_; }
+
+  private:
+    int fd_ = -1;
+    std::string path_;
+    std::mutex mu_;
+    std::unordered_map<uint64_t, Record> loaded_;
+    size_t appended_ = 0;
+};
+
+} // namespace r2u::bmc
+
+#endif // R2U_BMC_JOURNAL_HH

@@ -249,13 +249,26 @@ Unroller::buildWire(unsigned f, CellId id)
       case CellKind::Const:
         out = cnf_.constWord(c.value);
         break;
-      case CellKind::Input:
-        out = cnf_.freshWord(c.width);
+      case CellKind::Input: {
+        const Bits *pin = nullptr;
+        if (f < options_.inputValues.size()) {
+            auto it = options_.inputValues[f].find(id);
+            if (it != options_.inputValues[f].end())
+                pin = &it->second;
+        }
+        out = pin ? cnf_.constWord(*pin) : cnf_.freshWord(c.width);
         break;
+      }
       case CellKind::Dff:
         if (f == 0) {
-            out = options_.concreteInit ? cnf_.constWord(c.value)
-                                        : cnf_.freshWord(c.width);
+            if (options_.concreteInit) {
+                out = cnf_.constWord(c.value);
+            } else {
+                auto it = options_.regInit.find(id);
+                out = it != options_.regInit.end()
+                          ? cnf_.constWord(it->second)
+                          : cnf_.freshWord(c.width);
+            }
         } else {
             const Word &d = wires_[f - 1][c.inputs[0]];
             const Word &q = wires_[f - 1][id];

@@ -52,6 +52,20 @@ class Unroller
         std::set<nl::MemId> symbolicMems;
         /** Concrete initial contents overriding the netlist defaults. */
         std::map<nl::MemId, std::vector<Bits>> memInit;
+        /**
+         * Concrete per-frame input overrides: inputValues[frame][cell]
+         * builds that input as a constant word instead of fresh
+         * variables. Used by counterexample replay (bmc/validate): a
+         * fully pinned cone constant-folds through the CnfBuilder, so
+         * re-evaluating a monitor over a concrete trace costs almost
+         * nothing. Inputs without an override stay symbolic.
+         */
+        std::vector<std::map<nl::CellId, Bits>> inputValues;
+        /**
+         * Concrete frame-0 register overrides, honored when the
+         * initial state is symbolic (!concreteInit). Same replay use.
+         */
+        std::map<nl::CellId, Bits> regInit;
     };
 
     /** Construction-effort counters (what the laziness saved). */
@@ -67,6 +81,7 @@ class Unroller
 
     sat::CnfBuilder &cnf() { return cnf_; }
     const nl::Netlist &netlist() const { return nl_; }
+    const Options &options() const { return options_; }
 
     /**
      * Make frames 0..n-1 addressable. Eager mode builds them fully;

@@ -1,0 +1,247 @@
+#include "bmc/validate.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/strutil.hh"
+#include "common/timer.hh"
+#include "sim/simulator.hh"
+#include "sim/vcd.hh"
+
+namespace r2u::bmc
+{
+
+namespace
+{
+
+/** Resolve a watched name: design signal map first (SVA-visible
+ *  aliases), then raw netlist names. kNoCell if neither knows it. */
+nl::CellId
+resolveSignal(const nl::Netlist &nl,
+              const std::unordered_map<std::string, nl::CellId> &signals,
+              const std::string &name)
+{
+    auto it = signals.find(name);
+    if (it != signals.end())
+        return it->second;
+    return nl.findByName(name);
+}
+
+/** Parse a TraceStep::memReads key ("memname#port"). */
+bool
+parseMemReadKey(const std::string &key, std::string &mem_name,
+                size_t &port)
+{
+    size_t hash = key.rfind('#');
+    if (hash == std::string::npos || hash + 1 >= key.size())
+        return false;
+    mem_name = key.substr(0, hash);
+    try {
+        port = std::stoul(key.substr(hash + 1));
+    } catch (...) {
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+ReplayResult
+replayTrace(const nl::Netlist &netlist,
+            const std::unordered_map<std::string, nl::CellId> &signals,
+            const Unroller::Options &options, unsigned bound,
+            const PropertyFn &prop, const Trace &trace,
+            const std::string &vcd_path)
+{
+    Timer timer;
+    ReplayResult res;
+
+    if (trace.steps.size() != bound) {
+        res.note = strfmt("trace has %zu steps but bound is %u",
+                          trace.steps.size(), bound);
+        res.seconds = timer.seconds();
+        return res;
+    }
+
+    // --- part 1: concrete replay through the reference simulator ---
+    sim::Simulator sim(netlist);
+    sim.reset();
+
+    // Initial state: memInit overrides first (the BMC side saw them as
+    // constants), then the model's symbolic-initial-state choices from
+    // the trace (which subsume any overridden words they cover).
+    for (const auto &[mem, words] : options.memInit) {
+        const nl::Memory &m = netlist.memory(mem);
+        for (unsigned a = 0; a < m.depth && a < words.size(); a++)
+            sim.pokeMem(mem, a, words[a]);
+    }
+    for (const auto &[mem_name, words] : trace.initMems) {
+        nl::MemId mem = netlist.findMemoryByName(mem_name);
+        if (mem < 0) {
+            res.note = strfmt("trace initMems names unknown memory "
+                              "'%s'", mem_name.c_str());
+            res.seconds = timer.seconds();
+            return res;
+        }
+        const nl::Memory &m = netlist.memory(mem);
+        for (unsigned a = 0; a < m.depth && a < words.size(); a++)
+            sim.pokeMem(mem, a, words[a]);
+    }
+    for (const auto &[reg_name, bits] : trace.initRegs) {
+        nl::CellId d = netlist.findByName(reg_name);
+        if (d == nl::kNoCell) {
+            res.note = strfmt("trace initRegs names unknown register "
+                              "'%s'", reg_name.c_str());
+            res.seconds = timer.seconds();
+            return res;
+        }
+        sim.pokeDff(d, bits);
+    }
+
+    // Optional waveform: watched signals, watched memory-port reads,
+    // and every input the trace drives, deduplicated.
+    std::vector<nl::CellId> vcd_cells;
+    auto addVcdCell = [&](nl::CellId id) {
+        if (id == nl::kNoCell)
+            return;
+        if (std::find(vcd_cells.begin(), vcd_cells.end(), id) ==
+            vcd_cells.end())
+            vcd_cells.push_back(id);
+    };
+    if (!vcd_path.empty()) {
+        for (const auto &step : trace.steps) {
+            for (const auto &[name, bits] : step.signals)
+                addVcdCell(resolveSignal(netlist, signals, name));
+            for (const auto &[key, bits] : step.memReads) {
+                std::string mem_name;
+                size_t port = 0;
+                if (!parseMemReadKey(key, mem_name, port))
+                    continue;
+                nl::MemId mem = netlist.findMemoryByName(mem_name);
+                if (mem < 0)
+                    continue;
+                const auto &ports = netlist.memory(mem).readPorts;
+                if (port < ports.size())
+                    addVcdCell(ports[port]);
+            }
+        }
+        for (const auto &frame : trace.inputs)
+            for (const auto &[name, bits] : frame)
+                addVcdCell(netlist.findByName(name));
+    }
+    sim::VcdWriter vcd(sim, vcd_cells);
+
+    std::string sim_note;
+    unsigned sim_mismatches = 0;
+    for (unsigned f = 0; f < bound; f++) {
+        if (f < trace.inputs.size())
+            for (const auto &[name, bits] : trace.inputs[f])
+                sim.setInput(name, bits);
+
+        const TraceStep &step = trace.steps[f];
+        for (const auto &[name, bits] : step.signals) {
+            nl::CellId id = resolveSignal(netlist, signals, name);
+            if (id == nl::kNoCell) {
+                sim_mismatches++;
+                sim_note += strfmt("  frame %u: unknown signal '%s'\n",
+                                   f, name.c_str());
+                continue;
+            }
+            const Bits &got = sim.value(id);
+            if (!(got == bits)) {
+                sim_mismatches++;
+                sim_note += strfmt(
+                    "  frame %u: %s = %s in trace, %s in sim\n", f,
+                    name.c_str(), bits.toHexString().c_str(),
+                    got.toHexString().c_str());
+            }
+        }
+        for (const auto &[key, bits] : step.memReads) {
+            std::string mem_name;
+            size_t port = 0;
+            nl::CellId id = nl::kNoCell;
+            if (parseMemReadKey(key, mem_name, port)) {
+                nl::MemId mem = netlist.findMemoryByName(mem_name);
+                if (mem >= 0 &&
+                    port < netlist.memory(mem).readPorts.size())
+                    id = netlist.memory(mem).readPorts[port];
+            }
+            if (id == nl::kNoCell) {
+                sim_mismatches++;
+                sim_note += strfmt(
+                    "  frame %u: unresolvable mem read '%s'\n", f,
+                    key.c_str());
+                continue;
+            }
+            const Bits &got = sim.value(id);
+            if (!(got == bits)) {
+                sim_mismatches++;
+                sim_note += strfmt(
+                    "  frame %u: %s = %s in trace, %s in sim\n", f,
+                    key.c_str(), bits.toHexString().c_str(),
+                    got.toHexString().c_str());
+            }
+        }
+        if (!vcd_path.empty())
+            vcd.sample();
+        sim.step();
+    }
+    res.simOk = sim_mismatches == 0;
+    if (!res.simOk)
+        res.note += strfmt("simulator replay: %u mismatched values\n",
+                           sim_mismatches) + sim_note;
+
+    if (!vcd_path.empty())
+        vcd.writeTo(vcd_path);
+
+    // --- part 2: monitor re-check in a fresh pinned context ---
+    // Rebuild the property from scratch (no shared CNF, no activation
+    // literals) in a context whose inputs and initial state are the
+    // trace's concrete values, built as *constants*: the circuit cone
+    // constant-folds through the CnfBuilder, so this costs a tiny
+    // fraction of the original solve. Only the monitor's own free
+    // variables (rigid instruction bindings etc.) are left for the
+    // solver; SAT means the concrete execution genuinely violates the
+    // property.
+    {
+        Unroller::Options ropts = options;
+        ropts.inputValues.assign(bound, {});
+        for (unsigned f = 0; f < bound && f < trace.inputs.size();
+             f++) {
+            for (const auto &[name, bits] : trace.inputs[f]) {
+                nl::CellId in = netlist.findByName(name);
+                if (in != nl::kNoCell)
+                    ropts.inputValues[f][in] = bits;
+            }
+        }
+        for (const auto &[reg_name, bits] : trace.initRegs) {
+            nl::CellId d = netlist.findByName(reg_name);
+            if (d != nl::kNoCell)
+                ropts.regInit[d] = bits;
+        }
+        for (const auto &[mem_name, words] : trace.initMems) {
+            nl::MemId mem = netlist.findMemoryByName(mem_name);
+            if (mem >= 0)
+                ropts.memInit[mem] = words; // whole-array constant
+        }
+
+        PropCtx ctx(netlist, signals, std::move(ropts), bound);
+        sat::Lit bad = prop(ctx);
+        ctx.assume(bad);
+        sat::Result r = ctx.solver().solve();
+        res.monitorOk = r == sat::Result::Sat;
+        if (!res.monitorOk)
+            res.note += strfmt(
+                "monitor re-check: violation %s under the pinned "
+                "trace (cnf %lld vars, %lld clauses)\n",
+                r == sat::Result::Unsat ? "UNSAT" : "inconclusive",
+                static_cast<long long>(ctx.solver().numVars()),
+                static_cast<long long>(ctx.solver().numClauses()));
+    }
+
+    res.ok = res.simOk && res.monitorOk;
+    res.seconds = timer.seconds();
+    return res;
+}
+
+} // namespace r2u::bmc

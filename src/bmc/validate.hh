@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Independent validation of BMC verdicts (trust-but-verify).
+ *
+ * A Refuted verdict is only as trustworthy as the solver + incremental
+ * machinery that produced it. replayTrace() re-derives the evidence
+ * two independent ways:
+ *
+ *  1. Concrete replay: the counterexample's input valuations and
+ *     symbolic-initial-state choices are fed to sim::Simulator (the
+ *     reference netlist semantics, no SAT involved) and every watched
+ *     signal / memory-port read is compared frame by frame.
+ *  2. Monitor re-check: the property is rebuilt in a brand-new
+ *     non-incremental solver context (no shared clauses, no
+ *     activation literals), every captured input/init value is pinned
+ *     to its concrete trace value, and the violation literal is
+ *     solved. SAT here means the concrete execution genuinely
+ *     violates the property; UNSAT means the "counterexample" does
+ *     not refute anything.
+ *
+ * Both must agree for a trace to count as validated. The same module
+ * optionally dumps the replayed execution as a VCD file (the
+ * JasperGold-style debugging companion).
+ */
+
+#ifndef R2U_BMC_VALIDATE_HH
+#define R2U_BMC_VALIDATE_HH
+
+#include <string>
+#include <unordered_map>
+
+#include "bmc/checker.hh"
+
+namespace r2u::bmc
+{
+
+struct ReplayResult
+{
+    /** simOk && monitorOk: the refutation stands on its own. */
+    bool ok = false;
+    /** Simulator agreed with every recorded signal/mem-read value. */
+    bool simOk = false;
+    /** Fresh pinned solver context confirmed the violation (SAT). */
+    bool monitorOk = false;
+    /** Human-readable mismatch diagnostics; empty when ok. */
+    std::string note;
+    double seconds = 0.0;
+};
+
+/**
+ * Replay a Refuted verdict's trace through the reference simulator
+ * and a fresh monitor context. @p vcd_path, when non-empty, receives
+ * the replayed execution as a VCD waveform (written regardless of the
+ * outcome — a failing replay is exactly when the waveform matters).
+ */
+ReplayResult replayTrace(
+    const nl::Netlist &netlist,
+    const std::unordered_map<std::string, nl::CellId> &signals,
+    const Unroller::Options &options, unsigned bound,
+    const PropertyFn &prop, const Trace &trace,
+    const std::string &vcd_path = "");
+
+} // namespace r2u::bmc
+
+#endif // R2U_BMC_VALIDATE_HH

@@ -53,6 +53,21 @@ class Synthesizer
         eopts.totalSeconds = opts.totalTimeoutSeconds;
         eopts.retryEscalation = opts.retryEscalation;
         eopts.maxRetries = opts.maxRetries;
+        validate_mode_ = bmc::validateModeName(opts.validate);
+        eopts.validate = opts.validate;
+        eopts.validateSampleN = opts.validateSampleN;
+        eopts.cexVcdDir = opts.cexVcdDir;
+        eopts.faultHook = opts.faultHook;
+        if (!opts.journalPath.empty()) {
+            journal_ = std::make_unique<bmc::Journal>();
+            journal_->open(opts.journalPath, configHash(),
+                           opts.resumeJournal);
+            if (opts.resumeJournal && journal_->numLoaded() > 0)
+                inform("rtl2uspec: resuming from journal %s "
+                       "(%zu validated verdicts)",
+                       opts.journalPath.c_str(), journal_->numLoaded());
+            eopts.journal = journal_.get();
+        }
         engine_ = std::make_unique<bmc::Engine>(
             nl_, design_.signalMap, unrollOptions(), md_.bound, eopts);
     }
@@ -75,6 +90,29 @@ class Synthesizer
         out_.jobs = engine_->jobs();
         out_.unrollContexts = engine_->stats().contexts;
         out_.fullUnroll = full_unroll_;
+        const bmc::EngineStats &estats = engine_->stats();
+        out_.validateMode = validate_mode_;
+        out_.replays = estats.replays;
+        out_.proofRechecks = estats.proofRechecks;
+        out_.recheckInconclusive = estats.recheckInconclusive;
+        out_.validationMismatches = estats.validationMismatches;
+        out_.validationFailures = estats.validationFailures;
+        out_.journalHits = estats.journalHits;
+        out_.journalAppends = estats.journalAppends;
+        out_.replaySeconds = estats.replaySeconds;
+        out_.recheckSeconds = estats.recheckSeconds;
+        out_.validateSeconds = estats.validateSeconds;
+        if (estats.replays > 0 || estats.proofRechecks > 0 ||
+            estats.journalHits > 0)
+            inform("rtl2uspec: validation (%s): %zu replay(s), "
+                   "%zu proof re-check(s), %zu mismatch(es), "
+                   "%zu journal hit(s), %.2fs",
+                   validate_mode_.c_str(),
+                   static_cast<size_t>(estats.replays),
+                   static_cast<size_t>(estats.proofRechecks),
+                   static_cast<size_t>(estats.validationMismatches),
+                   static_cast<size_t>(estats.journalHits),
+                   estats.validateSeconds);
         if (!out_.svas.empty()) {
             double vars = 0, clauses = 0;
             for (const SvaRecord &rec : out_.svas) {
@@ -205,6 +243,32 @@ class Synthesizer
         return opts;
     }
 
+    /**
+     * Binds a run journal to the verdict-relevant configuration:
+     * netlist shape, unroll bound, and unroll mode. Deliberately
+     * excludes --jobs and solver budgets — a journaled verdict is
+     * definite and validated, so it holds at any parallelism or
+     * budget. FNV-1a, same construction as bmc::journalKey.
+     */
+    uint64_t
+    configHash() const
+    {
+        uint64_t h = 14695981039346656037ull;
+        auto mix = [&h](uint64_t v) {
+            for (unsigned i = 0; i < 8; i++) {
+                h ^= (v >> (8 * i)) & 0xff;
+                h *= 1099511628211ull;
+            }
+        };
+        mix(nl_.numCells());
+        mix(nl_.numMemories());
+        mix(nl_.inputs().size());
+        mix(nl_.dffs().size());
+        mix(md_.bound);
+        mix(full_unroll_ ? 1 : 0);
+        return h;
+    }
+
     // ------------------------------------------------------------------
     // COI seed declaration: the state elements each SVA reads, used
     // for per-query cone-size reporting (the slicing itself happens
@@ -317,13 +381,20 @@ class Synthesizer
             rec.cnfVarsAdded = results[q].cnfVarsAdded;
             rec.cnfClausesAdded = results[q].cnfClausesAdded;
             rec.coiCells = results[q].coiCells;
+            rec.validated = results[q].validated;
+            rec.fromJournal = results[q].fromJournal;
             switch (results[q].verdict) {
               case Verdict::Refuted:
-                rec.trace = results[q].trace.toString();
+                rec.trace = results[q].fromJournal
+                                ? results[q].validationNote
+                                : results[q].trace.toString();
                 break;
               case Verdict::Proven:
                 break;
               case Verdict::Unknown:
+                // A validation failure carries its diagnostic bundle
+                // here; budget Unknowns have nothing to show.
+                rec.trace = results[q].validationNote;
                 break;
             }
             debugLog("SVA %-28s %-12s %.3fs", rec.name.c_str(),
@@ -1563,7 +1634,11 @@ class Synthesizer
     bool dataflow_proven_ = false;
     int hbis_ = 0;
     SynthesisResult out_;
+    std::string validate_mode_;
 
+    /** Crash-safe verdict journal; declared before engine_ so the
+     *  engine (which holds a raw pointer to it) dies first. */
+    std::unique_ptr<bmc::Journal> journal_;
     /** The BMC query engine serving every SVA in this run. */
     std::unique_ptr<bmc::Engine> engine_;
     /** Record indices of queries enqueued since the last flush. */
@@ -1611,6 +1686,22 @@ SynthesisResult::report() const
     out += strfmt("CNF per query (%s): %.0f vars / %.0f clauses mean\n",
                   fullUnroll ? "full unroll" : "COI-sliced",
                   meanCnfVars, meanCnfClauses);
+    if (validateMode != "off") {
+        out += strfmt(
+            "validation (%s): %zu replay(s), %zu proof re-check(s) "
+            "(%zu inconclusive), %zu mismatch(es), %zu degraded to "
+            "Unknown, %.3f s (replay %.3f s, re-check %.3f s)\n",
+            validateMode.c_str(), static_cast<size_t>(replays),
+            static_cast<size_t>(proofRechecks),
+            static_cast<size_t>(recheckInconclusive),
+            static_cast<size_t>(validationMismatches),
+            static_cast<size_t>(validationFailures), validateSeconds,
+            replaySeconds, recheckSeconds);
+    }
+    if (journalHits > 0 || journalAppends > 0)
+        out += strfmt("journal: %zu verdict(s) resumed, %zu appended\n",
+                      static_cast<size_t>(journalHits),
+                      static_cast<size_t>(journalAppends));
     if (unknownSvas > 0) {
         out += strfmt("undetermined SVAs: %zu (model degraded "
                       "conservatively; see notes below)\n",
@@ -1665,6 +1756,21 @@ SynthesisResult::jsonReport() const
         "  \"timings\": {\"static_s\": %.6f, \"proof_s\": %.6f, "
         "\"post_s\": %.6f, \"total_s\": %.6f},\n",
         staticSeconds, proofSeconds, postSeconds, totalSeconds);
+    out += strfmt(
+        "  \"validation\": {\"mode\": \"%s\", \"replays\": %zu, "
+        "\"proof_rechecks\": %zu, \"recheck_inconclusive\": %zu, "
+        "\"mismatches\": %zu, \"validation_failures\": %zu, "
+        "\"journal_hits\": %zu, \"journal_appends\": %zu, "
+        "\"replay_s\": %.6f, \"recheck_s\": %.6f, "
+        "\"validate_s\": %.6f},\n",
+        validateMode.c_str(), static_cast<size_t>(replays),
+        static_cast<size_t>(proofRechecks),
+        static_cast<size_t>(recheckInconclusive),
+        static_cast<size_t>(validationMismatches),
+        static_cast<size_t>(validationFailures),
+        static_cast<size_t>(journalHits),
+        static_cast<size_t>(journalAppends), replaySeconds,
+        recheckSeconds, validateSeconds);
     out += "  \"degraded\": [";
     for (size_t i = 0; i < degraded.size(); i++) {
         out += i ? ", " : "";
@@ -1680,13 +1786,16 @@ SynthesisResult::jsonReport() const
             "\"retries\": %u, \"seconds\": %.6f, "
             "\"conflicts\": %zu, \"propagations\": %zu, "
             "\"cnf_vars\": %zu, \"cnf_clauses\": %zu, "
+            "\"validated\": %s, \"from_journal\": %s, "
             "\"degraded\": %s%s%s%s}%s\n",
             jsonEscape(r.name).c_str(), r.category.c_str(),
             bmc::verdictName(r.verdict),
             bmc::verdictSourceName(r.source), r.retries, r.seconds,
             static_cast<size_t>(r.conflicts),
             static_cast<size_t>(r.propagations), r.cnfVars,
-            r.cnfClauses, r.degraded ? "true" : "false",
+            r.cnfClauses, r.validated ? "true" : "false",
+            r.fromJournal ? "true" : "false",
+            r.degraded ? "true" : "false",
             r.degraded ? ", \"degrade_note\": \"" : "",
             r.degraded ? jsonEscape(r.degradeNote).c_str() : "",
             r.degraded ? "\"" : "",

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "bmc/checker.hh"
+#include "bmc/engine.hh"
 #include "dfg/dfg.hh"
 #include "rtl2uspec/metadata.hh"
 #include "uspec/uspec.hh"
@@ -48,6 +49,11 @@ struct SvaRecord
     unsigned hypotheses = 1; ///< element-granular hypotheses it covers
     bool global = false;     ///< involves remote/global state
     std::string trace;       ///< counterexample (when interesting)
+
+    /** Verdict independently confirmed (replay / proof re-check). */
+    bool validated = false;
+    /** Verdict loaded from a resume journal instead of solved. */
+    bool fromJournal = false;
 
     /** Solver CNF footprint when this query finished (COI-sliced
      *  unless fullUnroll) and what the query alone added. */
@@ -107,6 +113,24 @@ struct SynthesisOptions
     /** Maximum escalated retries per SVA. */
     unsigned maxRetries = 3;
 
+    /**
+     * Trust-but-verify verdict validation (bmc::ValidateMode): the
+     * default replays every counterexample and spot-checks every
+     * validateSampleN-th proof in a fresh solver context.
+     */
+    bmc::ValidateMode validate = bmc::ValidateMode::Sample;
+    unsigned validateSampleN = 8;
+    /** Crash-safe run journal path ("" disables). */
+    std::string journalPath;
+    /** Resume from an existing journal instead of truncating it. */
+    bool resumeJournal = false;
+    /** Dump each refutation's replayed trace as VCD ("" disables). */
+    std::string cexVcdDir;
+    /** Fault-injection test seam, forwarded to the engine. */
+    std::function<void(const bmc::Query &, bmc::CheckResult &,
+                       bmc::SolveStage)>
+        faultHook;
+
     static constexpr int64_t kInheritBudget = INT64_MIN;
 };
 
@@ -134,6 +158,22 @@ struct SynthesisResult
 
     /** SVAs whose final verdict stayed Unknown. */
     uint64_t unknownSvas = 0;
+
+    // --- trust-but-verify validation accounting (run level) ---
+    /** Active validation mode ("off", "replay", "sample", "full"). */
+    std::string validateMode = "off";
+    uint64_t replays = 0;
+    uint64_t proofRechecks = 0;
+    uint64_t recheckInconclusive = 0;
+    uint64_t validationMismatches = 0;
+    /** Verdicts degraded to Unknown by the validation layer. */
+    uint64_t validationFailures = 0;
+    /** SVAs answered from the resume journal without solving. */
+    uint64_t journalHits = 0;
+    uint64_t journalAppends = 0;
+    double replaySeconds = 0.0;
+    double recheckSeconds = 0.0;
+    double validateSeconds = 0.0;
     /**
      * Human-readable record of every conservative degradation an
      * Unknown verdict forced (one entry per degraded SVA; also

@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <filesystem>
 #include <random>
 #include <thread>
 
@@ -430,6 +431,97 @@ TEST(BmcEngine, VscaleSlicedMatchesFullUnroll)
     EXPECT_LE(sliced.meanCnfVars, eager.meanCnfVars);
     for (const auto &rec : sliced.svas)
         EXPECT_GT(rec.coiCells, 0u) << rec.name;
+}
+
+TEST(BmcEngine, VscaleJournalResumeIdentity)
+{
+    namespace fs = std::filesystem;
+    std::string journal =
+        (fs::path(::testing::TempDir()) / "vscale_journal.bin")
+            .string();
+    fs::remove(journal);
+
+    auto design = vscale::elaborateVscale(formalConfig());
+    auto md = vscale::vscaleMetadata(formalConfig());
+
+    rtl2uspec::SynthesisOptions opts;
+    opts.jobs = 2;
+    opts.validate = bmc::ValidateMode::Replay;
+    opts.journalPath = journal;
+    auto first = rtl2uspec::synthesize(design, md, opts);
+    ASSERT_EQ(first.unknownSvas, 0u);
+    EXPECT_GT(first.journalAppends, 0u);
+    EXPECT_EQ(first.journalHits, 0u);
+    EXPECT_EQ(first.validationMismatches, 0u);
+    EXPECT_EQ(first.validationFailures, 0u);
+
+    // Acceptance: every Refuted verdict in the run replay-validated,
+    // with zero mismatches.
+    size_t refuted = 0;
+    for (const auto &sva : first.svas) {
+        if (sva.verdict != bmc::Verdict::Refuted)
+            continue;
+        refuted++;
+        EXPECT_TRUE(sva.validated) << sva.name;
+    }
+    EXPECT_GT(refuted, 0u);
+    EXPECT_GE(first.replays, refuted);
+
+    // Resume at a different --jobs: every definite verdict is answered
+    // from the journal (no solving, no replaying) and the synthesized
+    // model is bit-identical.
+    opts.jobs = 3;
+    opts.resumeJournal = true;
+    auto resumed = rtl2uspec::synthesize(design, md, opts);
+    EXPECT_EQ(resumed.journalHits, first.journalAppends);
+    EXPECT_EQ(resumed.replays, 0u);
+    for (const auto &sva : resumed.svas)
+        EXPECT_TRUE(sva.fromJournal) << sva.name;
+    expectSameSynthesis(first, resumed);
+
+    // Simulated kill mid-append: chop a few bytes off the journal's
+    // tail. The torn record is dropped, its query re-solved (and
+    // re-journaled), and the model still comes out bit-for-bit the
+    // same.
+    fs::resize_file(journal, fs::file_size(journal) - 3);
+    opts.jobs = 1;
+    auto repaired = rtl2uspec::synthesize(design, md, opts);
+    EXPECT_EQ(repaired.journalHits, first.journalAppends - 1);
+    EXPECT_EQ(repaired.journalAppends, 1u);
+    expectSameSynthesis(first, repaired);
+}
+
+TEST(BmcEngine, ValidationModesDoNotChangeTheModel)
+{
+    auto design = vscale::elaborateVscale(formalConfig());
+    auto md = vscale::vscaleMetadata(formalConfig());
+
+    rtl2uspec::SynthesisOptions opts;
+    opts.jobs = 2;
+    opts.validate = bmc::ValidateMode::Off;
+    auto off = rtl2uspec::synthesize(design, md, opts);
+    EXPECT_EQ(off.validateMode, "off");
+    EXPECT_EQ(off.replays, 0u);
+    EXPECT_EQ(off.proofRechecks, 0u);
+
+    // Full validation replays every counterexample and re-solves every
+    // proof fresh: everything must agree (no mismatches, no failures)
+    // and the emitted model must be exactly the unvalidated one.
+    opts.validate = bmc::ValidateMode::Full;
+    auto full = rtl2uspec::synthesize(design, md, opts);
+    EXPECT_EQ(full.validateMode, "full");
+    EXPECT_GT(full.replays, 0u);
+    EXPECT_GT(full.proofRechecks, 0u);
+    EXPECT_EQ(full.validationMismatches, 0u);
+    EXPECT_EQ(full.validationFailures, 0u);
+    // Every counterexample must have replayed; a proof re-check may in
+    // principle come back inconclusive (budget), which keeps the
+    // primary verdict without the validated stamp.
+    for (const auto &sva : full.svas)
+        if (sva.verdict == bmc::Verdict::Refuted)
+            EXPECT_TRUE(sva.validated) << sva.name;
+
+    expectSameSynthesis(off, full);
 }
 
 TEST(BmcEngine, TightBudgetSynthesisDegradesConservatively)

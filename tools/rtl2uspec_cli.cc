@@ -55,6 +55,22 @@ usage()
         "                  enables; cheap first pass, escalate)\n"
         "  --max-retries N cap on escalated retries per SVA "
         "(default 3)\n"
+        "  --validate MODE verdict validation: off | replay | full |\n"
+        "                  sample=N (default sample=8: replay every\n"
+        "                  counterexample through the reference\n"
+        "                  simulator + a fresh pinned monitor solve,\n"
+        "                  re-check every Nth proof in a fresh\n"
+        "                  non-incremental context; mismatches are\n"
+        "                  quarantined and degrade to Unknown)\n"
+        "  --journal FILE  crash-safe run journal: validated verdicts\n"
+        "                  are appended (fsync'd, checksummed) as they\n"
+        "                  land\n"
+        "  --resume        resume from --journal FILE: journaled\n"
+        "                  verdicts are reused instead of re-solved\n"
+        "                  (requires matching design/bound/unroll\n"
+        "                  configuration; any --jobs is fine)\n"
+        "  --cex-vcd DIR   dump each refutation's replayed trace as a\n"
+        "                  per-query VCD waveform under DIR\n"
         "  --quiet         suppress progress output\n"
         "exit codes: 0 ok, 1/2 errors, 3 design bugs found,\n"
         "            4 degraded synthesis (undetermined SVAs, no "
@@ -113,6 +129,31 @@ main(int argc, char **argv)
                 if (n < 0)
                     fatal("--max-retries expects a count >= 0");
                 synth_opts.maxRetries = static_cast<unsigned>(n);
+            } else if (arg == "--validate") {
+                std::string mode = next();
+                if (mode == "off") {
+                    synth_opts.validate = bmc::ValidateMode::Off;
+                } else if (mode == "replay") {
+                    synth_opts.validate = bmc::ValidateMode::Replay;
+                } else if (mode == "full") {
+                    synth_opts.validate = bmc::ValidateMode::Full;
+                } else if (mode.rfind("sample=", 0) == 0) {
+                    int n = std::stoi(mode.substr(7));
+                    if (n < 1)
+                        fatal("--validate sample=N expects N >= 1");
+                    synth_opts.validate = bmc::ValidateMode::Sample;
+                    synth_opts.validateSampleN =
+                        static_cast<unsigned>(n);
+                } else {
+                    fatal("--validate expects off|replay|full|"
+                          "sample=N, got '%s'", mode.c_str());
+                }
+            } else if (arg == "--journal") {
+                synth_opts.journalPath = next();
+            } else if (arg == "--resume") {
+                synth_opts.resumeJournal = true;
+            } else if (arg == "--cex-vcd") {
+                synth_opts.cexVcdDir = next();
             } else if (arg == "--table") {
                 table = true;
             } else if (arg == "--report") {
@@ -144,6 +185,10 @@ main(int argc, char **argv)
     }
     if (top.empty() || meta_path.empty() || files.empty()) {
         usage();
+        return 2;
+    }
+    if (synth_opts.resumeJournal && synth_opts.journalPath.empty()) {
+        std::fprintf(stderr, "error: --resume requires --journal\n");
         return 2;
     }
 
@@ -181,11 +226,14 @@ main(int argc, char **argv)
         }
         if (list_svas) {
             for (const auto &sva : synth.svas)
-                std::printf("%-36s %-9s %-12s %-18s %8.3fs "
+                std::printf("%-36s %-9s %-12s %-18s %-10s %8.3fs "
                             "%8zu vars %8zu cls %6zu coi\n",
                             sva.name.c_str(), sva.category.c_str(),
                             bmc::verdictName(sva.verdict),
                             bmc::verdictSourceName(sva.source),
+                            sva.fromJournal  ? "journal"
+                            : sva.validated  ? "validated"
+                                             : "-",
                             sva.seconds, sva.cnfVars, sva.cnfClauses,
                             sva.coiCells);
         }
