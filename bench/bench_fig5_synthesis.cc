@@ -172,6 +172,38 @@ main(int argc, char **argv)
                     ev, sv, ev / sv);
     }
 
+    // SAT-engine configuration rows: the default single-config
+    // incremental path vs. portfolio racing and vs. inprocessing
+    // disabled, at the same job count. Verdicts and the emitted model
+    // must be identical across all three; proof time is the row.
+    rtl2uspec::SynthesisOptions port_opts = synth_opts;
+    port_opts.portfolio = true;
+    auto port = bench::synthesizeVscaleWith(port_opts);
+    rtl2uspec::SynthesisOptions noinp_opts = synth_opts;
+    noinp_opts.inprocess = false;
+    auto noinp = bench::synthesizeVscaleWith(noinp_opts);
+    bool port_same = port.model.print() == result.model.print();
+    bool noinp_same = noinp.model.print() == result.model.print();
+    std::printf("\nSAT engine configuration (same %u-worker run):\n",
+                result.jobs);
+    std::printf("  default:      proof %.2f s (%zu/%zu contexts "
+                "warm-seeded, %zu inprocess pass(es))\n",
+                result.proofSeconds,
+                static_cast<size_t>(result.contextsSeeded),
+                static_cast<size_t>(result.unrollContexts),
+                static_cast<size_t>(result.inprocessRuns));
+    std::printf("  portfolio:    proof %.2f s (%zu race(s), %zu "
+                "challenger win(s), %zu clause(s) imported), model "
+                "%s\n",
+                port.proofSeconds,
+                static_cast<size_t>(port.portfolioRaces),
+                static_cast<size_t>(port.portfolioChallengerWins),
+                static_cast<size_t>(port.sharedImported),
+                port_same ? "identical" : "DIFFERENT (BUG)");
+    std::printf("  no-inprocess: proof %.2f s, model %s\n",
+                noinp.proofSeconds,
+                noinp_same ? "identical" : "DIFFERENT (BUG)");
+
     std::printf("\nPer-instruction DFG membership (cf. Fig. 3c):\n");
     for (const auto &[instr, nodes] : result.instrNodes) {
         std::printf("  %s: ", instr.c_str());
@@ -194,6 +226,9 @@ main(int argc, char **argv)
         json += strfmt("  \"unroll_contexts\": %llu,\n",
                        static_cast<unsigned long long>(
                            result.unrollContexts));
+        json += strfmt("  \"contexts_seeded\": %llu,\n",
+                       static_cast<unsigned long long>(
+                           result.contextsSeeded));
         json += strfmt("  \"svas\": %zu,\n", result.svas.size());
         json += strfmt("  \"unknown_svas\": %zu,\n",
                        static_cast<size_t>(result.unknownSvas));
@@ -277,6 +312,30 @@ main(int argc, char **argv)
                        eager.model.print() == sliced.model.print()
                            ? "true"
                            : "false");
+        json += "  },\n";
+        json += "  \"sat_config\": {\n";
+        json += strfmt("    \"default_proof_seconds\": %.3f,\n",
+                       result.proofSeconds);
+        json += strfmt("    \"portfolio_proof_seconds\": %.3f,\n",
+                       port.proofSeconds);
+        json += strfmt("    \"no_inprocess_proof_seconds\": %.3f,\n",
+                       noinp.proofSeconds);
+        json += strfmt("    \"portfolio_races\": %zu,\n",
+                       static_cast<size_t>(port.portfolioRaces));
+        json += strfmt("    \"portfolio_challenger_wins\": %zu,\n",
+                       static_cast<size_t>(
+                           port.portfolioChallengerWins));
+        json += strfmt("    \"portfolio_shared_imported\": %zu,\n",
+                       static_cast<size_t>(port.sharedImported));
+        json += strfmt("    \"inprocess_runs\": %zu,\n",
+                       static_cast<size_t>(result.inprocessRuns));
+        json += strfmt("    \"inprocess_clauses_removed\": %zu,\n",
+                       static_cast<size_t>(
+                           result.inprocessClausesRemoved));
+        json += strfmt("    \"portfolio_model_identical\": %s,\n",
+                       port_same ? "true" : "false");
+        json += strfmt("    \"no_inprocess_model_identical\": %s\n",
+                       noinp_same ? "true" : "false");
         json += "  },\n";
         json += "  \"categories\": {\n";
         bool first = true;

@@ -65,6 +65,18 @@ synthesizeVscale(bool buggy = false, unsigned jobs = 0,
     return rtl2uspec::synthesize(design, md, opts);
 }
 
+/** Same, but with caller-tweaked options (SAT-config comparisons). */
+inline rtl2uspec::SynthesisResult
+synthesizeVscaleWith(const rtl2uspec::SynthesisOptions &opts,
+                     bool buggy = false)
+{
+    vscale::Config cfg = formalConfig();
+    cfg.buggy = buggy;
+    auto design = vscale::elaborateVscale(cfg);
+    auto md = vscale::vscaleMetadata(cfg);
+    return rtl2uspec::synthesize(design, md, opts);
+}
+
 /** Linear-interpolated percentile (p in [0, 1]) of a sample. */
 inline double
 percentile(std::vector<double> xs, double p)

@@ -41,6 +41,8 @@ verdictSourceName(VerdictSource source)
 void
 applyLimits(sat::Solver &solver, const SolveLimits &limits)
 {
+    if (limits.config)
+        solver.setConfig(*limits.config);
     solver.setConflictBudget(limits.conflicts);
     solver.setPropagationBudget(limits.propagations);
     solver.setDeadline(limits.seconds);
@@ -139,6 +141,16 @@ PropCtx::endQuery()
     in_query_ = false;
     solver_.addClause(~act_);
     act_ = sat::kLitUndef;
+}
+
+void
+PropCtx::seedFrom(const PropCtx &donor)
+{
+    R2U_ASSERT(!in_query_, "seedFrom into an active query");
+    R2U_ASSERT(bound_ == donor.bound_, "seedFrom across bounds");
+    solver_.cloneFrom(donor.solver_);
+    cnf_.adoptState(donor.cnf_);
+    unroller_.adoptState(donor.unroller_);
 }
 
 void
@@ -295,13 +307,16 @@ CheckResult
 checkProperty(const nl::Netlist &netlist,
               const std::unordered_map<std::string, nl::CellId> &signals,
               Unroller::Options options, unsigned bound,
-              const PropertyFn &prop, const SolveLimits &limits)
+              const PropertyFn &prop, const SolveLimits &limits,
+              const PropCtx *warm)
 {
     Timer timer;
     CheckResult result;
     result.bound = bound;
 
     PropCtx ctx(netlist, signals, std::move(options), bound);
+    if (warm)
+        ctx.seedFrom(*warm);
     size_t vars_before = static_cast<size_t>(ctx.solver().numVars());
     size_t clauses_before =
         static_cast<size_t>(ctx.solver().numClauses());
@@ -313,6 +328,9 @@ checkProperty(const nl::Netlist &netlist,
     result.seconds = timer.seconds();
     result.conflicts = ctx.solver().stats().conflicts;
     result.propagations = ctx.solver().stats().propagations;
+    result.inprocessRuns = ctx.solver().stats().simplifyRuns;
+    result.inprocessClausesRemoved =
+        ctx.solver().stats().simplifyClausesRemoved;
     result.cnfVars = static_cast<size_t>(ctx.solver().numVars());
     result.cnfClauses = static_cast<size_t>(ctx.solver().numClauses());
     result.cnfVarsAdded = result.cnfVars - vars_before;

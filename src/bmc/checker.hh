@@ -70,6 +70,14 @@ struct SolveLimits
     double seconds = -1.0;     ///< wall-clock deadline (<0: none)
     /** Optional shared stop flag polled during the solve. */
     const std::atomic<bool> *cancel = nullptr;
+    /**
+     * Optional solver configuration (restart policy, reduction
+     * ranking, inprocessing cadence) applied before the solve. The
+     * engine routes its base config through here so the fresh jobs=1
+     * path and quarantine re-solves search identically to the
+     * incremental contexts. nullptr keeps the solver's current config.
+     */
+    const sat::SolverConfig *config = nullptr;
 };
 
 struct TraceStep
@@ -142,6 +150,20 @@ class PropCtx
      * false, permanently satisfying every clause it guarded.
      */
     void endQuery();
+
+    /**
+     * Warm-start this context from a donor over the same netlist and
+     * bound: the donor's clause database, structural-hash caches, and
+     * unroller memo tables are copied wholesale, so wires the donor
+     * already bit-blasted are never encoded again here. This context
+     * must be outside a query; the donor may be inside one as long as
+     * its solver is idle at level 0 (CNF built, solve not started).
+     * Verdicts are unaffected — the copied clauses are the donor's
+     * transition relation plus retired or never-assumed guarded
+     * monitor clauses, all satisfiable independently of any later
+     * query.
+     */
+    void seedFrom(const PropCtx &donor);
 
     /** Resolve a hierarchical signal name. fatal() if unknown. */
     nl::CellId cellOf(const std::string &name) const;
@@ -252,6 +274,27 @@ struct CheckResult
     /** Diagnostic bundle on mismatch (trace + CNF stats) or recovery
      *  note; empty when validation passed cleanly. */
     std::string validationNote;
+
+    // --- portfolio / simplification accounting (bmc::Engine) ---
+    /** Racers in this query's portfolio (0: no race was run). */
+    unsigned portfolioRacers = 0;
+    /** Racer that produced the verdict: 0 = the incumbent incremental
+     *  context, >0 = a diversified challenger, -1 = nobody (Unknown
+     *  without a definitive verdict, or no race). */
+    int portfolioWinner = -1;
+    /** Learnt clauses published to the race's shared pool (all
+     *  racers). */
+    uint64_t sharedExported = 0;
+    /** Learnt clauses imported from the pool (all racers). */
+    uint64_t sharedImported = 0;
+    /** Variables eliminated by challenger CNF preprocessing (BVE). */
+    uint64_t preprocessVarsEliminated = 0;
+    /** Clauses dropped by challenger CNF preprocessing. */
+    uint64_t preprocessClausesRemoved = 0;
+    /** In-search simplifyDB() passes in the incumbent this query. */
+    uint64_t inprocessRuns = 0;
+    /** Clauses removed by those simplifyDB() passes. */
+    uint64_t inprocessClausesRemoved = 0;
 };
 
 /** Builds a property and returns its violation literal. */
@@ -287,12 +330,20 @@ CheckResult checkProperty(
  * Check one property under full solve limits (budgets, deadline,
  * shared cancellation flag). Any exhausted limit yields
  * Verdict::Unknown with the limit recorded in CheckResult::source.
+ *
+ * @param warm optional donor context (same netlist/options/bound) to
+ *        warm-start from via PropCtx::seedFrom instead of
+ *        bit-blasting the transition relation again. The search still
+ *        starts from scratch — no learnt clauses or saved phases
+ *        carry over when the donor was snapshotted before solving —
+ *        and the encoding is deterministic, so the clauses equal what
+ *        a cold build would produce.
  */
 CheckResult checkProperty(
     const nl::Netlist &netlist,
     const std::unordered_map<std::string, nl::CellId> &signals,
     Unroller::Options options, unsigned bound, const PropertyFn &prop,
-    const SolveLimits &limits);
+    const SolveLimits &limits, const PropCtx *warm = nullptr);
 
 /** Apply limits to a solver ahead of one solve() call. */
 void applyLimits(sat::Solver &solver, const SolveLimits &limits);

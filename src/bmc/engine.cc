@@ -5,11 +5,14 @@
 #include <exception>
 #include <filesystem>
 #include <map>
+#include <set>
 #include <thread>
 
 #include "bmc/validate.hh"
 #include "common/logging.hh"
 #include "common/timer.hh"
+#include "sat/share.hh"
+#include "sat/simplify.hh"
 
 namespace r2u::bmc
 {
@@ -50,19 +53,42 @@ struct Engine::Worker
 {
     std::map<unsigned, std::unique_ptr<PropCtx>> contexts;
     uint64_t contexts_built = 0;
+    uint64_t contexts_seeded = 0;
+    /** Bounds this worker claimed seed-builder duty for (it must
+     *  publish or abandon each before its first query completes). */
+    std::set<unsigned> seed_builder_for;
 
     PropCtx &
-    contextFor(const Engine &engine, unsigned bound)
+    contextFor(Engine &engine, unsigned bound)
     {
         auto it = contexts.find(bound);
-        if (it == contexts.end()) {
-            it = contexts
-                     .emplace(bound, std::make_unique<PropCtx>(
-                                         engine.nl_, engine.signals_,
-                                         engine.options_, bound))
-                     .first;
-            contexts_built++;
+        if (it != contexts.end())
+            return *it->second;
+        auto ctx = std::make_unique<PropCtx>(
+            engine.nl_, engine.signals_, engine.options_, bound);
+        // Warm start: the first worker to get here becomes the seed
+        // builder and bit-blasts from the netlist; everyone else
+        // waits for its snapshot and clones it, which is far cheaper
+        // than encoding the transition relation again. A builder that
+        // dies before publishing hands the role to a waiter.
+        if (engine.jobs_ > 1) {
+            std::unique_lock<std::mutex> lk(engine.seed_mu_);
+            SeedSlot &slot = engine.seeds_[bound];
+            while (!slot.seed && slot.building)
+                engine.seed_cv_.wait(lk);
+            if (slot.seed) {
+                const PropCtx *seed = slot.seed.get();
+                lk.unlock();
+                ctx->seedFrom(*seed); // seed is immutable once set
+                contexts_seeded++;
+            } else {
+                slot.building = true;
+                seed_builder_for.insert(bound);
+            }
         }
+        ctx->solver().setConfig(engine.base_config_);
+        it = contexts.emplace(bound, std::move(ctx)).first;
+        contexts_built++;
         return *it->second;
     }
 };
@@ -76,6 +102,9 @@ Engine::Engine(const nl::Netlist &netlist,
       jobs_(resolveJobs(engine_options.jobs))
 {
     R2U_ASSERT(bound_ > 0, "engine needs a positive default bound");
+    base_config_ = eopts_.solverConfig;
+    if (!eopts_.inprocess)
+        base_config_.inprocessPeriod = 0;
     if (!eopts_.cexVcdDir.empty()) {
         std::error_code ec;
         std::filesystem::create_directories(eopts_.cexVcdDir, ec);
@@ -128,6 +157,7 @@ Engine::attemptLimits(const Query &query, unsigned attempt,
 
     limits = SolveLimits{};
     limits.cancel = &cancel_;
+    limits.config = &base_config_;
     double esc = escFactor(attempt);
 
     // Attempt 0 uses the configured budgets verbatim (a budget of 0 is
@@ -309,7 +339,7 @@ Engine::vcdPathFor(const Query &query) const
 }
 
 CheckResult
-Engine::quarantineSolve(const Query &query)
+Engine::quarantineSolve(const Query &query, bool warm_ok)
 {
     SolveLimits limits;
     bool total_binding = false;
@@ -319,8 +349,9 @@ Engine::quarantineSolve(const Query &query)
             eopts_.faultHook(query, r, SolveStage::Quarantine);
         return r;
     }
-    CheckResult r = checkProperty(nl_, signals_, options_, query.bound,
-                                  query.prop, limits);
+    CheckResult r =
+        checkProperty(nl_, signals_, options_, query.bound, query.prop,
+                      limits, warm_ok ? seedFor(query.bound) : nullptr);
     refineSource(r, total_binding);
     if (eopts_.faultHook)
         eopts_.faultHook(query, r, SolveStage::Quarantine);
@@ -356,7 +387,7 @@ Engine::validateResult(const Query &query, CheckResult &result,
         warn("validate: counterexample for '%s' failed replay; "
              "quarantining and re-solving fresh",
              query.name.c_str());
-        CheckResult fresh = quarantineSolve(query);
+        CheckResult fresh = quarantineSolve(query, /*warm_ok=*/false);
         if (fresh.verdict == Verdict::Refuted) {
             ReplayResult rep2 =
                 replayTrace(nl_, signals_, options_, fresh.bound,
@@ -387,7 +418,11 @@ Engine::validateResult(const Query &query, CheckResult &result,
       case Verdict::Proven: {
         if (!recheck_proof)
             break;
-        CheckResult fresh = quarantineSolve(query);
+        // Routine spot-check: what it validates is the search (a
+        // fresh solver, no incremental contamination), so the CNF may
+        // warm-start from the published seed. A mismatch found here
+        // still goes through the fully independent path above.
+        CheckResult fresh = quarantineSolve(query, /*warm_ok=*/true);
         result.proofRechecks++;
         result.recheckSeconds += fresh.seconds;
         switch (fresh.verdict) {
@@ -511,6 +546,207 @@ Engine::resolveFromJournal(const std::vector<Query> &batch,
     }
 }
 
+sat::SolverConfig
+Engine::challengerConfig(unsigned racer) const
+{
+    // Diversification table: each challenger searches the same formula
+    // with a different restart policy, phase heuristic, and seed, so
+    // the portfolio covers instance classes the base config is slow
+    // on (cf. the Glucose-vs-Luby split measured on combinatorial
+    // cores). Deterministic in the racer index.
+    sat::SolverConfig cfg = base_config_;
+    cfg.seed = 0x9E3779B97F4A7C15ull * racer;
+    switch (racer % 4) {
+      case 1:
+        cfg.restart = sat::SolverConfig::Restart::Glucose;
+        cfg.lbdReduce = true;
+        cfg.polarity = sat::SolverConfig::Polarity::False;
+        break;
+      case 2:
+        cfg.restart = sat::SolverConfig::Restart::Luby;
+        cfg.lubyUnit = 300;
+        cfg.polarity = sat::SolverConfig::Polarity::Rand;
+        cfg.randomFreq = 0.02;
+        break;
+      case 3:
+        cfg.restart = sat::SolverConfig::Restart::Glucose;
+        cfg.glucoseMargin = 1.15;
+        cfg.lbdReduce = true;
+        cfg.polarity = sat::SolverConfig::Polarity::True;
+        break;
+      case 0: // racer >= 4 wraps: randomized Luby
+        cfg.restart = sat::SolverConfig::Restart::Luby;
+        cfg.polarity = sat::SolverConfig::Polarity::Rand;
+        cfg.randomFreq = 0.05;
+        break;
+    }
+    return cfg;
+}
+
+sat::Result
+Engine::racePortfolio(PropCtx &ctx, const SolveLimits &limits,
+                      CheckResult &result)
+{
+    sat::Solver &incumbent = ctx.solver();
+    unsigned racers = std::max(2u, eopts_.portfolioRacers);
+    Lit act = ctx.activation();
+
+    // One snapshot per race: level-0 units plus every live clause, in
+    // the incumbent's variable numbering. The snapshot includes the
+    // current query's activation-guarded clauses and the retired
+    // activation units of earlier queries, so every racer decides
+    // exactly the incumbent's formula under the same assumption — and
+    // therefore any racer's learnt clauses are implicates of the
+    // shared database, sound to import in either direction unguarded.
+    std::vector<std::vector<Lit>> snapshot;
+    incumbent.exportCnf(snapshot);
+
+    sat::ClausePool pool(racers);
+    if (eopts_.shareClauses)
+        incumbent.setShare(&pool, 0);
+
+    uint64_t inc_exported = incumbent.stats().sharedExported;
+    uint64_t inc_imported = incumbent.stats().sharedImported;
+
+    std::vector<std::unique_ptr<sat::Solver>> challengers;
+    for (unsigned r = 1; r < racers; r++) {
+        auto ch = std::make_unique<sat::Solver>();
+        ch->setConfig(challengerConfig(r));
+        while (ch->numVars() < incumbent.numVars())
+            ch->newVar();
+        for (const auto &clause : snapshot)
+            ch->addClause(clause);
+        if (eopts_.inprocess) {
+            // BVE + subsumption on the snapshot; the activation
+            // variable must survive to be assumed. Model
+            // reconstruction restores eliminated variables before a
+            // SAT model is adopted below.
+            ch->preprocess(sat::SimplifyOptions{},
+                           {sat::var(act)});
+        }
+        if (eopts_.shareClauses)
+            ch->setShare(&pool, r);
+        challengers.push_back(std::move(ch));
+    }
+
+    std::atomic<int> winner{-1};
+    std::vector<sat::Result> verdicts(racers, sat::Result::Unknown);
+    std::vector<std::thread> threads;
+    threads.reserve(racers - 1);
+    // Challengers keep their diversified configs: share the budgets
+    // and deadline but not limits.config (the base config).
+    SolveLimits ch_limits = limits;
+    ch_limits.config = nullptr;
+    for (unsigned r = 1; r < racers; r++) {
+        sat::Solver *ch = challengers[r - 1].get();
+        threads.emplace_back([ch, r, act, ch_limits, &winner,
+                              &verdicts, &incumbent, &challengers] {
+            applyLimits(*ch, ch_limits);
+            sat::Result res = ch->solve({act});
+            verdicts[r] = res;
+            if (res != sat::Result::Unknown) {
+                int expected = -1;
+                if (winner.compare_exchange_strong(
+                        expected, static_cast<int>(r))) {
+                    incumbent.interrupt();
+                    for (auto &other : challengers)
+                        if (other.get() != ch)
+                            other->interrupt();
+                }
+            }
+        });
+    }
+
+    applyLimits(incumbent, limits);
+    sat::Result inc_res = incumbent.solve({act});
+    verdicts[0] = inc_res;
+    if (inc_res != sat::Result::Unknown) {
+        int expected = -1;
+        winner.compare_exchange_strong(expected, 0);
+    }
+    // The race is decided (or the incumbent exhausted its limits):
+    // stop every challenger and wait them out before touching shared
+    // state. clearInterrupt() must come after the joins — a late
+    // winner still pokes the incumbent's flag.
+    for (auto &ch : challengers)
+        ch->interrupt();
+    for (auto &t : threads)
+        t.join();
+    incumbent.clearInterrupt();
+    incumbent.setShare(nullptr, 0);
+
+    int win = winner.load(std::memory_order_relaxed);
+    sat::Result final_res = inc_res;
+    if (win > 0) {
+        final_res = verdicts[win];
+        if (final_res == sat::Result::Sat) {
+            // extractTrace() reads the incumbent's model; hand it the
+            // challenger's (reconstruction already re-entered any
+            // BVE-eliminated variables in Solver::solve()).
+            incumbent.adoptModel(
+                challengers[win - 1]->model());
+        }
+    }
+
+    result.portfolioRacers = racers;
+    result.portfolioWinner = win;
+    result.sharedExported +=
+        incumbent.stats().sharedExported - inc_exported;
+    result.sharedImported +=
+        incumbent.stats().sharedImported - inc_imported;
+    for (const auto &ch : challengers) {
+        result.sharedExported += ch->stats().sharedExported;
+        result.sharedImported += ch->stats().sharedImported;
+        result.preprocessVarsEliminated +=
+            ch->stats().preprocessVarsEliminated;
+        result.preprocessClausesRemoved +=
+            ch->stats().preprocessClausesRemoved;
+    }
+    return final_res;
+}
+
+void
+Engine::maybePublishSeed(Worker &worker, PropCtx &ctx, unsigned bound)
+{
+    if (worker.seed_builder_for.erase(bound) == 0)
+        return;
+    // Snapshot outside the lock: ctx belongs to this worker and the
+    // slot is ours until we publish (building == true keeps waiters
+    // parked on the condvar).
+    auto seed = std::make_unique<PropCtx>(nl_, signals_, options_,
+                                          bound);
+    seed->seedFrom(ctx);
+    {
+        std::lock_guard<std::mutex> lk(seed_mu_);
+        SeedSlot &slot = seeds_[bound];
+        slot.seed = std::move(seed);
+        slot.building = false;
+    }
+    seed_cv_.notify_all();
+}
+
+const PropCtx *
+Engine::seedFor(unsigned bound)
+{
+    std::lock_guard<std::mutex> lk(seed_mu_);
+    auto it = seeds_.find(bound);
+    // Published seeds are immutable and live as long as the engine,
+    // so handing out the raw pointer is safe.
+    return it != seeds_.end() ? it->second.seed.get() : nullptr;
+}
+
+void
+Engine::abandonSeed(Worker &worker, unsigned bound)
+{
+    if (worker.seed_builder_for.erase(bound) == 0)
+        return;
+    {
+        std::lock_guard<std::mutex> lk(seed_mu_);
+        seeds_[bound].building = false;
+    }
+    seed_cv_.notify_all();
+}
+
 CheckResult
 Engine::runIncremental(Worker &worker, const Query &query)
 {
@@ -527,23 +763,47 @@ Engine::runIncremental(Worker &worker, const Query &query)
     }
 
     PropCtx &ctx = worker.contextFor(*this, query.bound);
+    // If contextFor made this worker the seed builder, waiters are
+    // parked until the snapshot lands after CNF construction below;
+    // on any exit without publishing (property callback threw), hand
+    // the builder role back so they can proceed.
+    struct SeedGuard
+    {
+        Engine &engine;
+        Worker &worker;
+        unsigned bound;
+        ~SeedGuard() { engine.abandonSeed(worker, bound); }
+    } seed_guard{*this, worker, query.bound};
     sat::Solver &solver = ctx.solver();
     uint64_t conflicts_before = solver.stats().conflicts;
     uint64_t props_before = solver.stats().propagations;
+    uint64_t simp_runs_before = solver.stats().simplifyRuns;
+    uint64_t simp_removed_before =
+        solver.stats().simplifyClausesRemoved;
     size_t vars_before = static_cast<size_t>(solver.numVars());
     size_t clauses_before = static_cast<size_t>(solver.numClauses());
 
     ctx.beginQuery();
     Lit bad = query.prop(ctx);
     ctx.assume(bad); // guarded assertion of the violation
+    // The transition relation this query demanded is now in the CNF:
+    // the snapshot point for warm-starting sibling contexts.
+    maybePublishSeed(worker, ctx, query.bound);
+
+    bool race = eopts_.portfolio && eopts_.portfolioRacers >= 2;
 
     // Attempt/retry loop on the shared context: a retry just re-solves
     // with bigger limits — the learnt clauses from the failed attempt
     // carry over, so escalation resumes rather than restarts the work.
     unsigned attempt = 0;
     while (true) {
-        applyLimits(solver, limits);
-        sat::Result r = solver.solve({ctx.activation()});
+        sat::Result r;
+        if (race) {
+            r = racePortfolio(ctx, limits, result);
+        } else {
+            applyLimits(solver, limits);
+            r = solver.solve({ctx.activation()});
+        }
         switch (r) {
           case sat::Result::Unsat:
             result.verdict = Verdict::Proven;
@@ -571,6 +831,10 @@ Engine::runIncremental(Worker &worker, const Query &query)
     result.seconds = timer.seconds();
     result.conflicts = solver.stats().conflicts - conflicts_before;
     result.propagations = solver.stats().propagations - props_before;
+    result.inprocessRuns =
+        solver.stats().simplifyRuns - simp_runs_before;
+    result.inprocessClausesRemoved =
+        solver.stats().simplifyClausesRemoved - simp_removed_before;
     result.cnfVars = static_cast<size_t>(solver.numVars());
     result.cnfClauses = static_cast<size_t>(solver.numClauses());
     result.cnfVarsAdded = result.cnfVars - vars_before;
@@ -614,6 +878,16 @@ Engine::drain()
         stats_.replaySeconds += r.replaySeconds;
         stats_.recheckSeconds += r.recheckSeconds;
         stats_.validateSeconds += r.validateSeconds;
+        if (r.portfolioRacers > 0)
+            stats_.portfolioRaces++;
+        if (r.portfolioWinner > 0)
+            stats_.portfolioChallengerWins++;
+        stats_.sharedExported += r.sharedExported;
+        stats_.sharedImported += r.sharedImported;
+        stats_.preprocessVarsEliminated += r.preprocessVarsEliminated;
+        stats_.preprocessClausesRemoved += r.preprocessClausesRemoved;
+        stats_.inprocessRuns += r.inprocessRuns;
+        stats_.inprocessClausesRemoved += r.inprocessClausesRemoved;
     };
 
     if (jobs_ == 1) {
@@ -659,8 +933,11 @@ Engine::drain()
     pool_->wait();
 
     stats_.contexts = 0;
-    for (const auto &w : workers_)
+    stats_.contextsSeeded = 0;
+    for (const auto &w : workers_) {
         stats_.contexts += w->contexts_built;
+        stats_.contextsSeeded += w->contexts_seeded;
+    }
     stats_.steals = pool_->steals();
     for (const CheckResult &r : results)
         accumulate(r);

@@ -28,7 +28,10 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "bmc/checker.hh"
@@ -123,6 +126,43 @@ struct EngineOptions
      */
     std::function<void(const Query &, CheckResult &, SolveStage)>
         faultHook;
+
+    // --- SAT portfolio (parallel incremental path only) ---
+    /**
+     * Race each query across diversified solver configurations: the
+     * worker's incumbent incremental context plus portfolioRacers-1
+     * fresh challengers solving a snapshot of the same CNF (identical
+     * variable numbering) under the same activation assumption. The
+     * first definitive verdict wins and interrupts the rest.
+     * Verdicts are race-independent — every racer decides the same
+     * formula — so the synthesized model stays bit-identical at any
+     * jobs count whether or not the portfolio is on. Ignored on the
+     * jobs=1 reference path.
+     */
+    bool portfolio = false;
+    /** Total racers per query (incumbent + challengers), min 2. */
+    unsigned portfolioRacers = 3;
+    /**
+     * Cross-racer learnt-clause sharing through a bounded pool: every
+     * racer publishes low-LBD learnts and imports the others' at
+     * restart boundaries. All racers decide the same clause database,
+     * so shared learnts are implicates of it and sound in either
+     * direction. Off: racers search independently (fully deterministic
+     * per-racer search).
+     */
+    bool shareClauses = true;
+    /**
+     * CNF simplification: periodic in-search simplifyDB() passes in
+     * every solver, plus SatELite-style preprocessing (bounded variable
+     * elimination + subsumption, with model reconstruction) of each
+     * portfolio challenger's snapshot. Off (--no-inprocess): solvers
+     * search the raw CNF.
+     */
+    bool inprocess = true;
+    /** Base solver configuration for every context (restart policy,
+     *  reduction ranking, ...). inprocess=false zeroes its
+     *  inprocessPeriod. */
+    sat::SolverConfig solverConfig;
 };
 
 /** One property query in a batch. */
@@ -152,6 +192,12 @@ struct EngineStats
     uint64_t queries = 0;
     /** Incremental contexts built (== transition-relation unrolls). */
     uint64_t contexts = 0;
+    /**
+     * Contexts warm-started from a sibling's bit-blasted CNF
+     * (PropCtx::seedFrom) instead of re-encoding the transition
+     * relation from the netlist.
+     */
+    uint64_t contextsSeeded = 0;
     uint64_t steals = 0;
     /** Sum of per-query CNF growth across the batch(es). */
     uint64_t cnfVarsAdded = 0;
@@ -180,6 +226,24 @@ struct EngineStats
     double recheckSeconds = 0.0;
     /** Total validation wall time (replays + re-checks + policy). */
     double validateSeconds = 0.0;
+
+    // --- SAT portfolio / simplification (see EngineOptions) ---
+    /** Queries that ran a portfolio race. */
+    uint64_t portfolioRaces = 0;
+    /** Races a challenger (not the incumbent) won. */
+    uint64_t portfolioChallengerWins = 0;
+    /** Learnt clauses published to race pools across the batch(es). */
+    uint64_t sharedExported = 0;
+    /** Learnt clauses imported from race pools. */
+    uint64_t sharedImported = 0;
+    /** Variables eliminated by challenger CNF preprocessing. */
+    uint64_t preprocessVarsEliminated = 0;
+    /** Clauses dropped by challenger CNF preprocessing. */
+    uint64_t preprocessClausesRemoved = 0;
+    /** In-search simplifyDB() passes across all queries. */
+    uint64_t inprocessRuns = 0;
+    /** Clauses removed by those passes. */
+    uint64_t inprocessClausesRemoved = 0;
 };
 
 class Engine
@@ -234,6 +298,18 @@ class Engine
 
     CheckResult runIncremental(Worker &worker, const Query &query);
     CheckResult runFresh(const Query &query);
+    /**
+     * Race the incumbent context against diversified challengers on a
+     * snapshot of its CNF (one attempt, under @p limits). Returns the
+     * first definitive result (the incumbent's honest Unknown when
+     * nobody wins) and fills the portfolio counters of @p result. A
+     * SAT-winning challenger's model is adopted into the incumbent so
+     * extractTrace() works unchanged.
+     */
+    sat::Result racePortfolio(PropCtx &ctx, const SolveLimits &limits,
+                              CheckResult &result);
+    /** Diversified config for challenger @p racer (1-based). */
+    sat::SolverConfig challengerConfig(unsigned racer) const;
     void fillCoiStats(const Query &query, CheckResult &result) const;
 
     /**
@@ -248,8 +324,16 @@ class Engine
     /** @p recheck_proof: spot-check this Proven verdict too? */
     void validateResult(const Query &query, CheckResult &result,
                         bool recheck_proof);
-    /** Fresh, non-incremental re-solve of a query (quarantine path). */
-    CheckResult quarantineSolve(const Query &query);
+    /**
+     * Fresh, non-incremental re-solve of a query. @p warm_ok allows
+     * warm-starting the CNF from the published context seed (used for
+     * routine proof spot-checks, where the value of the re-solve is an
+     * uncontaminated search); the mismatch quarantine path passes
+     * false and pays for a fully independent re-encoding.
+     */
+    CheckResult quarantineSolve(const Query &query, bool warm_ok);
+    /** Published warm-start seed for @p bound (nullptr if none). */
+    const PropCtx *seedFor(unsigned bound);
     /** Deterministic VCD path for a query's counterexample ("" if
      *  --cex-vcd is off). */
     std::string vcdPathFor(const Query &query) const;
@@ -274,12 +358,34 @@ class Engine
     /** Retry policy: escalate this Unknown? (see EngineOptions). */
     bool shouldRetry(const CheckResult &result, unsigned attempt) const;
 
+    /**
+     * Warm-start seed registry: the first worker to build a context
+     * for a bound publishes an immutable snapshot of it right after
+     * its first query's CNF construction; workers arriving later
+     * clone the snapshot (PropCtx::seedFrom) instead of bit-blasting
+     * the transition relation again. `building` marks the designated
+     * builder so latecomers wait on seed_cv_ for the snapshot rather
+     * than redundantly encoding in parallel.
+     */
+    struct SeedSlot
+    {
+        bool building = false;
+        std::unique_ptr<const PropCtx> seed;
+    };
+    /** Publish a snapshot of @p ctx if this worker is the designated
+     *  builder for @p bound (no-op otherwise). */
+    void maybePublishSeed(Worker &worker, PropCtx &ctx, unsigned bound);
+    /** Builder failed before publishing: hand the role to a waiter. */
+    void abandonSeed(Worker &worker, unsigned bound);
+
     const nl::Netlist &nl_;
     const std::unordered_map<std::string, nl::CellId> &signals_;
     Unroller::Options options_;
     unsigned bound_;
     EngineOptions eopts_;
     unsigned jobs_;
+    /** eopts_.solverConfig with the inprocess switch folded in. */
+    sat::SolverConfig base_config_;
 
     std::atomic<bool> cancel_{false};
     bool has_total_deadline_ = false;
@@ -289,6 +395,10 @@ class Engine
     std::vector<std::unique_ptr<Worker>> workers_;
     std::unique_ptr<ThreadPool> pool_;
     EngineStats stats_;
+
+    std::mutex seed_mu_;
+    std::condition_variable seed_cv_;
+    std::map<unsigned, SeedSlot> seeds_;
 };
 
 /** 0 -> hardware_concurrency() (>= 1); otherwise the value itself. */

@@ -31,6 +31,20 @@ Unroller::ensureFrames(unsigned n)
     }
 }
 
+void
+Unroller::adoptState(const Unroller &other)
+{
+    R2U_ASSERT(&nl_ == &other.nl_,
+               "adoptState across different netlists");
+    R2U_ASSERT(options_.fullUnroll == other.options_.fullUnroll &&
+                   options_.concreteInit == other.options_.concreteInit,
+               "adoptState across different unroll options");
+    wires_ = other.wires_;
+    mems_ = other.mems_;
+    mem_built_ = other.mem_built_;
+    stats_ = other.stats_;
+}
+
 const Word &
 Unroller::wire(unsigned frame, CellId cell)
 {

@@ -89,6 +89,16 @@ class Unroller
      */
     void ensureFrames(unsigned n);
 
+    /**
+     * Adopt another unroller's memo tables (built wires, memory
+     * arrays, construction stats). Only meaningful over the same
+     * netlist right after Solver::cloneFrom() of the other unroller's
+     * solver, so the adopted Words refer to live variables. Wires the
+     * donor built are then served from the memo instead of being
+     * bit-blasted again.
+     */
+    void adoptState(const Unroller &other);
+
     unsigned frames() const
     {
         return static_cast<unsigned>(wires_.size());

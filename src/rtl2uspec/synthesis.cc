@@ -53,6 +53,10 @@ class Synthesizer
         eopts.totalSeconds = opts.totalTimeoutSeconds;
         eopts.retryEscalation = opts.retryEscalation;
         eopts.maxRetries = opts.maxRetries;
+        eopts.portfolio = opts.portfolio;
+        eopts.portfolioRacers = opts.portfolioRacers;
+        eopts.shareClauses = opts.shareClauses;
+        eopts.inprocess = opts.inprocess;
         validate_mode_ = bmc::validateModeName(opts.validate);
         eopts.validate = opts.validate;
         eopts.validateSampleN = opts.validateSampleN;
@@ -89,6 +93,7 @@ class Synthesizer
         out_.proofSeconds = phase.seconds();
         out_.jobs = engine_->jobs();
         out_.unrollContexts = engine_->stats().contexts;
+        out_.contextsSeeded = engine_->stats().contextsSeeded;
         out_.fullUnroll = full_unroll_;
         const bmc::EngineStats &estats = engine_->stats();
         out_.validateMode = validate_mode_;
@@ -102,6 +107,21 @@ class Synthesizer
         out_.replaySeconds = estats.replaySeconds;
         out_.recheckSeconds = estats.recheckSeconds;
         out_.validateSeconds = estats.validateSeconds;
+        out_.portfolio = estats.portfolioRaces > 0;
+        out_.portfolioRaces = estats.portfolioRaces;
+        out_.portfolioChallengerWins = estats.portfolioChallengerWins;
+        out_.sharedExported = estats.sharedExported;
+        out_.sharedImported = estats.sharedImported;
+        out_.preprocessVarsEliminated = estats.preprocessVarsEliminated;
+        out_.preprocessClausesRemoved = estats.preprocessClausesRemoved;
+        out_.inprocessRuns = estats.inprocessRuns;
+        out_.inprocessClausesRemoved = estats.inprocessClausesRemoved;
+        if (estats.portfolioRaces > 0)
+            inform("rtl2uspec: portfolio: %zu race(s), %zu challenger "
+                   "win(s), %zu clause(s) shared",
+                   static_cast<size_t>(estats.portfolioRaces),
+                   static_cast<size_t>(estats.portfolioChallengerWins),
+                   static_cast<size_t>(estats.sharedImported));
         if (estats.replays > 0 || estats.proofRechecks > 0 ||
             estats.journalHits > 0)
             inform("rtl2uspec: validation (%s): %zu replay(s), "
@@ -123,10 +143,11 @@ class Synthesizer
             out_.meanCnfClauses = clauses / out_.svas.size();
         }
         inform("rtl2uspec: %zu SVAs on %u worker(s), "
-               "%zu transition-relation unroll(s), %zu steal(s), "
-               "%.0f CNF vars/query mean (%s)",
+               "%zu transition-relation unroll(s) (%zu warm-seeded), "
+               "%zu steal(s), %.0f CNF vars/query mean (%s)",
                out_.svas.size(), engine_->jobs(),
                static_cast<size_t>(engine_->stats().contexts),
+               static_cast<size_t>(engine_->stats().contextsSeeded),
                static_cast<size_t>(engine_->stats().steals),
                out_.meanCnfVars,
                full_unroll_ ? "full unroll" : "COI-sliced");
@@ -1698,6 +1719,21 @@ SynthesisResult::report() const
             static_cast<size_t>(validationFailures), validateSeconds,
             replaySeconds, recheckSeconds);
     }
+    if (portfolio)
+        out += strfmt("portfolio: %zu race(s), %zu challenger win(s), "
+                      "%zu clause(s) exported / %zu imported\n",
+                      static_cast<size_t>(portfolioRaces),
+                      static_cast<size_t>(portfolioChallengerWins),
+                      static_cast<size_t>(sharedExported),
+                      static_cast<size_t>(sharedImported));
+    if (inprocessRuns > 0 || preprocessVarsEliminated > 0)
+        out += strfmt("simplify: %zu var(s) eliminated / %zu clause(s) "
+                      "removed preprocessing, %zu inprocessing pass(es) "
+                      "removed %zu clause(s)\n",
+                      static_cast<size_t>(preprocessVarsEliminated),
+                      static_cast<size_t>(preprocessClausesRemoved),
+                      static_cast<size_t>(inprocessRuns),
+                      static_cast<size_t>(inprocessClausesRemoved));
     if (journalHits > 0 || journalAppends > 0)
         out += strfmt("journal: %zu verdict(s) resumed, %zu appended\n",
                       static_cast<size_t>(journalHits),
@@ -1749,6 +1785,10 @@ SynthesisResult::jsonReport() const
     out += strfmt("  \"full_unroll\": %s,\n",
                   fullUnroll ? "true" : "false");
     out += strfmt("  \"sva_count\": %zu,\n", svas.size());
+    out += strfmt("  \"unroll_contexts\": %zu,\n",
+                  static_cast<size_t>(unrollContexts));
+    out += strfmt("  \"contexts_seeded\": %zu,\n",
+                  static_cast<size_t>(contextsSeeded));
     out += strfmt("  \"unknown_svas\": %zu,\n",
                   static_cast<size_t>(unknownSvas));
     out += strfmt("  \"bug_count\": %zu,\n", bugs.size());
@@ -1771,6 +1811,24 @@ SynthesisResult::jsonReport() const
         static_cast<size_t>(journalHits),
         static_cast<size_t>(journalAppends), replaySeconds,
         recheckSeconds, validateSeconds);
+    out += strfmt(
+        "  \"portfolio\": {\"enabled\": %s, \"races\": %zu, "
+        "\"challenger_wins\": %zu, \"shared_exported\": %zu, "
+        "\"shared_imported\": %zu},\n",
+        portfolio ? "true" : "false",
+        static_cast<size_t>(portfolioRaces),
+        static_cast<size_t>(portfolioChallengerWins),
+        static_cast<size_t>(sharedExported),
+        static_cast<size_t>(sharedImported));
+    out += strfmt(
+        "  \"simplify\": {\"preprocess_vars_eliminated\": %zu, "
+        "\"preprocess_clauses_removed\": %zu, "
+        "\"inprocess_runs\": %zu, "
+        "\"inprocess_clauses_removed\": %zu},\n",
+        static_cast<size_t>(preprocessVarsEliminated),
+        static_cast<size_t>(preprocessClausesRemoved),
+        static_cast<size_t>(inprocessRuns),
+        static_cast<size_t>(inprocessClausesRemoved));
     out += "  \"degraded\": [";
     for (size_t i = 0; i < degraded.size(); i++) {
         out += i ? ", " : "";

@@ -114,6 +114,29 @@ struct SynthesisOptions
     unsigned maxRetries = 3;
 
     /**
+     * Race each SVA query across portfolioRacers diversified solver
+     * configurations; first definitive verdict wins and interrupts
+     * the rest (--portfolio). Verdicts and the emitted model are
+     * identical to the single-config path. Ignored on jobs == 1.
+     */
+    bool portfolio = false;
+    /** Solver configs per race (incumbent + N-1 challengers). */
+    unsigned portfolioRacers = 3;
+    /**
+     * Exchange low-LBD learnt clauses between portfolio racers at
+     * restart boundaries (--share-clauses / --no-share-clauses).
+     */
+    bool shareClauses = true;
+    /**
+     * CNF pre/inprocessing: bounded variable elimination,
+     * subsumption and self-subsuming resolution on sliced query
+     * CNFs, repeated at restart boundaries (--no-inprocess turns it
+     * off). Models are reconstructed to full assignments, so
+     * counterexample replay sees every original variable.
+     */
+    bool inprocess = true;
+
+    /**
      * Trust-but-verify verdict validation (bmc::ValidateMode): the
      * default replays every counterexample and spot-checks every
      * validateSampleN-th proof in a fresh solver context.
@@ -152,6 +175,11 @@ struct SynthesisResult
      * sequential path, one per worker per bound on the parallel path.
      */
     uint64_t unrollContexts = 0;
+    /**
+     * Of those, contexts warm-started by cloning the first worker's
+     * bit-blasted clause database instead of re-unrolling the design.
+     */
+    uint64_t contextsSeeded = 0;
 
     /** Design bugs found (attribution checks refuted, paper §6.1). */
     std::vector<std::string> bugs;
@@ -171,6 +199,22 @@ struct SynthesisResult
     /** SVAs answered from the resume journal without solving. */
     uint64_t journalHits = 0;
     uint64_t journalAppends = 0;
+
+    // --- portfolio + CNF simplification accounting (run level) ---
+    /** True when queries raced diversified solver configs. */
+    bool portfolio = false;
+    uint64_t portfolioRaces = 0;
+    /** Races a challenger config won (vs. the incumbent). */
+    uint64_t portfolioChallengerWins = 0;
+    /** Learnt clauses published to / imported from the shared pool. */
+    uint64_t sharedExported = 0;
+    uint64_t sharedImported = 0;
+    /** Preprocessing totals over portfolio challenger CNFs. */
+    uint64_t preprocessVarsEliminated = 0;
+    uint64_t preprocessClausesRemoved = 0;
+    /** Inprocessing passes inside incremental solver contexts. */
+    uint64_t inprocessRuns = 0;
+    uint64_t inprocessClausesRemoved = 0;
     double replaySeconds = 0.0;
     double recheckSeconds = 0.0;
     double validateSeconds = 0.0;

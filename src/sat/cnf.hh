@@ -113,6 +113,21 @@ class CnfBuilder
     static Word sliceW(const Word &a, unsigned lo, unsigned width);
     static Word concatW(const Word &hi, const Word &lo);
 
+    /**
+     * Adopt another builder's structural-hash caches and true
+     * literal. Only meaningful right after Solver::cloneFrom() of the
+     * other builder's solver (identical variable numbering): future
+     * gate constructions then hit the donor's cache instead of
+     * re-encoding shared structure.
+     */
+    void adoptState(const CnfBuilder &other)
+    {
+        true_lit_ = other.true_lit_;
+        and_cache_ = other.and_cache_;
+        xor_cache_ = other.xor_cache_;
+        mux_cache_ = other.mux_cache_;
+    }
+
     /** Assert a literal at the root level. */
     void assertLit(Lit l) { solver_.addClause(l); }
 

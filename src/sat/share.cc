@@ -1,0 +1,53 @@
+#include "sat/share.hh"
+
+#include "common/logging.hh"
+
+namespace r2u::sat
+{
+
+ClausePool::ClausePool(unsigned consumers, size_t capacity)
+    : cursors_(consumers, 0), capacity_(capacity)
+{
+    entries_.reserve(std::min<size_t>(capacity, 1024));
+}
+
+bool
+ClausePool::publish(unsigned producer, uint32_t lbd,
+                    const std::vector<Lit> &lits)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (entries_.size() >= capacity_) {
+        dropped_++;
+        return false;
+    }
+    entries_.push_back(Entry{producer, lbd, lits});
+    return true;
+}
+
+void
+ClausePool::collect(unsigned consumer, std::vector<Entry> &out)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    R2U_ASSERT(consumer < cursors_.size(), "unknown pool consumer %u",
+               consumer);
+    for (size_t i = cursors_[consumer]; i < entries_.size(); i++)
+        if (entries_[i].producer != consumer)
+            out.push_back(entries_[i]);
+    cursors_[consumer] = entries_.size();
+}
+
+size_t
+ClausePool::size() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
+}
+
+size_t
+ClausePool::dropped() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return dropped_;
+}
+
+} // namespace r2u::sat

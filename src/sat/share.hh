@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Shared learnt-clause pool for portfolio solving.
+ *
+ * When the BMC engine races diversified solver configurations on one
+ * query (--portfolio), each racer exports its low-LBD learnt clauses
+ * here as it learns them and imports everybody else's at its restart
+ * boundaries (Solver::setShare / SolverConfig::shareLbdMax). The pool
+ * is append-only with a per-consumer cursor, so one mutex-protected
+ * append/scan is all the synchronization there is: producers never
+ * block each other on clause construction, and a consumer only copies
+ * the entries that arrived since its previous collect().
+ *
+ * Capacity is bounded; once full, further publishes are counted as
+ * dropped instead of growing without limit. Entries are never
+ * reordered or removed, which keeps import order deterministic for a
+ * fixed interleaving of publishes.
+ */
+
+#ifndef R2U_SAT_SHARE_HH
+#define R2U_SAT_SHARE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "sat/solver.hh"
+
+namespace r2u::sat
+{
+
+class ClausePool
+{
+  public:
+    struct Entry
+    {
+        unsigned producer;
+        uint32_t lbd;
+        std::vector<Lit> lits;
+    };
+
+    /**
+     * @param consumers  number of racers that will collect() — consumer
+     *                   ids must be < consumers
+     * @param capacity   maximum entries retained; publishes beyond this
+     *                   are dropped (and counted)
+     */
+    explicit ClausePool(unsigned consumers, size_t capacity = 1u << 16);
+
+    /**
+     * Append a clause learnt by `producer`. Returns false if the pool
+     * is at capacity (the clause is dropped, not an error).
+     */
+    bool publish(unsigned producer, uint32_t lbd,
+                 const std::vector<Lit> &lits);
+
+    /**
+     * Copy every entry published by *other* producers since this
+     * consumer's previous collect() into `out` (appended, in pool
+     * order).
+     */
+    void collect(unsigned consumer, std::vector<Entry> &out);
+
+    /** Total entries currently held. */
+    size_t size() const;
+
+    /** Publishes rejected because the pool was full. */
+    size_t dropped() const;
+
+  private:
+    mutable std::mutex mu_;
+    std::vector<Entry> entries_;
+    std::vector<size_t> cursors_; // per consumer: next entry to read
+    size_t capacity_;
+    size_t dropped_ = 0;
+};
+
+} // namespace r2u::sat
+
+#endif // R2U_SAT_SHARE_HH

@@ -1,0 +1,460 @@
+#include "sat/simplify.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace r2u::sat
+{
+
+Simplifier::Simplifier() = default;
+
+Simplifier::Simplifier(int num_vars, const SimplifyOptions &opts)
+    : opts_(opts), num_vars_(num_vars)
+{
+    occ_.resize(2 * static_cast<size_t>(num_vars));
+    assigns_.resize(static_cast<size_t>(num_vars), LBool::Undef);
+    frozen_.resize(static_cast<size_t>(num_vars), 0);
+    eliminated_.resize(static_cast<size_t>(num_vars), 0);
+}
+
+void
+Simplifier::freeze(Var v)
+{
+    R2U_ASSERT(v >= 0 && v < num_vars_, "freeze of unknown var %d", v);
+    frozen_[static_cast<size_t>(v)] = 1;
+}
+
+uint64_t
+Simplifier::signature(const std::vector<Lit> &lits)
+{
+    uint64_t sig = 0;
+    for (Lit l : lits)
+        sig |= 1ull << (var(l) & 63);
+    return sig;
+}
+
+bool
+Simplifier::enqueueUnit(Lit l)
+{
+    LBool v = assigns_[static_cast<size_t>(var(l))] ^ sign(l);
+    if (v == LBool::True)
+        return true;
+    if (v == LBool::False) {
+        ok_ = false;
+        return false;
+    }
+    assigns_[static_cast<size_t>(var(l))] =
+        sign(l) ? LBool::False : LBool::True;
+    units_.push_back(l);
+    return true;
+}
+
+void
+Simplifier::addClause(std::vector<Lit> lits)
+{
+    R2U_ASSERT(!ran_, "addClause after run()");
+    addClauseInternal(std::move(lits));
+}
+
+bool
+Simplifier::addClauseInternal(std::vector<Lit> lits)
+{
+    if (!ok_)
+        return false;
+    std::sort(lits.begin(), lits.end());
+    std::vector<Lit> out;
+    Lit prev = kLitUndef;
+    for (Lit l : lits) {
+        R2U_ASSERT(var(l) >= 0 && var(l) < num_vars_, "bad literal");
+        LBool v = assigns_[static_cast<size_t>(var(l))] ^ sign(l);
+        if (v == LBool::True || l == ~prev)
+            return true; // satisfied or tautology
+        if (v != LBool::False && l != prev) {
+            out.push_back(l);
+            prev = l;
+        }
+    }
+    if (out.empty()) {
+        ok_ = false;
+        return false;
+    }
+    if (out.size() == 1)
+        return enqueueUnit(out[0]);
+    int idx = static_cast<int>(clauses_.size());
+    sigs_.push_back(signature(out));
+    for (Lit l : out)
+        occ_[static_cast<size_t>(l.x)].push_back(idx);
+    clauses_.push_back(std::move(out));
+    pushToQueue(idx);
+    return true;
+}
+
+void
+Simplifier::removeClause(int idx)
+{
+    auto &c = clauses_[static_cast<size_t>(idx)];
+    if (c.empty())
+        return;
+    c.clear();
+    c.shrink_to_fit();
+    sigs_[static_cast<size_t>(idx)] = 0;
+    stats_.clausesRemoved++;
+}
+
+bool
+Simplifier::strengthenClause(int idx, Lit l)
+{
+    auto &c = clauses_[static_cast<size_t>(idx)];
+    auto it = std::lower_bound(c.begin(), c.end(), l);
+    R2U_ASSERT(it != c.end() && *it == l, "strengthen of absent lit");
+    c.erase(it);
+    if (c.empty()) {
+        ok_ = false;
+        return false;
+    }
+    if (c.size() == 1) {
+        Lit unit = c[0];
+        removeClause(idx);
+        return enqueueUnit(unit);
+    }
+    sigs_[static_cast<size_t>(idx)] = signature(c);
+    pushToQueue(idx); // a shorter clause may now subsume others
+    return true;
+}
+
+void
+Simplifier::pushToQueue(int idx)
+{
+    if (in_queue_.size() <= static_cast<size_t>(idx))
+        in_queue_.resize(static_cast<size_t>(idx) + 1, 0);
+    if (!in_queue_[static_cast<size_t>(idx)]) {
+        in_queue_[static_cast<size_t>(idx)] = 1;
+        queue_.push_back(idx);
+    }
+}
+
+std::vector<int>
+Simplifier::occurrences(Lit l)
+{
+    auto &o = occ_[static_cast<size_t>(l.x)];
+    std::vector<int> live;
+    size_t j = 0;
+    for (int idx : o) {
+        const auto &c = clauses_[static_cast<size_t>(idx)];
+        if (c.empty())
+            continue; // deleted clause
+        if (!std::binary_search(c.begin(), c.end(), l))
+            continue; // literal strengthened away
+        o[j++] = idx;
+        live.push_back(idx);
+    }
+    o.resize(j);
+    return live;
+}
+
+bool
+Simplifier::propagateUnits()
+{
+    while (qhead_ < units_.size()) {
+        Lit l = units_[qhead_++];
+        stats_.unitsPropagated++;
+        for (int idx : occurrences(l))
+            removeClause(idx); // satisfied
+        for (int idx : occurrences(~l))
+            if (!strengthenClause(idx, ~l))
+                return false;
+    }
+    return ok_;
+}
+
+int
+Simplifier::subsumes(const std::vector<Lit> &a,
+                     const std::vector<Lit> &b)
+{
+    size_t i = 0, j = 0;
+    int flip = -1;
+    while (i < a.size()) {
+        if (j >= b.size())
+            return -2;
+        if (var(a[i]) == var(b[j])) {
+            if (a[i] != b[j]) {
+                if (flip != -1)
+                    return -2; // two flipped literals: no resolution
+                flip = b[j].x;
+            }
+            i++;
+            j++;
+        } else if (var(b[j]) < var(a[i])) {
+            j++;
+        } else {
+            return -2; // a[i]'s variable absent from b
+        }
+    }
+    return flip == -1 ? -1 : flip;
+}
+
+bool
+Simplifier::subsumeAll()
+{
+    while (!queue_.empty()) {
+        int idx = queue_.back();
+        queue_.pop_back();
+        in_queue_[static_cast<size_t>(idx)] = 0;
+        const auto &c = clauses_[static_cast<size_t>(idx)];
+        if (c.empty())
+            continue;
+        // Search through the occurrence list of c's rarest literal:
+        // any clause c subsumes must contain every literal of c.
+        Lit best = c[0];
+        for (Lit l : c)
+            if (occ_[static_cast<size_t>(l.x)].size() <
+                occ_[static_cast<size_t>(best.x)].size())
+                best = l;
+        if (occ_[static_cast<size_t>(best.x)].size() >
+            opts_.subsumeOccLimit)
+            continue;
+        for (int j : occurrences(best)) {
+            if (j == idx)
+                continue;
+            const auto &d = clauses_[static_cast<size_t>(j)];
+            if (d.empty() || c.empty())
+                continue;
+            if (c.size() > d.size())
+                continue;
+            if ((sigs_[static_cast<size_t>(idx)] &
+                 ~sigs_[static_cast<size_t>(j)]) != 0)
+                continue;
+            int res = subsumes(c, d);
+            if (res == -2)
+                continue;
+            if (res == -1) {
+                removeClause(j);
+                stats_.clausesSubsumed++;
+            } else {
+                // Self-subsuming resolution: drop the flipped literal.
+                stats_.litsStrengthened++;
+                if (!strengthenClause(j, Lit{res}))
+                    return false;
+            }
+        }
+        if (!ok_)
+            return false;
+    }
+    return true;
+}
+
+namespace
+{
+
+/**
+ * Resolvent of sorted clauses `a` and `b` on pivot variable `v`.
+ * Returns false if the resolvent is a tautology.
+ */
+bool
+resolve(const std::vector<Lit> &a, const std::vector<Lit> &b, Var v,
+        std::vector<Lit> &out)
+{
+    out.clear();
+    size_t i = 0, j = 0;
+    while (i < a.size() || j < b.size()) {
+        Lit l;
+        if (j >= b.size() ||
+            (i < a.size() && a[i].x <= b[j].x)) {
+            l = a[i];
+            if (j < b.size() && a[i] == b[j])
+                j++;
+            i++;
+        } else {
+            l = b[j];
+            j++;
+        }
+        if (var(l) == v)
+            continue;
+        if (!out.empty() && out.back() == l)
+            continue; // duplicate
+        if (!out.empty() && out.back() == ~l)
+            return false; // x and ~x are adjacent in sorted order
+        out.push_back(l);
+    }
+    return true;
+}
+
+} // namespace
+
+bool
+Simplifier::eliminateVar(Var v)
+{
+    size_t vi = static_cast<size_t>(v);
+    if (frozen_[vi] || eliminated_[vi] ||
+        assigns_[vi] != LBool::Undef)
+        return true;
+    std::vector<int> pos = occurrences(mkLit(v));
+    std::vector<int> neg = occurrences(mkLit(v, true));
+    if (pos.empty() && neg.empty())
+        return true; // unused var: left to the search (free choice)
+    if (pos.size() > opts_.maxOccurrences ||
+        neg.size() > opts_.maxOccurrences)
+        return true;
+
+    // Dry run: count the non-tautological resolvents; eliminating must
+    // not grow the database (bounded variable elimination).
+    std::vector<std::vector<Lit>> resolvents;
+    std::vector<Lit> r;
+    for (int p : pos) {
+        for (int n : neg) {
+            if (!resolve(clauses_[static_cast<size_t>(p)],
+                         clauses_[static_cast<size_t>(n)], v, r))
+                continue;
+            if (r.size() > opts_.maxResolventSize)
+                return true;
+            resolvents.push_back(r);
+            if (resolvents.size() >
+                pos.size() + neg.size() + opts_.maxGrowth)
+                return true;
+        }
+    }
+
+    // Commit. Record the smaller occurrence side (pivot literal
+    // first), then the default unit of the opposite polarity —
+    // pushed last so the reverse walk in extendModel() applies the
+    // default before any stored clause can override it.
+    bool pure = pos.empty() || neg.empty();
+    bool pos_smaller = pos.size() <= neg.size();
+    const std::vector<int> &smaller = pos_smaller ? pos : neg;
+    Lit pivot = mkLit(v, !pos_smaller);
+    for (int idx : smaller) {
+        ElimRecord rec;
+        rec.clause = clauses_[static_cast<size_t>(idx)];
+        auto it =
+            std::find(rec.clause.begin(), rec.clause.end(), pivot);
+        R2U_ASSERT(it != rec.clause.end(), "pivot absent from side");
+        std::swap(rec.clause[0], *it);
+        records_.push_back(std::move(rec));
+    }
+    records_.push_back(ElimRecord{{~pivot}});
+
+    for (int idx : pos)
+        removeClause(idx);
+    for (int idx : neg)
+        removeClause(idx);
+    eliminated_[vi] = 1;
+    stats_.varsEliminated++;
+    if (pure)
+        stats_.pureLiterals++;
+
+    for (auto &res : resolvents) {
+        stats_.resolventsAdded++;
+        if (!addClauseInternal(std::move(res)))
+            return false;
+    }
+    return ok_;
+}
+
+bool
+Simplifier::eliminateVars()
+{
+    // Cheapest variables first: fewest occurrences eliminate with the
+    // least resolution work and the best odds of shrinking the CNF.
+    std::vector<uint64_t> cnt(static_cast<size_t>(num_vars_), 0);
+    for (const auto &c : clauses_)
+        for (Lit l : c)
+            cnt[static_cast<size_t>(var(l))]++;
+    std::vector<Var> order;
+    order.reserve(static_cast<size_t>(num_vars_));
+    for (Var v = 0; v < num_vars_; v++)
+        if (cnt[static_cast<size_t>(v)] > 0)
+            order.push_back(v);
+    std::sort(order.begin(), order.end(), [&](Var a, Var b) {
+        uint64_t ca = cnt[static_cast<size_t>(a)];
+        uint64_t cb = cnt[static_cast<size_t>(b)];
+        if (ca != cb)
+            return ca < cb;
+        return a < b;
+    });
+    for (Var v : order) {
+        if (!eliminateVar(v))
+            return false;
+        if (qhead_ < units_.size() && !propagateUnits())
+            return false;
+    }
+    return ok_;
+}
+
+bool
+Simplifier::run()
+{
+    if (!ok_)
+        return false;
+    ran_ = true;
+    for (unsigned round = 0; round < opts_.maxRounds; round++) {
+        uint64_t before = stats_.unitsPropagated +
+                          stats_.clausesSubsumed +
+                          stats_.litsStrengthened +
+                          stats_.varsEliminated +
+                          stats_.clausesRemoved;
+        if (!propagateUnits())
+            return false;
+        if (opts_.subsume && !subsumeAll())
+            return false;
+        if (opts_.varElim && !eliminateVars())
+            return false;
+        uint64_t after = stats_.unitsPropagated +
+                         stats_.clausesSubsumed +
+                         stats_.litsStrengthened +
+                         stats_.varsEliminated +
+                         stats_.clausesRemoved;
+        if (after == before)
+            break;
+    }
+    if (!propagateUnits())
+        return false;
+    return ok_;
+}
+
+std::vector<std::vector<Lit>>
+Simplifier::result() const
+{
+    std::vector<std::vector<Lit>> out;
+    out.reserve(units_.size() + clauses_.size());
+    for (Lit l : units_)
+        out.push_back({l});
+    for (const auto &c : clauses_)
+        if (!c.empty())
+            out.push_back(c);
+    return out;
+}
+
+void
+Simplifier::absorb(std::vector<ElimRecord> recs)
+{
+    records_.insert(records_.end(),
+                    std::make_move_iterator(recs.begin()),
+                    std::make_move_iterator(recs.end()));
+}
+
+void
+Simplifier::extendModel(std::vector<LBool> &model,
+                        const std::vector<ElimRecord> &records)
+{
+    for (auto it = records.rbegin(); it != records.rend(); ++it) {
+        const auto &cl = it->clause;
+        R2U_ASSERT(!cl.empty(), "empty reconstruction record");
+        bool satisfied = false;
+        for (size_t i = 1; i < cl.size(); i++) {
+            Lit l = cl[i];
+            LBool v = model[static_cast<size_t>(var(l))] ^ sign(l);
+            if (v == LBool::True) {
+                satisfied = true;
+                break;
+            }
+        }
+        if (!satisfied) {
+            Lit p = cl[0];
+            model[static_cast<size_t>(var(p))] =
+                sign(p) ? LBool::False : LBool::True;
+        }
+    }
+}
+
+} // namespace r2u::sat

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * SatELite-style CNF preprocessing with full model reconstruction.
+ *
+ * The BMC layer's sliced queries still carry tens of thousands of
+ * variables whose definitions are pure plumbing (gate outputs feeding
+ * exactly one consumer, constant cones the slicer kept conservatively,
+ * ...). Before handing such a CNF to the search loop, the Simplifier
+ * shrinks it with the classic preprocessing portfolio:
+ *
+ *  - unit propagation (clauses satisfied at root are dropped, false
+ *    literals stripped),
+ *  - backward subsumption and self-subsuming resolution
+ *    (strengthening), accelerated by 64-bit variable signatures and
+ *    occurrence lists,
+ *  - bounded variable elimination (BVE): resolve a variable away when
+ *    the non-tautological resolvents do not outnumber the clauses they
+ *    replace; pure literals fall out as the zero-resolvent case.
+ *
+ * Elimination loses models, and this repo's verification flow consumes
+ * complete models — counterexample replay through the reference
+ * simulator and `--validate` read every materialized wire — so every
+ * elimination pushes reconstruction records (the MiniSat elimclauses
+ * scheme): the *smaller* occurrence side's clauses, pivot literal
+ * first, followed by a unit record of the opposite pivot polarity.
+ * extendModel() walks the records in reverse push order — the unit
+ * sets the default that satisfies the larger (unstored) side, then any
+ * stored clause whose other literals are all false flips the pivot —
+ * yielding an assignment of the *original* formula from a model of the
+ * simplified one.
+ *
+ * Soundness note for incremental use: preprocessing assumes the clause
+ * database is final. The BMC engine therefore only preprocesses fresh
+ * per-query (portfolio racer) solvers, never the long-lived
+ * incremental contexts that keep growing clauses over existing
+ * variables. Variables that must survive (future assumption literals
+ * such as query activation guards) are frozen.
+ */
+
+#ifndef R2U_SAT_SIMPLIFY_HH
+#define R2U_SAT_SIMPLIFY_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sat/solver.hh"
+
+namespace r2u::sat
+{
+
+/** Effort bounds for one Simplifier::run(). */
+struct SimplifyOptions
+{
+    bool subsume = true; ///< backward subsumption + strengthening
+    bool varElim = true; ///< bounded variable elimination
+
+    /** Skip BVE of variables occurring in more clauses than this. */
+    unsigned maxOccurrences = 30;
+    /** Abort a variable's BVE if some resolvent grows longer. */
+    unsigned maxResolventSize = 24;
+    /** Resolvents may exceed the replaced clause count by this much. */
+    unsigned maxGrowth = 0;
+    /** Simplification rounds (propagate / subsume / eliminate). */
+    unsigned maxRounds = 3;
+    /** Skip backward subsumption through occurrence lists longer. */
+    size_t subsumeOccLimit = 1000;
+};
+
+struct SimplifyStats
+{
+    uint64_t unitsPropagated = 0;
+    uint64_t pureLiterals = 0;
+    uint64_t varsEliminated = 0; ///< includes pure literals
+    uint64_t clausesSubsumed = 0;
+    uint64_t litsStrengthened = 0;
+    uint64_t resolventsAdded = 0;
+    /** Clauses removed for any reason (satisfied/subsumed/resolved). */
+    uint64_t clausesRemoved = 0;
+};
+
+class Simplifier
+{
+  public:
+    /**
+     * One model-reconstruction record. clause[0] is the pivot literal;
+     * a record with only the pivot is the default-polarity unit.
+     */
+    struct ElimRecord
+    {
+        std::vector<Lit> clause;
+    };
+
+    /** Empty record store: only absorb()/records()/extendModel(). */
+    Simplifier();
+
+    Simplifier(int num_vars, const SimplifyOptions &opts);
+
+    /** Protect a variable from elimination (assumption literals). */
+    void freeze(Var v);
+
+    /**
+     * Add an input clause. May be called only before run(). Clauses
+     * are deduplicated per-clause; tautologies are dropped.
+     */
+    void addClause(std::vector<Lit> lits);
+
+    /** Run simplification to a fixpoint or the configured effort
+     *  bounds. Returns false iff the formula was proved UNSAT. */
+    bool run();
+
+    /**
+     * The simplified CNF: unit facts first, then the surviving
+     * clauses, in deterministic order.
+     */
+    std::vector<std::vector<Lit>> result() const;
+
+    bool isEliminated(Var v) const
+    {
+        return v >= 0 && v < static_cast<Var>(eliminated_.size()) &&
+               eliminated_[static_cast<size_t>(v)] != 0;
+    }
+
+    const SimplifyStats &stats() const { return stats_; }
+
+    const std::vector<ElimRecord> &records() const { return records_; }
+
+    std::vector<ElimRecord> takeRecords()
+    {
+        return std::move(records_);
+    }
+
+    /** Append reconstruction records (from a later run over the
+     *  already-simplified CNF; reverse-order extension stays valid). */
+    void absorb(std::vector<ElimRecord> recs);
+
+    /**
+     * Complete `model` (indexed by Var) over eliminated variables.
+     * Walks `records` in reverse push order; each record whose
+     * non-pivot literals are all false under the evolving model sets
+     * its pivot to satisfy the record. The result satisfies every
+     * clause of the original, pre-elimination formula.
+     */
+    static void extendModel(std::vector<LBool> &model,
+                            const std::vector<ElimRecord> &records);
+
+  private:
+    bool enqueueUnit(Lit l);
+    bool addClauseInternal(std::vector<Lit> lits);
+    void removeClause(int idx);
+    bool strengthenClause(int idx, Lit l);
+    bool propagateUnits();
+    bool subsumeAll();
+    bool eliminateVars();
+    bool eliminateVar(Var v);
+    static uint64_t signature(const std::vector<Lit> &lits);
+    /**
+     * Does `a` subsume `b` (return -1), almost-subsume it modulo one
+     * literal negated in `b` (return that literal's .x in b, >= 0 —
+     * self-subsuming resolution strengthens `b` by dropping it), or
+     * neither (return -2)? Both clauses must be sorted.
+     */
+    static int subsumes(const std::vector<Lit> &a,
+                        const std::vector<Lit> &b);
+    void pushToQueue(int idx);
+    /** Live clause indices containing l, compacting occ_[l.x]. */
+    std::vector<int> occurrences(Lit l);
+
+    SimplifyOptions opts_;
+    int num_vars_ = 0;
+    bool ok_ = true;
+    bool ran_ = false;
+
+    std::vector<std::vector<Lit>> clauses_; // empty = deleted
+    std::vector<uint64_t> sigs_;
+    std::vector<std::vector<int>> occ_; // by Lit.x; lazily compacted
+    std::vector<LBool> assigns_;
+    std::vector<Lit> units_; // assignment order
+    size_t qhead_ = 0;
+    std::vector<uint8_t> frozen_;
+    std::vector<uint8_t> eliminated_;
+    std::vector<int> queue_; // subsumption worklist
+    std::vector<uint8_t> in_queue_;
+
+    std::vector<ElimRecord> records_;
+    SimplifyStats stats_;
+};
+
+} // namespace r2u::sat
+
+#endif // R2U_SAT_SIMPLIFY_HH

@@ -1,8 +1,11 @@
 #include "sat/solver.hh"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/logging.hh"
+#include "sat/share.hh"
+#include "sat/simplify.hh"
 
 namespace r2u::sat
 {
@@ -25,12 +28,31 @@ Solver::Solver()
     watches_.clear();
 }
 
+Solver::~Solver() = default;
+
+uint64_t
+Solver::nextRandom()
+{
+    // xorshift64*; lazily seeded so setConfig() can run after ctor.
+    if (rng_state_ == 0)
+        rng_state_ = cfg_.seed ^ 0x9E3779B97F4A7C15ull;
+    rng_state_ ^= rng_state_ << 13;
+    rng_state_ ^= rng_state_ >> 7;
+    rng_state_ ^= rng_state_ << 17;
+    return rng_state_;
+}
+
 Var
 Solver::newVar()
 {
     Var v = numVars();
     assigns_.push_back(LBool::Undef);
-    polarity_.push_back(true); // default phase: assign false first
+    // Default phase: assign false first; Rand diversifies the initial
+    // phase only — once assigned, phase saving takes over as usual.
+    bool neg_first = true;
+    if (cfg_.polarity == SolverConfig::Polarity::Rand)
+        neg_first = (nextRandom() & 1) != 0;
+    polarity_.push_back(neg_first);
     activity_.push_back(0.0);
     heap_pos_.push_back(-1);
     reason_.push_back(-1);
@@ -56,6 +78,8 @@ Solver::addClause(std::vector<Lit> lits)
     Lit prev = kLitUndef;
     for (Lit l : lits) {
         R2U_ASSERT(var(l) >= 0 && var(l) < numVars(), "bad literal");
+        R2U_ASSERT(!isEliminated(var(l)),
+                   "addClause on eliminated variable %d", var(l));
         if (value(l) == LBool::True || l == ~prev)
             return true; // satisfied or tautology
         if (value(l) != LBool::False && l != prev) {
@@ -74,19 +98,50 @@ Solver::addClause(std::vector<Lit> lits)
         return ok_;
     }
 
-    int cref = static_cast<int>(clauses_.size());
-    clauses_.push_back(Clause{false, 0.0, std::move(out)});
+    int cref = allocClause(out.data(), static_cast<uint32_t>(out.size()),
+                           false, 0, 0.0f);
+    crefs_.push_back(cref);
     attachClause(cref);
     return true;
+}
+
+int
+Solver::allocClause(const Lit *lits, uint32_t size, bool learnt,
+                    uint32_t lbd, float activity)
+{
+    int cref = static_cast<int>(arena_.size());
+    arena_.resize(arena_.size() + kClauseHeader + size);
+    Clause c = clause(cref);
+    c.p[0] = (size << 3) | (learnt ? kFlagLearnt : 0);
+    c.setLbd(lbd);
+    c.setActivity(activity);
+    std::memcpy(c.lits(), lits, size * sizeof(Lit));
+    return cref;
 }
 
 void
 Solver::attachClause(int cref)
 {
-    const Clause &c = clauses_[cref];
-    R2U_ASSERT(c.lits.size() >= 2, "attach of short clause");
-    watches_[(~c.lits[0]).x].push_back(Watcher{cref, c.lits[1]});
-    watches_[(~c.lits[1]).x].push_back(Watcher{cref, c.lits[0]});
+    const Clause c = clause(cref);
+    R2U_ASSERT(c.size() >= 2, "attach of short clause");
+    watches_[(~c[0]).x].push_back(Watcher{cref, c[1]});
+    watches_[(~c[1]).x].push_back(Watcher{cref, c[0]});
+}
+
+void
+Solver::detachClause(int cref)
+{
+    const Clause c = clause(cref);
+    for (int w = 0; w < 2; w++) {
+        auto &ws = watches_[(~c[w]).x];
+        for (size_t k = 0; k < ws.size(); k++) {
+            if (ws[k].cref == cref) {
+                ws[k] = ws.back();
+                ws.pop_back();
+                break;
+            }
+        }
+    }
 }
 
 void
@@ -116,13 +171,13 @@ Solver::propagate()
                 ws[j++] = ws[i++];
                 continue;
             }
-            Clause &c = clauses_[w.cref];
+            Lit *lits = clause(w.cref).lits();
             Lit false_lit = ~p;
-            if (c.lits[0] == false_lit)
-                std::swap(c.lits[0], c.lits[1]);
+            if (lits[0] == false_lit)
+                std::swap(lits[0], lits[1]);
             i++;
 
-            Lit first = c.lits[0];
+            Lit first = lits[0];
             if (first != w.blocker && value(first) == LBool::True) {
                 ws[j++] = Watcher{w.cref, first};
                 continue;
@@ -130,10 +185,11 @@ Solver::propagate()
 
             // Look for a new watch.
             bool found = false;
-            for (size_t k = 2; k < c.lits.size(); k++) {
-                if (value(c.lits[k]) != LBool::False) {
-                    std::swap(c.lits[1], c.lits[k]);
-                    watches_[(~c.lits[1]).x].push_back(
+            uint32_t sz = clause(w.cref).size();
+            for (uint32_t k = 2; k < sz; k++) {
+                if (value(lits[k]) != LBool::False) {
+                    std::swap(lits[1], lits[k]);
+                    watches_[(~lits[1]).x].push_back(
                         Watcher{w.cref, first});
                     found = true;
                     break;
@@ -174,18 +230,38 @@ Solver::varBumpActivity(Var v)
 }
 
 void
-Solver::claBumpActivity(Clause &c)
+Solver::claBumpActivity(Clause c)
 {
-    c.activity += cla_inc_;
-    if (c.activity > 1e20) {
-        for (int idx : learnts_)
-            clauses_[idx].activity *= 1e-20;
+    c.setActivity(c.activity() + static_cast<float>(cla_inc_));
+    if (c.activity() > 1e20f) {
+        for (int idx : learnts_) {
+            Clause l = clause(idx);
+            l.setActivity(l.activity() * 1e-20f);
+        }
         cla_inc_ *= 1e-20;
     }
 }
 
+uint32_t
+Solver::computeLbd(const Lit *lits, uint32_t n)
+{
+    if (lbd_stamp_.size() < static_cast<size_t>(numVars()) + 1)
+        lbd_stamp_.resize(static_cast<size_t>(numVars()) + 1, 0);
+    lbd_stamp_gen_++;
+    uint32_t lbd = 0;
+    for (uint32_t i = 0; i < n; i++) {
+        int lvl = level_[var(lits[i])];
+        if (lvl > 0 && lbd_stamp_[lvl] != lbd_stamp_gen_) {
+            lbd_stamp_[lvl] = lbd_stamp_gen_;
+            lbd++;
+        }
+    }
+    return std::max(lbd, 1u);
+}
+
 void
-Solver::analyze(int confl, std::vector<Lit> &out_learnt, int &out_btlevel)
+Solver::analyze(int confl, std::vector<Lit> &out_learnt,
+                int &out_btlevel, uint32_t &out_lbd)
 {
     int pathC = 0;
     Lit p = kLitUndef;
@@ -195,11 +271,20 @@ Solver::analyze(int confl, std::vector<Lit> &out_learnt, int &out_btlevel)
 
     do {
         R2U_ASSERT(confl != -1, "no reason in analyze");
-        Clause &c = clauses_[confl];
-        if (c.learnt)
+        Clause c = clause(confl);
+        if (c.learnt()) {
             claBumpActivity(c);
-        for (size_t j = (p == kLitUndef) ? 0 : 1; j < c.lits.size(); j++) {
-            Lit q = c.lits[j];
+            // Glucose's update-on-use: a learnt clause involved in a
+            // new conflict re-measures its glue; keep the smaller.
+            if (c.lbd() > cfg_.glueLbd) {
+                uint32_t nl = computeLbd(c.lits(), c.size());
+                if (nl < c.lbd())
+                    c.setLbd(nl);
+            }
+        }
+        for (uint32_t j = (p == kLitUndef) ? 0 : 1; j < c.size();
+             j++) {
+            Lit q = c[j];
             if (!seen_[var(q)] && level_[var(q)] > 0) {
                 varBumpActivity(var(q));
                 seen_[var(q)] = 1;
@@ -231,6 +316,7 @@ Solver::analyze(int confl, std::vector<Lit> &out_learnt, int &out_btlevel)
     }
     out_learnt.resize(j);
     stats_.learntLiterals += out_learnt.size();
+    out_lbd = computeLbd(out_learnt);
 
     // Find the backtrack level (second-highest level in the clause).
     if (out_learnt.size() == 1) {
@@ -260,9 +346,9 @@ Solver::litRedundant(Lit p, uint32_t abstract_levels)
         Lit q = analyze_stack_.back();
         analyze_stack_.pop_back();
         R2U_ASSERT(reason_[var(q)] != -1, "decision in litRedundant");
-        const Clause &c = clauses_[reason_[var(q)]];
-        for (size_t i = 1; i < c.lits.size(); i++) {
-            Lit l = c.lits[i];
+        const Clause c = clause(reason_[var(q)]);
+        for (uint32_t i = 1; i < c.size(); i++) {
+            Lit l = c[i];
             if (!seen_[var(l)] && level_[var(l)] > 0) {
                 uint32_t abst = 1u << (level_[var(l)] & 31);
                 if (reason_[var(l)] != -1 &&
@@ -271,7 +357,8 @@ Solver::litRedundant(Lit p, uint32_t abstract_levels)
                     analyze_stack_.push_back(l);
                     analyze_toclear_.push_back(l);
                 } else {
-                    for (size_t k = top; k < analyze_toclear_.size(); k++)
+                    for (size_t k = top; k < analyze_toclear_.size();
+                         k++)
                         seen_[var(analyze_toclear_[k])] = 0;
                     analyze_toclear_.resize(top);
                     return false;
@@ -299,10 +386,10 @@ Solver::analyzeFinal(Lit p)
             R2U_ASSERT(level_[x] > 0, "root decision in analyzeFinal");
             conflict_core_.push_back(~trail_[i]);
         } else {
-            const Clause &c = clauses_[reason_[x]];
-            for (size_t j = 1; j < c.lits.size(); j++)
-                if (level_[var(c.lits[j])] > 0)
-                    seen_[var(c.lits[j])] = 1;
+            const Clause c = clause(reason_[x]);
+            for (uint32_t j = 1; j < c.size(); j++)
+                if (level_[var(c[j])] > 0)
+                    seen_[var(c[j])] = 1;
         }
         seen_[x] = 0;
     }
@@ -318,7 +405,7 @@ Solver::cancelUntil(int level)
          i >= trail_lim_[level]; i--) {
         Var x = var(trail_[i]);
         assigns_[x] = LBool::Undef;
-        if (heap_pos_[x] < 0)
+        if (heap_pos_[x] < 0 && !isEliminated(x))
             heapInsert(x);
     }
     qhead_ = static_cast<size_t>(trail_lim_[level]);
@@ -392,10 +479,30 @@ Solver::heapRemoveMax()
 Lit
 Solver::pickBranchLit()
 {
+    auto decideSign = [&](Var v) -> bool {
+        switch (cfg_.polarity) {
+          case SolverConfig::Polarity::False: return true;
+          case SolverConfig::Polarity::True: return false;
+          case SolverConfig::Polarity::Saved:
+          case SolverConfig::Polarity::Rand: return polarity_[v];
+        }
+        return polarity_[v];
+    };
+    if (cfg_.randomFreq > 0.0 && !heap_.empty()) {
+        double r =
+            (nextRandom() >> 11) * (1.0 / 9007199254740992.0);
+        if (r < cfg_.randomFreq) {
+            Var v = heap_[nextRandom() % heap_.size()];
+            if (value(v) == LBool::Undef && !isEliminated(v)) {
+                stats_.randomDecisions++;
+                return mkLit(v, decideSign(v));
+            }
+        }
+    }
     while (!heapEmpty()) {
         Var v = heapRemoveMax();
-        if (value(v) == LBool::Undef)
-            return mkLit(v, polarity_[v]);
+        if (value(v) == LBool::Undef && !isEliminated(v))
+            return mkLit(v, decideSign(v));
     }
     return kLitUndef;
 }
@@ -403,36 +510,175 @@ Solver::pickBranchLit()
 void
 Solver::reduceDB()
 {
-    std::sort(learnts_.begin(), learnts_.end(), [&](int a, int b) {
-        return clauses_[a].activity < clauses_[b].activity;
-    });
-    size_t keep_from = learnts_.size() / 2;
-    std::vector<int> kept;
-    for (size_t i = 0; i < learnts_.size(); i++) {
-        int cref = learnts_[i];
-        Clause &c = clauses_[cref];
-        bool locked = value(c.lits[0]) == LBool::True &&
-                      reason_[var(c.lits[0])] == cref;
-        if (i >= keep_from || c.lits.size() <= 2 || locked) {
-            kept.push_back(cref);
-            continue;
-        }
-        // Detach the two watchers.
-        for (int w = 0; w < 2; w++) {
-            auto &ws = watches_[(~c.lits[w]).x];
-            for (size_t k = 0; k < ws.size(); k++) {
-                if (ws[k].cref == cref) {
-                    ws[k] = ws.back();
-                    ws.pop_back();
-                    break;
-                }
-            }
-        }
-        c.lits.clear();
-        c.lits.shrink_to_fit();
+    // Exact locked set: any clause that is the reason of a currently
+    // assigned variable must survive — conflict analysis walks those
+    // references. (The historical `value(lits[0]) == True` check was
+    // only an approximation: propagate() swaps watched literals, so a
+    // reason clause's asserting literal is not guaranteed to sit at
+    // index 0 when the clause is later inspected.) The locked mark
+    // lives in a header bit so no side table scales with arena size.
+    for (Lit l : trail_) {
+        int r = reason_[var(l)];
+        if (r >= 0)
+            clause(r).setLocked(true);
+    }
+
+    std::vector<int> keep, removable;
+    keep.reserve(learnts_.size());
+    for (int cref : learnts_) {
+        const Clause c = clause(cref);
+        if (c.locked() || c.size() <= 2)
+            keep.push_back(cref);
+        else
+            removable.push_back(cref);
+    }
+    if (cfg_.lbdReduce) {
+        // Victims first: high glue, then low activity; tie-break on
+        // clause index for determinism. Glue clauses (lbd <= glueLbd)
+        // naturally sort to the very end, so they are only evicted
+        // when the database consists of little else — an absolute
+        // exemption would let them accumulate without bound and choke
+        // propagation on small, conflict-dense instances.
+        std::sort(removable.begin(), removable.end(),
+                  [&](int a, int b) {
+                      const Clause ca = clause(a);
+                      const Clause cb = clause(b);
+                      if (ca.lbd() != cb.lbd())
+                          return ca.lbd() > cb.lbd();
+                      if (ca.activity() != cb.activity())
+                          return ca.activity() < cb.activity();
+                      return a < b;
+                  });
+    } else {
+        std::sort(removable.begin(), removable.end(),
+                  [&](int a, int b) {
+                      if (clause(a).activity() != clause(b).activity())
+                          return clause(a).activity() <
+                                 clause(b).activity();
+                      return a < b;
+                  });
+    }
+    size_t nremove = removable.size() / 2;
+    for (size_t i = 0; i < nremove; i++) {
+        int cref = removable[i];
+        detachClause(cref);
+        clause(cref).markDeleted();
         stats_.removedClauses++;
     }
-    learnts_ = std::move(kept);
+    keep.insert(keep.end(), removable.begin() + nremove,
+                removable.end());
+    learnts_ = std::move(keep);
+
+    for (Lit l : trail_) {
+        int r = reason_[var(l)];
+        if (r >= 0)
+            clause(r).setLocked(false);
+    }
+    // If the keep classes (locked, binary) alone exceed the cap, the
+    // reduction cannot reach it; raise the cap so the next trigger
+    // waits for genuinely new learnts instead of re-running every
+    // search iteration. solve() resets the cap on each call.
+    if (static_cast<double>(learnts_.size()) >= max_learnts_)
+        max_learnts_ = static_cast<double>(learnts_.size()) * 1.5;
+}
+
+void
+Solver::simplifyDB()
+{
+    R2U_ASSERT(decisionLevel() == 0, "simplifyDB above root level");
+    if (!ok_)
+        return;
+    if (propagate() != -1) {
+        ok_ = false;
+        return;
+    }
+    stats_.simplifyRuns++;
+
+    // Level-0 assignments are facts; their reason clauses may be about
+    // to disappear, so forget them.
+    for (Lit l : trail_)
+        reason_[var(l)] = -1;
+
+    uint64_t removed = 0, lits_removed = 0;
+    for (int cref : crefs_) {
+        Clause c = clause(cref);
+        if (c.deleted())
+            continue; // tombstone
+        bool satisfied = false;
+        for (Lit l : c) {
+            if (value(l) == LBool::True) {
+                satisfied = true;
+                break;
+            }
+        }
+        if (satisfied) {
+            c.markDeleted();
+            removed++;
+            continue;
+        }
+        uint32_t j = 0;
+        for (Lit l : c)
+            if (value(l) != LBool::False)
+                c[j++] = l;
+        lits_removed += c.size() - j;
+        c.shrink(j);
+        if (j == 0) {
+            ok_ = false;
+            return;
+        }
+        if (j == 1) {
+            uncheckedEnqueue(c[0], -1);
+            c.markDeleted();
+            removed++;
+        }
+    }
+    stats_.simplifyClausesRemoved += removed;
+    stats_.simplifyLitsRemoved += lits_removed;
+
+    // Drop tombstoned learnts, reclaim the arena space (reason crefs
+    // were forgotten above, and the watch lists are about to be
+    // rebuilt, so this is the one point where remapping is free),
+    // then rebuild every watch list.
+    size_t j = 0;
+    for (int cref : learnts_)
+        if (!clause(cref).deleted())
+            learnts_[j++] = cref;
+    learnts_.resize(j);
+    garbageCollect();
+    for (auto &ws : watches_)
+        ws.clear();
+    for (int cref : crefs_)
+        if (clause(cref).size() >= 2)
+            attachClause(cref);
+
+    // New units found above still need propagating (qhead_ is behind
+    // any literal enqueued during the sweep).
+    if (propagate() != -1)
+        ok_ = false;
+    trail_at_last_simplify_ = trail_.size();
+}
+
+void
+Solver::garbageCollect()
+{
+    std::vector<uint32_t> to;
+    to.reserve(arena_.size());
+    size_t out = 0;
+    for (size_t i = 0; i < crefs_.size(); i++) {
+        Clause c = clause(crefs_[i]);
+        if (c.deleted())
+            continue;
+        int ncref = static_cast<int>(to.size());
+        to.insert(to.end(), c.p, c.p + kClauseHeader + c.size());
+        // Forwarding address for learnts_ remapping, stashed in the
+        // dead clause's lbd slot.
+        c.p[1] = static_cast<uint32_t>(ncref);
+        crefs_[out++] = ncref;
+    }
+    crefs_.resize(out);
+    for (int &cref : learnts_)
+        cref = static_cast<int>(arena_[static_cast<size_t>(cref) + 1]);
+    arena_ = std::move(to);
 }
 
 int64_t
@@ -452,6 +698,24 @@ Solver::luby(int64_t x)
     return 1ll << seq;
 }
 
+bool
+Solver::restartDue(int64_t conflicts_here,
+                   int64_t conflicts_before_restart) const
+{
+    if (cfg_.restart == SolverConfig::Restart::Luby)
+        return conflicts_here >= conflicts_before_restart;
+    // Glucose: the recent-conflict LBD window runs hotter than the
+    // all-time average -> the solver is lost, restart.
+    if (lbd_window_filled_ < cfg_.glucoseWindow ||
+        lbd_total_count_ == 0)
+        return false;
+    double recent = static_cast<double>(lbd_window_sum_) /
+                    static_cast<double>(cfg_.glucoseWindow);
+    double global = static_cast<double>(lbd_total_sum_) /
+                    static_cast<double>(lbd_total_count_);
+    return recent > cfg_.glucoseMargin * global;
+}
+
 Result
 Solver::search(int64_t conflicts_before_restart)
 {
@@ -469,23 +733,57 @@ Solver::search(int64_t conflicts_before_restart)
                 return Result::Unsat;
             }
             int btlevel;
-            analyze(confl, learnt, btlevel);
+            uint32_t lbd = 0;
+            analyze(confl, learnt, btlevel, lbd);
             cancelUntil(btlevel);
+
+            stats_.lbdSum += lbd;
+            if (lbd <= cfg_.glueLbd)
+                stats_.glueClauses++;
+            lbd_total_sum_ += lbd;
+            lbd_total_count_++;
+            if (!lbd_window_.empty()) {
+                if (lbd_window_filled_ <
+                    static_cast<uint64_t>(lbd_window_.size())) {
+                    lbd_window_sum_ += lbd;
+                    lbd_window_filled_++;
+                } else {
+                    lbd_window_sum_ +=
+                        lbd - lbd_window_[lbd_window_next_];
+                }
+                lbd_window_[lbd_window_next_] = lbd;
+                lbd_window_next_ =
+                    (lbd_window_next_ + 1) % lbd_window_.size();
+            }
+
+            if (share_pool_ && cfg_.shareLbdMax != 0 &&
+                lbd <= cfg_.shareLbdMax && learnt.size() <= 64) {
+                if (share_pool_->publish(share_self_, lbd, learnt))
+                    stats_.sharedExported++;
+            }
+
             if (learnt.size() == 1) {
                 uncheckedEnqueue(learnt[0], -1);
             } else {
-                int cref = static_cast<int>(clauses_.size());
-                clauses_.push_back(Clause{true, cla_inc_, learnt});
+                int cref = allocClause(
+                    learnt.data(), static_cast<uint32_t>(learnt.size()),
+                    true, lbd, static_cast<float>(cla_inc_));
+                crefs_.push_back(cref);
                 learnts_.push_back(cref);
                 attachClause(cref);
                 uncheckedEnqueue(learnt[0], cref);
             }
             varDecayActivity();
-            cla_inc_ /= cla_decay_;
+            cla_inc_ /= cfg_.claDecay;
         } else {
-            if (conflicts_here >= conflicts_before_restart) {
+            if (restartDue(conflicts_here, conflicts_before_restart)) {
                 cancelUntil(0);
                 stats_.restarts++;
+                // A fresh span must refill the window before it can
+                // trigger the Glucose criterion again.
+                lbd_window_filled_ = 0;
+                lbd_window_sum_ = 0;
+                lbd_window_next_ = 0;
                 return Result::Unknown;
             }
             StopReason stop = stopCheck();
@@ -494,8 +792,21 @@ Solver::search(int64_t conflicts_before_restart)
                 cancelUntil(0);
                 return Result::Unknown;
             }
-            if (static_cast<double>(learnts_.size()) >= max_learnts_)
+            bool reduce_due;
+            if (cfg_.lbdReduce && cfg_.maxLearntsOverride <= 0.0)
+                reduce_due =
+                    !learnts_.empty() &&
+                    conflicts_this_solve_ - conflicts_at_last_reduce_ >=
+                        cfg_.reduceFirst +
+                            cfg_.reduceInc * reduces_this_solve_;
+            else
+                reduce_due = static_cast<double>(learnts_.size()) >=
+                             max_learnts_;
+            if (reduce_due) {
                 reduceDB();
+                reduces_this_solve_++;
+                conflicts_at_last_reduce_ = conflicts_this_solve_;
+            }
 
             // Establish assumptions, then decide.
             Lit next = kLitUndef;
@@ -552,6 +863,83 @@ Solver::stopCheck()
     return StopReason::None;
 }
 
+void
+Solver::setShare(ClausePool *pool, unsigned self, Lit import_guard)
+{
+    share_pool_ = pool;
+    share_self_ = self;
+    share_guard_ = import_guard;
+}
+
+bool
+Solver::importClause(const std::vector<Lit> &lits_in, uint32_t lbd)
+{
+    R2U_ASSERT(decisionLevel() == 0, "import above root level");
+    std::vector<Lit> lits;
+    lits.reserve(lits_in.size() + 1);
+    for (Lit l : lits_in) {
+        R2U_ASSERT(var(l) >= 0 && var(l) < numVars(),
+                   "imported literal out of range");
+        // A preprocessed racer dropped this variable's defining
+        // clauses; re-introducing it is sound but pointless.
+        if (isEliminated(var(l)))
+            return false;
+        // Guarded import of a clause already containing ~guard would
+        // be a tautology.
+        if (share_guard_ != kLitUndef && l == ~share_guard_)
+            return false;
+        if (l == share_guard_)
+            continue; // guard re-added below
+        LBool v = value(l);
+        if (v == LBool::True)
+            return false; // satisfied at level 0 already
+        if (v == LBool::False)
+            continue;
+        lits.push_back(l);
+    }
+    if (share_guard_ != kLitUndef) {
+        if (value(share_guard_) == LBool::True)
+            return false;
+        if (value(share_guard_) != LBool::False)
+            lits.push_back(share_guard_);
+    }
+    if (lits.empty()) {
+        ok_ = false;
+        return false;
+    }
+    if (lits.size() == 1) {
+        uncheckedEnqueue(lits[0], -1);
+        stats_.sharedImported++;
+        stats_.sharedImportedUnits++;
+        return true;
+    }
+    int cref =
+        allocClause(lits.data(), static_cast<uint32_t>(lits.size()),
+                    true, lbd, static_cast<float>(cla_inc_));
+    crefs_.push_back(cref);
+    learnts_.push_back(cref);
+    attachClause(cref);
+    stats_.sharedImported++;
+    return true;
+}
+
+bool
+Solver::exchangeClauses()
+{
+    std::vector<ClausePool::Entry> in;
+    share_pool_->collect(share_self_, in);
+    for (const auto &e : in) {
+        importClause(e.lits, e.lbd);
+        if (!ok_)
+            return false;
+    }
+    if (propagate() != -1) {
+        ok_ = false;
+        return false;
+    }
+    return true;
+}
+
 Result
 Solver::solve(const std::vector<Lit> &assumptions)
 {
@@ -563,9 +951,14 @@ Solver::solve(const std::vector<Lit> &assumptions)
     stop_reason_ = StopReason::None;
     if (!ok_)
         return Result::Unsat;
+    for (Lit a : assumptions)
+        R2U_ASSERT(!isEliminated(var(a)),
+                   "assumption on eliminated variable %d", var(a));
     assumptions_ = assumptions;
     conflicts_this_solve_ = 0;
     propagations_this_solve_ = 0;
+    reduces_this_solve_ = 0;
+    conflicts_at_last_reduce_ = 0;
     has_deadline_ = deadline_seconds_ >= 0.0;
     if (has_deadline_) {
         deadline_point_ =
@@ -575,20 +968,224 @@ Solver::solve(const std::vector<Lit> &assumptions)
                 std::chrono::duration<double>(deadline_seconds_));
     }
     stop_check_countdown_ = 1; // read the clock on the first check
-    max_learnts_ = std::max<double>(
-        static_cast<double>(clauses_.size()) / 3.0, 1000.0);
+    max_learnts_ =
+        cfg_.maxLearntsOverride > 0.0
+            ? cfg_.maxLearntsOverride
+            : std::max<double>(
+                  static_cast<double>(crefs_.size()) / 3.0, 1000.0);
+    lbd_window_.assign(cfg_.glucoseWindow, 0);
+    lbd_window_next_ = 0;
+    lbd_window_filled_ = 0;
+    lbd_window_sum_ = 0;
+    lbd_total_sum_ = 0;
+    lbd_total_count_ = 0;
+
+    // Root facts added since the last inprocessing pass (an
+    // incremental caller retiring a query with a unit ~act, or units
+    // learned in the previous solve) satisfy whole swaths of the
+    // clause DB; collect them now so this query's propagation does
+    // not wade through dead clauses. The trigger is trail growth, so
+    // back-to-back solves with no new facts skip the sweep.
+    if (cfg_.inprocessPeriod != 0 &&
+        trail_.size() > trail_at_last_simplify_) {
+        restarts_since_simplify_ = 0;
+        simplifyDB();
+        if (!ok_) {
+            cancelUntil(0);
+            assumptions_.clear();
+            return Result::Unsat;
+        }
+    }
 
     Result status = Result::Unknown;
     int64_t restart = 0;
     while (status == Result::Unknown) {
-        status = search(luby(restart++) * 100);
-        if (status == Result::Unknown &&
-            stop_reason_ != StopReason::None)
+        int64_t budget =
+            cfg_.restart == SolverConfig::Restart::Luby
+                ? luby(restart++) * cfg_.lubyUnit
+                : INT64_MAX;
+        status = search(budget);
+        if (status != Result::Unknown)
             break;
+        if (stop_reason_ != StopReason::None)
+            break;
+        // Restart boundary, back at level 0: the deterministic point
+        // for clause import and database inprocessing.
+        if (share_pool_ && !exchangeClauses()) {
+            status = Result::Unsat;
+            break;
+        }
+        if (cfg_.inprocessPeriod != 0 &&
+            ++restarts_since_simplify_ >= cfg_.inprocessPeriod) {
+            restarts_since_simplify_ = 0;
+            simplifyDB();
+            if (!ok_) {
+                status = Result::Unsat;
+                break;
+            }
+        }
+    }
+    if (status == Result::Sat) {
+        if (reconstruction_ && !reconstruction_->records().empty())
+            Simplifier::extendModel(model_,
+                                    reconstruction_->records());
+        for (auto &m : model_)
+            if (m == LBool::Undef)
+                m = LBool::False;
     }
     cancelUntil(0);
     assumptions_.clear();
     return status;
+}
+
+bool
+Solver::preprocess(const SimplifyOptions &options,
+                   const std::vector<Var> &frozen)
+{
+    R2U_ASSERT(decisionLevel() == 0, "preprocess above root level");
+    if (!ok_)
+        return false;
+    if (propagate() != -1) {
+        ok_ = false;
+        return false;
+    }
+    auto t0 = std::chrono::steady_clock::now();
+
+    Simplifier simp(numVars(), options);
+    for (Var v : frozen)
+        simp.freeze(v);
+    for (Lit l : trail_)
+        simp.addClause({l});
+    for (int cref : crefs_) {
+        const Clause c = clause(cref);
+        if (c.deleted() || c.learnt())
+            continue;
+        simp.addClause(std::vector<Lit>(c.begin(), c.end()));
+    }
+    bool sat_possible = simp.run();
+    stats_.preprocessRuns++;
+    stats_.preprocessSeconds +=
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    if (!sat_possible) {
+        ok_ = false;
+        return false;
+    }
+    stats_.preprocessVarsEliminated += simp.stats().varsEliminated;
+    stats_.preprocessClausesRemoved += simp.stats().clausesRemoved;
+
+    // Rebuild the solver database from the simplified CNF.
+    uint64_t added_before = added_clauses_;
+    arena_.clear();
+    crefs_.clear();
+    learnts_.clear();
+    for (auto &ws : watches_)
+        ws.clear();
+    trail_.clear();
+    trail_lim_.clear();
+    qhead_ = 0;
+    std::fill(assigns_.begin(), assigns_.end(), LBool::Undef);
+    std::fill(reason_.begin(), reason_.end(), -1);
+    std::fill(level_.begin(), level_.end(), 0);
+    eliminated_.assign(static_cast<size_t>(numVars()), 0);
+    for (Var v = 0; v < numVars(); v++)
+        if (simp.isEliminated(v))
+            eliminated_[static_cast<size_t>(v)] = 1;
+
+    for (const auto &cl : simp.result()) {
+        if (!addClause(cl))
+            break;
+    }
+    added_clauses_ = added_before; // reporting: not new user clauses
+
+    // Eliminated variables must never be decided again.
+    heap_.clear();
+    std::fill(heap_pos_.begin(), heap_pos_.end(), -1);
+    for (Var v = 0; v < numVars(); v++)
+        if (!eliminated_[static_cast<size_t>(v)] &&
+            value(v) == LBool::Undef)
+            heapInsert(v);
+
+    if (!reconstruction_)
+        reconstruction_ = std::make_unique<Simplifier>();
+    reconstruction_->absorb(simp.takeRecords());
+    return ok_;
+}
+
+void
+Solver::exportCnf(std::vector<std::vector<Lit>> &out,
+                  bool include_learnts) const
+{
+    R2U_ASSERT(decisionLevel() == 0, "exportCnf above root level");
+    size_t root = trail_lim_.empty()
+                      ? trail_.size()
+                      : static_cast<size_t>(trail_lim_[0]);
+    for (size_t i = 0; i < root; i++)
+        out.push_back({trail_[i]});
+    for (int cref : crefs_) {
+        const Clause c = clause(cref);
+        if (c.deleted())
+            continue; // tombstone
+        if (c.learnt() && !include_learnts)
+            continue;
+        out.emplace_back(c.begin(), c.end());
+    }
+}
+
+void
+Solver::cloneFrom(const Solver &other)
+{
+    R2U_ASSERT(other.decisionLevel() == 0,
+               "cloneFrom of a solver above root level");
+    ok_ = other.ok_;
+    cfg_ = other.cfg_;
+    arena_ = other.arena_;
+    crefs_ = other.crefs_;
+    learnts_ = other.learnts_;
+    watches_ = other.watches_;
+    assigns_ = other.assigns_;
+    polarity_ = other.polarity_;
+    activity_ = other.activity_;
+    heap_ = other.heap_;
+    heap_pos_ = other.heap_pos_;
+    trail_ = other.trail_;
+    trail_lim_.clear();
+    reason_ = other.reason_;
+    level_ = other.level_;
+    eliminated_ = other.eliminated_;
+    qhead_ = other.qhead_;
+    seen_ = other.seen_;
+    lbd_stamp_ = other.lbd_stamp_;
+    lbd_stamp_gen_ = other.lbd_stamp_gen_;
+    rng_state_ = other.rng_state_;
+    var_inc_ = other.var_inc_;
+    cla_inc_ = other.cla_inc_;
+    added_clauses_ = other.added_clauses_;
+    trail_at_last_simplify_ = other.trail_at_last_simplify_;
+    if (other.reconstruction_ &&
+        !other.reconstruction_->records().empty()) {
+        reconstruction_ = std::make_unique<Simplifier>();
+        reconstruction_->absorb(other.reconstruction_->records());
+    } else {
+        reconstruction_.reset();
+    }
+    // Per-solve transients start fresh: budgets, deadline, interrupt
+    // wiring, shared pool, model, and statistics stay this solver's
+    // own.
+    model_.clear();
+    conflict_core_.clear();
+    assumptions_.clear();
+    stop_reason_ = StopReason::None;
+    restarts_since_simplify_ = 0;
+}
+
+void
+Solver::adoptModel(std::vector<LBool> model)
+{
+    R2U_ASSERT(model.size() >= static_cast<size_t>(numVars()),
+               "adopted model does not cover the variable space");
+    model_ = std::move(model);
 }
 
 bool

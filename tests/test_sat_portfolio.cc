@@ -1,0 +1,526 @@
+/**
+ * @file
+ * Tests for portfolio solving: the shared learnt-clause pool
+ * (sat/share.hh, including a threaded stress shaped for TSan),
+ * solver-level clause export/import with and without an import guard,
+ * solver cloning, racer verdict identity on a sliced multi-V-scale
+ * query corpus (portfolio vs. single-config, inprocessing on vs.
+ * off), and the BMC engine's --portfolio path with full
+ * trust-but-verify validation — replayed counterexamples and proof
+ * re-checks must pass on inprocessed, clause-sharing runs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "bmc/checker.hh"
+#include "bmc/engine.hh"
+#include "sat/share.hh"
+#include "sat/solver.hh"
+#include "vscale/metadata.hh"
+#include "vscale/vscale.hh"
+
+using namespace r2u;
+using sat::Lit;
+using sat::mkLit;
+
+namespace
+{
+
+using Cnf = std::vector<std::vector<Lit>>;
+
+Cnf
+pigeonhole(int pigeons, int holes)
+{
+    Cnf cnf;
+    for (int p = 0; p < pigeons; p++) {
+        std::vector<Lit> some;
+        for (int h = 0; h < holes; h++)
+            some.push_back(mkLit(p * holes + h));
+        cnf.push_back(some);
+    }
+    for (int h = 0; h < holes; h++)
+        for (int p1 = 0; p1 < pigeons; p1++)
+            for (int p2 = p1 + 1; p2 < pigeons; p2++)
+                cnf.push_back({~mkLit(p1 * holes + h),
+                               ~mkLit(p2 * holes + h)});
+    return cnf;
+}
+
+void
+load(sat::Solver &s, const Cnf &cnf, int num_vars)
+{
+    while (s.numVars() < num_vars)
+        s.newVar();
+    for (const auto &clause : cnf)
+        if (!s.addClause(clause))
+            break;
+}
+
+bool
+satisfies(const std::vector<sat::LBool> &model, const Cnf &cnf)
+{
+    for (const auto &clause : cnf) {
+        bool sat = false;
+        for (Lit l : clause)
+            sat = sat ||
+                  ((model[sat::var(l)] ^ sat::sign(l)) ==
+                   sat::LBool::True);
+        if (!sat)
+            return false;
+    }
+    return true;
+}
+
+/** A restart-happy config so pool imports (which happen at restart
+ *  boundaries) are guaranteed on any conflict-rich instance. */
+sat::SolverConfig
+restartStorm()
+{
+    sat::SolverConfig cfg;
+    cfg.lubyUnit = 1;
+    return cfg;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// ClausePool
+// ---------------------------------------------------------------------
+
+TEST(ClausePool, CursorSkipsOwnClausesAndAlreadySeen)
+{
+    sat::ClausePool pool(2);
+    EXPECT_TRUE(pool.publish(0, 2, {mkLit(0), mkLit(1)}));
+    EXPECT_TRUE(pool.publish(1, 3, {mkLit(2)}));
+    EXPECT_EQ(pool.size(), 2u);
+
+    std::vector<sat::ClausePool::Entry> got;
+    pool.collect(0, got);
+    ASSERT_EQ(got.size(), 1u); // own publish excluded
+    EXPECT_EQ(got[0].producer, 1u);
+    EXPECT_EQ(got[0].lbd, 3u);
+    ASSERT_EQ(got[0].lits.size(), 1u);
+    EXPECT_EQ(got[0].lits[0], mkLit(2));
+
+    got.clear();
+    pool.collect(0, got); // cursor advanced: nothing new
+    EXPECT_TRUE(got.empty());
+
+    EXPECT_TRUE(pool.publish(1, 2, {mkLit(3)}));
+    pool.collect(0, got);
+    ASSERT_EQ(got.size(), 1u);
+    EXPECT_EQ(got[0].lits[0], mkLit(3));
+}
+
+TEST(ClausePool, CapacityBoundsAndCountsDrops)
+{
+    sat::ClausePool pool(1, 2);
+    EXPECT_TRUE(pool.publish(0, 2, {mkLit(0)}));
+    EXPECT_TRUE(pool.publish(0, 2, {mkLit(1)}));
+    EXPECT_FALSE(pool.publish(0, 2, {mkLit(2)}));
+    EXPECT_EQ(pool.size(), 2u);
+    EXPECT_EQ(pool.dropped(), 1u);
+}
+
+TEST(ClausePool, ConcurrentPublishCollect)
+{
+    // Shaped for TSan: every producer also collects concurrently, so
+    // the append path and the cursor path race on the one mutex.
+    const unsigned kProducers = 4;
+    const int kEach = 250;
+    sat::ClausePool pool(kProducers, 1u << 14);
+    std::vector<std::thread> threads;
+    std::vector<std::vector<sat::ClausePool::Entry>> got(kProducers);
+    for (unsigned p = 0; p < kProducers; p++) {
+        threads.emplace_back([&, p] {
+            for (int i = 0; i < kEach; i++) {
+                ASSERT_TRUE(pool.publish(
+                    p, 2, {mkLit(static_cast<int>(p) * kEach + i)}));
+                if (i % 16 == 0)
+                    pool.collect(p, got[p]);
+            }
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    EXPECT_EQ(pool.size(), kProducers * static_cast<size_t>(kEach));
+    EXPECT_EQ(pool.dropped(), 0u);
+    // Drain the rest now that every producer has finished; each
+    // consumer must have seen exactly everyone else's clauses once.
+    for (unsigned p = 0; p < kProducers; p++) {
+        pool.collect(p, got[p]);
+        for (const auto &e : got[p])
+            EXPECT_NE(e.producer, p);
+        EXPECT_EQ(got[p].size(), (kProducers - 1) *
+                                     static_cast<size_t>(kEach))
+            << "consumer " << p;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Solver-level clause export / import
+// ---------------------------------------------------------------------
+
+TEST(ClauseSharing, ExportThenImportKeepsVerdict)
+{
+    const int kVars = 7 * 6;
+    Cnf cnf = pigeonhole(7, 6);
+
+    sat::ClausePool pool(3);
+    sat::Solver producer;
+    producer.setConfig(restartStorm());
+    load(producer, cnf, kVars);
+    producer.setShare(&pool, 0);
+    EXPECT_EQ(producer.solve(), sat::Result::Unsat);
+    EXPECT_GT(producer.stats().sharedExported, 0u);
+    ASSERT_GT(pool.size(), 0u);
+
+    sat::Solver importer;
+    importer.setConfig(restartStorm());
+    load(importer, cnf, kVars);
+    importer.setShare(&pool, 1);
+    EXPECT_EQ(importer.solve(), sat::Result::Unsat);
+    EXPECT_GT(importer.stats().sharedImported, 0u);
+}
+
+TEST(ClauseSharing, GuardedImportStaysSoundBothPolarities)
+{
+    const int kVars = 7 * 6;
+    Cnf cnf = pigeonhole(7, 6);
+
+    sat::ClausePool pool(2);
+    sat::Solver producer;
+    producer.setConfig(restartStorm());
+    load(producer, cnf, kVars);
+    producer.setShare(&pool, 0);
+    ASSERT_EQ(producer.solve(), sat::Result::Unsat);
+    ASSERT_GT(pool.size(), 0u);
+
+    // Imported clauses arrive as (guard OR clause): vacuous when the
+    // guard is assumed true, active when assumed false. The formula
+    // is UNSAT either way — a wrong import would only ever show up as
+    // a Sat answer or a crash.
+    sat::Solver guarded;
+    guarded.setConfig(restartStorm());
+    load(guarded, cnf, kVars);
+    const sat::Var g = guarded.newVar();
+    guarded.setShare(&pool, 1, mkLit(g));
+    EXPECT_EQ(guarded.solve({mkLit(g)}), sat::Result::Unsat);
+    EXPECT_EQ(guarded.solve({~mkLit(g)}), sat::Result::Unsat);
+    EXPECT_GT(guarded.stats().sharedImported, 0u);
+}
+
+TEST(ClauseSharing, CloneFromReplicatesDatabaseAndVerdicts)
+{
+    std::mt19937 rng(31337);
+    const int kVars = 20;
+    Cnf cnf;
+    std::uniform_int_distribution<int> pick(0, kVars - 1);
+    for (int i = 0; i < 80; i++) {
+        std::vector<Lit> clause;
+        while (clause.size() < 3) {
+            Lit l = mkLit(pick(rng), (rng() & 1) != 0);
+            bool dup = false;
+            for (Lit o : clause)
+                dup = dup || sat::var(o) == sat::var(l);
+            if (!dup)
+                clause.push_back(l);
+        }
+        cnf.push_back(clause);
+    }
+
+    sat::Solver a;
+    load(a, cnf, kVars);
+    (void)a.solve(); // accumulate learnts / phases / activities
+
+    sat::Solver b;
+    b.cloneFrom(a);
+    EXPECT_EQ(b.numVars(), a.numVars());
+
+    Cnf a_db, b_db;
+    a.exportCnf(a_db, true);
+    b.exportCnf(b_db, true);
+    EXPECT_EQ(a_db, b_db) << "clone must carry learnts too";
+
+    for (int s = 0; s < 4; s++) {
+        std::vector<Lit> as{mkLit(s, false), mkLit(kVars - 1 - s, true)};
+        EXPECT_EQ(a.solve(as), b.solve(as)) << "assumption set " << s;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Sliced vscale query corpus: portfolio vs. single config,
+// inprocessing on vs. off
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+struct QueryCnf
+{
+    Cnf clauses;
+    Lit act;
+    int numVars = 0;
+};
+
+constexpr unsigned kBound = 5;
+
+vscale::Config
+formalConfig()
+{
+    vscale::Config cfg = vscale::Config::formal();
+    cfg.imemWords = 16;
+    return cfg;
+}
+
+/** Per-SVA-style CNF snapshots of COI-sliced vscale queries — the
+ *  exact snapshot the engine hands portfolio challengers. */
+const std::vector<QueryCnf> &
+vscaleCorpus()
+{
+    static const std::vector<QueryCnf> corpus = [] {
+        auto design = vscale::elaborateVscale(formalConfig());
+        auto md = vscale::vscaleMetadata(formalConfig());
+        std::vector<QueryCnf> out;
+        for (const auto &core : md.cores) {
+            for (int kind = 0; kind < 2; kind++) {
+                bmc::PropCtx ctx(*design.netlist, design.signalMap, {},
+                                 kBound);
+                ctx.beginQuery();
+                Lit bad;
+                if (kind == 0) {
+                    bad = ctx.cnf().falseLit();
+                    for (unsigned f = 1; f < kBound; f++)
+                        bad = ctx.cnf().mkOr(
+                            bad, ctx.changedAt(f, core.ifr));
+                } else {
+                    bad = ctx.eqConst(kBound - 1, core.imPc, 2);
+                }
+                ctx.assume(bad);
+                QueryCnf q;
+                ctx.solver().exportCnf(q.clauses, false);
+                q.act = ctx.activation();
+                q.numVars = ctx.solver().numVars();
+                out.push_back(std::move(q));
+            }
+            if (out.size() >= 4) // two cores are representative
+                break;
+        }
+        return out;
+    }();
+    return corpus;
+}
+
+sat::SolverConfig
+racerConfig(unsigned r)
+{
+    sat::SolverConfig cfg;
+    if (r == 1) {
+        cfg.restart = sat::SolverConfig::Restart::Glucose;
+        cfg.lbdReduce = true;
+    } else if (r >= 2) {
+        cfg.polarity = sat::SolverConfig::Polarity::Rand;
+        cfg.seed = 0x9E37 + r;
+    }
+    return cfg;
+}
+
+void
+loadQuery(sat::Solver &s, const QueryCnf &q,
+          const sat::SolverConfig &cfg)
+{
+    s.setConfig(cfg);
+    while (s.numVars() < q.numVars)
+        s.newVar();
+    for (const auto &clause : q.clauses)
+        if (!s.addClause(clause))
+            break;
+}
+
+/** First-definitive-verdict-wins race with a shared clause pool, the
+ *  micro version of Engine::racePortfolio. */
+sat::Result
+race(const QueryCnf &q, unsigned racers, std::vector<sat::LBool> *model)
+{
+    sat::ClausePool pool(racers);
+    std::atomic<bool> stop{false};
+    std::mutex mu;
+    sat::Result verdict = sat::Result::Unknown;
+    std::vector<std::thread> threads;
+    for (unsigned r = 0; r < racers; r++) {
+        threads.emplace_back([&, r] {
+            sat::Solver s;
+            loadQuery(s, q, racerConfig(r));
+            s.setShare(&pool, r);
+            s.setExternalInterrupt(&stop);
+            sat::Result mine = s.solve({q.act});
+            if (mine == sat::Result::Unknown)
+                return;
+            std::lock_guard<std::mutex> lock(mu);
+            if (verdict == sat::Result::Unknown) {
+                verdict = mine;
+                if (mine == sat::Result::Sat && model)
+                    *model = s.model();
+                stop.store(true);
+            }
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    return verdict;
+}
+
+} // namespace
+
+TEST(VscaleCorpus, PortfolioMatchesSingleConfig)
+{
+    for (size_t i = 0; i < vscaleCorpus().size(); i++) {
+        const QueryCnf &q = vscaleCorpus()[i];
+        sat::Solver single;
+        loadQuery(single, q, sat::SolverConfig{});
+        sat::Result want = single.solve({q.act});
+        ASSERT_NE(want, sat::Result::Unknown);
+
+        std::vector<sat::LBool> model;
+        sat::Result got = race(q, 3, &model);
+        EXPECT_EQ(got, want) << "query " << i;
+        if (got == sat::Result::Sat) {
+            // The racer's reconstructed model must satisfy the
+            // original snapshot clauses (plus the activation), which
+            // is what lets --validate replay the counterexample.
+            Cnf all = q.clauses;
+            all.push_back({q.act});
+            EXPECT_TRUE(satisfies(model, all)) << "query " << i;
+        }
+    }
+}
+
+TEST(VscaleCorpus, InprocessingOnOffVerdictIdentity)
+{
+    for (size_t i = 0; i < vscaleCorpus().size(); i++) {
+        const QueryCnf &q = vscaleCorpus()[i];
+        sat::SolverConfig on;
+        on.inprocessPeriod = 1;
+        on.lubyUnit = 8;
+        sat::SolverConfig off;
+        off.inprocessPeriod = 0;
+
+        sat::Solver s_on, s_off;
+        loadQuery(s_on, q, on);
+        loadQuery(s_off, q, off);
+        sat::Result r_on = s_on.solve({q.act});
+        sat::Result r_off = s_off.solve({q.act});
+        EXPECT_EQ(r_on, r_off) << "query " << i;
+        if (r_on == sat::Result::Sat) {
+            Cnf all = q.clauses;
+            all.push_back({q.act});
+            EXPECT_TRUE(satisfies(s_on.model(), all)) << "query " << i;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Engine --portfolio path under full trust-but-verify validation
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+std::vector<bmc::Verdict>
+enqueueVscaleQueries(bmc::Engine &engine,
+                     const rtl2uspec::DesignMetadata &md)
+{
+    std::vector<bmc::Verdict> want;
+    for (const auto &core : md.cores) {
+        bmc::Query moves;
+        moves.name = core.prefix + "ifr_moves";
+        std::string ifr = core.ifr;
+        moves.prop = [ifr](bmc::PropCtx &ctx) {
+            Lit bad = ctx.cnf().falseLit();
+            for (unsigned f = 1; f < kBound; f++)
+                bad = ctx.cnf().mkOr(bad, ctx.changedAt(f, ifr));
+            return bad;
+        };
+        moves.bound = kBound;
+        engine.enqueue(std::move(moves));
+        want.push_back(bmc::Verdict::Refuted);
+
+        bmc::Query aligned;
+        aligned.name = core.prefix + "pc_aligned";
+        std::string pc = core.imPc;
+        aligned.prop = [pc](bmc::PropCtx &ctx) {
+            return ctx.eqConst(kBound - 1, pc, 2);
+        };
+        aligned.bound = kBound;
+        engine.enqueue(std::move(aligned));
+        want.push_back(bmc::Verdict::Proven);
+    }
+    return want;
+}
+
+} // namespace
+
+TEST(EnginePortfolio, RacesValidateAndMatchReference)
+{
+    auto design = vscale::elaborateVscale(formalConfig());
+    auto md = vscale::vscaleMetadata(formalConfig());
+
+    bmc::EngineOptions ref_opts;
+    ref_opts.jobs = 1;
+    ref_opts.validate = bmc::ValidateMode::Full;
+    bmc::Engine reference(*design.netlist, design.signalMap, {}, kBound,
+                          ref_opts);
+
+    bmc::EngineOptions port_opts;
+    port_opts.jobs = 2;
+    port_opts.portfolio = true;
+    port_opts.portfolioRacers = 2;
+    port_opts.shareClauses = true;
+    port_opts.validate = bmc::ValidateMode::Full;
+    bmc::Engine portfolio(*design.netlist, design.signalMap, {}, kBound,
+                          port_opts);
+
+    bmc::EngineOptions noinp_opts;
+    noinp_opts.jobs = 2;
+    noinp_opts.inprocess = false;
+    noinp_opts.validate = bmc::ValidateMode::Full;
+    bmc::Engine no_inprocess(*design.netlist, design.signalMap, {},
+                             kBound, noinp_opts);
+
+    auto want = enqueueVscaleQueries(reference, md);
+    auto want2 = enqueueVscaleQueries(portfolio, md);
+    auto want3 = enqueueVscaleQueries(no_inprocess, md);
+    ASSERT_EQ(want, want2);
+    ASSERT_EQ(want, want3);
+
+    auto ref_res = reference.drain();
+    auto port_res = portfolio.drain();
+    auto noinp_res = no_inprocess.drain();
+    ASSERT_EQ(ref_res.size(), want.size());
+    ASSERT_EQ(port_res.size(), want.size());
+    ASSERT_EQ(noinp_res.size(), want.size());
+
+    for (size_t i = 0; i < want.size(); i++) {
+        EXPECT_EQ(ref_res[i].verdict, want[i]) << "query " << i;
+        EXPECT_EQ(port_res[i].verdict, want[i]) << "query " << i;
+        EXPECT_EQ(noinp_res[i].verdict, want[i]) << "query " << i;
+        // Full validation replayed every counterexample and
+        // re-checked every proof — on inprocessed, clause-sharing
+        // solves the reconstructed traces must still replay cleanly.
+        EXPECT_TRUE(port_res[i].validated) << "query " << i;
+        EXPECT_TRUE(noinp_res[i].validated) << "query " << i;
+        EXPECT_EQ(port_res[i].validationMismatches, 0u) << "query " << i;
+    }
+
+    EXPECT_EQ(portfolio.stats().portfolioRaces, want.size());
+    EXPECT_EQ(portfolio.stats().validationFailures, 0u);
+    EXPECT_EQ(no_inprocess.stats().validationFailures, 0u);
+    EXPECT_GT(portfolio.stats().replays, 0u);
+    EXPECT_GT(portfolio.stats().proofRechecks, 0u);
+}

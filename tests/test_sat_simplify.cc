@@ -1,0 +1,489 @@
+/**
+ * @file
+ * Verdict-identity and unit tests for CNF simplification
+ * (sat/simplify.hh) and the solver paths that consume it:
+ *
+ *  - Simplifier unit behavior: subsumption, self-subsuming
+ *    resolution, pure-literal and bounded variable elimination,
+ *    frozen variables, UNSAT detection;
+ *  - random CNFs solved with preprocessing on vs. off must agree, and
+ *    every SAT answer's reconstructed model must satisfy the
+ *    *original* (pre-elimination) clauses — the property `--validate`
+ *    counterexample replay depends on;
+ *  - inprocessing (periodic simplifyDB + arena garbage collection)
+ *    must not change verdicts, incrementally or not;
+ *  - a reduceDB() regression: a crafted conflict schedule (learnt cap
+ *    pinned to almost nothing, so reduction fires while learnt
+ *    clauses are reasons on the trail) must never evict locked
+ *    clauses — evicting a reason corrupts conflict analysis, which
+ *    shows up as a wrong verdict, a bogus model, or a crash.
+ */
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "sat/simplify.hh"
+#include "sat/solver.hh"
+
+using namespace r2u::sat;
+
+namespace
+{
+
+using Cnf = std::vector<std::vector<Lit>>;
+
+/** Random k-CNF near the 3-SAT phase transition so that fixed seeds
+ *  yield a mix of SAT and UNSAT instances. */
+Cnf
+randomCnf(std::mt19937 &rng, int num_vars, int num_clauses)
+{
+    Cnf cnf;
+    std::uniform_int_distribution<int> pick_var(0, num_vars - 1);
+    std::uniform_int_distribution<int> coin(0, 1);
+    std::uniform_int_distribution<int> width_die(0, 9);
+    for (int i = 0; i < num_clauses; i++) {
+        int width = width_die(rng) == 0 ? 2 : 3;
+        std::vector<Lit> clause;
+        while (static_cast<int>(clause.size()) < width) {
+            Lit l = mkLit(pick_var(rng), coin(rng) != 0);
+            bool dup = false;
+            for (Lit o : clause)
+                dup = dup || var(o) == var(l);
+            if (!dup)
+                clause.push_back(l);
+        }
+        cnf.push_back(std::move(clause));
+    }
+    return cnf;
+}
+
+/** Pigeonhole: pigeons > holes is UNSAT with a deterministically
+ *  conflict-rich proof (var = p * holes + h). */
+Cnf
+pigeonhole(int pigeons, int holes)
+{
+    Cnf cnf;
+    for (int p = 0; p < pigeons; p++) {
+        std::vector<Lit> some;
+        for (int h = 0; h < holes; h++)
+            some.push_back(mkLit(p * holes + h));
+        cnf.push_back(some);
+    }
+    for (int h = 0; h < holes; h++)
+        for (int p1 = 0; p1 < pigeons; p1++)
+            for (int p2 = p1 + 1; p2 < pigeons; p2++)
+                cnf.push_back({~mkLit(p1 * holes + h),
+                               ~mkLit(p2 * holes + h)});
+    return cnf;
+}
+
+void
+load(Solver &s, const Cnf &cnf, int num_vars)
+{
+    while (s.numVars() < num_vars)
+        s.newVar();
+    for (const auto &clause : cnf)
+        s.addClause(clause);
+}
+
+bool
+satisfies(const std::vector<LBool> &model, const Cnf &cnf)
+{
+    for (const auto &clause : cnf) {
+        bool sat = false;
+        for (Lit l : clause) {
+            if (var(l) >= static_cast<Var>(model.size()))
+                return false;
+            sat = sat || ((model[var(l)] ^ sign(l)) == LBool::True);
+        }
+        if (!sat)
+            return false;
+    }
+    return true;
+}
+
+Result
+solvePlain(const Cnf &cnf, int num_vars,
+           std::vector<LBool> *model = nullptr,
+           const std::vector<Lit> &assumptions = {})
+{
+    Solver s;
+    load(s, cnf, num_vars);
+    Result r = s.solve(assumptions);
+    if (model && r == Result::Sat)
+        *model = s.model();
+    return r;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Simplifier unit behavior
+// ---------------------------------------------------------------------
+
+TEST(Simplify, SubsumptionRemovesSuperset)
+{
+    Simplifier simp(4, SimplifyOptions{});
+    // Freeze everything so only subsumption can act.
+    for (Var v = 0; v < 4; v++)
+        simp.freeze(v);
+    simp.addClause({mkLit(0), mkLit(1)});
+    simp.addClause({mkLit(0), mkLit(1), mkLit(2)});
+    simp.addClause({mkLit(2), mkLit(3)});
+    ASSERT_TRUE(simp.run());
+    EXPECT_GE(simp.stats().clausesSubsumed, 1u);
+    Cnf out = simp.result();
+    for (const auto &clause : out)
+        EXPECT_LT(clause.size(), 3u) << "superset clause survived";
+}
+
+TEST(Simplify, SelfSubsumingResolutionStrengthens)
+{
+    Simplifier simp(4, SimplifyOptions{});
+    for (Var v = 0; v < 4; v++)
+        simp.freeze(v);
+    // (x0 v x1) almost-subsumes (x0 v ~x1 v x2) modulo x1: resolution
+    // strengthens the latter to (x0 v x2). The extra x1 clauses keep
+    // occ(x1) larger than occ(x0), so the subsumption scan walks
+    // occ(x0) — the list that actually contains the victim.
+    simp.addClause({mkLit(0), mkLit(1)});
+    simp.addClause({mkLit(0), ~mkLit(1), mkLit(2)});
+    simp.addClause({mkLit(1), mkLit(3)});
+    simp.addClause({mkLit(1), mkLit(3), ~mkLit(2)});
+    ASSERT_TRUE(simp.run());
+    EXPECT_GE(simp.stats().litsStrengthened, 1u);
+    for (const auto &clause : simp.result()) {
+        bool has_neg1 = false;
+        for (Lit l : clause)
+            has_neg1 = has_neg1 || l == ~mkLit(1);
+        EXPECT_FALSE(has_neg1) << "~x1 should have been resolved away";
+    }
+}
+
+TEST(Simplify, PureLiteralEliminatedAndReconstructed)
+{
+    Simplifier simp(3, SimplifyOptions{});
+    // x2 occurs only positively -> pure, eliminated with a
+    // reconstruction record.
+    simp.addClause({mkLit(0), mkLit(2)});
+    simp.addClause({~mkLit(0), mkLit(1)});
+    ASSERT_TRUE(simp.run());
+    EXPECT_GE(simp.stats().pureLiterals, 1u);
+    EXPECT_TRUE(simp.isEliminated(2));
+
+    std::vector<LBool> model(3, LBool::Undef);
+    model[0] = LBool::False; // makes (x0 v x2) depend on x2
+    model[1] = LBool::True;
+    Simplifier::extendModel(model, simp.records());
+    EXPECT_EQ(model[2], LBool::True);
+}
+
+TEST(Simplify, BveEliminatesFunctionallyDefinedVar)
+{
+    // x1 <-> x0 (two binary clauses, 1 pos / 1 neg occurrence):
+    // resolving x1 away yields only the tautology, so BVE removes it.
+    Simplifier simp(3, SimplifyOptions{});
+    simp.freeze(0);
+    simp.freeze(2);
+    simp.addClause({~mkLit(1), mkLit(0)});
+    simp.addClause({mkLit(1), ~mkLit(0)});
+    simp.addClause({mkLit(0), mkLit(2)});
+    ASSERT_TRUE(simp.run());
+    EXPECT_TRUE(simp.isEliminated(1));
+    EXPECT_GE(simp.stats().varsEliminated, 1u);
+
+    // Reconstruction restores x1 = x0 whichever way x0 went.
+    std::vector<LBool> model(3, LBool::Undef);
+    model[0] = LBool::True;
+    model[2] = LBool::False;
+    Simplifier::extendModel(model, simp.records());
+    EXPECT_EQ(model[1], LBool::True);
+}
+
+TEST(Simplify, FrozenVariableSurvives)
+{
+    Simplifier simp(2, SimplifyOptions{});
+    simp.freeze(1);
+    // x1 is pure positive, but frozen: must not be eliminated.
+    simp.addClause({mkLit(0), mkLit(1)});
+    simp.addClause({~mkLit(0), mkLit(1)});
+    ASSERT_TRUE(simp.run());
+    EXPECT_FALSE(simp.isEliminated(1));
+}
+
+TEST(Simplify, UnsatDetected)
+{
+    Simplifier simp(2, SimplifyOptions{});
+    simp.addClause({mkLit(0)});
+    simp.addClause({~mkLit(0), mkLit(1)});
+    simp.addClause({~mkLit(0), ~mkLit(1)});
+    EXPECT_FALSE(simp.run());
+}
+
+// ---------------------------------------------------------------------
+// Verdict identity: Simplifier path vs. plain solving on random CNFs
+// ---------------------------------------------------------------------
+
+class SimplifyRandomTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(SimplifyRandomTest, VerdictIdentityAndModelReconstruction)
+{
+    std::mt19937 rng(1000 + GetParam());
+    const int kVars = 24;
+    const int kClauses = 101; // ~4.2 clauses/var: SAT/UNSAT mix
+    Cnf cnf = randomCnf(rng, kVars, kClauses);
+
+    Result plain = solvePlain(cnf, kVars);
+    ASSERT_NE(plain, Result::Unknown);
+
+    Simplifier simp(kVars, SimplifyOptions{});
+    for (const auto &clause : cnf)
+        simp.addClause(clause);
+    if (!simp.run()) {
+        EXPECT_EQ(plain, Result::Unsat) << "seed " << GetParam();
+        return;
+    }
+
+    Solver s;
+    load(s, simp.result(), kVars);
+    Result simplified = s.solve();
+    ASSERT_NE(simplified, Result::Unknown);
+    EXPECT_EQ(simplified, plain) << "seed " << GetParam();
+
+    if (simplified == Result::Sat) {
+        std::vector<LBool> model = s.model();
+        model.resize(kVars, LBool::Undef);
+        Simplifier::extendModel(model, simp.records());
+        EXPECT_TRUE(satisfies(model, cnf))
+            << "reconstructed model violates an original clause, seed "
+            << GetParam();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplifyRandomTest,
+                         ::testing::Range(0, 12));
+
+// ---------------------------------------------------------------------
+// Solver::preprocess — the embedded path with frozen assumption vars
+// ---------------------------------------------------------------------
+
+class SolverPreprocessTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(SolverPreprocessTest, VerdictIdentityUnderActivation)
+{
+    std::mt19937 rng(7000 + GetParam());
+    const int kVars = 22;
+    Cnf cnf = randomCnf(rng, kVars, 92);
+    // Guard a slice of the clauses by an activation variable, the way
+    // BMC queries guard their bad-cone clauses.
+    const Var act = kVars;
+    for (size_t i = 0; i < cnf.size(); i += 4)
+        cnf[i].push_back(~mkLit(act));
+
+    Result plain_on = solvePlain(cnf, kVars + 1, nullptr, {mkLit(act)});
+    Result plain_off = solvePlain(cnf, kVars + 1, nullptr, {~mkLit(act)});
+    ASSERT_NE(plain_on, Result::Unknown);
+    ASSERT_NE(plain_off, Result::Unknown);
+
+    Solver s;
+    load(s, cnf, kVars + 1);
+    if (!s.preprocess(SimplifyOptions{}, {act})) {
+        // Preprocessing may only prove unconditional UNSAT.
+        EXPECT_EQ(plain_on, Result::Unsat);
+        EXPECT_EQ(plain_off, Result::Unsat);
+        return;
+    }
+    EXPECT_FALSE(s.isEliminated(act));
+
+    // Same solver, both activation polarities, incrementally.
+    Result on = s.solve({mkLit(act)});
+    EXPECT_EQ(on, plain_on) << "seed " << GetParam();
+    if (on == Result::Sat) {
+        EXPECT_TRUE(satisfies(s.model(), cnf));
+        EXPECT_TRUE(s.modelValue(act));
+        // Reconstruction must cover every original variable.
+        for (Var v = 0; v <= kVars; v++)
+            EXPECT_NE(s.model()[v], LBool::Undef) << "var " << v;
+    }
+    Result off = s.solve({~mkLit(act)});
+    EXPECT_EQ(off, plain_off) << "seed " << GetParam();
+    if (off == Result::Sat)
+        EXPECT_TRUE(satisfies(s.model(), cnf));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SolverPreprocessTest,
+                         ::testing::Range(0, 12));
+
+TEST(SolverPreprocess, ReportsEliminationStats)
+{
+    // Plumbing chain x0 -> x1 -> ... -> x9 with only the endpoints
+    // frozen: BVE should eliminate interior equivalence variables.
+    Cnf cnf;
+    const int kVars = 10;
+    for (int v = 0; v + 1 < kVars; v++) {
+        cnf.push_back({~mkLit(v), mkLit(v + 1)});
+        cnf.push_back({mkLit(v), ~mkLit(v + 1)});
+    }
+    Solver s;
+    load(s, cnf, kVars);
+    ASSERT_TRUE(s.preprocess(SimplifyOptions{}, {0, kVars - 1}));
+    EXPECT_GT(s.stats().preprocessVarsEliminated, 0u);
+    EXPECT_EQ(s.stats().preprocessRuns, 1u);
+
+    ASSERT_EQ(s.solve({mkLit(0)}), Result::Sat);
+    EXPECT_TRUE(satisfies(s.model(), cnf));
+    EXPECT_TRUE(s.modelValue(kVars - 1));
+}
+
+// ---------------------------------------------------------------------
+// reduceDB regression: locked (reason) clauses must survive reduction
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+/**
+ * Crafted conflict schedule: the learnt cap is pinned so low that
+ * reduceDB() fires after virtually every conflict, while learnt
+ * clauses are still reasons of trail literals. If reduction evicted a
+ * locked clause, conflict analysis would walk a tombstoned reason —
+ * wrong verdicts, bogus models, or a crash.
+ */
+SolverConfig
+evictionStormConfig(bool lbd_reduce)
+{
+    SolverConfig cfg;
+    cfg.maxLearntsOverride = 2.0;
+    cfg.lbdReduce = lbd_reduce;
+    // LBD mode schedules reductions by conflict count instead.
+    cfg.reduceFirst = 4;
+    cfg.reduceInc = 0;
+    cfg.glueLbd = 0; // no glue immunity: only the lock protects
+    return cfg;
+}
+
+} // namespace
+
+TEST(ReduceDb, LockedReasonsSurviveActivityRanked)
+{
+    Cnf cnf = pigeonhole(7, 6);
+    Solver s;
+    s.setConfig(evictionStormConfig(false));
+    load(s, cnf, 7 * 6);
+    EXPECT_EQ(s.solve(), Result::Unsat);
+    EXPECT_GT(s.stats().removedClauses, 0u)
+        << "reduction never fired; the regression is not exercised";
+}
+
+TEST(ReduceDb, LockedReasonsSurviveLbdRanked)
+{
+    Cnf cnf = pigeonhole(7, 6);
+    Solver s;
+    s.setConfig(evictionStormConfig(true));
+    load(s, cnf, 7 * 6);
+    EXPECT_EQ(s.solve(), Result::Unsat);
+    EXPECT_GT(s.stats().removedClauses, 0u);
+}
+
+TEST(ReduceDb, SatisfiableUnderEvictionStorm)
+{
+    for (int seed = 0; seed < 6; seed++) {
+        std::mt19937 rng(500 + seed);
+        const int kVars = 30;
+        Cnf cnf = randomCnf(rng, kVars, 110);
+        Result plain = solvePlain(cnf, kVars);
+        for (bool lbd : {false, true}) {
+            Solver s;
+            s.setConfig(evictionStormConfig(lbd));
+            load(s, cnf, kVars);
+            Result r = s.solve();
+            EXPECT_EQ(r, plain) << "seed " << seed << " lbd " << lbd;
+            if (r == Result::Sat)
+                EXPECT_TRUE(satisfies(s.model(), cnf))
+                    << "seed " << seed << " lbd " << lbd;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Inprocessing (simplifyDB + arena compaction) keeps verdicts
+// ---------------------------------------------------------------------
+
+TEST(Inprocess, AggressiveSimplifyKeepsVerdicts)
+{
+    for (int seed = 0; seed < 8; seed++) {
+        std::mt19937 rng(9100 + seed);
+        const int kVars = 24;
+        Cnf cnf = randomCnf(rng, kVars, 100);
+        Result plain = solvePlain(cnf, kVars);
+
+        SolverConfig cfg;
+        cfg.inprocessPeriod = 1; // simplify at every restart
+        cfg.lubyUnit = 1;        // restart almost every conflict
+        Solver s;
+        s.setConfig(cfg);
+        load(s, cnf, kVars);
+        Result r = s.solve();
+        EXPECT_EQ(r, plain) << "seed " << seed;
+        if (r == Result::Sat)
+            EXPECT_TRUE(satisfies(s.model(), cnf)) << "seed " << seed;
+    }
+}
+
+TEST(Inprocess, RunsAndCompactsOnConflictRichInstance)
+{
+    SolverConfig cfg;
+    cfg.inprocessPeriod = 1;
+    cfg.lubyUnit = 1;
+    Solver s;
+    s.setConfig(cfg);
+    Cnf cnf = pigeonhole(7, 6);
+    load(s, cnf, 7 * 6);
+    EXPECT_EQ(s.solve(), Result::Unsat);
+    // The restart storm must actually have driven simplifyDB (which
+    // also garbage-collects the clause arena).
+    EXPECT_GT(s.stats().simplifyRuns, 0u);
+}
+
+TEST(Inprocess, IncrementalSolvesStaySound)
+{
+    // Root facts learned by solve N must let simplifyDB drop clauses
+    // before solve N+1 without changing any later verdict.
+    SolverConfig cfg;
+    cfg.inprocessPeriod = 1;
+    cfg.lubyUnit = 1;
+    Solver simp_solver, plain_solver;
+    simp_solver.setConfig(cfg);
+
+    std::mt19937 rng(424242);
+    const int kVars = 20;
+    Cnf batch1 = randomCnf(rng, kVars, 60);
+    load(simp_solver, batch1, kVars);
+    load(plain_solver, batch1, kVars);
+    EXPECT_EQ(simp_solver.solve(), plain_solver.solve());
+
+    Cnf batch2 = randomCnf(rng, kVars, 35);
+    for (const auto &clause : batch2) {
+        simp_solver.addClause(clause);
+        plain_solver.addClause(clause);
+    }
+    Result r2 = plain_solver.solve();
+    EXPECT_EQ(simp_solver.solve(), r2);
+    if (r2 == Result::Sat) {
+        Cnf all = batch1;
+        all.insert(all.end(), batch2.begin(), batch2.end());
+        EXPECT_TRUE(satisfies(simp_solver.model(), all));
+    }
+
+    // And under assumptions, both polarities.
+    for (bool neg : {false, true}) {
+        std::vector<Lit> as{mkLit(3, neg), mkLit(11, !neg)};
+        EXPECT_EQ(simp_solver.solve(as), plain_solver.solve(as));
+    }
+}

@@ -55,6 +55,18 @@ usage()
         "                  enables; cheap first pass, escalate)\n"
         "  --max-retries N cap on escalated retries per SVA "
         "(default 3)\n"
+        "  --portfolio[=N] race each SVA query across N diversified\n"
+        "                  solver configurations (default 3); first\n"
+        "                  definitive verdict wins and interrupts the\n"
+        "                  rest. Verdicts and the emitted model are\n"
+        "                  identical to the single-config path\n"
+        "  --share-clauses / --no-share-clauses\n"
+        "                  exchange low-LBD learnt clauses between\n"
+        "                  portfolio racers at restart boundaries\n"
+        "                  (default on when --portfolio)\n"
+        "  --no-inprocess  disable CNF pre/inprocessing (bounded\n"
+        "                  variable elimination, subsumption,\n"
+        "                  self-subsuming resolution) on query CNFs\n"
         "  --validate MODE verdict validation: off | replay | full |\n"
         "                  sample=N (default sample=8: replay every\n"
         "                  counterexample through the reference\n"
@@ -129,6 +141,22 @@ main(int argc, char **argv)
                 if (n < 0)
                     fatal("--max-retries expects a count >= 0");
                 synth_opts.maxRetries = static_cast<unsigned>(n);
+            } else if (arg == "--portfolio" ||
+                       arg.rfind("--portfolio=", 0) == 0) {
+                synth_opts.portfolio = true;
+                if (arg.size() > 12 && arg[11] == '=') {
+                    int n = std::stoi(arg.substr(12));
+                    if (n < 2)
+                        fatal("--portfolio=N expects N >= 2 racers");
+                    synth_opts.portfolioRacers =
+                        static_cast<unsigned>(n);
+                }
+            } else if (arg == "--share-clauses") {
+                synth_opts.shareClauses = true;
+            } else if (arg == "--no-share-clauses") {
+                synth_opts.shareClauses = false;
+            } else if (arg == "--no-inprocess") {
+                synth_opts.inprocess = false;
             } else if (arg == "--validate") {
                 std::string mode = next();
                 if (mode == "off") {
