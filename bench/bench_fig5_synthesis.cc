@@ -50,6 +50,9 @@ main(int argc, char **argv)
         } else if (std::strcmp(argv[i], "--report") == 0 &&
                    i + 1 < argc) {
             report_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--cache") == 0 &&
+                   i + 1 < argc) {
+            budget_opts.cacheDir = argv[++i];
         } else {
             std::fprintf(
                 stderr,
@@ -57,7 +60,8 @@ main(int argc, char **argv)
                 "[--full-unroll]\n"
                 "  [--conflict-budget N] [--query-timeout S] "
                 "[--total-timeout S]\n"
-                "  [--retry-escalation K] [--report FILE]\n");
+                "  [--retry-escalation K] [--report FILE] "
+                "[--cache DIR]\n");
             return 2;
         }
     }
@@ -139,6 +143,16 @@ main(int argc, char **argv)
                 "time (acceptance < 10%%)\n",
                 100.0 * replay_overhead);
 
+    if (result.cacheEnabled)
+        std::printf("\nVerdict cache: %zu hit(s), %zu miss(es) "
+                    "(%zu invalidated), %zu verdict(s) appended, "
+                    "SVA evaluation %.3f s\n",
+                    static_cast<size_t>(result.cacheHits),
+                    static_cast<size_t>(result.cacheMisses),
+                    static_cast<size_t>(result.cacheInvalidations),
+                    static_cast<size_t>(result.cacheAppends),
+                    result.proofSeconds);
+
     // Eager-vs-sliced comparison: rerun SVA evaluation in the
     // opposite unroll mode at the same job count.
     auto other = bench::synthesizeVscale(false, jobs, !full_unroll);
@@ -176,11 +190,15 @@ main(int argc, char **argv)
     // incremental path vs. portfolio racing and vs. inprocessing
     // disabled, at the same job count. Verdicts and the emitted model
     // must be identical across all three; proof time is the row.
+    // The comparison rows must re-solve, not replay — never hand the
+    // secondary runs the main run's populated cache.
     rtl2uspec::SynthesisOptions port_opts = synth_opts;
     port_opts.portfolio = true;
+    port_opts.cacheDir.clear();
     auto port = bench::synthesizeVscaleWith(port_opts);
     rtl2uspec::SynthesisOptions noinp_opts = synth_opts;
     noinp_opts.inprocess = false;
+    noinp_opts.cacheDir.clear();
     auto noinp = bench::synthesizeVscaleWith(noinp_opts);
     bool port_same = port.model.print() == result.model.print();
     bool noinp_same = noinp.model.print() == result.model.print();
@@ -290,6 +308,18 @@ main(int argc, char **argv)
                        result.proofSeconds);
         json += strfmt("    \"replay_overhead_fraction\": %.5f\n",
                        replay_overhead);
+        json += "  },\n";
+        json += "  \"cache\": {\n";
+        json += strfmt("    \"enabled\": %s,\n",
+                       result.cacheEnabled ? "true" : "false");
+        json += strfmt("    \"hits\": %zu,\n",
+                       static_cast<size_t>(result.cacheHits));
+        json += strfmt("    \"misses\": %zu,\n",
+                       static_cast<size_t>(result.cacheMisses));
+        json += strfmt("    \"invalidations\": %zu,\n",
+                       static_cast<size_t>(result.cacheInvalidations));
+        json += strfmt("    \"appends\": %zu\n",
+                       static_cast<size_t>(result.cacheAppends));
         json += "  },\n";
         json += "  \"coi_comparison\": {\n";
         json += strfmt("    \"eager_proof_seconds\": %.3f,\n",

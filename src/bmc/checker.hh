@@ -259,6 +259,11 @@ struct CheckResult
     bool fromJournal = false;
     /** This result was appended to the run journal. */
     bool journaled = false;
+    /** Verdict replayed from the cross-run verdict cache (its content
+     *  key matched — same cone, property, and bound). */
+    bool fromCache = false;
+    /** This result was appended to the verdict cache. */
+    bool cached = false;
     /** Counterexample replays performed for this query. */
     unsigned replays = 0;
     /** Fresh non-incremental proof re-solves performed. */

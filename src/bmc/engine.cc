@@ -497,10 +497,8 @@ Engine::postProcess(size_t index, const Query &query,
         validateResult(query, result, recheck_proof);
     }
 
-    if (eopts_.journal && eopts_.journal->isOpen() &&
-        result.verdict != Verdict::Unknown) {
+    if (result.verdict != Verdict::Unknown) {
         Journal::Record rec;
-        rec.key = journalKey(query.name, result.bound);
         rec.name = query.name;
         rec.verdict = result.verdict;
         rec.source = result.source;
@@ -510,7 +508,20 @@ Engine::postProcess(size_t index, const Query &query,
         rec.seconds = result.seconds;
         rec.conflicts = result.conflicts;
         rec.propagations = result.propagations;
-        result.journaled = eopts_.journal->append(rec);
+        if (eopts_.journal && eopts_.journal->isOpen()) {
+            rec.key = journalKey(query.name, result.bound,
+                                 query.contentHash);
+            result.journaled = eopts_.journal->append(rec);
+        }
+        // Cache keys are the raw content hash; unhashed queries
+        // (contentHash 0) are never cached — their identity is not
+        // content-derived, so a cache record would be unsound to
+        // replay in another run.
+        if (eopts_.cache && eopts_.cache->isOpen() &&
+            query.contentHash != 0) {
+            rec.key = query.contentHash;
+            result.cached = eopts_.cache->append(rec);
+        }
     }
 }
 
@@ -523,8 +534,8 @@ Engine::resolveFromJournal(const std::vector<Query> &batch,
     if (!journal || journal->numLoaded() == 0)
         return;
     for (size_t i = 0; i < batch.size(); i++) {
-        const Journal::Record *rec =
-            journal->lookup(journalKey(batch[i].name, batch[i].bound));
+        const Journal::Record *rec = journal->lookup(journalKey(
+            batch[i].name, batch[i].bound, batch[i].contentHash));
         if (!rec)
             continue;
         CheckResult r;
@@ -540,6 +551,45 @@ Engine::resolveFromJournal(const std::vector<Query> &batch,
         if (r.verdict == Verdict::Refuted)
             r.validationNote = "verdict resumed from journal; the "
                                "counterexample trace is not stored";
+        fillCoiStats(batch[i], r);
+        results[i] = std::move(r);
+        done[i] = 1;
+    }
+}
+
+void
+Engine::resolveFromCache(const std::vector<Query> &batch,
+                         std::vector<CheckResult> &results,
+                         std::vector<char> &done)
+{
+    VerdictCache *cache = eopts_.cache;
+    if (!cache || !cache->isOpen())
+        return;
+    for (size_t i = 0; i < batch.size(); i++) {
+        if (done[i] || batch[i].contentHash == 0)
+            continue;
+        const Journal::Record *rec =
+            cache->lookup(batch[i].contentHash);
+        if (!rec) {
+            stats_.cacheMisses++;
+            if (cache->hasStaleEntry(batch[i].name, batch[i].bound,
+                                     batch[i].contentHash))
+                stats_.cacheInvalidations++;
+            continue;
+        }
+        CheckResult r;
+        r.verdict = rec->verdict;
+        r.source = rec->source;
+        r.bound = rec->bound;
+        r.retries = rec->retries;
+        r.seconds = rec->seconds;
+        r.conflicts = rec->conflicts;
+        r.propagations = rec->propagations;
+        r.validated = rec->validated;
+        r.fromCache = true;
+        if (r.verdict == Verdict::Refuted)
+            r.validationNote = "verdict replayed from verdict cache; "
+                               "the counterexample trace is not stored";
         fillCoiStats(batch[i], r);
         results[i] = std::move(r);
         done[i] = 1;
@@ -855,9 +905,12 @@ Engine::drain()
     stats_.queries += batch.size();
 
     // Resume: queries with a journaled (already-validated) verdict are
-    // answered up front, single-threaded, and never dispatched.
+    // answered up front, single-threaded, and never dispatched. The
+    // journal (this run's own restart log) outranks the cross-run
+    // cache; anything it cannot answer falls through to the cache.
     std::vector<char> done(batch.size(), 0);
     resolveFromJournal(batch, results, done);
+    resolveFromCache(batch, results, done);
 
     auto accumulate = [this](const CheckResult &r) {
         stats_.cnfVarsAdded += r.cnfVarsAdded;
@@ -875,6 +928,10 @@ Engine::drain()
             stats_.journalHits++;
         if (r.journaled)
             stats_.journalAppends++;
+        if (r.fromCache)
+            stats_.cacheHits++;
+        if (r.cached)
+            stats_.cacheAppends++;
         stats_.replaySeconds += r.replaySeconds;
         stats_.recheckSeconds += r.recheckSeconds;
         stats_.validateSeconds += r.validateSeconds;

@@ -113,6 +113,14 @@ struct EngineOptions
      */
     Journal *journal = nullptr;
     /**
+     * Optional cross-run verdict cache (owned by the caller, must
+     * outlive the engine). Queries whose contentHash matches a cached
+     * record are answered without solving; new definite verdicts are
+     * appended keyed by their contentHash. Queries with contentHash 0
+     * never consult or populate the cache. nullptr disables caching.
+     */
+    VerdictCache *cache = nullptr;
+    /**
      * When non-empty, each refutation's replayed trace is dumped as a
      * VCD waveform under this directory (created on demand) with a
      * deterministic per-query filename.
@@ -184,6 +192,17 @@ struct Query
      */
     nl::CoiSeeds seeds;
 
+    /**
+     * Content-derived identity of this query: a hash of its COI slice,
+     * property encoding, and bound (see nl::coneHash and the synthesis
+     * frontend's per-query hashing). Mixed into the journal key so an
+     * edited property or rewired cone cannot resume a stale verdict,
+     * and used verbatim as the verdict-cache key. 0 means "unhashed":
+     * the journal key degrades to name+bound (still guarded by the
+     * journal's config hash) and the cache is bypassed entirely.
+     */
+    uint64_t contentHash = 0;
+
     static constexpr int64_t kInheritBudget = INT64_MIN;
 };
 
@@ -222,6 +241,15 @@ struct EngineStats
     uint64_t journalHits = 0;
     /** Verdicts durably appended to the journal this run. */
     uint64_t journalAppends = 0;
+    /** Queries answered from the cross-run verdict cache. */
+    uint64_t cacheHits = 0;
+    /** Hashed queries the cache could not answer. */
+    uint64_t cacheMisses = 0;
+    /** Misses where the cache held the same query under a different
+     *  content key — i.e. its cone/property changed since caching. */
+    uint64_t cacheInvalidations = 0;
+    /** Verdicts physically appended to the verdict cache this run. */
+    uint64_t cacheAppends = 0;
     double replaySeconds = 0.0;
     double recheckSeconds = 0.0;
     /** Total validation wall time (replays + re-checks + policy). */
@@ -341,6 +369,11 @@ class Engine
     void resolveFromJournal(const std::vector<Query> &batch,
                             std::vector<CheckResult> &results,
                             std::vector<char> &done);
+    /** Answer content-cached queries in-place; marks them done and
+     *  tallies the miss/invalidation counters (single-threaded). */
+    void resolveFromCache(const std::vector<Query> &batch,
+                          std::vector<CheckResult> &results,
+                          std::vector<char> &done);
 
     /** retryEscalation^attempt (1.0 when escalation is disabled). */
     double escFactor(unsigned attempt) const;

@@ -1,6 +1,7 @@
 #include "bmc/journal.hh"
 
 #include <cstring>
+#include <filesystem>
 #include <vector>
 
 #include <fcntl.h>
@@ -15,7 +16,12 @@ namespace
 {
 
 constexpr char kMagic[4] = {'R', '2', 'U', 'J'};
-constexpr uint32_t kVersion = 1;
+// v2: journalKey() mixes the query content hash — v1 keys from the
+// count-only configHash() era must not answer v2 lookups.
+constexpr uint32_t kVersion = 2;
+constexpr char kCacheMagic[4] = {'R', '2', 'U', 'C'};
+constexpr uint32_t kCacheVersion = 1;
+constexpr size_t kCacheHeaderSize = 4 + sizeof(uint32_t);
 constexpr size_t kHeaderSize = 4 + sizeof(uint32_t) + sizeof(uint64_t);
 /** payload bytes before the variable-length name */
 constexpr size_t kFixedPayload = 8 + 4 + 4 + 4 + 8 + 8 + 8 + 4;
@@ -118,12 +124,15 @@ decodePayload(const uint8_t *data, size_t n, Journal::Record &rec)
 } // namespace
 
 uint64_t
-journalKey(const std::string &name, unsigned bound)
+journalKey(const std::string &name, unsigned bound,
+           uint64_t content_hash)
 {
     uint64_t h = fnv1a(
         reinterpret_cast<const uint8_t *>(name.data()), name.size());
     uint32_t b = bound;
-    return fnv1a(reinterpret_cast<const uint8_t *>(&b), sizeof(b), h);
+    h = fnv1a(reinterpret_cast<const uint8_t *>(&b), sizeof(b), h);
+    return fnv1a(reinterpret_cast<const uint8_t *>(&content_hash),
+                 sizeof(content_hash), h);
 }
 
 Journal::~Journal()
@@ -262,6 +271,173 @@ Journal::append(const Record &rec)
     }
     appended_++;
     return true;
+}
+
+VerdictCache::~VerdictCache()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+void
+VerdictCache::open(const std::string &dir)
+{
+    R2U_ASSERT(fd_ < 0, "verdict cache already open");
+
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec)
+        fatal("cache %s: cannot create directory: %s", dir.c_str(),
+              ec.message().c_str());
+    path_ = (std::filesystem::path(dir) / "verdicts.r2uc").string();
+
+    // Load whatever is trustworthy. Unlike the journal, nothing here
+    // is fatal short of I/O failure: a cache that cannot be believed
+    // is simply started fresh — the cost is re-solving, never a wrong
+    // answer, and aborting a run over a scratch directory would invert
+    // that tradeoff.
+    off_t good = 0;
+    bool fresh = true;
+    int rfd = ::open(path_.c_str(), O_RDONLY);
+    if (rfd >= 0) {
+        std::vector<uint8_t> file;
+        uint8_t chunk[1 << 16];
+        ssize_t n;
+        while ((n = ::read(rfd, chunk, sizeof(chunk))) > 0)
+            file.insert(file.end(), chunk, chunk + n);
+        ::close(rfd);
+
+        if (file.size() >= kCacheHeaderSize) {
+            const uint8_t *p = file.data();
+            uint32_t version = 0;
+            if (std::memcmp(p, kCacheMagic, 4) == 0) {
+                p += 4;
+                version = get<uint32_t>(p);
+            }
+            if (version != kCacheVersion) {
+                warn("cache %s: unrecognized header — starting fresh",
+                     path_.c_str());
+            } else {
+                fresh = false;
+                good = static_cast<off_t>(kCacheHeaderSize);
+                size_t off = kCacheHeaderSize;
+                while (off + sizeof(uint32_t) + sizeof(uint64_t) <=
+                       file.size()) {
+                    const uint8_t *rp = file.data() + off;
+                    uint32_t len = get<uint32_t>(rp);
+                    uint64_t sum = get<uint64_t>(rp);
+                    size_t total =
+                        sizeof(uint32_t) + sizeof(uint64_t) + len;
+                    if (off + total > file.size())
+                        break; // truncated tail
+                    if (fnv1a(rp, len) != sum)
+                        break; // corrupt; drop it and the rest
+                    Journal::Record rec;
+                    if (!decodePayload(rp, len, rec))
+                        break;
+                    by_name_[rec.name].emplace_back(rec.bound,
+                                                    rec.key);
+                    loaded_[rec.key] = std::move(rec); // last wins
+                    off += total;
+                    good = static_cast<off_t>(off);
+                }
+                if (good != static_cast<off_t>(file.size()))
+                    warn("cache %s: dropping %zu torn/corrupt tail "
+                         "bytes (%zu valid records)",
+                         path_.c_str(),
+                         file.size() - static_cast<size_t>(good),
+                         loaded_.size());
+            }
+        } else if (!file.empty()) {
+            warn("cache %s: shorter than its header — starting fresh",
+                 path_.c_str());
+        }
+    }
+
+    fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT, 0644);
+    if (fd_ < 0)
+        fatal("cache %s: open failed: %s", path_.c_str(),
+              strerror(errno));
+    if (!fresh) {
+        if (::ftruncate(fd_, good) != 0 ||
+            ::lseek(fd_, good, SEEK_SET) < 0)
+            fatal("cache %s: truncate failed: %s", path_.c_str(),
+                  strerror(errno));
+        return;
+    }
+
+    if (::ftruncate(fd_, 0) != 0)
+        fatal("cache %s: truncate failed: %s", path_.c_str(),
+              strerror(errno));
+    std::vector<uint8_t> hdr;
+    hdr.insert(hdr.end(), kCacheMagic, kCacheMagic + 4);
+    put<uint32_t>(hdr, kCacheVersion);
+    if (!writeAll(fd_, hdr.data(), hdr.size()) || ::fsync(fd_) != 0)
+        fatal("cache %s: header write failed: %s", path_.c_str(),
+              strerror(errno));
+}
+
+size_t
+VerdictCache::numLoaded() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return loaded_.size();
+}
+
+const Journal::Record *
+VerdictCache::lookup(uint64_t key) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = loaded_.find(key);
+    return it == loaded_.end() ? nullptr : &it->second;
+}
+
+bool
+VerdictCache::hasStaleEntry(const std::string &name, unsigned bound,
+                            uint64_t key) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = by_name_.find(name);
+    if (it == by_name_.end())
+        return false;
+    for (const auto &[b, k] : it->second)
+        if (b == bound && k != key)
+            return true;
+    return false;
+}
+
+bool
+VerdictCache::append(const Journal::Record &rec)
+{
+    R2U_ASSERT(fd_ >= 0, "append on a closed cache");
+    std::vector<uint8_t> payload = encodePayload(rec);
+    std::vector<uint8_t> frame;
+    frame.reserve(sizeof(uint32_t) + sizeof(uint64_t) + payload.size());
+    put<uint32_t>(frame, static_cast<uint32_t>(payload.size()));
+    put<uint64_t>(frame, fnv1a(payload.data(), payload.size()));
+    frame.insert(frame.end(), payload.begin(), payload.end());
+
+    std::lock_guard<std::mutex> lock(mu_);
+    if (loaded_.count(rec.key))
+        return true; // already durable; a warm run must not grow us
+    if (!writeAll(fd_, frame.data(), frame.size()) ||
+        ::fsync(fd_) != 0) {
+        warn("cache %s: append failed: %s — run continues, this "
+             "verdict stays uncached",
+             path_.c_str(), strerror(errno));
+        return false;
+    }
+    by_name_[rec.name].emplace_back(rec.bound, rec.key);
+    loaded_[rec.key] = rec;
+    appended_++;
+    return true;
+}
+
+size_t
+VerdictCache::numAppended() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return appended_;
 }
 
 } // namespace r2u::bmc

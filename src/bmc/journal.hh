@@ -22,12 +22,18 @@
  *            u32 nameLen  name bytes
  *
  * flags bit0 = verdict was independently validated. configHash binds
- * the journal to the producing configuration (netlist shape, bound,
- * unroll mode — NOT --jobs: a run may resume at any parallelism).
- * Only Proven/Refuted verdicts are journaled; Unknowns are cheap to
- * reproduce and may resolve differently under different budgets.
- * Traces are not stored — a resumed Refuted verdict re-solves only if
- * its consumer needs the counterexample (synthesis keeps the verdict).
+ * the journal to the producing configuration (the structural netlist
+ * hash, bound, unroll mode — NOT --jobs: a run may resume at any
+ * parallelism). Only Proven/Refuted verdicts are journaled; Unknowns
+ * are cheap to reproduce and may resolve differently under different
+ * budgets. Traces are not stored — a resumed Refuted verdict
+ * re-solves only if its consumer needs the counterexample (synthesis
+ * keeps the verdict).
+ *
+ * The same machinery powers the cross-run VerdictCache below: the
+ * identical record codec in a directory-scoped file, but keyed purely
+ * by query *content* (COI-slice + property + bound hash) instead of
+ * being bound to one run's configuration.
  */
 
 #ifndef R2U_BMC_JOURNAL_HH
@@ -43,8 +49,20 @@
 namespace r2u::bmc
 {
 
-/** FNV-1a over a query's identity; the journal's lookup key. */
-uint64_t journalKey(const std::string &name, unsigned bound);
+/**
+ * FNV-1a over a query's identity; the journal's lookup key.
+ *
+ * @p content_hash is the query's content-derived identity (hash of
+ * its COI slice, property encoding, and bound — see nl::coneHash and
+ * bmc::Query::contentHash). Mixing it into the key is what prevents
+ * the classic stale-resume bug: an SVA whose template was edited but
+ * whose name survived, or a same-named query over rewired logic, gets
+ * a different key and simply misses instead of resurrecting the old
+ * verdict. Callers without a content hash pass 0 and fall back to
+ * name + bound keying (protected only by the journal's config hash).
+ */
+uint64_t journalKey(const std::string &name, unsigned bound,
+                    uint64_t content_hash);
 
 class Journal
 {
@@ -104,6 +122,94 @@ class Journal
     std::string path_;
     std::mutex mu_;
     std::unordered_map<uint64_t, Record> loaded_;
+    size_t appended_ = 0;
+};
+
+/**
+ * Content-addressed, cross-run verdict cache (--cache DIR).
+ *
+ * Where the Journal is one run's linear restart log bound to a single
+ * configuration hash, the cache is a shared store keyed purely by
+ * query content: the caller keys each record by a hash of the query's
+ * COI slice, property encoding, and bound (bmc::Query::contentHash),
+ * so a verdict is reusable by *any* later run — same design, a
+ * near-identical edit, a different job count — whose query hashes to
+ * the same content. An RTL edit re-solves exactly the queries whose
+ * cone content changed; everything else replays in microseconds.
+ *
+ * Storage is the journal's record codec in `<dir>/verdicts.r2uc`
+ * ("R2UC" magic, no config binding — the keys self-validate).
+ * Appends are write()+fsync() under a mutex; loading is *lenient*
+ * where the journal is fatal: a bad magic/version starts the cache
+ * fresh, and a torn or corrupt record ends the trusted region (it and
+ * everything after it are dropped and truncated away, never trusted).
+ * A cache can only ever cost re-solves, not soundness, so it must
+ * never abort a run. Duplicate keys resolve to the newest record;
+ * appending an already-present key is a durable no-op, so warm re-runs
+ * do not grow the file. Only definite verdicts belong in the cache;
+ * Unknowns are budget-dependent and are never stored.
+ *
+ * Concurrency: append() is thread-safe (worker threads); lookup() /
+ * hasStaleEntry() lock the same mutex, and returned record pointers
+ * stay valid for the cache's lifetime (node-based map).
+ */
+class VerdictCache
+{
+  public:
+    VerdictCache() = default;
+    ~VerdictCache();
+
+    VerdictCache(const VerdictCache &) = delete;
+    VerdictCache &operator=(const VerdictCache &) = delete;
+
+    /**
+     * Open (creating, including the directory, if absent) the cache
+     * under @p dir. Existing records are loaded for lookup; corrupt
+     * content is dropped as described above. fatal() only on I/O
+     * errors that prevent the store from operating at all.
+     */
+    void open(const std::string &dir);
+
+    bool isOpen() const { return fd_ >= 0; }
+
+    /** Records loaded from disk at open() time (after dedup). */
+    size_t numLoaded() const;
+
+    /** Cached verdict for a content key. nullptr if absent. */
+    const Journal::Record *lookup(uint64_t key) const;
+
+    /**
+     * True when the cache holds a record for the same (name, bound)
+     * under a *different* content key — i.e. this query existed
+     * before but its cone or property content changed since it was
+     * cached. Purely diagnostic (distinguishes an invalidation from a
+     * never-seen miss in the hit/miss accounting).
+     */
+    bool hasStaleEntry(const std::string &name, unsigned bound,
+                       uint64_t key) const;
+
+    /**
+     * Durably append one definite verdict keyed by its content hash
+     * (rec.key). Returns true when the record is durable in the cache
+     * — including the already-present case, which writes nothing.
+     * Returns false (after a warn) on I/O failure; the run continues.
+     */
+    bool append(const Journal::Record &rec);
+
+    /** Records physically appended by *this* process. */
+    size_t numAppended() const;
+
+    const std::string &filePath() const { return path_; }
+
+  private:
+    int fd_ = -1;
+    std::string path_;
+    mutable std::mutex mu_;
+    std::unordered_map<uint64_t, Journal::Record> loaded_;
+    /** name -> (bound, key) pairs seen, for invalidation accounting. */
+    std::unordered_map<std::string,
+                       std::vector<std::pair<unsigned, uint64_t>>>
+        by_name_;
     size_t appended_ = 0;
 };
 

@@ -6,6 +6,7 @@
 #include "common/logging.hh"
 #include "common/strutil.hh"
 #include "common/timer.hh"
+#include "netlist/hash.hh"
 #include "sva/monitors.hh"
 
 namespace r2u::rtl2uspec
@@ -42,6 +43,8 @@ class Synthesizer
         R2U_ASSERT(!md.cores.empty() && !md.instrs.empty(),
                    "metadata needs cores and instruction types");
         base_seeds_ = buildBaseSeeds();
+        netlist_hash_ = nl::structuralHash(nl_);
+        property_env_hash_ = propertyEnvHash();
         bmc::EngineOptions eopts;
         eopts.jobs = opts.jobs;
         eopts.conflictBudget =
@@ -71,6 +74,16 @@ class Synthesizer
                        "(%zu validated verdicts)",
                        opts.journalPath.c_str(), journal_->numLoaded());
             eopts.journal = journal_.get();
+        }
+        if (!opts.cacheDir.empty()) {
+            cache_ = std::make_unique<bmc::VerdictCache>();
+            cache_->open(opts.cacheDir);
+            out_.cacheEnabled = true;
+            if (cache_->numLoaded() > 0)
+                inform("rtl2uspec: verdict cache %s: %zu cached "
+                       "verdict(s) loaded",
+                       cache_->filePath().c_str(), cache_->numLoaded());
+            eopts.cache = cache_.get();
         }
         engine_ = std::make_unique<bmc::Engine>(
             nl_, design_.signalMap, unrollOptions(), md_.bound, eopts);
@@ -104,6 +117,10 @@ class Synthesizer
         out_.validationFailures = estats.validationFailures;
         out_.journalHits = estats.journalHits;
         out_.journalAppends = estats.journalAppends;
+        out_.cacheHits = estats.cacheHits;
+        out_.cacheMisses = estats.cacheMisses;
+        out_.cacheInvalidations = estats.cacheInvalidations;
+        out_.cacheAppends = estats.cacheAppends;
         out_.replaySeconds = estats.replaySeconds;
         out_.recheckSeconds = estats.recheckSeconds;
         out_.validateSeconds = estats.validateSeconds;
@@ -122,6 +139,13 @@ class Synthesizer
                    static_cast<size_t>(estats.portfolioRaces),
                    static_cast<size_t>(estats.portfolioChallengerWins),
                    static_cast<size_t>(estats.sharedImported));
+        if (out_.cacheEnabled)
+            inform("rtl2uspec: cache: %zu hit(s), %zu miss(es) "
+                   "(%zu invalidated), %zu verdict(s) appended",
+                   static_cast<size_t>(estats.cacheHits),
+                   static_cast<size_t>(estats.cacheMisses),
+                   static_cast<size_t>(estats.cacheInvalidations),
+                   static_cast<size_t>(estats.cacheAppends));
         if (estats.replays > 0 || estats.proofRechecks > 0 ||
             estats.journalHits > 0)
             inform("rtl2uspec: validation (%s): %zu replay(s), "
@@ -265,29 +289,84 @@ class Synthesizer
     }
 
     /**
-     * Binds a run journal to the verdict-relevant configuration:
-     * netlist shape, unroll bound, and unroll mode. Deliberately
-     * excludes --jobs and solver budgets — a journaled verdict is
-     * definite and validated, so it holds at any parallelism or
-     * budget. FNV-1a, same construction as bmc::journalKey.
+     * Binds a run journal to the verdict-relevant configuration: the
+     * structural netlist hash (every cell's kind, width, connectivity,
+     * init value, and every memory's geometry + contents — not just
+     * element counts: a rewired design with identical counts must not
+     * resume another design's verdicts), the unroll bound, and the
+     * unroll mode. Deliberately excludes --jobs and solver budgets — a
+     * journaled verdict is definite and validated, so it holds at any
+     * parallelism or budget. Also excludes the metadata/property
+     * environment: an edited SVA changes its per-query content hash
+     * (and therefore its journal key), which turns into a plain miss
+     * instead of rejecting the whole journal.
      */
     uint64_t
     configHash() const
     {
-        uint64_t h = 14695981039346656037ull;
-        auto mix = [&h](uint64_t v) {
-            for (unsigned i = 0; i < 8; i++) {
-                h ^= (v >> (8 * i)) & 0xff;
-                h *= 1099511628211ull;
-            }
-        };
-        mix(nl_.numCells());
-        mix(nl_.numMemories());
-        mix(nl_.inputs().size());
-        mix(nl_.dffs().size());
-        mix(md_.bound);
-        mix(full_unroll_ ? 1 : 0);
-        return h;
+        nl::Fnv64 h;
+        h.u64(netlist_hash_);
+        h.u32(md_.bound);
+        h.byte(full_unroll_ ? 1 : 0);
+        return h.value();
+    }
+
+    /**
+     * Hash of everything besides the netlist cone that determines what
+     * an SVA property *means*: the per-core signal roles, instruction
+     * encodings (mask/match feed assumeEncoding inside the property
+     * closures — they never appear in the rendered SVA text), the
+     * remote-interface signal roles, the exclusion set, and the
+     * issue-by frame. A change to any of these re-keys every query.
+     * Excludes conflictBudget / relaxPairs / mergeNodes: budgets only
+     * change how long a verdict takes, and the relax/merge switches
+     * change which queries are generated (visible in their names and
+     * text), never what a given query means.
+     */
+    uint64_t
+    propertyEnvHash() const
+    {
+        nl::Fnv64 h;
+        h.u32(static_cast<uint32_t>(md_.cores.size()));
+        for (const CoreMeta &core : md_.cores) {
+            h.str(core.prefix);
+            h.str(core.ifr);
+            h.u32(static_cast<uint32_t>(core.pcrs.size()));
+            for (const auto &p : core.pcrs)
+                h.str(p);
+            h.str(core.imPc);
+            h.str(core.reqEn);
+            h.str(core.reqWen);
+        }
+        h.u32(static_cast<uint32_t>(md_.instrs.size()));
+        for (const InstrType &it : md_.instrs) {
+            h.str(it.name);
+            h.u32(it.mask);
+            h.u32(it.match);
+            h.byte(it.isRead ? 1 : 0);
+            h.byte(it.isWrite ? 1 : 0);
+        }
+        h.str(md_.remote.memName);
+        h.str(md_.remote.reqValid);
+        h.str(md_.remote.reqWen);
+        h.str(md_.remote.reqAddr);
+        h.str(md_.remote.reqData);
+        h.str(md_.remote.reqCore);
+        h.str(md_.remote.grant);
+        h.str(md_.remote.respValid);
+        h.str(md_.remote.respCore);
+        h.str(md_.remote.respData);
+        h.u32(static_cast<uint32_t>(md_.remote.pipelineRegs.size()));
+        for (const auto &r : md_.remote.pipelineRegs)
+            h.str(r);
+        h.str(md_.remote.pipeValid);
+        h.str(md_.remote.pipeWen);
+        h.str(md_.remote.pipeCore);
+        h.u32(static_cast<uint32_t>(md_.exclude.size()));
+        for (const auto &e : md_.exclude) // std::set: sorted, stable
+            h.str(e);
+        h.u32(md_.issueByFrame);
+        return h.value();
     }
 
     // ------------------------------------------------------------------
@@ -378,8 +457,35 @@ class Synthesizer
                              extra.cells.end());
         q.seeds.mems.insert(q.seeds.mems.end(), extra.mems.begin(),
                             extra.mems.end());
+        q.contentHash = queryContentHash(idx, q.seeds);
         engine_->enqueue(std::move(q));
         pending_.push_back(idx);
+    }
+
+    /**
+     * Content-derived identity of one SVA query: the hash of the COI
+     * slice its property can read (the whole netlist under
+     * --full-unroll, where every query sees every cell), the property
+     * environment, the bound/unroll mode, and the SVA's identity and
+     * rendered text. This is the journal-key ingredient and the
+     * verdict-cache key — two runs produce the same hash exactly when
+     * the solver would decide the same question.
+     */
+    uint64_t
+    queryContentHash(size_t idx, const nl::CoiSeeds &seeds) const
+    {
+        nl::Fnv64 h;
+        h.u64(full_unroll_ ? netlist_hash_
+                           : nl::coneHash(nl_, seeds));
+        h.u64(property_env_hash_);
+        h.u32(md_.bound);
+        h.byte(full_unroll_ ? 1 : 0);
+        const SvaRecord &sva = out_.svas[idx];
+        h.str(sva.name);
+        h.str(sva.category);
+        h.str(sva.text);
+        // 0 is the engine's "unhashed" sentinel; dodge the collision.
+        return h.value() == 0 ? 1 : h.value();
     }
 
     /** Evaluate every deferred SVA; fill records in enqueue order. */
@@ -404,11 +510,13 @@ class Synthesizer
             rec.coiCells = results[q].coiCells;
             rec.validated = results[q].validated;
             rec.fromJournal = results[q].fromJournal;
+            rec.fromCache = results[q].fromCache;
             switch (results[q].verdict) {
               case Verdict::Refuted:
-                rec.trace = results[q].fromJournal
-                                ? results[q].validationNote
-                                : results[q].trace.toString();
+                rec.trace =
+                    results[q].fromJournal || results[q].fromCache
+                        ? results[q].validationNote
+                        : results[q].trace.toString();
                 break;
               case Verdict::Proven:
                 break;
@@ -1656,10 +1764,16 @@ class Synthesizer
     int hbis_ = 0;
     SynthesisResult out_;
     std::string validate_mode_;
+    /** nl::structuralHash of the whole design (journal binding). */
+    uint64_t netlist_hash_ = 0;
+    /** propertyEnvHash() of the metadata (per-query key ingredient). */
+    uint64_t property_env_hash_ = 0;
 
     /** Crash-safe verdict journal; declared before engine_ so the
      *  engine (which holds a raw pointer to it) dies first. */
     std::unique_ptr<bmc::Journal> journal_;
+    /** Cross-run verdict cache; same lifetime rule as the journal. */
+    std::unique_ptr<bmc::VerdictCache> cache_;
     /** The BMC query engine serving every SVA in this run. */
     std::unique_ptr<bmc::Engine> engine_;
     /** Record indices of queries enqueued since the last flush. */
@@ -1738,6 +1852,13 @@ SynthesisResult::report() const
         out += strfmt("journal: %zu verdict(s) resumed, %zu appended\n",
                       static_cast<size_t>(journalHits),
                       static_cast<size_t>(journalAppends));
+    if (cacheEnabled)
+        out += strfmt("cache: %zu hit(s), %zu miss(es), "
+                      "%zu invalidation(s), %zu verdict(s) appended\n",
+                      static_cast<size_t>(cacheHits),
+                      static_cast<size_t>(cacheMisses),
+                      static_cast<size_t>(cacheInvalidations),
+                      static_cast<size_t>(cacheAppends));
     if (unknownSvas > 0) {
         out += strfmt("undetermined SVAs: %zu (model degraded "
                       "conservatively; see notes below)\n",
@@ -1812,6 +1933,15 @@ SynthesisResult::jsonReport() const
         static_cast<size_t>(journalAppends), replaySeconds,
         recheckSeconds, validateSeconds);
     out += strfmt(
+        "  \"cache\": {\"enabled\": %s, \"hits\": %zu, "
+        "\"misses\": %zu, \"invalidations\": %zu, "
+        "\"appends\": %zu},\n",
+        cacheEnabled ? "true" : "false",
+        static_cast<size_t>(cacheHits),
+        static_cast<size_t>(cacheMisses),
+        static_cast<size_t>(cacheInvalidations),
+        static_cast<size_t>(cacheAppends));
+    out += strfmt(
         "  \"portfolio\": {\"enabled\": %s, \"races\": %zu, "
         "\"challenger_wins\": %zu, \"shared_exported\": %zu, "
         "\"shared_imported\": %zu},\n",
@@ -1845,6 +1975,7 @@ SynthesisResult::jsonReport() const
             "\"conflicts\": %zu, \"propagations\": %zu, "
             "\"cnf_vars\": %zu, \"cnf_clauses\": %zu, "
             "\"validated\": %s, \"from_journal\": %s, "
+            "\"from_cache\": %s, "
             "\"degraded\": %s%s%s%s}%s\n",
             jsonEscape(r.name).c_str(), r.category.c_str(),
             bmc::verdictName(r.verdict),
@@ -1853,6 +1984,7 @@ SynthesisResult::jsonReport() const
             static_cast<size_t>(r.propagations), r.cnfVars,
             r.cnfClauses, r.validated ? "true" : "false",
             r.fromJournal ? "true" : "false",
+            r.fromCache ? "true" : "false",
             r.degraded ? "true" : "false",
             r.degraded ? ", \"degrade_note\": \"" : "",
             r.degraded ? jsonEscape(r.degradeNote).c_str() : "",

@@ -54,6 +54,8 @@ struct SvaRecord
     bool validated = false;
     /** Verdict loaded from a resume journal instead of solved. */
     bool fromJournal = false;
+    /** Verdict replayed from the cross-run verdict cache. */
+    bool fromCache = false;
 
     /** Solver CNF footprint when this query finished (COI-sliced
      *  unless fullUnroll) and what the query alone added. */
@@ -147,6 +149,16 @@ struct SynthesisOptions
     std::string journalPath;
     /** Resume from an existing journal instead of truncating it. */
     bool resumeJournal = false;
+    /**
+     * Cross-run content-addressed verdict cache directory (--cache;
+     * "" disables). Each SVA query is keyed by a hash of its COI
+     * slice, property encoding, and bound, so re-synthesis of the
+     * same or a near-identical design re-solves only the queries
+     * whose content actually changed. Deliberately NOT keyed by
+     * --jobs or solver budgets: those change how fast a verdict is
+     * found, never what the verdict is.
+     */
+    std::string cacheDir;
     /** Dump each refutation's replayed trace as VCD ("" disables). */
     std::string cexVcdDir;
     /** Fault-injection test seam, forwarded to the engine. */
@@ -199,6 +211,19 @@ struct SynthesisResult
     /** SVAs answered from the resume journal without solving. */
     uint64_t journalHits = 0;
     uint64_t journalAppends = 0;
+
+    // --- cross-run verdict cache accounting (run level) ---
+    /** True when a --cache directory was in use this run. */
+    bool cacheEnabled = false;
+    /** SVAs answered from the verdict cache without solving. */
+    uint64_t cacheHits = 0;
+    /** Hashed SVA queries the cache could not answer. */
+    uint64_t cacheMisses = 0;
+    /** Misses caused by a content change to a previously cached query
+     *  (same SVA name + bound, different cone/property hash). */
+    uint64_t cacheInvalidations = 0;
+    /** Verdicts durably appended to the cache this run. */
+    uint64_t cacheAppends = 0;
 
     // --- portfolio + CNF simplification accounting (run level) ---
     /** True when queries raced diversified solver configs. */

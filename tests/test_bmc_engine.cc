@@ -491,6 +491,95 @@ TEST(BmcEngine, VscaleJournalResumeIdentity)
     expectSameSynthesis(first, repaired);
 }
 
+TEST(BmcEngine, VscaleCacheWarmRunIdentity)
+{
+    namespace fs = std::filesystem;
+    std::string dir =
+        (fs::path(::testing::TempDir()) / "vscale_cache").string();
+    fs::remove_all(dir);
+
+    auto design = vscale::elaborateVscale(formalConfig());
+    auto md = vscale::vscaleMetadata(formalConfig());
+
+    rtl2uspec::SynthesisOptions opts;
+    opts.jobs = 2;
+    opts.validate = bmc::ValidateMode::Replay;
+    opts.cacheDir = dir;
+    auto cold = rtl2uspec::synthesize(design, md, opts);
+    ASSERT_TRUE(cold.cacheEnabled);
+    ASSERT_EQ(cold.unknownSvas, 0u);
+    EXPECT_EQ(cold.cacheHits, 0u);
+    EXPECT_GT(cold.cacheAppends, 0u);
+    // Every query is hashed, every verdict definite: misses == appends.
+    EXPECT_EQ(cold.cacheMisses, cold.cacheAppends);
+    EXPECT_EQ(cold.cacheInvalidations, 0u);
+
+    // Warm run at a different --jobs: every query replays from the
+    // cache (no solving, no appends, no counterexample replays) and
+    // the synthesized model is bit-identical.
+    opts.jobs = 3;
+    auto warm = rtl2uspec::synthesize(design, md, opts);
+    EXPECT_EQ(warm.cacheHits, cold.cacheAppends);
+    EXPECT_EQ(warm.cacheMisses, 0u);
+    EXPECT_EQ(warm.cacheAppends, 0u);
+    EXPECT_EQ(warm.replays, 0u);
+    for (const auto &sva : warm.svas)
+        EXPECT_TRUE(sva.fromCache) << sva.name;
+    expectSameSynthesis(cold, warm);
+
+    // --validate replay still works end-to-end on a warm run: the
+    // cached verdicts carry their validated stamp from the cold run.
+    for (const auto &sva : warm.svas)
+        if (sva.verdict == bmc::Verdict::Refuted)
+            EXPECT_TRUE(sva.validated) << sva.name;
+
+    // The cache composes with the journal: a journaled warm run
+    // prefers this-run restart state but still lands on the same
+    // model.
+    std::string journal =
+        (fs::path(::testing::TempDir()) / "vscale_cache_journal.bin")
+            .string();
+    fs::remove(journal);
+    opts.journalPath = journal;
+    opts.jobs = 1;
+    auto warm2 = rtl2uspec::synthesize(design, md, opts);
+    EXPECT_EQ(warm2.cacheHits, cold.cacheAppends);
+    expectSameSynthesis(cold, warm2);
+}
+
+// The satellite regression at system level: an edited property
+// environment (metadata that feeds the SVA templates' assumptions)
+// keeps every query's name and bound but changes its content hash —
+// the whole cache must read as invalidated, not silently replayed.
+TEST(BmcEngine, VscaleCacheMetadataEditInvalidates)
+{
+    namespace fs = std::filesystem;
+    std::string dir =
+        (fs::path(::testing::TempDir()) / "vscale_cache_md").string();
+    fs::remove_all(dir);
+
+    auto design = vscale::elaborateVscale(formalConfig());
+    auto md = vscale::vscaleMetadata(formalConfig());
+
+    rtl2uspec::SynthesisOptions opts;
+    opts.jobs = 2;
+    opts.cacheDir = dir;
+    auto first = rtl2uspec::synthesize(design, md, opts);
+    EXPECT_GT(first.cacheAppends, 0u);
+
+    // issueByFrame is read by the property closures (issue-window
+    // assumptions), not rendered into the SVA text — exactly the kind
+    // of edit name+bound keying used to miss.
+    auto md2 = md;
+    md2.issueByFrame += 1;
+    auto second = rtl2uspec::synthesize(design, md2, opts);
+    EXPECT_EQ(second.cacheHits, 0u);
+    EXPECT_GT(second.cacheMisses, 0u);
+    // Every miss is an invalidation: same query names at the same
+    // bound sit in the cache under the old content hashes.
+    EXPECT_EQ(second.cacheInvalidations, second.cacheMisses);
+}
+
 TEST(BmcEngine, ValidationModesDoNotChangeTheModel)
 {
     auto design = vscale::elaborateVscale(formalConfig());

@@ -24,6 +24,14 @@ namespace
 {
 
 constexpr uint64_t kHash = 0x5eed5eed12345678ull;
+/** Stand-in per-query content hash for records in these tests. */
+constexpr uint64_t kContent = 0xc0de1234abcd5678ull;
+
+uint64_t
+key(const std::string &name, unsigned bound)
+{
+    return bmc::journalKey(name, bound, kContent);
+}
 
 std::string
 tempJournal(const std::string &name)
@@ -38,7 +46,7 @@ makeRecord(const std::string &name, unsigned bound,
            bmc::Verdict verdict)
 {
     bmc::Journal::Record rec;
-    rec.key = bmc::journalKey(name, bound);
+    rec.key = key(name, bound);
     rec.name = name;
     rec.verdict = verdict;
     rec.source = bmc::VerdictSource::Solve;
@@ -69,17 +77,52 @@ flipByte(const std::string &path, uint64_t offset)
 
 TEST(Journal, KeyIsDeterministicAndDiscriminates)
 {
-    EXPECT_EQ(bmc::journalKey("sva_a", 14), bmc::journalKey("sva_a", 14));
-    EXPECT_NE(bmc::journalKey("sva_a", 14), bmc::journalKey("sva_b", 14));
-    EXPECT_NE(bmc::journalKey("sva_a", 14), bmc::journalKey("sva_a", 15));
-    EXPECT_NE(bmc::journalKey("", 0), 0u);
+    EXPECT_EQ(bmc::journalKey("sva_a", 14, 7),
+              bmc::journalKey("sva_a", 14, 7));
+    EXPECT_NE(bmc::journalKey("sva_a", 14, 7),
+              bmc::journalKey("sva_b", 14, 7));
+    EXPECT_NE(bmc::journalKey("sva_a", 14, 7),
+              bmc::journalKey("sva_a", 15, 7));
+    EXPECT_NE(bmc::journalKey("", 0, 0), 0u);
+}
+
+// The stale-resume regression (ISSUE 8): an SVA whose template was
+// edited — or whose cone was rewired — keeps its name and bound but
+// gets a different content hash, and the key MUST change with it, or
+// --resume resurrects the old verdict for a different question.
+TEST(Journal, KeyIncludesContentHash)
+{
+    EXPECT_NE(bmc::journalKey("sva_a", 14, 1),
+              bmc::journalKey("sva_a", 14, 2));
+    // The unhashed fallback (0) is distinct from any hashed key.
+    EXPECT_NE(bmc::journalKey("sva_a", 14, 0),
+              bmc::journalKey("sva_a", 14, 1));
+}
+
+// End-to-end: a journal written with one content hash answers nothing
+// when the same query resumes with an edited property/cone.
+TEST(Journal, EditedContentMissesOnResume)
+{
+    std::string path = tempJournal("edited.bin");
+    {
+        bmc::Journal j;
+        j.open(path, kHash, false);
+        j.append(makeRecord("sva_a", 14, bmc::Verdict::Proven));
+    }
+    bmc::Journal j;
+    j.open(path, kHash, true);
+    EXPECT_EQ(j.numLoaded(), 1u);
+    EXPECT_NE(j.lookup(bmc::journalKey("sva_a", 14, kContent)),
+              nullptr);
+    EXPECT_EQ(j.lookup(bmc::journalKey("sva_a", 14, kContent ^ 1)),
+              nullptr);
 }
 
 TEST(Journal, RoundTripPersistsRecords)
 {
     std::string path = tempJournal("roundtrip.bin");
-    uint64_t key_a = bmc::journalKey("a", 3);
-    uint64_t key_b = bmc::journalKey("b", 3);
+    uint64_t key_a = key("a", 3);
+    uint64_t key_b = key("b", 3);
 
     {
         bmc::Journal j;
@@ -96,7 +139,7 @@ TEST(Journal, RoundTripPersistsRecords)
     EXPECT_EQ(j.numLoaded(), 2u);
     ASSERT_NE(j.lookup(key_a), nullptr);
     ASSERT_NE(j.lookup(key_b), nullptr);
-    EXPECT_EQ(j.lookup(bmc::journalKey("c", 3)), nullptr);
+    EXPECT_EQ(j.lookup(key("c", 3)), nullptr);
 
     const bmc::Journal::Record &a = *j.lookup(key_a);
     EXPECT_EQ(a.name, "a");
@@ -135,7 +178,7 @@ TEST(Journal, FreshOpenDiscardsExistingRecords)
     bmc::Journal j;
     j.open(path, kHash, true);
     EXPECT_EQ(j.numLoaded(), 0u);
-    EXPECT_EQ(j.lookup(bmc::journalKey("stale", 3)), nullptr);
+    EXPECT_EQ(j.lookup(key("stale", 3)), nullptr);
 }
 
 TEST(Journal, TruncatedTailIsDroppedAndRepaired)
@@ -159,9 +202,9 @@ TEST(Journal, TruncatedTailIsDroppedAndRepaired)
         bmc::Journal j;
         j.open(path, kHash, true);
         EXPECT_EQ(j.numLoaded(), 2u);
-        EXPECT_NE(j.lookup(bmc::journalKey("a", 3)), nullptr);
-        EXPECT_NE(j.lookup(bmc::journalKey("b", 3)), nullptr);
-        EXPECT_EQ(j.lookup(bmc::journalKey("c", 3)), nullptr);
+        EXPECT_NE(j.lookup(key("a", 3)), nullptr);
+        EXPECT_NE(j.lookup(key("b", 3)), nullptr);
+        EXPECT_EQ(j.lookup(key("c", 3)), nullptr);
         // The torn bytes are gone for good: the file is truncated back
         // to the last durable record, so the next append lands cleanly.
         EXPECT_EQ(fs::file_size(path), size_after_two);
@@ -171,7 +214,7 @@ TEST(Journal, TruncatedTailIsDroppedAndRepaired)
     bmc::Journal j;
     j.open(path, kHash, true);
     EXPECT_EQ(j.numLoaded(), 3u);
-    EXPECT_NE(j.lookup(bmc::journalKey("d", 3)), nullptr);
+    EXPECT_NE(j.lookup(key("d", 3)), nullptr);
 }
 
 TEST(Journal, ChecksumMismatchDropsRecordAndSuccessors)
@@ -197,9 +240,9 @@ TEST(Journal, ChecksumMismatchDropsRecordAndSuccessors)
     bmc::Journal j;
     j.open(path, kHash, true);
     EXPECT_EQ(j.numLoaded(), 1u);
-    EXPECT_NE(j.lookup(bmc::journalKey("a", 3)), nullptr);
-    EXPECT_EQ(j.lookup(bmc::journalKey("b", 3)), nullptr);
-    EXPECT_EQ(j.lookup(bmc::journalKey("c", 3)), nullptr);
+    EXPECT_NE(j.lookup(key("a", 3)), nullptr);
+    EXPECT_EQ(j.lookup(key("b", 3)), nullptr);
+    EXPECT_EQ(j.lookup(key("c", 3)), nullptr);
     EXPECT_EQ(fs::file_size(path), size_after_one);
     (void)size_after_two;
 }

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Tests for the canonical structural netlist hash (ISSUE 8): the
+ * whole-netlist hash must be deterministic and must discriminate
+ * same-shaped designs (equal cell/register/memory counts, different
+ * logic), and the per-cone hash must track exactly the cone of
+ * influence — an edit outside a cone leaves its hash (and any cached
+ * verdict keyed by it) intact, an edit inside changes it.
+ *
+ * The journal regression at the bottom is the bug this issue fixes:
+ * two designs the old count-mixing configHash() could not tell apart
+ * must now reject each other's journals.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+
+#include "bmc/journal.hh"
+#include "common/bits.hh"
+#include "common/logging.hh"
+#include "netlist/coi.hh"
+#include "netlist/hash.hh"
+#include "netlist/netlist.hh"
+
+using namespace r2u;
+namespace fs = std::filesystem;
+
+namespace
+{
+
+/**
+ * A small design with two independent cones:
+ *   cone A:  ra = Dff(a0 <opA> a1)
+ *   cone B:  rb = Dff(b0 <opB> b1)   (operands optionally swapped)
+ * plus a memory whose write data is selectable, read back into cone A
+ * when @p mem_in_a. Every variant has identical cell, input, register,
+ * and memory counts — only wiring/kinds/values differ.
+ */
+struct TwoCone
+{
+    nl::Netlist n;
+    nl::CellId ra, rb;
+    nl::MemId mem;
+
+    TwoCone(nl::CellKind opA, nl::CellKind opB, bool swapB,
+            bool mem_data_from_a1, uint64_t rb_init)
+    {
+        nl::CellId a0 = n.addInput("a0", 8);
+        nl::CellId a1 = n.addInput("a1", 8);
+        nl::CellId b0 = n.addInput("b0", 8);
+        nl::CellId b1 = n.addInput("b1", 8);
+        nl::CellId one = n.addConst(Bits(1, 1), "one");
+
+        nl::CellId ga = n.addBinary(opA, a0, a1, "ga");
+        nl::CellId gb = swapB ? n.addBinary(opB, b1, b0, "gb")
+                              : n.addBinary(opB, b0, b1, "gb");
+
+        mem = n.addMemory("m", 4, 8);
+        nl::CellId waddr = n.addSlice(a0, 0, 2, "waddr");
+        nl::CellId wdata = mem_data_from_a1
+                               ? n.addBinary(nl::CellKind::Xor, a1, a1,
+                                             "wdata")
+                               : n.addBinary(nl::CellKind::Xor, a0, a0,
+                                             "wdata");
+        n.addMemWrite(mem, waddr, wdata, one);
+        nl::CellId rd = n.addMemRead(mem, waddr, "rd");
+
+        nl::CellId da = n.addBinary(nl::CellKind::Or, ga, rd, "da");
+        ra = n.addDff("ra", da, one, Bits(8, 0));
+        rb = n.addDff("rb", gb, one, Bits(8, rb_init));
+        n.validate();
+    }
+};
+
+uint64_t
+coneOf(const TwoCone &d, nl::CellId seed)
+{
+    nl::CoiSeeds seeds;
+    seeds.cells.push_back(seed);
+    return nl::coneHash(d.n, seeds);
+}
+
+} // namespace
+
+TEST(NetlistHash, DeterministicAcrossIndependentBuilds)
+{
+    TwoCone x(nl::CellKind::And, nl::CellKind::Add, false, false, 7);
+    TwoCone y(nl::CellKind::And, nl::CellKind::Add, false, false, 7);
+    EXPECT_EQ(nl::structuralHash(x.n), nl::structuralHash(y.n));
+    EXPECT_EQ(coneOf(x, x.ra), coneOf(y, y.ra));
+    EXPECT_EQ(coneOf(x, x.rb), coneOf(y, y.rb));
+}
+
+// The heart of the ISSUE 8 bugfix: equal-count designs with different
+// logic must hash differently. The old configHash() mixed only element
+// counts and could not tell any of these apart.
+TEST(NetlistHash, SameShapeDifferentLogicDiscriminates)
+{
+    TwoCone base(nl::CellKind::And, nl::CellKind::Add, false, false, 7);
+    // Different cell kind at identical counts.
+    TwoCone kind(nl::CellKind::Or, nl::CellKind::Add, false, false, 7);
+    // Same kinds, operands of the (commutative-looking but
+    // order-sensitive in the encoding) B gate swapped.
+    TwoCone swap(nl::CellKind::And, nl::CellKind::Add, true, false, 7);
+    // Same gates, different register power-on value.
+    TwoCone init(nl::CellKind::And, nl::CellKind::Add, false, false, 9);
+    // Same gates, memory write port wired to a different data source.
+    TwoCone wire(nl::CellKind::And, nl::CellKind::Add, false, true, 7);
+
+    auto same_counts = [&](const TwoCone &d) {
+        nl::NetlistStats a = base.n.stats();
+        nl::NetlistStats b = d.n.stats();
+        EXPECT_EQ(a.cells, b.cells);
+        EXPECT_EQ(a.registers, b.registers);
+        EXPECT_EQ(a.inputs, b.inputs);
+        EXPECT_EQ(a.memories, b.memories);
+        EXPECT_EQ(a.flopBits, b.flopBits);
+        EXPECT_EQ(a.memBits, b.memBits);
+    };
+    same_counts(kind);
+    same_counts(swap);
+    same_counts(init);
+    same_counts(wire);
+
+    uint64_t h = nl::structuralHash(base.n);
+    EXPECT_NE(h, nl::structuralHash(kind.n));
+    EXPECT_NE(h, nl::structuralHash(swap.n));
+    EXPECT_NE(h, nl::structuralHash(init.n));
+    EXPECT_NE(h, nl::structuralHash(wire.n));
+}
+
+// Editing cone B must not disturb cone A's hash (that is what makes
+// per-cone cache invalidation partial), and must disturb cone B's.
+TEST(NetlistHash, ConeHashIsolatesIndependentCones)
+{
+    TwoCone base(nl::CellKind::And, nl::CellKind::Add, false, false, 7);
+    TwoCone editB(nl::CellKind::And, nl::CellKind::Xor, false, false, 7);
+
+    EXPECT_EQ(coneOf(base, base.ra), coneOf(editB, editB.ra));
+    EXPECT_NE(coneOf(base, base.rb), coneOf(editB, editB.rb));
+
+    // And the reverse: a cone-A-only edit leaves cone B alone.
+    TwoCone editA(nl::CellKind::Or, nl::CellKind::Add, false, false, 7);
+    EXPECT_EQ(coneOf(base, base.rb), coneOf(editA, editA.rb));
+    EXPECT_NE(coneOf(base, base.ra), coneOf(editA, editA.ra));
+}
+
+// MemWrite cells have no output wire and are not members of
+// Coi::cells, but their wiring changes what a reader of the array can
+// observe — the cone hash must see through that.
+TEST(NetlistHash, ConeHashSeesMemoryWritePortRewiring)
+{
+    TwoCone base(nl::CellKind::And, nl::CellKind::Add, false, false, 7);
+    TwoCone wire(nl::CellKind::And, nl::CellKind::Add, false, true, 7);
+
+    // ra reads the memory, so rewiring the write port changes its cone
+    // hash; rb does not, so its hash is untouched.
+    EXPECT_NE(coneOf(base, base.ra), coneOf(wire, wire.ra));
+    EXPECT_EQ(coneOf(base, base.rb), coneOf(wire, wire.rb));
+
+    // Seeding the memory directly sees the rewiring too.
+    nl::CoiSeeds seeds;
+    seeds.mems.push_back(base.mem);
+    EXPECT_NE(nl::coneHash(base.n, seeds), nl::coneHash(wire.n, seeds));
+}
+
+// End-to-end journal regression: a journal produced by one design must
+// be rejected by a same-shaped design with different logic, because
+// the config binding is now the structural hash, not element counts.
+TEST(NetlistHash, SameShapeDesignRejectsForeignJournal)
+{
+    TwoCone base(nl::CellKind::And, nl::CellKind::Add, false, false, 7);
+    TwoCone other(nl::CellKind::Or, nl::CellKind::Add, false, false, 7);
+
+    fs::path path = fs::path(::testing::TempDir()) / "same_shape.bin";
+    fs::remove(path);
+    {
+        bmc::Journal j;
+        j.open(path.string(), nl::structuralHash(base.n), false);
+        bmc::Journal::Record rec;
+        rec.key = bmc::journalKey("sva_a", 3, 0x1234);
+        rec.name = "sva_a";
+        rec.verdict = bmc::Verdict::Proven;
+        rec.bound = 3;
+        j.append(rec);
+    }
+    {
+        // Same design resumes fine.
+        bmc::Journal j;
+        j.open(path.string(), nl::structuralHash(base.n), true);
+        EXPECT_EQ(j.numLoaded(), 1u);
+    }
+    bmc::Journal j;
+    EXPECT_THROW(j.open(path.string(), nl::structuralHash(other.n), true),
+                 FatalError);
+}

@@ -12,6 +12,8 @@
 
 #include <cstdio>
 #include <cstring>
+#include <limits>
+#include <stdexcept>
 
 #include "common/logging.hh"
 #include "common/strutil.hh"
@@ -21,6 +23,50 @@
 
 namespace
 {
+
+// Numeric option parsing. Bare std::stoi would let `--jobs foo` or an
+// out-of-range `--bound` kill the process with an uncaught exception;
+// these wrappers convert any malformed/partial/overflowing value into
+// a fatal() (usage error, exit 2) and insist the whole token parses.
+int64_t
+parseInt64(const char *opt, const std::string &s, int base = 10)
+{
+    try {
+        size_t pos = 0;
+        int64_t v = std::stoll(s, &pos, base);
+        if (pos != s.size())
+            throw std::invalid_argument(s);
+        return v;
+    } catch (const r2u::FatalError &) {
+        throw;
+    } catch (const std::exception &) {
+        r2u::fatal("%s expects an integer, got '%s'", opt, s.c_str());
+    }
+}
+
+int
+parseInt(const char *opt, const std::string &s)
+{
+    int64_t v = parseInt64(opt, s);
+    if (v < std::numeric_limits<int>::min() ||
+        v > std::numeric_limits<int>::max())
+        r2u::fatal("%s: '%s' is out of range", opt, s.c_str());
+    return static_cast<int>(v);
+}
+
+double
+parseDouble(const char *opt, const std::string &s)
+{
+    try {
+        size_t pos = 0;
+        double v = std::stod(s, &pos);
+        if (pos != s.size())
+            throw std::invalid_argument(s);
+        return v;
+    } catch (const std::exception &) {
+        r2u::fatal("%s expects a number, got '%s'", opt, s.c_str());
+    }
+}
 
 void
 usage()
@@ -81,6 +127,12 @@ usage()
         "                  verdicts are reused instead of re-solved\n"
         "                  (requires matching design/bound/unroll\n"
         "                  configuration; any --jobs is fine)\n"
+        "  --cache DIR     cross-run verdict cache: each SVA query is\n"
+        "                  keyed by a content hash of its COI slice,\n"
+        "                  property, and bound; re-synthesis re-solves\n"
+        "                  only queries whose content changed and\n"
+        "                  replays the rest (model is bit-identical;\n"
+        "                  --jobs and budgets do not affect the key)\n"
         "  --cex-vcd DIR   dump each refutation's replayed trace as a\n"
         "                  per-query VCD waveform under DIR\n"
         "  --quiet         suppress progress output\n"
@@ -120,24 +172,28 @@ main(int argc, char **argv)
             } else if (arg == "--dfg-dir") {
                 dfg_dir = next();
             } else if (arg == "--bound") {
-                bound_override = std::stoi(next());
+                bound_override = parseInt("--bound", next());
             } else if (arg == "--jobs") {
-                int jobs = std::stoi(next());
+                int jobs = parseInt("--jobs", next());
                 if (jobs < 1)
                     fatal("--jobs expects a positive worker count");
                 synth_opts.jobs = static_cast<unsigned>(jobs);
             } else if (arg == "--full-unroll") {
                 synth_opts.fullUnroll = true;
             } else if (arg == "--conflict-budget") {
-                synth_opts.conflictBudget = std::stoll(next());
+                synth_opts.conflictBudget =
+                    parseInt64("--conflict-budget", next());
             } else if (arg == "--query-timeout") {
-                synth_opts.queryTimeoutSeconds = std::stod(next());
+                synth_opts.queryTimeoutSeconds =
+                    parseDouble("--query-timeout", next());
             } else if (arg == "--total-timeout") {
-                synth_opts.totalTimeoutSeconds = std::stod(next());
+                synth_opts.totalTimeoutSeconds =
+                    parseDouble("--total-timeout", next());
             } else if (arg == "--retry-escalation") {
-                synth_opts.retryEscalation = std::stod(next());
+                synth_opts.retryEscalation =
+                    parseDouble("--retry-escalation", next());
             } else if (arg == "--max-retries") {
-                int n = std::stoi(next());
+                int n = parseInt("--max-retries", next());
                 if (n < 0)
                     fatal("--max-retries expects a count >= 0");
                 synth_opts.maxRetries = static_cast<unsigned>(n);
@@ -145,7 +201,7 @@ main(int argc, char **argv)
                        arg.rfind("--portfolio=", 0) == 0) {
                 synth_opts.portfolio = true;
                 if (arg.size() > 12 && arg[11] == '=') {
-                    int n = std::stoi(arg.substr(12));
+                    int n = parseInt("--portfolio=N", arg.substr(12));
                     if (n < 2)
                         fatal("--portfolio=N expects N >= 2 racers");
                     synth_opts.portfolioRacers =
@@ -166,7 +222,8 @@ main(int argc, char **argv)
                 } else if (mode == "full") {
                     synth_opts.validate = bmc::ValidateMode::Full;
                 } else if (mode.rfind("sample=", 0) == 0) {
-                    int n = std::stoi(mode.substr(7));
+                    int n = parseInt("--validate sample=N",
+                                     mode.substr(7));
                     if (n < 1)
                         fatal("--validate sample=N expects N >= 1");
                     synth_opts.validate = bmc::ValidateMode::Sample;
@@ -180,6 +237,8 @@ main(int argc, char **argv)
                 synth_opts.journalPath = next();
             } else if (arg == "--resume") {
                 synth_opts.resumeJournal = true;
+            } else if (arg == "--cache") {
+                synth_opts.cacheDir = next();
             } else if (arg == "--cex-vcd") {
                 synth_opts.cexVcdDir = next();
             } else if (arg == "--table") {
@@ -196,7 +255,7 @@ main(int argc, char **argv)
                 if (eq == std::string::npos)
                     fatal("-P expects NAME=VALUE");
                 params[kv.substr(0, eq)] =
-                    std::stoll(kv.substr(eq + 1), nullptr, 0);
+                    parseInt64("-P", kv.substr(eq + 1), 0);
             } else if (arg == "--help" || arg == "-h") {
                 usage();
                 return 0;
@@ -260,6 +319,7 @@ main(int argc, char **argv)
                             bmc::verdictName(sva.verdict),
                             bmc::verdictSourceName(sva.source),
                             sva.fromJournal  ? "journal"
+                            : sva.fromCache  ? "cache"
                             : sva.validated  ? "validated"
                                              : "-",
                             sva.seconds, sva.cnfVars, sva.cnfClauses,

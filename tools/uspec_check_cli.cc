@@ -10,6 +10,8 @@
  */
 
 #include <cstdio>
+#include <limits>
+#include <stdexcept>
 
 #include "check/campaign.hh"
 #include "check/check.hh"
@@ -45,6 +47,23 @@ usage()
         "exit codes: 0 all tests ok, 1 failures/errors, 2 usage\n");
 }
 
+/** Whole-token integer parse; malformed/overflowing input is a
+ *  fatal() usage error (exit 2), never an uncaught exception. */
+int
+parseInt(const char *opt, const std::string &s)
+{
+    try {
+        size_t pos = 0;
+        long long v = std::stoll(s, &pos);
+        if (pos != s.size() || v < std::numeric_limits<int>::min() ||
+            v > std::numeric_limits<int>::max())
+            throw std::invalid_argument(s);
+        return static_cast<int>(v);
+    } catch (const std::exception &) {
+        r2u::fatal("%s expects an integer, got '%s'", opt, s.c_str());
+    }
+}
+
 } // namespace
 
 int
@@ -78,7 +97,7 @@ main(int argc, char **argv)
             else if (arg == "--report")
                 report_path = next();
             else if (arg == "--jobs") {
-                int jobs = std::stoi(next());
+                int jobs = parseInt("--jobs", next());
                 if (jobs < 0)
                     fatal("--jobs expects a count >= 0");
                 opts.jobs = static_cast<unsigned>(jobs);
@@ -94,6 +113,7 @@ main(int argc, char **argv)
             }
         } catch (const FatalError &e) {
             std::fprintf(stderr, "error: %s\n", e.what());
+            usage();
             return 2;
         }
     }
