@@ -24,44 +24,72 @@ main(int argc, char **argv)
     bool full_unroll = false;
     rtl2uspec::SynthesisOptions budget_opts;
     std::string report_path;
+    auto usage = [] {
+        std::fprintf(
+            stderr,
+            "usage: bench_fig5_synthesis [--jobs N] "
+            "[--full-unroll]\n"
+            "  [--conflict-budget N] [--query-timeout S] "
+            "[--total-timeout S]\n"
+            "  [--retry-escalation K] [--report FILE] "
+            "[--cache DIR]\n"
+            "  [--engine bmc|kind|pdr|race]\n");
+    };
     for (int i = 1; i < argc; i++) {
-        if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
-            int v = std::atoi(argv[++i]);
-            if (v < 1) {
-                std::fprintf(stderr,
-                             "--jobs expects a positive count\n");
+        std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (++i >= argc)
+                fatal("missing argument after '%s'", arg.c_str());
+            return argv[i];
+        };
+        // Numeric values go through the shared whole-token parsers
+        // (r2u::parseInt & friends): `--jobs foo` is a usage error
+        // (exit 2), not atoi's silent 0 or an uncaught exception.
+        try {
+            if (arg == "--jobs") {
+                int v = parseInt("--jobs", next());
+                if (v < 1)
+                    fatal("--jobs expects a positive count");
+                jobs = static_cast<unsigned>(v);
+            } else if (arg == "--full-unroll") {
+                full_unroll = true;
+            } else if (arg == "--conflict-budget") {
+                budget_opts.conflictBudget =
+                    parseInt64("--conflict-budget", next());
+            } else if (arg == "--query-timeout") {
+                budget_opts.queryTimeoutSeconds =
+                    parseDouble("--query-timeout", next());
+            } else if (arg == "--total-timeout") {
+                budget_opts.totalTimeoutSeconds =
+                    parseDouble("--total-timeout", next());
+            } else if (arg == "--retry-escalation") {
+                budget_opts.retryEscalation =
+                    parseDouble("--retry-escalation", next());
+            } else if (arg == "--report") {
+                report_path = next();
+            } else if (arg == "--cache") {
+                budget_opts.cacheDir = next();
+            } else if (arg == "--engine") {
+                std::string e = next();
+                if (e == "bmc") {
+                    budget_opts.engine = bmc::EngineChoice::Bmc;
+                } else if (e == "kind") {
+                    budget_opts.engine = bmc::EngineChoice::KInduction;
+                } else if (e == "pdr") {
+                    budget_opts.engine = bmc::EngineChoice::Pdr;
+                } else if (e == "race") {
+                    budget_opts.engine = bmc::EngineChoice::Race;
+                } else {
+                    fatal("--engine expects bmc|kind|pdr|race, got "
+                          "'%s'", e.c_str());
+                }
+            } else {
+                usage();
                 return 2;
             }
-            jobs = static_cast<unsigned>(v);
-        } else if (std::strcmp(argv[i], "--full-unroll") == 0) {
-            full_unroll = true;
-        } else if (std::strcmp(argv[i], "--conflict-budget") == 0 &&
-                   i + 1 < argc) {
-            budget_opts.conflictBudget = std::atoll(argv[++i]);
-        } else if (std::strcmp(argv[i], "--query-timeout") == 0 &&
-                   i + 1 < argc) {
-            budget_opts.queryTimeoutSeconds = std::atof(argv[++i]);
-        } else if (std::strcmp(argv[i], "--total-timeout") == 0 &&
-                   i + 1 < argc) {
-            budget_opts.totalTimeoutSeconds = std::atof(argv[++i]);
-        } else if (std::strcmp(argv[i], "--retry-escalation") == 0 &&
-                   i + 1 < argc) {
-            budget_opts.retryEscalation = std::atof(argv[++i]);
-        } else if (std::strcmp(argv[i], "--report") == 0 &&
-                   i + 1 < argc) {
-            report_path = argv[++i];
-        } else if (std::strcmp(argv[i], "--cache") == 0 &&
-                   i + 1 < argc) {
-            budget_opts.cacheDir = argv[++i];
-        } else {
-            std::fprintf(
-                stderr,
-                "usage: bench_fig5_synthesis [--jobs N] "
-                "[--full-unroll]\n"
-                "  [--conflict-budget N] [--query-timeout S] "
-                "[--total-timeout S]\n"
-                "  [--retry-escalation K] [--report FILE] "
-                "[--cache DIR]\n");
+        } catch (const FatalError &e) {
+            std::fprintf(stderr, "error: %s\n", e.what());
+            usage();
             return 2;
         }
     }
@@ -222,6 +250,69 @@ main(int argc, char **argv)
                 noinp.proofSeconds,
                 noinp_same ? "identical" : "DIFFERENT (BUG)");
 
+    // Proof-engine comparison: plain incremental BMC vs. the default
+    // race (PDR + k-induction challengers). Verdicts and the model
+    // must be identical; the race additionally closes frame-local
+    // proofs as *unbounded* — generality no bound of plain BMC has.
+    rtl2uspec::SynthesisOptions bmc_opts = synth_opts;
+    bmc_opts.engine = bmc::EngineChoice::Bmc;
+    bmc_opts.cacheDir.clear();
+    rtl2uspec::SynthesisOptions race_opts = synth_opts;
+    race_opts.engine = bmc::EngineChoice::Race;
+    race_opts.cacheDir.clear();
+    const bool main_is_race =
+        synth_opts.engine == bmc::EngineChoice::Race;
+    const bool main_is_bmc =
+        synth_opts.engine == bmc::EngineChoice::Bmc;
+    auto bmc_run = main_is_bmc ? result
+                               : bench::synthesizeVscaleWith(bmc_opts);
+    auto race_run = main_is_race
+                        ? result
+                        : bench::synthesizeVscaleWith(race_opts);
+    bool engine_same =
+        bmc_run.model.print() == race_run.model.print();
+    std::printf("\nProof engine (same %u-worker run):\n", result.jobs);
+    std::printf("  bmc:  proof %.2f s\n", bmc_run.proofSeconds);
+    std::printf("  race: proof %.2f s (%zu race(s); wins bmc=%zu "
+                "kind=%zu pdr=%zu; %zu unbounded proof(s), "
+                "%zu PDR frame(s), %zu obligation(s)), model %s\n",
+                race_run.proofSeconds,
+                static_cast<size_t>(race_run.engineRaces),
+                static_cast<size_t>(race_run.bmcWins),
+                static_cast<size_t>(race_run.kindWins),
+                static_cast<size_t>(race_run.pdrWins),
+                static_cast<size_t>(race_run.unboundedProofs),
+                static_cast<size_t>(race_run.pdrFrames),
+                static_cast<size_t>(race_run.pdrObligations),
+                engine_same ? "identical" : "DIFFERENT (BUG)");
+
+    // Worker scaling at race defaults: the paper-scale question is
+    // how the full SVA sweep behaves when the host actually has the
+    // threads (8- and 16-worker rows, quick mode trims to 8).
+    std::vector<unsigned> scale_jobs{8};
+    if (!bench::quickMode())
+        scale_jobs.push_back(16);
+    struct ScaleRow
+    {
+        unsigned jobs;
+        rtl2uspec::SynthesisResult res;
+    };
+    std::vector<ScaleRow> scale_rows;
+    std::printf("\nWorker scaling (engine %s):\n",
+                race_run.engineMode.c_str());
+    for (unsigned sj : scale_jobs) {
+        rtl2uspec::SynthesisOptions sopts = race_opts;
+        sopts.jobs = sj;
+        auto sres = bench::synthesizeVscaleWith(sopts);
+        bool same = sres.model.print() == race_run.model.print();
+        std::printf("  %2u workers: proof %.2f s, total %.2f s, "
+                    "%zu unbounded proof(s), model %s\n",
+                    sj, sres.proofSeconds, sres.totalSeconds,
+                    static_cast<size_t>(sres.unboundedProofs),
+                    same ? "identical" : "DIFFERENT (BUG)");
+        scale_rows.push_back(ScaleRow{sj, std::move(sres)});
+    }
+
     std::printf("\nPer-instruction DFG membership (cf. Fig. 3c):\n");
     for (const auto &[instr, nodes] : result.instrNodes) {
         std::printf("  %s: ", instr.c_str());
@@ -367,6 +458,47 @@ main(int argc, char **argv)
         json += strfmt("    \"no_inprocess_model_identical\": %s\n",
                        noinp_same ? "true" : "false");
         json += "  },\n";
+        json += "  \"engine\": {\n";
+        json += strfmt("    \"mode\": \"%s\",\n",
+                       result.engineMode.c_str());
+        json += strfmt("    \"bmc_proof_seconds\": %.3f,\n",
+                       bmc_run.proofSeconds);
+        json += strfmt("    \"race_proof_seconds\": %.3f,\n",
+                       race_run.proofSeconds);
+        json += strfmt("    \"races\": %zu,\n",
+                       static_cast<size_t>(race_run.engineRaces));
+        json += strfmt("    \"bmc_wins\": %zu,\n",
+                       static_cast<size_t>(race_run.bmcWins));
+        json += strfmt("    \"kind_wins\": %zu,\n",
+                       static_cast<size_t>(race_run.kindWins));
+        json += strfmt("    \"pdr_wins\": %zu,\n",
+                       static_cast<size_t>(race_run.pdrWins));
+        json += strfmt("    \"unbounded_proofs\": %zu,\n",
+                       static_cast<size_t>(race_run.unboundedProofs));
+        json += strfmt("    \"pdr_frames\": %zu,\n",
+                       static_cast<size_t>(race_run.pdrFrames));
+        json += strfmt("    \"pdr_obligations\": %zu,\n",
+                       static_cast<size_t>(race_run.pdrObligations));
+        json += strfmt("    \"race_model_identical\": %s\n",
+                       engine_same ? "true" : "false");
+        json += "  },\n";
+        json += "  \"scaling\": [\n";
+        for (size_t i = 0; i < scale_rows.size(); i++) {
+            const auto &row = scale_rows[i];
+            json += strfmt(
+                "    {\"jobs\": %u, \"proof_seconds\": %.3f, "
+                "\"total_seconds\": %.3f, \"races\": %zu, "
+                "\"unbounded_proofs\": %zu, "
+                "\"model_identical\": %s}%s\n",
+                row.jobs, row.res.proofSeconds, row.res.totalSeconds,
+                static_cast<size_t>(row.res.engineRaces),
+                static_cast<size_t>(row.res.unboundedProofs),
+                row.res.model.print() == race_run.model.print()
+                    ? "true"
+                    : "false",
+                i + 1 < scale_rows.size() ? "," : "");
+        }
+        json += "  ],\n";
         json += "  \"categories\": {\n";
         bool first = true;
         for (const auto &[cat, cs] : result.stats) {

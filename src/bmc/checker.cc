@@ -34,6 +34,19 @@ verdictSourceName(VerdictSource source)
       case VerdictSource::Cancelled: return "cancelled";
       case VerdictSource::Interrupted: return "interrupted";
       case VerdictSource::ValidationFailed: return "validation-failed";
+      case VerdictSource::Portfolio: return "portfolio";
+      case VerdictSource::Race: return "race";
+    }
+    return "?";
+}
+
+const char *
+engineKindName(EngineKind kind)
+{
+    switch (kind) {
+      case EngineKind::Bmc: return "bmc";
+      case EngineKind::KInduction: return "kind";
+      case EngineKind::Pdr: return "pdr";
     }
     return "?";
 }
@@ -361,10 +374,47 @@ checkInductive(const nl::Netlist &netlist,
                unsigned base_bound, const FramePropertyFn &prop,
                int64_t conflict_budget)
 {
+    SolveLimits limits;
+    limits.conflicts = conflict_budget;
+    return checkInductive(netlist, signals, std::move(options), k,
+                          base_bound, prop, limits);
+}
+
+InductiveResult
+checkInductive(const nl::Netlist &netlist,
+               const std::unordered_map<std::string, nl::CellId> &signals,
+               Unroller::Options options, unsigned k,
+               unsigned base_bound, const FramePropertyFn &prop,
+               const SolveLimits &limits)
+{
     Timer timer;
     InductiveResult result;
     result.k = k;
     R2U_ASSERT(k >= 1 && base_bound >= k, "bad induction parameters");
+
+    // The limits are a total across both solves: the step gets
+    // whatever the base case left over.
+    auto remaining = [&](uint64_t spent_conflicts,
+                         uint64_t spent_propagations) {
+        SolveLimits rem = limits;
+        if (rem.conflicts >= 0) {
+            rem.conflicts -= static_cast<int64_t>(spent_conflicts);
+            if (rem.conflicts < 0)
+                rem.conflicts = 0;
+        }
+        if (rem.propagations >= 0) {
+            rem.propagations -=
+                static_cast<int64_t>(spent_propagations);
+            if (rem.propagations < 0)
+                rem.propagations = 0;
+        }
+        if (rem.seconds >= 0) {
+            rem.seconds -= timer.seconds();
+            if (rem.seconds < 0)
+                rem.seconds = 0;
+        }
+        return rem;
+    };
 
     // --- base case: BMC from the initial state ---
     {
@@ -375,8 +425,10 @@ checkInductive(const nl::Netlist &netlist,
         for (unsigned f = 0; f < base_bound; f++)
             bad = ctx.cnf().mkOr(bad, prop(ctx, f));
         ctx.solver().addClause(bad);
-        ctx.solver().setConflictBudget(conflict_budget);
+        applyLimits(ctx.solver(), limits);
         sat::Result r = ctx.solver().solve();
+        result.conflicts = ctx.solver().stats().conflicts;
+        result.propagations = ctx.solver().stats().propagations;
         if (r == sat::Result::Sat) {
             result.verdict = Verdict::Refuted;
             result.trace = extractTrace(ctx);
@@ -384,9 +436,11 @@ checkInductive(const nl::Netlist &netlist,
             return result;
         }
         if (r == sat::Result::Unknown) {
+            result.source = sourceFromStop(ctx.solver().stopReason());
             result.seconds = timer.seconds();
             return result;
         }
+        result.baseProven = true;
     }
 
     // --- induction step: arbitrary start state ---
@@ -397,8 +451,11 @@ checkInductive(const nl::Netlist &netlist,
         for (unsigned f = 0; f < k; f++)
             ctx.assume(~prop(ctx, f));
         ctx.solver().addClause(prop(ctx, k));
-        ctx.solver().setConflictBudget(conflict_budget);
+        applyLimits(ctx.solver(),
+                    remaining(result.conflicts, result.propagations));
         sat::Result r = ctx.solver().solve();
+        result.conflicts += ctx.solver().stats().conflicts;
+        result.propagations += ctx.solver().stats().propagations;
         if (r == sat::Result::Unsat) {
             result.verdict = Verdict::Proven;
             result.inductive = true;
@@ -406,6 +463,9 @@ checkInductive(const nl::Netlist &netlist,
             // Base case held up to the bound but the step failed (or
             // budget ran out): inconclusive.
             result.verdict = Verdict::Unknown;
+            if (r == sat::Result::Unknown)
+                result.source =
+                    sourceFromStop(ctx.solver().stopReason());
         }
     }
     result.seconds = timer.seconds();

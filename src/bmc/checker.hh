@@ -54,9 +54,29 @@ enum class VerdictSource : uint8_t {
      * possibly-unsound verdict into the synthesized model.
      */
     ValidationFailed,
+    /**
+     * Definite verdict produced by a diversified SAT-portfolio
+     * challenger rather than the incumbent incremental context.
+     */
+    Portfolio,
+    /**
+     * Definite verdict produced by a proof-engine racer (IC3/PDR or
+     * k-induction) that beat the incumbent BMC solve (see
+     * EngineChoice::Race).
+     */
+    Race,
 };
 
 const char *verdictSourceName(VerdictSource source);
+
+/**
+ * Which checking algorithm produced a verdict. BMC is the incumbent;
+ * k-induction and PDR can return *unbounded* Proven verdicts (valid at
+ * every bound, not just the query's).
+ */
+enum class EngineKind : uint8_t { Bmc, KInduction, Pdr };
+
+const char *engineKindName(EngineKind kind);
 
 /**
  * Resource limits for one solve. Defaults impose nothing; the BMC
@@ -252,6 +272,19 @@ struct CheckResult
     size_t coiMems = 0;
     Trace trace; ///< populated when Refuted
 
+    // --- proof-engine attribution (bmc::Engine race) ---
+    /** This query raced PDR/k-induction against the BMC solve. */
+    bool engineRaced = false;
+    /** Algorithm that produced this verdict. */
+    EngineKind engine = EngineKind::Bmc;
+    /** Proven for every bound (PDR convergence or a closed induction
+     *  step), not just CheckResult::bound. */
+    bool unbounded = false;
+    /** PDR: highest frame level fully cleared of bad states. */
+    unsigned pdrFrames = 0;
+    /** PDR: proof obligations processed. */
+    uint64_t pdrObligations = 0;
+
     // --- trust-but-verify validation accounting (bmc::Engine) ---
     /** Verdict independently confirmed (replay or proof re-check). */
     bool validated = false;
@@ -369,6 +402,18 @@ struct InductiveResult
     /** True iff the induction step succeeded (vs. only the bounded
      *  base case). */
     bool inductive = false;
+    /**
+     * True iff the base-case BMC solve at base_bound came back Unsat —
+     * i.e. the property holds at that bound even when the induction
+     * step failed. The engine's race maps this onto a bounded Proven
+     * verdict; InductiveResult::verdict itself stays Unknown when the
+     * property is not k-inductive, for backward compatibility.
+     */
+    bool baseProven = false;
+    /** Budget class when a solve came back Unknown. */
+    VerdictSource source = VerdictSource::Solve;
+    uint64_t conflicts = 0;
+    uint64_t propagations = 0;
     unsigned k = 0;
     double seconds = 0.0;
     Trace trace; ///< base-case counterexample when Refuted
@@ -387,6 +432,18 @@ InductiveResult checkInductive(
     const std::unordered_map<std::string, nl::CellId> &signals,
     Unroller::Options options, unsigned k, unsigned base_bound,
     const FramePropertyFn &prop, int64_t conflict_budget = -1);
+
+/**
+ * k-induction under full solve limits (budgets, deadline, shared
+ * cancellation flag), the overload the engine's proof race uses. The
+ * budgets are totals across both the base case and the induction
+ * step.
+ */
+InductiveResult checkInductive(
+    const nl::Netlist &netlist,
+    const std::unordered_map<std::string, nl::CellId> &signals,
+    Unroller::Options options, unsigned k, unsigned base_bound,
+    const FramePropertyFn &prop, const SolveLimits &limits);
 
 } // namespace r2u::bmc
 

@@ -8,6 +8,7 @@
 #include <set>
 #include <thread>
 
+#include "bmc/pdr.hh"
 #include "bmc/validate.hh"
 #include "common/logging.hh"
 #include "common/timer.hh"
@@ -33,6 +34,22 @@ validateModeName(ValidateMode mode)
         return "full";
     }
     panic("bad ValidateMode");
+}
+
+const char *
+engineChoiceName(EngineChoice choice)
+{
+    switch (choice) {
+      case EngineChoice::Bmc:
+        return "bmc";
+      case EngineChoice::KInduction:
+        return "kind";
+      case EngineChoice::Pdr:
+        return "pdr";
+      case EngineChoice::Race:
+        return "race";
+    }
+    panic("bad EngineChoice");
 }
 
 unsigned
@@ -248,12 +265,185 @@ refineSource(CheckResult &result, bool total_binding)
     }
 }
 
+/**
+ * Proof-engine race: IC3/PDR and k-induction challengers running
+ * alongside the incumbent BMC solve of one frame-local query.
+ *
+ * Challengers claim the race ONLY with Proven-class verdicts (a PDR
+ * fixpoint or cleared bound, an induction step that closed, or a
+ * k-induction base case that closed at the bound). Refutations are
+ * never claimed: BMC finds Sat answers fast and owns trace fidelity,
+ * so a challenger refutation just lets the incumbent finish. Verdict
+ * semantics of both challengers are aligned with BMC at the query's
+ * bound, so whoever wins, the verdict — and therefore the synthesized
+ * model — is identical; the race only changes wall-clock and proof
+ * *generality* (unbounded vs bounded Proven).
+ *
+ * The winner interrupts the incumbent solver (when one is wired up;
+ * the jobs=1 fresh path has none and merely skips its retries).
+ * finish() must be called before the incumbent's solver is reused,
+ * and the caller must clearInterrupt() afterwards — a challenger's
+ * interrupt poke is sticky.
+ */
+class ProofRace
+{
+  public:
+    static constexpr int kPdr = 1;
+    static constexpr int kKind = 2;
+
+    ProofRace(const nl::Netlist &nl,
+              const std::unordered_map<std::string, nl::CellId> &signals,
+              const Unroller::Options &options, const Query &query,
+              const SolveLimits &limits,
+              const std::atomic<bool> *engine_cancel,
+              sat::Solver *incumbent)
+        : nl_(nl), signals_(signals), options_(options), query_(query),
+          limits_(limits), engine_cancel_(engine_cancel),
+          incumbent_(incumbent)
+    {
+    }
+
+    ~ProofRace() { finish(); }
+
+    void
+    start()
+    {
+        pdr_thread_ = std::thread([this] {
+            PdrOptions popts;
+            popts.bound = query_.bound;
+            popts.limits = limits_;
+            popts.limits.cancel = &stop_;
+            popts.cancel2 = engine_cancel_;
+            pdr_ = checkPdr(nl_, signals_, options_, query_.seeds,
+                            query_.frameProp, popts);
+            if (pdr_.verdict == Verdict::Proven)
+                claim(kPdr);
+        });
+        kind_thread_ = std::thread([this] {
+            SolveLimits kl = limits_;
+            kl.cancel = &stop_;
+            kind_ = checkInductive(nl_, signals_, options_,
+                                   query_.bound, query_.bound,
+                                   query_.frameProp, kl);
+            if (kind_.verdict == Verdict::Proven || kind_.baseProven)
+                claim(kKind);
+        });
+    }
+
+    /** Has a challenger already claimed the race? (loop early-out) */
+    bool
+    decided() const
+    {
+        return winner_.load(std::memory_order_relaxed) != 0;
+    }
+
+    /** Stop both challengers and wait them out. Idempotent. */
+    void
+    finish()
+    {
+        stop_.store(true, std::memory_order_relaxed);
+        if (pdr_thread_.joinable())
+            pdr_thread_.join();
+        if (kind_thread_.joinable())
+            kind_thread_.join();
+    }
+
+    /**
+     * After finish(): fold the race outcome into the incumbent's
+     * result. A winning challenger replaces the verdict, source,
+     * engine attribution, and solver-work counters (winner-only
+     * attribution — the interrupted incumbent's partial work is not
+     * charged to this query's record). Returns true when a challenger
+     * verdict replaced the incumbent's.
+     */
+    bool
+    merge(CheckResult &result)
+    {
+        result.engineRaced = true;
+        // Incumbent refutations always stand: the challengers never
+        // carry traces, and a concrete counterexample (which replay
+        // will independently validate) outranks a proof claim.
+        if (result.verdict == Verdict::Refuted) {
+            if (decided())
+                warn("engine race: a challenger proved '%s' but BMC "
+                     "refuted it — keeping the counterexample for "
+                     "validation to arbitrate",
+                     query_.name.c_str());
+            return false;
+        }
+        int win = winner_.load(std::memory_order_relaxed);
+        if (win == kPdr) {
+            result.verdict = Verdict::Proven;
+            result.source = VerdictSource::Race;
+            result.engine = EngineKind::Pdr;
+            result.unbounded = pdr_.unbounded;
+            result.pdrFrames = pdr_.frames;
+            result.pdrObligations = pdr_.obligations;
+            result.conflicts = pdr_.conflicts;
+            result.propagations = pdr_.propagations;
+            return true;
+        }
+        if (win == kKind) {
+            result.verdict = Verdict::Proven;
+            result.source = VerdictSource::Race;
+            result.engine = EngineKind::KInduction;
+            result.unbounded = kind_.inductive;
+            result.conflicts = kind_.conflicts;
+            result.propagations = kind_.propagations;
+            return true;
+        }
+        // Nobody claimed. If the incumbent proved at the bound and a
+        // challenger that ran to completion holds an unbounded proof
+        // of the same property, record the stronger generality (the
+        // verdict itself is unchanged).
+        if (result.verdict == Verdict::Proven &&
+            ((pdr_.verdict == Verdict::Proven && pdr_.unbounded) ||
+             kind_.inductive))
+            result.unbounded = true;
+        return false;
+    }
+
+  private:
+    void
+    claim(int who)
+    {
+        int expected = 0;
+        if (winner_.compare_exchange_strong(expected, who)) {
+            stop_.store(true, std::memory_order_relaxed);
+            if (incumbent_)
+                incumbent_->interrupt();
+        }
+    }
+
+    const nl::Netlist &nl_;
+    const std::unordered_map<std::string, nl::CellId> &signals_;
+    const Unroller::Options &options_;
+    const Query &query_;
+    SolveLimits limits_;
+    const std::atomic<bool> *engine_cancel_;
+    sat::Solver *incumbent_;
+
+    std::atomic<bool> stop_{false};
+    std::atomic<int> winner_{0};
+    std::thread pdr_thread_;
+    std::thread kind_thread_;
+    // Written by the challenger threads, read only after finish()'s
+    // joins (which provide the happens-before edge).
+    PdrResult pdr_;
+    InductiveResult kind_;
+};
+
 } // namespace
 
 CheckResult
 Engine::runFresh(const Query &query)
 {
     CheckResult result;
+    // Race mode: the proof challengers run alongside the fresh BMC
+    // attempts. There is no incumbent solver to interrupt on this path
+    // (checkProperty owns its own); a challenger win just short-cuts
+    // the retry ladder and upgrades the verdict in merge().
+    std::unique_ptr<ProofRace> proof_race;
     unsigned attempt = 0;
     while (true) {
         SolveLimits limits;
@@ -263,6 +453,13 @@ Engine::runFresh(const Query &query)
                 result = cancelledResult(query.bound);
             // else: keep the last attempt's honest Unknown.
             break;
+        }
+        if (!proof_race && query.frameProp &&
+            eopts_.engine == EngineChoice::Race) {
+            proof_race = std::make_unique<ProofRace>(
+                nl_, signals_, options_, query, limits, &cancel_,
+                nullptr);
+            proof_race->start();
         }
         CheckResult r = checkProperty(nl_, signals_, options_,
                                       query.bound, query.prop, limits);
@@ -274,10 +471,109 @@ Engine::runFresh(const Query &query)
         result = std::move(r);
         result.retries = attempt;
         refineSource(result, total_binding);
+        if (proof_race && proof_race->decided())
+            break; // a challenger's proof supersedes further retries
         if (!shouldRetry(result, attempt))
             break;
         attempt++;
     }
+    if (proof_race) {
+        proof_race->finish();
+        proof_race->merge(result);
+    }
+    fillCoiStats(query, result);
+    return result;
+}
+
+CheckResult
+Engine::runProofEngine(const Query &query)
+{
+    CheckResult result;
+    result.bound = query.bound;
+    SolveLimits limits;
+    bool total_binding = false;
+    // Single-engine mode is diagnostic (--engine pdr / --engine kind):
+    // one attempt with the configured budgets, no retry ladder — an
+    // Unknown here is the answer the user asked this engine for.
+    if (!attemptLimits(query, 0, limits, total_binding)) {
+        result = cancelledResult(query.bound);
+        fillCoiStats(query, result);
+        return result;
+    }
+
+    bool refuted = false;
+    if (eopts_.engine == EngineChoice::Pdr) {
+        PdrOptions popts;
+        popts.bound = query.bound;
+        popts.limits = limits;
+        PdrResult pr = checkPdr(nl_, signals_, options_, query.seeds,
+                                query.frameProp, popts);
+        result.verdict = pr.verdict;
+        result.source = pr.source;
+        result.engine = EngineKind::Pdr;
+        result.unbounded = pr.unbounded;
+        result.pdrFrames = pr.frames;
+        result.pdrObligations = pr.obligations;
+        result.conflicts = pr.conflicts;
+        result.propagations = pr.propagations;
+        result.cnfVars = pr.cnfVars;
+        result.cnfClauses = pr.cnfClauses;
+        result.seconds = pr.seconds;
+        refuted = pr.verdict == Verdict::Refuted;
+    } else {
+        InductiveResult ir =
+            checkInductive(nl_, signals_, options_, query.bound,
+                           query.bound, query.frameProp, limits);
+        result.engine = EngineKind::KInduction;
+        result.conflicts = ir.conflicts;
+        result.propagations = ir.propagations;
+        if (ir.verdict == Verdict::Proven) {
+            result.verdict = Verdict::Proven;
+            result.source = VerdictSource::Solve;
+            result.unbounded = ir.inductive;
+        } else if (ir.verdict == Verdict::Refuted) {
+            refuted = true;
+        } else if (ir.baseProven) {
+            // Base case closed at the bound but the step did not:
+            // exactly BMC's bounded Proven.
+            result.verdict = Verdict::Proven;
+            result.source = VerdictSource::Solve;
+        } else {
+            result.verdict = Verdict::Unknown;
+            result.source = ir.source;
+        }
+    }
+
+    if (refuted) {
+        // Neither proof engine carries a trace in the engine's format;
+        // concretize the refutation through the plain BMC path so
+        // --validate replay, --cex-vcd, and quarantine see the same
+        // trace shape regardless of which engine found the bug first.
+        CheckResult cex = checkProperty(nl_, signals_, options_,
+                                        query.bound, query.prop, limits);
+        result.conflicts += cex.conflicts;
+        result.propagations += cex.propagations;
+        result.seconds += cex.seconds;
+        if (cex.verdict == Verdict::Refuted) {
+            result.verdict = Verdict::Refuted;
+            result.source = VerdictSource::Solve;
+            result.trace = std::move(cex.trace);
+        } else if (cex.verdict == Verdict::Proven) {
+            warn("engine disagreement on '%s': %s refuted but BMC "
+                 "proved at bound %u — degrading to Unknown",
+                 query.name.c_str(), engineKindName(result.engine),
+                 query.bound);
+            result.verdict = Verdict::Unknown;
+            result.source = VerdictSource::ValidationFailed;
+        } else {
+            // The concretizing solve ran out of budget; an
+            // unreplayable refutation must not be trusted.
+            result.verdict = Verdict::Unknown;
+            result.source = cex.source;
+        }
+    }
+
+    refineSource(result, total_binding);
     fillCoiStats(query, result);
     return result;
 }
@@ -508,9 +804,19 @@ Engine::postProcess(size_t index, const Query &query,
         rec.seconds = result.seconds;
         rec.conflicts = result.conflicts;
         rec.propagations = result.propagations;
+        // Proof generality: only Proven verdicts can be unbounded, and
+        // the bound-independent secondary key is recorded exactly when
+        // the proof is (a bounded record must never answer another
+        // bound's query).
+        rec.unbounded =
+            result.unbounded && result.verdict == Verdict::Proven;
         if (eopts_.journal && eopts_.journal->isOpen()) {
             rec.key = journalKey(query.name, result.bound,
                                  query.contentHash);
+            rec.baseKey = rec.unbounded
+                              ? journalBaseKey(query.name,
+                                               query.baseHash)
+                              : 0;
             result.journaled = eopts_.journal->append(rec);
         }
         // Cache keys are the raw content hash; unhashed queries
@@ -520,6 +826,7 @@ Engine::postProcess(size_t index, const Query &query,
         if (eopts_.cache && eopts_.cache->isOpen() &&
             query.contentHash != 0) {
             rec.key = query.contentHash;
+            rec.baseKey = rec.unbounded ? query.baseHash : 0;
             result.cached = eopts_.cache->append(rec);
         }
     }
@@ -536,17 +843,25 @@ Engine::resolveFromJournal(const std::vector<Query> &batch,
     for (size_t i = 0; i < batch.size(); i++) {
         const Journal::Record *rec = journal->lookup(journalKey(
             batch[i].name, batch[i].bound, batch[i].contentHash));
+        if (!rec && batch[i].baseHash != 0) {
+            // Exact (name, bound, content) miss: an unbounded Proven
+            // proof of the same cone + property — journaled at any
+            // bound — still answers this query.
+            rec = journal->lookupUnbounded(
+                journalBaseKey(batch[i].name, batch[i].baseHash));
+        }
         if (!rec)
             continue;
         CheckResult r;
         r.verdict = rec->verdict;
         r.source = rec->source;
-        r.bound = rec->bound;
+        r.bound = rec->unbounded ? batch[i].bound : rec->bound;
         r.retries = rec->retries;
         r.seconds = rec->seconds;
         r.conflicts = rec->conflicts;
         r.propagations = rec->propagations;
         r.validated = rec->validated;
+        r.unbounded = rec->unbounded;
         r.fromJournal = true;
         if (r.verdict == Verdict::Refuted)
             r.validationNote = "verdict resumed from journal; the "
@@ -570,6 +885,12 @@ Engine::resolveFromCache(const std::vector<Query> &batch,
             continue;
         const Journal::Record *rec =
             cache->lookup(batch[i].contentHash);
+        if (!rec && batch[i].baseHash != 0) {
+            // Bound-semantics fallback: an unbounded Proven record for
+            // the same cone + property satisfies *any* bound, so a
+            // different requested bound is a hit, not a miss.
+            rec = cache->lookupUnbounded(batch[i].baseHash);
+        }
         if (!rec) {
             stats_.cacheMisses++;
             if (cache->hasStaleEntry(batch[i].name, batch[i].bound,
@@ -580,12 +901,13 @@ Engine::resolveFromCache(const std::vector<Query> &batch,
         CheckResult r;
         r.verdict = rec->verdict;
         r.source = rec->source;
-        r.bound = rec->bound;
+        r.bound = rec->unbounded ? batch[i].bound : rec->bound;
         r.retries = rec->retries;
         r.seconds = rec->seconds;
         r.conflicts = rec->conflicts;
         r.propagations = rec->propagations;
         r.validated = rec->validated;
+        r.unbounded = rec->unbounded;
         r.fromCache = true;
         if (r.verdict == Verdict::Refuted)
             r.validationNote = "verdict replayed from verdict cache; "
@@ -740,6 +1062,14 @@ Engine::racePortfolio(PropCtx &ctx, const SolveLimits &limits,
 
     result.portfolioRacers = racers;
     result.portfolioWinner = win;
+    if (win > 0) {
+        // The winning challenger's solve produced the verdict; record
+        // *its* work, not the interrupted incumbent's partial counters
+        // (challengers are fresh per race, so totals are per-race).
+        result.conflicts = challengers[win - 1]->stats().conflicts;
+        result.propagations =
+            challengers[win - 1]->stats().propagations;
+    }
     result.sharedExported +=
         incumbent.stats().sharedExported - inc_exported;
     result.sharedImported +=
@@ -842,6 +1172,16 @@ Engine::runIncremental(Worker &worker, const Query &query)
 
     bool race = eopts_.portfolio && eopts_.portfolioRacers >= 2;
 
+    // Proof-engine race: PDR and k-induction challengers start once,
+    // before the attempt loop, and run across every retry. A winning
+    // challenger interrupts this worker's incumbent solver.
+    std::unique_ptr<ProofRace> proof_race;
+    if (query.frameProp && eopts_.engine == EngineChoice::Race) {
+        proof_race = std::make_unique<ProofRace>(
+            nl_, signals_, options_, query, limits, &cancel_, &solver);
+        proof_race->start();
+    }
+
     // Attempt/retry loop on the shared context: a retry just re-solves
     // with bigger limits — the learnt clauses from the failed attempt
     // carry over, so escalation resumes rather than restarts the work.
@@ -871,6 +1211,8 @@ Engine::runIncremental(Worker &worker, const Query &query)
         }
         result.retries = attempt;
         refineSource(result, total_binding);
+        if (proof_race && proof_race->decided())
+            break; // a challenger's proof supersedes further retries
         if (!shouldRetry(result, attempt))
             break;
         attempt++;
@@ -879,8 +1221,18 @@ Engine::runIncremental(Worker &worker, const Query &query)
     }
 
     result.seconds = timer.seconds();
-    result.conflicts = solver.stats().conflicts - conflicts_before;
-    result.propagations = solver.stats().propagations - props_before;
+    if (result.portfolioWinner > 0) {
+        // A portfolio challenger won: its solve produced the verdict,
+        // so the record carries its name and its work — not the
+        // interrupted incumbent's partial counters (racePortfolio
+        // already wrote the winner's conflicts/propagations).
+        if (result.verdict != Verdict::Unknown)
+            result.source = VerdictSource::Portfolio;
+    } else {
+        result.conflicts = solver.stats().conflicts - conflicts_before;
+        result.propagations =
+            solver.stats().propagations - props_before;
+    }
     result.inprocessRuns =
         solver.stats().simplifyRuns - simp_runs_before;
     result.inprocessClausesRemoved =
@@ -889,6 +1241,13 @@ Engine::runIncremental(Worker &worker, const Query &query)
     result.cnfClauses = static_cast<size_t>(solver.numClauses());
     result.cnfVarsAdded = result.cnfVars - vars_before;
     result.cnfClausesAdded = result.cnfClauses - clauses_before;
+    if (proof_race) {
+        proof_race->finish();
+        // A challenger's interrupt poke is sticky; this context is
+        // long-lived and must not carry it into the next query.
+        solver.clearInterrupt();
+        proof_race->merge(result);
+    }
     fillCoiStats(query, result);
     ctx.endQuery();
     return result;
@@ -939,6 +1298,28 @@ Engine::drain()
             stats_.portfolioRaces++;
         if (r.portfolioWinner > 0)
             stats_.portfolioChallengerWins++;
+        if (r.engineRaced)
+            stats_.engineRaces++;
+        // Per-engine win attribution: only verdicts *solved* this run
+        // count (journal/cache replays already counted when produced).
+        if (r.verdict != Verdict::Unknown && !r.fromJournal &&
+            !r.fromCache) {
+            switch (r.engine) {
+              case EngineKind::Bmc:
+                stats_.bmcWins++;
+                break;
+              case EngineKind::KInduction:
+                stats_.kindWins++;
+                break;
+              case EngineKind::Pdr:
+                stats_.pdrWins++;
+                break;
+            }
+        }
+        if (r.unbounded)
+            stats_.unboundedProofs++;
+        stats_.pdrFrames += r.pdrFrames;
+        stats_.pdrObligations += r.pdrObligations;
         stats_.sharedExported += r.sharedExported;
         stats_.sharedImported += r.sharedImported;
         stats_.preprocessVarsEliminated += r.preprocessVarsEliminated;
@@ -947,13 +1328,24 @@ Engine::drain()
         stats_.inprocessClausesRemoved += r.inprocessClausesRemoved;
     };
 
+    // Single-engine diagnostic modes (--engine pdr / --engine kind)
+    // replace BMC entirely for queries that provide the frame-local
+    // property form; queries without it always fall back to BMC.
+    auto proofOnly = [this](const Query &q) {
+        return q.frameProp &&
+               (eopts_.engine == EngineChoice::Pdr ||
+                eopts_.engine == EngineChoice::KInduction);
+    };
+
     if (jobs_ == 1) {
         // Reference path: fresh solver + unroller per query, exactly
         // the classic checkProperty() behavior.
         for (size_t i = 0; i < batch.size(); i++) {
             if (done[i])
                 continue;
-            results[i] = runFresh(batch[i]);
+            results[i] = proofOnly(batch[i])
+                             ? runProofEngine(batch[i])
+                             : runFresh(batch[i]);
             postProcess(i, batch[i], results[i]);
             stats_.contexts++;
         }
@@ -978,9 +1370,13 @@ Engine::drain()
     for (size_t i = 0; i < batch.size(); i++) {
         if (done[i])
             continue;
-        pool_->submit([this, &batch, &results, &errors, i](unsigned w) {
+        pool_->submit([this, &batch, &results, &errors, i,
+                       &proofOnly](unsigned w) {
             try {
-                results[i] = runIncremental(*workers_[w], batch[i]);
+                results[i] = proofOnly(batch[i])
+                                 ? runProofEngine(batch[i])
+                                 : runIncremental(*workers_[w],
+                                                  batch[i]);
                 postProcess(i, batch[i], results[i]);
             } catch (...) {
                 errors[i] = std::current_exception();

@@ -66,6 +66,25 @@ const char *validateModeName(ValidateMode mode);
  */
 enum class SolveStage : uint8_t { Primary, Quarantine };
 
+/**
+ * Proof-engine selection for queries that provide a frame-local
+ * property (Query::frameProp):
+ *  - Bmc: incumbent bounded model checking only (reference behavior).
+ *  - KInduction: k-induction only (base case supplies the bounded
+ *    verdict; a closed step upgrades it to unbounded).
+ *  - Pdr: IC3/PDR only (see bmc/pdr.hh).
+ *  - Race: per query, PDR and k-induction race the incumbent BMC
+ *    solve; the first definitive verdict wins and interrupts the
+ *    others. Challengers only ever win with Proven-class verdicts —
+ *    refutations are always materialized by BMC, which owns trace
+ *    fidelity — so the synthesized model stays bit-identical to
+ *    --engine bmc at any jobs count.
+ * Queries without frameProp always run plain BMC.
+ */
+enum class EngineChoice : uint8_t { Bmc, KInduction, Pdr, Race };
+
+const char *engineChoiceName(EngineChoice choice);
+
 struct EngineOptions
 {
     /** Worker count; 0 means std::thread::hardware_concurrency(). */
@@ -171,6 +190,14 @@ struct EngineOptions
      *  reduction ranking, ...). inprocess=false zeroes its
      *  inprocessPeriod. */
     sat::SolverConfig solverConfig;
+
+    /**
+     * Proof-engine selection for frame-local queries (see
+     * EngineChoice). The default races IC3/PDR and k-induction against
+     * the incumbent BMC solve, harvesting unbounded proofs when the
+     * challengers converge first.
+     */
+    EngineChoice engine = EngineChoice::Race;
 };
 
 /** One property query in a batch. */
@@ -202,6 +229,25 @@ struct Query
      * journal's config hash) and the cache is bypassed entirely.
      */
     uint64_t contentHash = 0;
+
+    /**
+     * Bound-independent content identity: contentHash with the bound
+     * left out of the mix. Unbounded Proven verdicts (PDR convergence,
+     * closed induction) are keyed by this too, so a journal/cache hit
+     * can satisfy the same cone + property at *any* bound. 0 means
+     * "unhashed" (no unbounded reuse).
+     */
+    uint64_t baseHash = 0;
+
+    /**
+     * Frame-local formulation of the property (optional): returns the
+     * "bad at this frame" literal reading only frame f and frame-f
+     * inputs. When set and EngineOptions::engine != Bmc, the query is
+     * eligible for the k-induction/PDR proof engines; `prop` must be
+     * its bounded equivalent (the OR of frameProp over every frame of
+     * the bound), which the engines' verdicts are aligned with.
+     */
+    FramePropertyFn frameProp;
 
     static constexpr int64_t kInheritBudget = INT64_MIN;
 };
@@ -272,6 +318,22 @@ struct EngineStats
     uint64_t inprocessRuns = 0;
     /** Clauses removed by those passes. */
     uint64_t inprocessClausesRemoved = 0;
+
+    // --- proof-engine race (see EngineChoice) ---
+    /** Queries that raced PDR/k-induction against BMC. */
+    uint64_t engineRaces = 0;
+    /** Verdicts produced by plain BMC (incumbent or only engine). */
+    uint64_t bmcWins = 0;
+    /** Verdicts produced by k-induction. */
+    uint64_t kindWins = 0;
+    /** Verdicts produced by IC3/PDR. */
+    uint64_t pdrWins = 0;
+    /** Proven verdicts valid at every bound, not just the query's. */
+    uint64_t unboundedProofs = 0;
+    /** Sum of PDR frame levels cleared across the batch(es). */
+    uint64_t pdrFrames = 0;
+    /** Sum of PDR proof obligations processed. */
+    uint64_t pdrObligations = 0;
 };
 
 class Engine
@@ -290,6 +352,9 @@ class Engine
     unsigned jobs() const { return jobs_; }
 
     const EngineStats &stats() const { return stats_; }
+
+    /** The options this engine was constructed with. */
+    const EngineOptions &options() const { return eopts_; }
 
     /**
      * Asynchronously stop the engine: in-flight solves return Unknown
@@ -326,6 +391,13 @@ class Engine
 
     CheckResult runIncremental(Worker &worker, const Query &query);
     CheckResult runFresh(const Query &query);
+    /**
+     * Single-engine KInduction/Pdr path for a frame-local query
+     * (EngineOptions::engine). PDR refutations are concretized through
+     * a plain BMC re-solve (guaranteed Sat at the bound) so the trace
+     * machinery — replay, VCD, quarantine — works unchanged.
+     */
+    CheckResult runProofEngine(const Query &query);
     /**
      * Race the incumbent context against diversified challengers on a
      * snapshot of its CNF (one attempt, under @p limits). Returns the

@@ -18,14 +18,19 @@ namespace
 constexpr char kMagic[4] = {'R', '2', 'U', 'J'};
 // v2: journalKey() mixes the query content hash — v1 keys from the
 // count-only configHash() era must not answer v2 lookups.
-constexpr uint32_t kVersion = 2;
+// v3: payload grows a u64 baseKey after key, and flags bit1 records
+// proof generality (unbounded) — v2 records cannot express either, so
+// they must not answer v3 lookups.
+constexpr uint32_t kVersion = 3;
 constexpr char kCacheMagic[4] = {'R', '2', 'U', 'C'};
-constexpr uint32_t kCacheVersion = 1;
+// cache v2: same baseKey/unbounded payload growth as journal v3.
+constexpr uint32_t kCacheVersion = 2;
 constexpr size_t kCacheHeaderSize = 4 + sizeof(uint32_t);
 constexpr size_t kHeaderSize = 4 + sizeof(uint32_t) + sizeof(uint64_t);
 /** payload bytes before the variable-length name */
-constexpr size_t kFixedPayload = 8 + 4 + 4 + 4 + 8 + 8 + 8 + 4;
+constexpr size_t kFixedPayload = 8 + 8 + 4 + 4 + 4 + 8 + 8 + 8 + 4;
 constexpr uint8_t kFlagValidated = 0x01;
+constexpr uint8_t kFlagUnbounded = 0x02;
 
 uint64_t
 fnv1a(const uint8_t *data, size_t n, uint64_t h = 14695981039346656037ull)
@@ -78,9 +83,11 @@ encodePayload(const Journal::Record &rec)
     std::vector<uint8_t> p;
     p.reserve(kFixedPayload + rec.name.size());
     put<uint64_t>(p, rec.key);
+    put<uint64_t>(p, rec.baseKey);
     put<uint8_t>(p, static_cast<uint8_t>(rec.verdict));
     put<uint8_t>(p, static_cast<uint8_t>(rec.source));
-    put<uint8_t>(p, rec.validated ? kFlagValidated : 0);
+    put<uint8_t>(p, (rec.validated ? kFlagValidated : 0) |
+                        (rec.unbounded ? kFlagUnbounded : 0));
     put<uint8_t>(p, 0); // pad
     put<uint32_t>(p, rec.bound);
     put<uint32_t>(p, rec.retries);
@@ -99,6 +106,7 @@ decodePayload(const uint8_t *data, size_t n, Journal::Record &rec)
         return false;
     const uint8_t *p = data;
     rec.key = get<uint64_t>(p);
+    rec.baseKey = get<uint64_t>(p);
     uint8_t verdict = get<uint8_t>(p);
     uint8_t source = get<uint8_t>(p);
     uint8_t flags = get<uint8_t>(p);
@@ -110,13 +118,14 @@ decodePayload(const uint8_t *data, size_t n, Journal::Record &rec)
     rec.propagations = get<uint64_t>(p);
     uint32_t name_len = get<uint32_t>(p);
     if (verdict > static_cast<uint8_t>(Verdict::Unknown) ||
-        source > static_cast<uint8_t>(VerdictSource::ValidationFailed))
+        source > static_cast<uint8_t>(VerdictSource::Race))
         return false;
     if (n != kFixedPayload + name_len)
         return false;
     rec.verdict = static_cast<Verdict>(verdict);
     rec.source = static_cast<VerdictSource>(source);
     rec.validated = (flags & kFlagValidated) != 0;
+    rec.unbounded = (flags & kFlagUnbounded) != 0;
     rec.name.assign(reinterpret_cast<const char *>(p), name_len);
     return true;
 }
@@ -133,6 +142,17 @@ journalKey(const std::string &name, unsigned bound,
     h = fnv1a(reinterpret_cast<const uint8_t *>(&b), sizeof(b), h);
     return fnv1a(reinterpret_cast<const uint8_t *>(&content_hash),
                  sizeof(content_hash), h);
+}
+
+uint64_t
+journalBaseKey(const std::string &name, uint64_t base_hash)
+{
+    if (base_hash == 0)
+        return 0;
+    uint64_t h = fnv1a(
+        reinterpret_cast<const uint8_t *>(name.data()), name.size());
+    return fnv1a(reinterpret_cast<const uint8_t *>(&base_hash),
+                 sizeof(base_hash), h);
 }
 
 Journal::~Journal()
@@ -195,7 +215,11 @@ Journal::open(const std::string &path, uint64_t config_hash,
                     Record rec;
                     if (!decodePayload(rp, len, rec))
                         break;
-                    loaded_[rec.key] = std::move(rec);
+                    Record &slot = loaded_[rec.key];
+                    slot = std::move(rec);
+                    if (slot.unbounded && slot.baseKey != 0 &&
+                        slot.verdict == Verdict::Proven)
+                        by_base_[slot.baseKey] = &slot;
                     off += total;
                     good = static_cast<off_t>(off);
                 }
@@ -248,6 +272,24 @@ Journal::lookup(uint64_t key) const
 {
     auto it = loaded_.find(key);
     return it == loaded_.end() ? nullptr : &it->second;
+}
+
+const Journal::Record *
+Journal::lookupUnbounded(uint64_t base_key) const
+{
+    if (base_key == 0)
+        return nullptr;
+    auto it = by_base_.find(base_key);
+    if (it == by_base_.end())
+        return nullptr;
+    // A later record with the same primary key may have overwritten
+    // the slot this index points at; only serve it if it still is the
+    // unbounded proof it was indexed as.
+    const Record *rec = it->second;
+    if (!rec->unbounded || rec->verdict != Verdict::Proven ||
+        rec->baseKey != base_key)
+        return nullptr;
+    return rec;
 }
 
 bool
@@ -337,7 +379,11 @@ VerdictCache::open(const std::string &dir)
                         break;
                     by_name_[rec.name].emplace_back(rec.bound,
                                                     rec.key);
-                    loaded_[rec.key] = std::move(rec); // last wins
+                    Journal::Record &slot = loaded_[rec.key];
+                    slot = std::move(rec); // last wins
+                    if (slot.unbounded && slot.baseKey != 0 &&
+                        slot.verdict == Verdict::Proven)
+                        by_base_[slot.baseKey] = &slot;
                     off += total;
                     good = static_cast<off_t>(off);
                 }
@@ -392,6 +438,24 @@ VerdictCache::lookup(uint64_t key) const
     return it == loaded_.end() ? nullptr : &it->second;
 }
 
+const Journal::Record *
+VerdictCache::lookupUnbounded(uint64_t base_key) const
+{
+    if (base_key == 0)
+        return nullptr;
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = by_base_.find(base_key);
+    if (it == by_base_.end())
+        return nullptr;
+    // Same aliasing guard as Journal::lookupUnbounded: the slot may
+    // have been overwritten by a same-key record since it was indexed.
+    const Journal::Record *rec = it->second;
+    if (!rec->unbounded || rec->verdict != Verdict::Proven ||
+        rec->baseKey != base_key)
+        return nullptr;
+    return rec;
+}
+
 bool
 VerdictCache::hasStaleEntry(const std::string &name, unsigned bound,
                             uint64_t key) const
@@ -428,7 +492,11 @@ VerdictCache::append(const Journal::Record &rec)
         return false;
     }
     by_name_[rec.name].emplace_back(rec.bound, rec.key);
-    loaded_[rec.key] = rec;
+    Journal::Record &slot = loaded_[rec.key];
+    slot = rec;
+    if (slot.unbounded && slot.baseKey != 0 &&
+        slot.verdict == Verdict::Proven)
+        by_base_[slot.baseKey] = &slot;
     appended_++;
     return true;
 }

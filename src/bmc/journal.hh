@@ -16,12 +16,14 @@
  *
  *   header:  "R2UJ"  u32 version  u64 configHash
  *   record:  u32 payloadLen  u64 fnv1a(payload)  payload
- *   payload: u64 key  u8 verdict  u8 source  u8 flags  u8 pad
- *            u32 bound  u32 retries  f64 seconds
+ *   payload: u64 key  u64 baseKey  u8 verdict  u8 source  u8 flags
+ *            u8 pad  u32 bound  u32 retries  f64 seconds
  *            u64 conflicts  u64 propagations
  *            u32 nameLen  name bytes
  *
- * flags bit0 = verdict was independently validated. configHash binds
+ * flags bit0 = verdict was independently validated; bit1 = the proof
+ * is unbounded (valid at every bound, indexed under baseKey for
+ * bound-independent reuse). configHash binds
  * the journal to the producing configuration (the structural netlist
  * hash, bound, unroll mode — NOT --jobs: a run may resume at any
  * parallelism). Only Proven/Refuted verdicts are journaled; Unknowns
@@ -64,16 +66,42 @@ namespace r2u::bmc
 uint64_t journalKey(const std::string &name, unsigned bound,
                     uint64_t content_hash);
 
+/**
+ * Bound-independent sibling of journalKey(): the same FNV-1a chain
+ * with the bound left out. Unbounded Proven verdicts (PDR frame
+ * convergence, a closed induction step) hold at *every* bound, so they
+ * are additionally indexed under this key and can answer a later query
+ * for the same cone + property at any bound (see lookupUnbounded).
+ * Callers without a bound-independent content hash pass 0 and get no
+ * unbounded reuse.
+ */
+uint64_t journalBaseKey(const std::string &name, uint64_t base_hash);
+
 class Journal
 {
   public:
     struct Record
     {
         uint64_t key = 0;
+        /**
+         * Bound-independent identity (journalBaseKey for the journal,
+         * the raw Query::baseHash for the cache); 0 when the producer
+         * had no bound-independent hash. Meaningful with `unbounded`:
+         * it is the secondary index that lets the proof satisfy other
+         * bounds.
+         */
+        uint64_t baseKey = 0;
         std::string name;
         Verdict verdict = Verdict::Unknown;
         VerdictSource source = VerdictSource::Solve;
         bool validated = false;
+        /**
+         * Proof generality: true for a Proven verdict valid at every
+         * bound (PDR convergence or a closed induction step), false
+         * for bound-specific verdicts. Bounded records only ever
+         * answer an exact (name, bound, content) key match.
+         */
+        bool unbounded = false;
         unsigned bound = 0;
         unsigned retries = 0;
         double seconds = 0.0;
@@ -108,6 +136,14 @@ class Journal
     const Record *lookup(uint64_t key) const;
 
     /**
+     * Look up an *unbounded Proven* verdict by its bound-independent
+     * key (journalBaseKey). Only records flagged unbounded are indexed
+     * here; a hit is valid for the same cone + property at any bound.
+     * nullptr if absent.
+     */
+    const Record *lookupUnbounded(uint64_t base_key) const;
+
+    /**
      * Durably append one validated verdict (write + fsync under a
      * mutex; safe from worker threads). Returns false (after a warn)
      * on I/O failure — the run continues, it just loses resumability.
@@ -122,6 +158,9 @@ class Journal
     std::string path_;
     std::mutex mu_;
     std::unordered_map<uint64_t, Record> loaded_;
+    /** baseKey -> unbounded Proven record (element pointers into
+     *  loaded_ are stable: unordered_map is node-based). */
+    std::unordered_map<uint64_t, const Record *> by_base_;
     size_t appended_ = 0;
 };
 
@@ -179,6 +218,13 @@ class VerdictCache
     const Journal::Record *lookup(uint64_t key) const;
 
     /**
+     * Unbounded-Proven verdict for a bound-independent content key
+     * (Query::baseHash). A hit is valid for the same cone + property
+     * at any bound. nullptr if absent.
+     */
+    const Journal::Record *lookupUnbounded(uint64_t base_key) const;
+
+    /**
      * True when the cache holds a record for the same (name, bound)
      * under a *different* content key — i.e. this query existed
      * before but its cone or property content changed since it was
@@ -210,6 +256,8 @@ class VerdictCache
     std::unordered_map<std::string,
                        std::vector<std::pair<unsigned, uint64_t>>>
         by_name_;
+    /** baseKey -> unbounded Proven record (stable element pointers). */
+    std::unordered_map<uint64_t, const Journal::Record *> by_base_;
     size_t appended_ = 0;
 };
 

@@ -2,7 +2,9 @@
 
 #include <cctype>
 #include <fstream>
+#include <limits>
 #include <sstream>
+#include <stdexcept>
 
 #include "common/logging.hh"
 
@@ -81,6 +83,48 @@ join(const std::vector<std::string> &parts, const std::string &sep)
         out += parts[i];
     }
     return out;
+}
+
+int64_t
+parseInt64(const char *opt, const std::string &s, int base)
+{
+    try {
+        size_t pos = 0;
+        int64_t v = std::stoll(s, &pos, base);
+        if (pos != s.size())
+            throw std::invalid_argument(s);
+        return v;
+    } catch (const FatalError &) {
+        throw;
+    } catch (const std::exception &) {
+        fatal("%s expects an integer, got '%s'", opt, s.c_str());
+    }
+}
+
+int
+parseInt(const char *opt, const std::string &s)
+{
+    int64_t v = parseInt64(opt, s);
+    if (v < std::numeric_limits<int>::min() ||
+        v > std::numeric_limits<int>::max())
+        fatal("%s: '%s' is out of range", opt, s.c_str());
+    return static_cast<int>(v);
+}
+
+double
+parseDouble(const char *opt, const std::string &s)
+{
+    try {
+        size_t pos = 0;
+        double v = std::stod(s, &pos);
+        if (pos != s.size())
+            throw std::invalid_argument(s);
+        return v;
+    } catch (const FatalError &) {
+        throw;
+    } catch (const std::exception &) {
+        fatal("%s expects a number, got '%s'", opt, s.c_str());
+    }
 }
 
 std::string

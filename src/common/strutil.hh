@@ -28,6 +28,23 @@ bool endsWith(const std::string &s, const std::string &suffix);
 std::string join(const std::vector<std::string> &parts,
                  const std::string &sep);
 
+/**
+ * Whole-token numeric option parsing, shared by the tool CLIs and the
+ * benches. Bare std::stoi/atoi would let `--jobs foo` or an
+ * out-of-range `--bound` kill the process with an uncaught exception
+ * (or silently read 0): these insist the entire token parses and turn
+ * any malformed/partial/overflowing value into a fatal() — which the
+ * callers' option loops convert into a usage error (exit 2).
+ * @p opt names the offending option in the message.
+ */
+int64_t parseInt64(const char *opt, const std::string &s, int base = 10);
+
+/** parseInt64 plus an int range check. */
+int parseInt(const char *opt, const std::string &s);
+
+/** Whole-token floating-point option parsing (see parseInt64). */
+double parseDouble(const char *opt, const std::string &s);
+
 /** Read an entire file; fatal() if it cannot be opened. */
 std::string readFile(const std::string &path);
 

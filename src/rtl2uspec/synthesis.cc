@@ -60,6 +60,7 @@ class Synthesizer
         eopts.portfolioRacers = opts.portfolioRacers;
         eopts.shareClauses = opts.shareClauses;
         eopts.inprocess = opts.inprocess;
+        eopts.engine = opts.engine;
         validate_mode_ = bmc::validateModeName(opts.validate);
         eopts.validate = opts.validate;
         eopts.validateSampleN = opts.validateSampleN;
@@ -127,6 +128,22 @@ class Synthesizer
         out_.portfolio = estats.portfolioRaces > 0;
         out_.portfolioRaces = estats.portfolioRaces;
         out_.portfolioChallengerWins = estats.portfolioChallengerWins;
+        out_.engineMode = bmc::engineChoiceName(engine_->options().engine);
+        out_.engineRaces = estats.engineRaces;
+        out_.bmcWins = estats.bmcWins;
+        out_.kindWins = estats.kindWins;
+        out_.pdrWins = estats.pdrWins;
+        out_.unboundedProofs = estats.unboundedProofs;
+        out_.pdrFrames = estats.pdrFrames;
+        out_.pdrObligations = estats.pdrObligations;
+        if (estats.engineRaces > 0)
+            inform("rtl2uspec: engine race: %zu race(s); wins "
+                   "bmc=%zu kind=%zu pdr=%zu; %zu unbounded proof(s)",
+                   static_cast<size_t>(estats.engineRaces),
+                   static_cast<size_t>(estats.bmcWins),
+                   static_cast<size_t>(estats.kindWins),
+                   static_cast<size_t>(estats.pdrWins),
+                   static_cast<size_t>(estats.unboundedProofs));
         out_.sharedExported = estats.sharedExported;
         out_.sharedImported = estats.sharedImported;
         out_.preprocessVarsEliminated = estats.preprocessVarsEliminated;
@@ -447,17 +464,23 @@ class Synthesizer
      * short-lived locals by reference.
      */
     void
-    deferSva(size_t idx, bmc::PropertyFn prop, nl::CoiSeeds extra = {})
+    deferSva(size_t idx, bmc::PropertyFn prop, nl::CoiSeeds extra = {},
+             bmc::FramePropertyFn frame_prop = {})
     {
         bmc::Query q;
         q.name = out_.svas[idx].name;
         q.prop = std::move(prop);
+        // Strictly frame-local form of the same property (prop must be
+        // the OR of frame_prop over every frame of the bound): enables
+        // the IC3/PDR + k-induction challengers on this query.
+        q.frameProp = std::move(frame_prop);
         q.seeds = base_seeds_;
         q.seeds.cells.insert(q.seeds.cells.end(), extra.cells.begin(),
                              extra.cells.end());
         q.seeds.mems.insert(q.seeds.mems.end(), extra.mems.begin(),
                             extra.mems.end());
         q.contentHash = queryContentHash(idx, q.seeds);
+        q.baseHash = queryBaseHash(idx, q.seeds);
         engine_->enqueue(std::move(q));
         pending_.push_back(idx);
     }
@@ -488,6 +511,28 @@ class Synthesizer
         return h.value() == 0 ? 1 : h.value();
     }
 
+    /**
+     * Bound-independent sibling of queryContentHash(): identical
+     * ingredients with the unroll bound left out. An *unbounded*
+     * Proven verdict (PDR fixpoint, closed induction step) is keyed
+     * under this hash too, so a later run at a different bound can
+     * reuse the proof (journal/cache lookupUnbounded).
+     */
+    uint64_t
+    queryBaseHash(size_t idx, const nl::CoiSeeds &seeds) const
+    {
+        nl::Fnv64 h;
+        h.u64(full_unroll_ ? netlist_hash_
+                           : nl::coneHash(nl_, seeds));
+        h.u64(property_env_hash_);
+        h.byte(full_unroll_ ? 1 : 0);
+        const SvaRecord &sva = out_.svas[idx];
+        h.str(sva.name);
+        h.str(sva.category);
+        h.str(sva.text);
+        return h.value() == 0 ? 1 : h.value();
+    }
+
     /** Evaluate every deferred SVA; fill records in enqueue order. */
     void
     flushSvas()
@@ -511,6 +556,9 @@ class Synthesizer
             rec.validated = results[q].validated;
             rec.fromJournal = results[q].fromJournal;
             rec.fromCache = results[q].fromCache;
+            rec.engine = bmc::engineKindName(results[q].engine);
+            rec.engineRaced = results[q].engineRaced;
+            rec.unbounded = results[q].unbounded;
             switch (results[q].verdict) {
               case Verdict::Refuted:
                 rec.trace =
@@ -946,40 +994,57 @@ class Synthesizer
             // The Check lives on this function's stack; the deferred
             // property must capture the flag by value.
             const bool write = chk.write;
-            deferSva(chk.idx, [this, write](PropCtx &ctx) {
+            // Frame-local kernel shared by the plain-BMC property and
+            // its FramePropertyFn form, so they are the same property
+            // by construction (race verdicts stay identical).
+            auto frame_bad = [this, write](PropCtx &ctx,
+                                           unsigned f) -> Lit {
                 const CoreMeta &core = md_.cores[0];
-                ctx.pinInput("reset", 0);
-                watchDefaults(ctx);
                 auto &cnf = ctx.cnf();
-                Lit bad = cnf.falseLit();
-                for (unsigned f = 0; f < ctx.bound(); f++) {
-                    Lit g = ctx.at(f, md_.remote.grant)[0];
-                    Lit wen = ctx.at(f, core.reqWen)[0];
-                    Lit en = ctx.at(f, core.reqEn)[0];
-                    Lit req = write ? cnf.mkAnd(g, wen)
-                                    : cnf.mkAnd(g,
-                                                cnf.mkAnd(en, ~wen));
-                    const sat::Word &ifr = ctx.at(f, core.ifr);
-                    Lit matches = cnf.falseLit();
-                    for (const InstrType &op : md_.instrs) {
-                        if ((write && !op.isWrite) ||
-                            (!write && !op.isRead))
-                            continue;
-                        Lit m = cnf.trueLit();
-                        for (size_t b = 0; b < ifr.size() && b < 32;
-                             b++) {
-                            if ((op.mask >> b) & 1) {
-                                bool bit = (op.match >> b) & 1;
-                                m = cnf.mkAnd(m,
-                                              bit ? ifr[b] : ~ifr[b]);
-                            }
+                Lit g = ctx.at(f, md_.remote.grant)[0];
+                Lit wen = ctx.at(f, core.reqWen)[0];
+                Lit en = ctx.at(f, core.reqEn)[0];
+                Lit req = write
+                              ? cnf.mkAnd(g, wen)
+                              : cnf.mkAnd(g, cnf.mkAnd(en, ~wen));
+                const sat::Word &ifr = ctx.at(f, core.ifr);
+                Lit matches = cnf.falseLit();
+                for (const InstrType &op : md_.instrs) {
+                    if ((write && !op.isWrite) ||
+                        (!write && !op.isRead))
+                        continue;
+                    Lit m = cnf.trueLit();
+                    for (size_t b = 0; b < ifr.size() && b < 32; b++) {
+                        if ((op.mask >> b) & 1) {
+                            bool bit = (op.match >> b) & 1;
+                            m = cnf.mkAnd(m, bit ? ifr[b] : ~ifr[b]);
                         }
-                        matches = cnf.mkOr(matches, m);
                     }
-                    bad = cnf.mkOr(bad, cnf.mkAnd(req, ~matches));
+                    matches = cnf.mkOr(matches, m);
                 }
-                return bad;
-            });
+                return cnf.mkAnd(req, ~matches);
+            };
+            deferSva(
+                chk.idx,
+                [this, frame_bad](PropCtx &ctx) {
+                    ctx.pinInput("reset", 0);
+                    watchDefaults(ctx);
+                    auto &cnf = ctx.cnf();
+                    Lit bad = cnf.falseLit();
+                    for (unsigned f = 0; f < ctx.bound(); f++)
+                        bad = cnf.mkOr(bad, frame_bad(ctx, f));
+                    return bad;
+                },
+                {},
+                [this, frame_bad](PropCtx &ctx, unsigned f) {
+                    // Environment once per context (frame 0 is always
+                    // built first); pinInput covers every frame.
+                    if (f == 0) {
+                        ctx.pinInput("reset", 0);
+                        watchDefaults(ctx);
+                    }
+                    return frame_bad(ctx, f);
+                });
         }
         flushSvas();
         for (const Check &chk : checks) {
@@ -1270,21 +1335,39 @@ class Synthesizer
             "mem_write_fire);",
             1, true);
         nl::MemId mem = nl_.findMemoryByName(md_.remote.memName);
-        deferSva(plan.proc, [this, mem](PropCtx &ctx) {
-            ctx.pinInput("reset", 0);
-            watchDefaults(ctx);
+        // Frame-local kernel shared by both property forms (see the
+        // attribution checks for the pattern).
+        auto proc_bad = [this, mem](PropCtx &ctx, unsigned f) -> Lit {
             auto &cnf = ctx.cnf();
-            EventVec commits = arrayWriteEvents(ctx, mem);
-            Lit bad = cnf.falseLit();
-            for (unsigned f = 0; f < ctx.bound(); f++) {
-                Lit valid = ctx.at(f, md_.remote.pipeValid)[0];
-                Lit wen = ctx.at(f, md_.remote.pipeWen)[0];
-                bad = cnf.mkOr(
-                    bad, cnf.mkAnd(cnf.mkAnd(valid, wen),
-                                   ~commits[f]));
+            Lit commit = cnf.falseLit();
+            for (nl::CellId port : nl_.memory(mem).writePorts) {
+                nl::CellId en = nl_.cell(port).inputs[2];
+                commit = cnf.mkOr(commit,
+                                  ctx.unroller().wire(f, en)[0]);
             }
-            return bad;
-        }, pipeSeeds(true, mem));
+            Lit valid = ctx.at(f, md_.remote.pipeValid)[0];
+            Lit wen = ctx.at(f, md_.remote.pipeWen)[0];
+            return cnf.mkAnd(cnf.mkAnd(valid, wen), ~commit);
+        };
+        deferSva(
+            plan.proc,
+            [this, proc_bad](PropCtx &ctx) {
+                ctx.pinInput("reset", 0);
+                watchDefaults(ctx);
+                auto &cnf = ctx.cnf();
+                Lit bad = cnf.falseLit();
+                for (unsigned f = 0; f < ctx.bound(); f++)
+                    bad = cnf.mkOr(bad, proc_bad(ctx, f));
+                return bad;
+            },
+            pipeSeeds(true, mem),
+            [this, proc_bad](PropCtx &ctx, unsigned f) {
+                if (f == 0) {
+                    ctx.pinInput("reset", 0);
+                    watchDefaults(ctx);
+                }
+                return proc_bad(ctx, f);
+            });
         return plan;
     }
 
@@ -1840,6 +1923,18 @@ SynthesisResult::report() const
                       static_cast<size_t>(portfolioChallengerWins),
                       static_cast<size_t>(sharedExported),
                       static_cast<size_t>(sharedImported));
+    if (engineRaces > 0 || engineMode != "bmc")
+        out += strfmt("engine (%s): %zu race(s); wins bmc=%zu "
+                      "kind=%zu pdr=%zu; %zu unbounded proof(s), "
+                      "%zu PDR frame(s) / %zu obligation(s)\n",
+                      engineMode.c_str(),
+                      static_cast<size_t>(engineRaces),
+                      static_cast<size_t>(bmcWins),
+                      static_cast<size_t>(kindWins),
+                      static_cast<size_t>(pdrWins),
+                      static_cast<size_t>(unboundedProofs),
+                      static_cast<size_t>(pdrFrames),
+                      static_cast<size_t>(pdrObligations));
     if (inprocessRuns > 0 || preprocessVarsEliminated > 0)
         out += strfmt("simplify: %zu var(s) eliminated / %zu clause(s) "
                       "removed preprocessing, %zu inprocessing pass(es) "
@@ -1951,6 +2046,17 @@ SynthesisResult::jsonReport() const
         static_cast<size_t>(sharedExported),
         static_cast<size_t>(sharedImported));
     out += strfmt(
+        "  \"engine\": {\"mode\": \"%s\", \"races\": %zu, "
+        "\"bmc_wins\": %zu, \"kind_wins\": %zu, \"pdr_wins\": %zu, "
+        "\"unbounded_proofs\": %zu, \"pdr_frames\": %zu, "
+        "\"pdr_obligations\": %zu},\n",
+        engineMode.c_str(), static_cast<size_t>(engineRaces),
+        static_cast<size_t>(bmcWins), static_cast<size_t>(kindWins),
+        static_cast<size_t>(pdrWins),
+        static_cast<size_t>(unboundedProofs),
+        static_cast<size_t>(pdrFrames),
+        static_cast<size_t>(pdrObligations));
+    out += strfmt(
         "  \"simplify\": {\"preprocess_vars_eliminated\": %zu, "
         "\"preprocess_clauses_removed\": %zu, "
         "\"inprocess_runs\": %zu, "
@@ -1976,6 +2082,8 @@ SynthesisResult::jsonReport() const
             "\"cnf_vars\": %zu, \"cnf_clauses\": %zu, "
             "\"validated\": %s, \"from_journal\": %s, "
             "\"from_cache\": %s, "
+            "\"engine\": \"%s\", \"engine_raced\": %s, "
+            "\"unbounded\": %s, "
             "\"degraded\": %s%s%s%s}%s\n",
             jsonEscape(r.name).c_str(), r.category.c_str(),
             bmc::verdictName(r.verdict),
@@ -1985,6 +2093,8 @@ SynthesisResult::jsonReport() const
             r.cnfClauses, r.validated ? "true" : "false",
             r.fromJournal ? "true" : "false",
             r.fromCache ? "true" : "false",
+            r.engine.c_str(), r.engineRaced ? "true" : "false",
+            r.unbounded ? "true" : "false",
             r.degraded ? "true" : "false",
             r.degraded ? ", \"degrade_note\": \"" : "",
             r.degraded ? jsonEscape(r.degradeNote).c_str() : "",

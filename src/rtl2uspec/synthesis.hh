@@ -57,6 +57,13 @@ struct SvaRecord
     /** Verdict replayed from the cross-run verdict cache. */
     bool fromCache = false;
 
+    /** Proof engine that produced the verdict ("bmc", "kind", "pdr"). */
+    std::string engine = "bmc";
+    /** A PDR/k-induction challenger raced the BMC solve. */
+    bool engineRaced = false;
+    /** Proven at *every* bound (PDR fixpoint / closed induction). */
+    bool unbounded = false;
+
     /** Solver CNF footprint when this query finished (COI-sliced
      *  unless fullUnroll) and what the query alone added. */
     size_t cnfVars = 0, cnfClauses = 0;
@@ -124,6 +131,18 @@ struct SynthesisOptions
     bool portfolio = false;
     /** Solver configs per race (incumbent + N-1 challengers). */
     unsigned portfolioRacers = 3;
+    /**
+     * Proof-engine selection (--engine {bmc,kind,pdr,race}). The
+     * default races IC3/PDR and k-induction challengers against the
+     * incremental BMC solve of every frame-local query; the first
+     * definitive verdict wins and interrupts the others. Verdicts —
+     * and therefore the emitted model — are identical across engines
+     * at the metadata bound; race/pdr/kind can additionally return
+     * *unbounded* proofs (recorded in the report and reusable at any
+     * bound via the verdict cache). Queries whose property is not
+     * frame-local always fall back to plain BMC.
+     */
+    bmc::EngineChoice engine = bmc::EngineChoice::Race;
     /**
      * Exchange low-LBD learnt clauses between portfolio racers at
      * restart boundaries (--share-clauses / --no-share-clauses).
@@ -231,6 +250,21 @@ struct SynthesisResult
     uint64_t portfolioRaces = 0;
     /** Races a challenger config won (vs. the incumbent). */
     uint64_t portfolioChallengerWins = 0;
+
+    // --- proof-engine race accounting (run level) ---
+    /** Resolved --engine mode ("bmc", "kind", "pdr", "race"). */
+    std::string engineMode = "race";
+    /** Queries where PDR + k-induction raced the BMC solve. */
+    uint64_t engineRaces = 0;
+    /** Definite verdicts per winning engine (solved this run). */
+    uint64_t bmcWins = 0;
+    uint64_t kindWins = 0;
+    uint64_t pdrWins = 0;
+    /** Proofs valid at every bound (PDR fixpoint / closed induction). */
+    uint64_t unboundedProofs = 0;
+    /** PDR work totals across winning and completed PDR runs. */
+    uint64_t pdrFrames = 0;
+    uint64_t pdrObligations = 0;
     /** Learnt clauses published to / imported from the shared pool. */
     uint64_t sharedExported = 0;
     uint64_t sharedImported = 0;

@@ -12,8 +12,6 @@
 
 #include <cstdio>
 #include <cstring>
-#include <limits>
-#include <stdexcept>
 
 #include "common/logging.hh"
 #include "common/strutil.hh"
@@ -24,49 +22,12 @@
 namespace
 {
 
-// Numeric option parsing. Bare std::stoi would let `--jobs foo` or an
-// out-of-range `--bound` kill the process with an uncaught exception;
-// these wrappers convert any malformed/partial/overflowing value into
-// a fatal() (usage error, exit 2) and insist the whole token parses.
-int64_t
-parseInt64(const char *opt, const std::string &s, int base = 10)
-{
-    try {
-        size_t pos = 0;
-        int64_t v = std::stoll(s, &pos, base);
-        if (pos != s.size())
-            throw std::invalid_argument(s);
-        return v;
-    } catch (const r2u::FatalError &) {
-        throw;
-    } catch (const std::exception &) {
-        r2u::fatal("%s expects an integer, got '%s'", opt, s.c_str());
-    }
-}
-
-int
-parseInt(const char *opt, const std::string &s)
-{
-    int64_t v = parseInt64(opt, s);
-    if (v < std::numeric_limits<int>::min() ||
-        v > std::numeric_limits<int>::max())
-        r2u::fatal("%s: '%s' is out of range", opt, s.c_str());
-    return static_cast<int>(v);
-}
-
-double
-parseDouble(const char *opt, const std::string &s)
-{
-    try {
-        size_t pos = 0;
-        double v = std::stod(s, &pos);
-        if (pos != s.size())
-            throw std::invalid_argument(s);
-        return v;
-    } catch (const std::exception &) {
-        r2u::fatal("%s expects a number, got '%s'", opt, s.c_str());
-    }
-}
+// Numeric option parsing (r2u::parseInt64 & friends, shared with the
+// benches): the whole token must parse; malformed/partial/overflowing
+// values become a fatal() (usage error, exit 2).
+using r2u::parseDouble;
+using r2u::parseInt;
+using r2u::parseInt64;
 
 void
 usage()
@@ -101,6 +62,14 @@ usage()
         "                  enables; cheap first pass, escalate)\n"
         "  --max-retries N cap on escalated retries per SVA "
         "(default 3)\n"
+        "  --engine E      proof engine per SVA query: bmc | kind |\n"
+        "                  pdr | race (default race: PDR and\n"
+        "                  k-induction race the incremental BMC solve;\n"
+        "                  first definitive verdict wins and\n"
+        "                  interrupts the rest. Verdicts and the\n"
+        "                  emitted model are identical to --engine\n"
+        "                  bmc; the challengers can additionally close\n"
+        "                  proofs as unbounded)\n"
         "  --portfolio[=N] race each SVA query across N diversified\n"
         "                  solver configurations (default 3); first\n"
         "                  definitive verdict wins and interrupts the\n"
@@ -197,6 +166,20 @@ main(int argc, char **argv)
                 if (n < 0)
                     fatal("--max-retries expects a count >= 0");
                 synth_opts.maxRetries = static_cast<unsigned>(n);
+            } else if (arg == "--engine") {
+                std::string e = next();
+                if (e == "bmc") {
+                    synth_opts.engine = bmc::EngineChoice::Bmc;
+                } else if (e == "kind") {
+                    synth_opts.engine = bmc::EngineChoice::KInduction;
+                } else if (e == "pdr") {
+                    synth_opts.engine = bmc::EngineChoice::Pdr;
+                } else if (e == "race") {
+                    synth_opts.engine = bmc::EngineChoice::Race;
+                } else {
+                    fatal("--engine expects bmc|kind|pdr|race, "
+                          "got '%s'", e.c_str());
+                }
             } else if (arg == "--portfolio" ||
                        arg.rfind("--portfolio=", 0) == 0) {
                 synth_opts.portfolio = true;

@@ -10,8 +10,6 @@
  */
 
 #include <cstdio>
-#include <limits>
-#include <stdexcept>
 
 #include "check/campaign.hh"
 #include "check/check.hh"
@@ -47,22 +45,10 @@ usage()
         "exit codes: 0 all tests ok, 1 failures/errors, 2 usage\n");
 }
 
-/** Whole-token integer parse; malformed/overflowing input is a
- *  fatal() usage error (exit 2), never an uncaught exception. */
-int
-parseInt(const char *opt, const std::string &s)
-{
-    try {
-        size_t pos = 0;
-        long long v = std::stoll(s, &pos);
-        if (pos != s.size() || v < std::numeric_limits<int>::min() ||
-            v > std::numeric_limits<int>::max())
-            throw std::invalid_argument(s);
-        return static_cast<int>(v);
-    } catch (const std::exception &) {
-        r2u::fatal("%s expects an integer, got '%s'", opt, s.c_str());
-    }
-}
+// Whole-token integer parse (r2u::parseInt, shared with the benches);
+// malformed/overflowing input is a fatal() usage error (exit 2),
+// never an uncaught exception.
+using r2u::parseInt;
 
 } // namespace
 
