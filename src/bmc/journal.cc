@@ -1,10 +1,12 @@
 #include "bmc/journal.hh"
 
+#include <algorithm>
 #include <cstring>
 #include <filesystem>
 #include <vector>
 
 #include <fcntl.h>
+#include <sys/file.h>
 #include <unistd.h>
 
 #include "common/logging.hh"
@@ -75,6 +77,28 @@ writeAll(int fd, const uint8_t *data, size_t n)
         n -= static_cast<size_t>(w);
     }
     return true;
+}
+
+/**
+ * writeAll() with the torn-write fault seam applied: when the hook
+ * fires (returns >= 0) only that prefix of the frame reaches disk and
+ * the write reports failure, exactly like a crash or ENOSPC mid-frame.
+ */
+bool
+faultyWrite(int fd, const uint8_t *data, size_t n,
+            const std::function<ssize_t(size_t)> &fault)
+{
+    if (fault) {
+        ssize_t cut = fault(n);
+        if (cut >= 0) {
+            size_t keep = std::min(static_cast<size_t>(cut), n);
+            if (keep > 0)
+                writeAll(fd, data, keep);
+            errno = EIO;
+            return false;
+        }
+    }
+    return writeAll(fd, data, n);
 }
 
 std::vector<uint8_t>
@@ -159,6 +183,8 @@ Journal::~Journal()
 {
     if (fd_ >= 0)
         ::close(fd_);
+    if (lock_fd_ >= 0)
+        ::close(lock_fd_); // releases the openShared() flock
 }
 
 void
@@ -245,6 +271,7 @@ Journal::open(const std::string &path, uint64_t config_hash,
             if (::lseek(fd_, good, SEEK_SET) < 0)
                 fatal("journal %s: seek failed: %s", path.c_str(),
                       strerror(errno));
+            end_ = good;
             return;
         }
         // Empty or absent file: fall through to write a fresh header.
@@ -265,6 +292,38 @@ Journal::open(const std::string &path, uint64_t config_hash,
     if (!writeAll(fd_, hdr.data(), hdr.size()) || ::fsync(fd_) != 0)
         fatal("journal %s: header write failed: %s", path.c_str(),
               strerror(errno));
+    end_ = static_cast<off_t>(hdr.size());
+}
+
+bool
+Journal::openShared(const std::string &path, uint64_t config_hash)
+{
+    R2U_ASSERT(fd_ < 0, "journal already open");
+    int lfd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+    if (lfd < 0) {
+        warn("journal %s: open failed: %s — running without a journal",
+             path.c_str(), strerror(errno));
+        return false;
+    }
+    if (::flock(lfd, LOCK_EX | LOCK_NB) != 0) {
+        warn("journal %s: another process holds the write lock — "
+             "running without a journal",
+             path.c_str());
+        ::close(lfd);
+        return false;
+    }
+    // The flock lives on this description; keep it open so the lock
+    // outlives the separate write fd open() creates below.
+    lock_fd_ = lfd;
+    open(path, config_hash, /*resume=*/true);
+    return true;
+}
+
+void
+Journal::setWriteFault(std::function<ssize_t(size_t)> hook)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    write_fault_ = std::move(hook);
 }
 
 const Journal::Record *
@@ -295,7 +354,6 @@ Journal::lookupUnbounded(uint64_t base_key) const
 bool
 Journal::append(const Record &rec)
 {
-    R2U_ASSERT(fd_ >= 0, "append on a closed journal");
     std::vector<uint8_t> payload = encodePayload(rec);
     std::vector<uint8_t> frame;
     frame.reserve(sizeof(uint32_t) + sizeof(uint64_t) + payload.size());
@@ -304,13 +362,28 @@ Journal::append(const Record &rec)
     frame.insert(frame.end(), payload.begin(), payload.end());
 
     std::lock_guard<std::mutex> lock(mu_);
-    if (!writeAll(fd_, frame.data(), frame.size()) ||
+    if (fd_ < 0 || disabled_)
+        return false;
+    if (!faultyWrite(fd_, frame.data(), frame.size(), write_fault_) ||
         ::fsync(fd_) != 0) {
-        warn("journal %s: append failed: %s — run continues without "
-             "resumability for this record",
-             path_.c_str(), strerror(errno));
+        int saved = errno;
+        // A partial frame at end_ would silently poison every record
+        // appended after it (the loader stops at the first bad frame),
+        // so roll the file back to the last durable offset and stop
+        // journaling: ENOSPC/EIO do not heal mid-run, and a quiet
+        // best-effort append is exactly how stores get corrupted.
+        bool repaired = ::ftruncate(fd_, end_) == 0 &&
+                        ::lseek(fd_, end_, SEEK_SET) >= 0;
+        disabled_ = true;
+        warn("journal %s: append FAILED (%s)%s — journaling DISABLED "
+             "for the rest of this run",
+             path_.c_str(), strerror(saved),
+             repaired ? ", partial frame rolled back"
+                      : ", and rollback also failed (the torn tail "
+                        "will be dropped on the next resume)");
         return false;
     }
+    end_ += static_cast<off_t>(frame.size());
     appended_++;
     return true;
 }
@@ -332,6 +405,29 @@ VerdictCache::open(const std::string &dir)
         fatal("cache %s: cannot create directory: %s", dir.c_str(),
               ec.message().c_str());
     path_ = (std::filesystem::path(dir) / "verdicts.r2uc").string();
+
+    // Single-writer protection: take an exclusive flock() BEFORE
+    // reading or truncating anything. A second opener of the same
+    // --cache DIR (daemon + CLI, or two CLIs) degrades to read-only:
+    // lookups still work, append() becomes a no-op, and it can never
+    // interleave frames into — or truncate the tail of — the live
+    // writer's file.
+    fd_ = ::open(path_.c_str(), O_RDWR | O_CREAT, 0644);
+    if (fd_ < 0)
+        fatal("cache %s: open failed: %s", path_.c_str(),
+              strerror(errno));
+    if (::flock(fd_, LOCK_EX | LOCK_NB) != 0) {
+        warn("cache %s: another process holds the write lock — "
+             "continuing READ-ONLY (cached verdicts are served, new "
+             "ones are not stored)",
+             path_.c_str());
+        ::close(fd_);
+        fd_ = ::open(path_.c_str(), O_RDONLY);
+        if (fd_ < 0)
+            fatal("cache %s: reopen failed: %s", path_.c_str(),
+                  strerror(errno));
+        read_only_ = true;
+    }
 
     // Load whatever is trustworthy. Unlike the journal, nothing here
     // is fatal short of I/O failure: a cache that cannot be believed
@@ -400,19 +496,21 @@ VerdictCache::open(const std::string &dir)
         }
     }
 
-    fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT, 0644);
-    if (fd_ < 0)
-        fatal("cache %s: open failed: %s", path_.c_str(),
-              strerror(errno));
+    // A read-only opener only drops the torn tail *in memory* — the
+    // bytes belong to whoever holds the write lock.
+    if (read_only_)
+        return;
+
     if (!fresh) {
         if (::ftruncate(fd_, good) != 0 ||
             ::lseek(fd_, good, SEEK_SET) < 0)
             fatal("cache %s: truncate failed: %s", path_.c_str(),
                   strerror(errno));
+        end_ = good;
         return;
     }
 
-    if (::ftruncate(fd_, 0) != 0)
+    if (::ftruncate(fd_, 0) != 0 || ::lseek(fd_, 0, SEEK_SET) < 0)
         fatal("cache %s: truncate failed: %s", path_.c_str(),
               strerror(errno));
     std::vector<uint8_t> hdr;
@@ -421,6 +519,14 @@ VerdictCache::open(const std::string &dir)
     if (!writeAll(fd_, hdr.data(), hdr.size()) || ::fsync(fd_) != 0)
         fatal("cache %s: header write failed: %s", path_.c_str(),
               strerror(errno));
+    end_ = static_cast<off_t>(hdr.size());
+}
+
+void
+VerdictCache::setWriteFault(std::function<ssize_t(size_t)> hook)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    write_fault_ = std::move(hook);
 }
 
 size_t
@@ -473,7 +579,6 @@ VerdictCache::hasStaleEntry(const std::string &name, unsigned bound,
 bool
 VerdictCache::append(const Journal::Record &rec)
 {
-    R2U_ASSERT(fd_ >= 0, "append on a closed cache");
     std::vector<uint8_t> payload = encodePayload(rec);
     std::vector<uint8_t> frame;
     frame.reserve(sizeof(uint32_t) + sizeof(uint64_t) + payload.size());
@@ -482,15 +587,28 @@ VerdictCache::append(const Journal::Record &rec)
     frame.insert(frame.end(), payload.begin(), payload.end());
 
     std::lock_guard<std::mutex> lock(mu_);
+    if (fd_ < 0 || read_only_ || disabled_)
+        return false;
     if (loaded_.count(rec.key))
         return true; // already durable; a warm run must not grow us
-    if (!writeAll(fd_, frame.data(), frame.size()) ||
+    if (!faultyWrite(fd_, frame.data(), frame.size(), write_fault_) ||
         ::fsync(fd_) != 0) {
-        warn("cache %s: append failed: %s — run continues, this "
-             "verdict stays uncached",
-             path_.c_str(), strerror(errno));
+        int saved = errno;
+        // Same policy as Journal::append: roll back the partial frame
+        // so the store stays loadable, then stop caching for the run
+        // rather than retry into a failing disk.
+        bool repaired = ::ftruncate(fd_, end_) == 0 &&
+                        ::lseek(fd_, end_, SEEK_SET) >= 0;
+        disabled_ = true;
+        warn("cache %s: append FAILED (%s)%s — caching DISABLED for "
+             "the rest of this run",
+             path_.c_str(), strerror(saved),
+             repaired ? ", partial frame rolled back"
+                      : ", and rollback also failed (the torn tail "
+                        "will be dropped on the next load)");
         return false;
     }
+    end_ += static_cast<off_t>(frame.size());
     by_name_[rec.name].emplace_back(rec.bound, rec.key);
     Journal::Record &slot = loaded_[rec.key];
     slot = rec;

@@ -42,9 +42,12 @@
 #define R2U_BMC_JOURNAL_HH
 
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <string>
 #include <unordered_map>
+
+#include <sys/types.h>
 
 #include "bmc/checker.hh"
 
@@ -127,7 +130,29 @@ class Journal
     void open(const std::string &path, uint64_t config_hash,
               bool resume);
 
+    /**
+     * Like open(resume=true) but takes an exclusive flock() on the
+     * file first and returns false — leaving the journal closed —
+     * when another live process already holds it, instead of letting
+     * two writers interleave frames. Used by the service's shared
+     * state directory, where a second daemon on the same --state DIR
+     * should degrade to running journal-less, not corrupt the store.
+     */
+    bool openShared(const std::string &path, uint64_t config_hash);
+
     bool isOpen() const { return fd_ >= 0; }
+
+    /** True once an append failure disabled journaling for the run. */
+    bool disabled() const { return disabled_; }
+
+    /**
+     * Test/chaos seam: intercept the next append's write(). The hook
+     * receives the frame size about to be written and returns how
+     * many bytes to actually put on disk before reporting failure
+     * (a torn frame), or < 0 to let the write proceed untouched.
+     * Persistent until replaced; clear with nullptr.
+     */
+    void setWriteFault(std::function<ssize_t(size_t)> hook);
 
     /** Records loaded from disk at open(resume=true) time. */
     size_t numLoaded() const { return loaded_.size(); }
@@ -155,6 +180,8 @@ class Journal
 
   private:
     int fd_ = -1;
+    /** Held open purely to keep an openShared() flock alive. */
+    int lock_fd_ = -1;
     std::string path_;
     std::mutex mu_;
     std::unordered_map<uint64_t, Record> loaded_;
@@ -162,6 +189,12 @@ class Journal
      *  loaded_ are stable: unordered_map is node-based). */
     std::unordered_map<uint64_t, const Record *> by_base_;
     size_t appended_ = 0;
+    /** File offset after the last fully-durable frame; append
+     *  failures roll the file back here so a partial frame can never
+     *  poison the records behind it. */
+    off_t end_ = 0;
+    bool disabled_ = false;
+    std::function<ssize_t(size_t)> write_fault_;
 };
 
 /**
@@ -211,6 +244,20 @@ class VerdictCache
 
     bool isOpen() const { return fd_ >= 0; }
 
+    /**
+     * True when another process held the store's write lock at open()
+     * time. A read-only cache still serves lookups (isOpen() stays
+     * true) but append() is a silent no-op — the second opener of a
+     * shared --cache DIR loses warm-write, never store integrity.
+     */
+    bool readOnly() const { return read_only_; }
+
+    /** True once an append failure disabled caching for the run. */
+    bool disabled() const { return disabled_; }
+
+    /** Same torn-write test/chaos seam as Journal::setWriteFault. */
+    void setWriteFault(std::function<ssize_t(size_t)> hook);
+
     /** Records loaded from disk at open() time (after dedup). */
     size_t numLoaded() const;
 
@@ -259,6 +306,11 @@ class VerdictCache
     /** baseKey -> unbounded Proven record (stable element pointers). */
     std::unordered_map<uint64_t, const Journal::Record *> by_base_;
     size_t appended_ = 0;
+    /** Offset after the last durable frame (see Journal::end_). */
+    off_t end_ = 0;
+    bool read_only_ = false;
+    bool disabled_ = false;
+    std::function<ssize_t(size_t)> write_fault_;
 };
 
 } // namespace r2u::bmc

@@ -26,6 +26,9 @@ struct BucketResult
     int pruned = 0;
     long long branches = 0;
     double ms = 0;
+    /** CampaignOptions::stop fired while this bucket still had
+     *  candidates: the skipped ones are counted as pruned. */
+    bool interrupted = false;
     /** Lowest candidate index with a cyclic (unobservable) graph for
      *  an interesting outcome; -1 when none / not collecting. */
     int64_t dotIndex = -1;
@@ -92,6 +95,12 @@ solveBucket(const uspec::Model &model, const CampaignOptions &options,
     BucketResult r;
     uhb::Execution exec = work.space->makeScratch();
     for (uint64_t k : indices) {
+        if (options.stop &&
+            options.stop->load(std::memory_order_relaxed)) {
+            r.pruned++;
+            r.interrupted = true;
+            continue;
+        }
         if ((work.prune && r.observable) ||
             (options.failFast &&
              work.stop.load(std::memory_order_relaxed))) {
@@ -238,6 +247,8 @@ runCampaign(const uspec::Model &model,
 
     // Phase 3: deterministic merge in test / bucket order.
     for (auto &work : works) {
+        for (const BucketResult &r : work->results)
+            result.interrupted |= r.interrupted;
         result.tests.push_back(mergeTest(model, *work));
         const TestResult &res = result.tests.back();
         result.failures += res.ok() ? 0 : 1;
@@ -269,6 +280,8 @@ CampaignResult::jsonReport() const
     out += strfmt("  \"jobs\": %u,\n", jobs);
     out += strfmt("  \"prune\": %s,\n", prune ? "true" : "false");
     out += strfmt("  \"fail_fast\": %s,\n", failFast ? "true" : "false");
+    out += strfmt("  \"interrupted\": %s,\n",
+                  interrupted ? "true" : "false");
     out += strfmt("  \"tests\": %zu,\n", tests.size());
     out += strfmt("  \"failures\": %d,\n", failures);
     out += strfmt("  \"executions\": {\"total\": %lld, \"explored\": "

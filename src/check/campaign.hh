@@ -22,6 +22,7 @@
 #ifndef R2U_CHECK_CAMPAIGN_HH
 #define R2U_CHECK_CAMPAIGN_HH
 
+#include <atomic>
 #include <string>
 #include <vector>
 
@@ -45,6 +46,17 @@ struct CampaignOptions
      * it implies) to these test names; empty = every test.
      */
     std::vector<std::string> dotTests;
+    /**
+     * Cooperative cancellation flag (caller-owned, may be flipped
+     * from any thread — a signal handler, the service watchdog).
+     * Checked before every candidate solve: once set, remaining
+     * candidates are skipped (counted as pruned) and the result comes
+     * back with interrupted=true. Skipping can only shrink the
+     * explored set, never flip a verdict already established, so an
+     * interrupted campaign is a sound partial answer. nullptr = never
+     * stop.
+     */
+    const std::atomic<bool> *stop = nullptr;
 };
 
 struct CampaignResult
@@ -59,6 +71,9 @@ struct CampaignResult
     long long executionsPruned = 0;
     long long branches = 0;
     double ms = 0; ///< campaign wall-clock time
+    /** CampaignOptions::stop fired mid-run: verdicts reflect only the
+     *  explored prefix and must not be treated as exhaustive. */
+    bool interrupted = false;
 
     /** One-line human summary of the campaign totals. */
     std::string summary() const;

@@ -1,6 +1,7 @@
 #include "rtl2uspec/synthesis.hh"
 
 #include <algorithm>
+#include <filesystem>
 
 #include "bmc/engine.hh"
 #include "common/logging.hh"
@@ -75,8 +76,36 @@ class Synthesizer
                        "(%zu validated verdicts)",
                        opts.journalPath.c_str(), journal_->numLoaded());
             eopts.journal = journal_.get();
+        } else if (!opts.journalDir.empty()) {
+            // Service mode: one always-resumed journal per
+            // verdict-relevant configuration, so a daemon restarted
+            // after kill -9 replays everything any earlier request
+            // made durable for this design/bound/unroll combination.
+            std::error_code ec;
+            std::filesystem::create_directories(opts.journalDir, ec);
+            if (ec)
+                fatal("rtl2uspec: cannot create journal dir %s: %s",
+                      opts.journalDir.c_str(), ec.message().c_str());
+            std::string path =
+                (std::filesystem::path(opts.journalDir) /
+                 strfmt("%016llx.r2uj",
+                        static_cast<unsigned long long>(configHash())))
+                    .string();
+            journal_ = std::make_unique<bmc::Journal>();
+            if (journal_->openShared(path, configHash())) {
+                if (journal_->numLoaded() > 0)
+                    inform("rtl2uspec: resuming from journal %s "
+                           "(%zu validated verdicts)",
+                           path.c_str(), journal_->numLoaded());
+                eopts.journal = journal_.get();
+            } else {
+                journal_.reset(); // lock conflict: run journal-less
+            }
         }
-        if (!opts.cacheDir.empty()) {
+        if (opts.cache) {
+            out_.cacheEnabled = true;
+            eopts.cache = opts.cache;
+        } else if (!opts.cacheDir.empty()) {
             cache_ = std::make_unique<bmc::VerdictCache>();
             cache_->open(opts.cacheDir);
             out_.cacheEnabled = true;
@@ -88,6 +117,17 @@ class Synthesizer
         }
         engine_ = std::make_unique<bmc::Engine>(
             nl_, design_.signalMap, unrollOptions(), md_.bound, eopts);
+        engine_hook_ = opts.engineHook;
+        if (engine_hook_)
+            engine_hook_(engine_.get());
+    }
+
+    ~Synthesizer()
+    {
+        // Unpublish the engine before any member is torn down so a
+        // supervisor can never interrupt() a dead engine.
+        if (engine_hook_)
+            engine_hook_(nullptr);
     }
 
     SynthesisResult
@@ -1859,6 +1899,8 @@ class Synthesizer
     std::unique_ptr<bmc::VerdictCache> cache_;
     /** The BMC query engine serving every SVA in this run. */
     std::unique_ptr<bmc::Engine> engine_;
+    /** SynthesisOptions::engineHook (fired in ctor/dtor). */
+    std::function<void(bmc::Engine *)> engine_hook_;
     /** Record indices of queries enqueued since the last flush. */
     std::vector<size_t> pending_;
 };

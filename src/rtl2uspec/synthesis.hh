@@ -178,12 +178,35 @@ struct SynthesisOptions
      * found, never what the verdict is.
      */
     std::string cacheDir;
+    /**
+     * Shared, caller-owned verdict cache (the service's cross-request
+     * store). Overrides cacheDir when set; must outlive the run. The
+     * synthesizer neither owns nor closes it, so many concurrent and
+     * sequential requests can warm the same in-memory instance.
+     */
+    bmc::VerdictCache *cache = nullptr;
+    /**
+     * Directory of per-configuration resume journals (the service's
+     * crash-recovery state): the run journals into
+     * <journalDir>/<configHash>.r2uj with resume semantics and flock
+     * single-writer protection; a lock conflict degrades to running
+     * journal-less with a warning. Ignored when journalPath is set.
+     */
+    std::string journalDir;
     /** Dump each refutation's replayed trace as VCD ("" disables). */
     std::string cexVcdDir;
     /** Fault-injection test seam, forwarded to the engine. */
     std::function<void(const bmc::Query &, bmc::CheckResult &,
                        bmc::SolveStage)>
         faultHook;
+    /**
+     * Engine lifecycle observer: called with the live engine right
+     * after it is constructed and with nullptr before it is
+     * destroyed. Lets a supervisor (the service watchdog) fire
+     * Engine::interrupt() on a run it does not own without racing the
+     * engine's destruction.
+     */
+    std::function<void(bmc::Engine *)> engineHook;
 
     static constexpr int64_t kInheritBudget = INT64_MIN;
 };

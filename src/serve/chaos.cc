@@ -1,0 +1,74 @@
+#include "serve/chaos.hh"
+
+#include "common/logging.hh"
+#include "common/strutil.hh"
+
+namespace r2u::serve
+{
+
+bool
+ChaosSpec::parse(const std::string &spec, ChaosSpec &out,
+                 std::string *err)
+{
+    for (const std::string &tok : split(spec, ',')) {
+        std::string t = trim(tok);
+        if (t.empty())
+            continue;
+        size_t eq = t.find('=');
+        if (eq == std::string::npos) {
+            if (err)
+                *err = "chaos: expected key=value, got '" + t + "'";
+            return false;
+        }
+        std::string key = t.substr(0, eq);
+        std::string val = t.substr(eq + 1);
+        int n = 0;
+        try {
+            n = parseInt(("--chaos " + key).c_str(), val);
+        } catch (const FatalError &e) {
+            if (err)
+                *err = e.what();
+            return false;
+        }
+        if (n < 0) {
+            if (err)
+                *err = "chaos: '" + key + "' wants a count >= 0";
+            return false;
+        }
+        if (key == "stall")
+            out.stall.store(n);
+        else if (key == "stall-ms")
+            out.stallMs = n;
+        else if (key == "torn")
+            out.torn.store(n);
+        else if (key == "drop")
+            out.drop.store(n);
+        else {
+            if (err)
+                *err = "chaos: unknown fault class '" + key + "'";
+            return false;
+        }
+    }
+    return true;
+}
+
+bool
+ChaosSpec::fire(std::atomic<int> &counter)
+{
+    int cur = counter.load(std::memory_order_relaxed);
+    while (cur > 0) {
+        if (counter.compare_exchange_weak(cur, cur - 1,
+                                          std::memory_order_relaxed))
+            return true;
+    }
+    return false;
+}
+
+std::string
+ChaosSpec::summary() const
+{
+    return strfmt("stall=%d(ms=%d),torn=%d,drop=%d", stall.load(),
+                  stallMs, torn.load(), drop.load());
+}
+
+} // namespace r2u::serve

@@ -1,0 +1,123 @@
+#include "serve/client.hh"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "serve/protocol.hh"
+
+namespace r2u::serve
+{
+
+Client::~Client() { close(); }
+
+void
+Client::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+bool
+Client::connect(const std::string &socket_path, std::string *err)
+{
+    close();
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (socket_path.size() >= sizeof(addr.sun_path)) {
+        if (err)
+            *err = "socket path too long: " + socket_path;
+        return false;
+    }
+    std::strncpy(addr.sun_path, socket_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        if (err)
+            *err = std::string("socket: ") + strerror(errno);
+        return false;
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        if (err)
+            *err = "connect " + socket_path + ": " + strerror(errno);
+        ::close(fd);
+        return false;
+    }
+    fd_ = fd;
+    return true;
+}
+
+bool
+Client::request(const json::Value &req, json::Value &resp,
+                std::string *err)
+{
+    if (fd_ < 0) {
+        if (err)
+            *err = "not connected";
+        return false;
+    }
+    if (!writeFrame(fd_, req.dump())) {
+        if (err)
+            *err = std::string("send: ") + strerror(errno);
+        close();
+        return false;
+    }
+    std::string payload;
+    FrameIo r = readFrame(fd_, payload);
+    if (r != FrameIo::Ok) {
+        if (err)
+            *err = r == FrameIo::Eof
+                       ? "connection closed before the response"
+                       : "receive failed";
+        close();
+        return false;
+    }
+    std::string perr;
+    if (!json::Value::parse(payload, resp, &perr)) {
+        if (err)
+            *err = "malformed response: " + perr;
+        close();
+        return false;
+    }
+    return true;
+}
+
+bool
+Client::requestWithRetry(const std::string &socket_path,
+                         const json::Value &req, json::Value &resp,
+                         std::string *err, unsigned attempts)
+{
+    std::string last;
+    for (unsigned attempt = 0; attempt < std::max(1u, attempts);
+         attempt++) {
+        if (attempt > 0)
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(50 << std::min(attempt, 6u)));
+        if (!connected() && !connect(socket_path, &last))
+            continue;
+        if (!request(req, resp, &last))
+            continue; // transport failure: reconnect + re-issue
+        if (!resp.getBool("ok") && resp.getStr("code") == "overloaded") {
+            int64_t wait = resp.getInt("retry_after_ms", 200);
+            last = "overloaded";
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(wait));
+            continue;
+        }
+        return true; // a definitive reply (including errors like
+                     // bad_request/draining) belongs to the caller
+    }
+    if (err)
+        *err = last.empty() ? "request failed" : last;
+    return false;
+}
+
+} // namespace r2u::serve

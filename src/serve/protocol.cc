@@ -1,0 +1,90 @@
+#include "serve/protocol.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace r2u::serve
+{
+
+namespace
+{
+
+bool
+sendAll(int fd, const void *data, size_t n)
+{
+    const char *p = static_cast<const char *>(data);
+    while (n > 0) {
+        ssize_t w = ::send(fd, p, n, MSG_NOSIGNAL);
+        if (w < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        p += w;
+        n -= static_cast<size_t>(w);
+    }
+    return true;
+}
+
+/** 1 = got all n bytes, 0 = clean EOF before the first byte,
+ *  -1 = error or EOF mid-read. */
+int
+recvAll(int fd, void *data, size_t n)
+{
+    char *p = static_cast<char *>(data);
+    size_t got = 0;
+    while (got < n) {
+        ssize_t r = ::recv(fd, p + got, n - got, 0);
+        if (r < 0) {
+            if (errno == EINTR)
+                continue;
+            return -1;
+        }
+        if (r == 0)
+            return got == 0 ? 0 : -1;
+        got += static_cast<size_t>(r);
+    }
+    return 1;
+}
+
+} // namespace
+
+bool
+writeFrame(int fd, const std::string &payload)
+{
+    uint32_t len = static_cast<uint32_t>(payload.size());
+    uint8_t prefix[4] = {
+        static_cast<uint8_t>(len),
+        static_cast<uint8_t>(len >> 8),
+        static_cast<uint8_t>(len >> 16),
+        static_cast<uint8_t>(len >> 24),
+    };
+    return sendAll(fd, prefix, sizeof(prefix)) &&
+           sendAll(fd, payload.data(), payload.size());
+}
+
+FrameIo
+readFrame(int fd, std::string &payload, uint32_t max_bytes)
+{
+    uint8_t prefix[4];
+    int r = recvAll(fd, prefix, sizeof(prefix));
+    if (r == 0)
+        return FrameIo::Eof;
+    if (r < 0)
+        return FrameIo::Error;
+    uint32_t len = static_cast<uint32_t>(prefix[0]) |
+                   (static_cast<uint32_t>(prefix[1]) << 8) |
+                   (static_cast<uint32_t>(prefix[2]) << 16) |
+                   (static_cast<uint32_t>(prefix[3]) << 24);
+    if (len > max_bytes)
+        return FrameIo::TooBig;
+    payload.resize(len);
+    if (len > 0 && recvAll(fd, payload.data(), len) != 1)
+        return FrameIo::Error;
+    return FrameIo::Ok;
+}
+
+} // namespace r2u::serve

@@ -114,16 +114,21 @@ TEST(VerdictCache, RoundTripPersistsAcrossReopens)
 TEST(VerdictCache, DuplicateAppendIsDeduplicated)
 {
     std::string dir = tempCacheDir("vc_dedup");
-    bmc::VerdictCache c;
-    c.open(dir);
-    ASSERT_TRUE(c.append(
-        makeRecord(0x111, "a", bmc::Verdict::Proven, 3)));
-    uint64_t size_after_one = fs::file_size(c.filePath());
+    std::string file;
+    uint64_t size_after_one = 0;
+    {
+        bmc::VerdictCache c;
+        c.open(dir);
+        ASSERT_TRUE(c.append(
+            makeRecord(0x111, "a", bmc::Verdict::Proven, 3)));
+        file = c.filePath();
+        size_after_one = fs::file_size(file);
 
-    EXPECT_TRUE(c.append(
-        makeRecord(0x111, "a", bmc::Verdict::Proven, 3)));
-    EXPECT_EQ(fs::file_size(c.filePath()), size_after_one);
-    EXPECT_EQ(c.numAppended(), 1u);
+        EXPECT_TRUE(c.append(
+            makeRecord(0x111, "a", bmc::Verdict::Proven, 3)));
+        EXPECT_EQ(fs::file_size(file), size_after_one);
+        EXPECT_EQ(c.numAppended(), 1u);
+    } // close: the single-writer flock must be released for c2
 
     bmc::VerdictCache c2;
     c2.open(dir);
@@ -519,4 +524,92 @@ TEST(VerdictCache, UnhashedQueriesBypassTheCache)
         EXPECT_EQ(engine.stats().cacheAppends, 0u);
         EXPECT_EQ(cache.numLoaded(), 0u);
     }
+}
+
+// Single-writer flock (ISSUE 10 satellite): the second live opener of
+// a shared --cache DIR degrades to read-only — lookups still served,
+// appends silently refused — instead of interleaving frames with the
+// writer. flock(2) is per open file description, so two opens in one
+// process exercise the real conflict.
+TEST(VerdictCache, SecondOpenerFallsBackToReadOnly)
+{
+    std::string dir = tempCacheDir("vc_flock");
+    bmc::VerdictCache writer;
+    writer.open(dir);
+    ASSERT_TRUE(writer.isOpen());
+    EXPECT_FALSE(writer.readOnly());
+    ASSERT_TRUE(
+        writer.append(makeRecord(0x111, "a", bmc::Verdict::Proven, 3)));
+
+    bmc::VerdictCache reader;
+    reader.open(dir);
+    EXPECT_TRUE(reader.isOpen());
+    EXPECT_TRUE(reader.readOnly());
+    // Cached verdicts are served...
+    ASSERT_NE(reader.lookup(0x111), nullptr);
+    EXPECT_EQ(reader.lookup(0x111)->name, "a");
+    // ...but new ones are not stored, and the store stays untouched.
+    uint64_t size = fs::file_size(writer.filePath());
+    EXPECT_FALSE(
+        reader.append(makeRecord(0x222, "b", bmc::Verdict::Refuted, 3)));
+    EXPECT_EQ(reader.numAppended(), 0u);
+    EXPECT_EQ(fs::file_size(writer.filePath()), size);
+
+    // The writer is unaffected by the reader's existence.
+    EXPECT_TRUE(
+        writer.append(makeRecord(0x333, "c", bmc::Verdict::Proven, 3)));
+}
+
+TEST(VerdictCache, WriteLockReleasedOnClose)
+{
+    std::string dir = tempCacheDir("vc_flock2");
+    {
+        bmc::VerdictCache writer;
+        writer.open(dir);
+        ASSERT_TRUE(writer.append(
+            makeRecord(0x111, "a", bmc::Verdict::Proven, 3)));
+    }
+    bmc::VerdictCache next;
+    next.open(dir);
+    EXPECT_FALSE(next.readOnly());
+    EXPECT_EQ(next.numLoaded(), 1u);
+    EXPECT_TRUE(
+        next.append(makeRecord(0x222, "b", bmc::Verdict::Refuted, 3)));
+}
+
+// A torn append (chaos "torn", or a full disk) must roll the store
+// back to the last durable frame and disable caching for the run —
+// the file stays loadable and every durable verdict survives.
+TEST(VerdictCache, TornAppendRollsBackAndDisables)
+{
+    std::string dir = tempCacheDir("vc_torn_append");
+    std::string file;
+    {
+        bmc::VerdictCache c;
+        c.open(dir);
+        file = c.filePath();
+        ASSERT_TRUE(c.append(
+            makeRecord(0x111, "a", bmc::Verdict::Proven, 3)));
+        uint64_t good = fs::file_size(file);
+
+        c.setWriteFault([](size_t n) {
+            return static_cast<ssize_t>(n / 2);
+        });
+        EXPECT_FALSE(c.append(
+            makeRecord(0x222, "b", bmc::Verdict::Refuted, 3)));
+        EXPECT_TRUE(c.disabled());
+        EXPECT_EQ(fs::file_size(file), good);
+
+        c.setWriteFault(nullptr);
+        EXPECT_FALSE(c.append(
+            makeRecord(0x333, "c", bmc::Verdict::Proven, 3)));
+        EXPECT_EQ(c.numAppended(), 1u);
+        // Lookups keep working from memory after the store degrades.
+        EXPECT_NE(c.lookup(0x111), nullptr);
+    }
+    bmc::VerdictCache c;
+    c.open(dir);
+    EXPECT_EQ(c.numLoaded(), 1u);
+    EXPECT_NE(c.lookup(0x111), nullptr);
+    EXPECT_EQ(c.lookup(0x222), nullptr);
 }

@@ -10,9 +10,15 @@
  * make inter_hbi / make uspec pipeline in a single invocation.
  */
 
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <mutex>
+#include <thread>
 
+#include "bmc/engine.hh"
 #include "common/logging.hh"
 #include "common/strutil.hh"
 #include "rtl2uspec/metadata_io.hh"
@@ -28,6 +34,18 @@ namespace
 using r2u::parseDouble;
 using r2u::parseInt;
 using r2u::parseInt64;
+
+// SIGINT/SIGTERM land here; a watcher thread turns the flag into an
+// async Engine::interrupt(), so the run winds down with sound Unknown
+// verdicts, flushes its journal (appends are fsync'd as they land),
+// writes what it has, and exits 5 instead of dying mid-solve.
+std::atomic<bool> g_stop{false};
+
+void
+onStopSignal(int)
+{
+    g_stop.store(true);
+}
 
 void
 usage()
@@ -107,7 +125,9 @@ usage()
         "  --quiet         suppress progress output\n"
         "exit codes: 0 ok, 1/2 errors, 3 design bugs found,\n"
         "            4 degraded synthesis (undetermined SVAs, no "
-        "bugs)\n");
+        "bugs),\n"
+        "            5 interrupted (SIGINT/SIGTERM: journal flushed,\n"
+        "            partial model still written)\n");
 }
 
 } // namespace
@@ -262,6 +282,11 @@ main(int argc, char **argv)
         return 2;
     }
 
+    struct sigaction sa{};
+    sa.sa_handler = onStopSignal;
+    sigaction(SIGINT, &sa, nullptr);
+    sigaction(SIGTERM, &sa, nullptr);
+
     try {
         rtl2uspec::DesignMetadata md =
             rtl2uspec::loadMetadata(meta_path);
@@ -278,8 +303,36 @@ main(int argc, char **argv)
                top.c_str(), st.cells, st.registers, st.flopBits,
                st.memories);
 
-        rtl2uspec::SynthesisResult synth =
-            rtl2uspec::synthesize(design, md, synth_opts);
+        std::mutex engine_mu;
+        bmc::Engine *live_engine = nullptr;
+        synth_opts.engineHook = [&](bmc::Engine *engine) {
+            std::lock_guard<std::mutex> lock(engine_mu);
+            live_engine = engine;
+        };
+        std::atomic<bool> watcher_done{false};
+        std::thread watcher([&] {
+            while (!watcher_done.load(std::memory_order_relaxed)) {
+                if (g_stop.load(std::memory_order_relaxed)) {
+                    std::lock_guard<std::mutex> lock(engine_mu);
+                    if (live_engine)
+                        live_engine->interrupt();
+                    return;
+                }
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(50));
+            }
+        });
+
+        rtl2uspec::SynthesisResult synth;
+        try {
+            synth = rtl2uspec::synthesize(design, md, synth_opts);
+        } catch (...) {
+            watcher_done.store(true);
+            watcher.join();
+            throw;
+        }
+        watcher_done.store(true);
+        watcher.join();
 
         if (!synth.bugs.empty()) {
             for (const auto &bug : synth.bugs)
@@ -328,6 +381,13 @@ main(int argc, char **argv)
                          "(see %% notes in %s)\n",
                          static_cast<size_t>(synth.unknownSvas),
                          out.c_str());
+        }
+        if (g_stop.load()) {
+            std::fprintf(stderr,
+                         "interrupted: journaled verdicts are durable "
+                         "and the partial model above is sound "
+                         "(conservatively weak)\n");
+            return 5;
         }
         if (!synth.bugs.empty())
             return 3;

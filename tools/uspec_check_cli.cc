@@ -9,6 +9,8 @@
  *   uspec_check --model vscale.uarch --cycle "Rfe PodRR Fre PodWW"
  */
 
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 
 #include "check/campaign.hh"
@@ -42,13 +44,26 @@ usage()
         "                  tests each gets FILE's stem + _<test>\n"
         "  --dot-test NAME restrict --dot (and its pruning opt-out) to\n"
         "                  test NAME (repeatable)\n"
-        "exit codes: 0 all tests ok, 1 failures/errors, 2 usage\n");
+        "exit codes: 0 all tests ok, 1 failures/errors, 2 usage,\n"
+        "            3 interrupted (SIGINT/SIGTERM: partial verdicts\n"
+        "            were still reported soundly)\n");
 }
 
 // Whole-token integer parse (r2u::parseInt, shared with the benches);
 // malformed/overflowing input is a fatal() usage error (exit 2),
 // never an uncaught exception.
 using r2u::parseInt;
+
+// SIGINT/SIGTERM flip this flag; the campaign engine checks it before
+// every candidate solve (CampaignOptions::stop) and comes back with a
+// sound partial answer instead of the default instant kill.
+std::atomic<bool> g_stop{false};
+
+void
+onStopSignal(int)
+{
+    g_stop.store(true);
+}
 
 } // namespace
 
@@ -109,6 +124,12 @@ main(int argc, char **argv)
         return 2;
     }
 
+    struct sigaction sa{};
+    sa.sa_handler = onStopSignal;
+    sigaction(SIGINT, &sa, nullptr);
+    sigaction(SIGTERM, &sa, nullptr);
+    opts.stop = &g_stop;
+
     try {
         uspec::Model model =
             uspec::Model::parse(readFile(model_path));
@@ -151,6 +172,13 @@ main(int argc, char **argv)
         if (!report_path.empty())
             writeFile(report_path, campaign.jsonReport());
         std::printf("--- %s ---\n", campaign.summary().c_str());
+        if (campaign.interrupted) {
+            std::fprintf(stderr,
+                         "interrupted: verdicts reflect only the "
+                         "explored prefix (report written, nothing "
+                         "lost)\n");
+            return 3;
+        }
         std::printf("%s\n",
                     campaign.failures == 0
                         ? "======= ALL TESTS PASS ======="
